@@ -1,0 +1,39 @@
+//! Criterion benchmarks of full factorizations (host wall-clock, one
+//! virtual node): the hybrid against its baselines at a fixed size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use luqr::{factor, Algorithm, Criterion as Crit, FactorOptions};
+use luqr_kernels::Mat;
+use std::hint::black_box;
+
+fn bench_factor(c: &mut Criterion) {
+    let n = 480;
+    let nb = 48;
+    let a = Mat::random(n, n, 1);
+    let b = Mat::random(n, 1, 2);
+    let mut g = c.benchmark_group("factor-n480");
+    g.sample_size(10);
+    for (name, algorithm) in [
+        ("lu_nopiv", Algorithm::LuNoPiv),
+        ("luqr_always_lu", Algorithm::LuQr(Crit::AlwaysLu)),
+        ("luqr_max", Algorithm::LuQr(Crit::Max { alpha: 1000.0 })),
+        ("luqr_always_qr", Algorithm::LuQr(Crit::AlwaysQr)),
+        ("hqr", Algorithm::Hqr),
+        ("lupp", Algorithm::Lupp),
+        ("lu_incpiv", Algorithm::LuIncPiv),
+    ] {
+        let opts = FactorOptions {
+            nb,
+            algorithm,
+            threads: 1,
+            ..FactorOptions::default()
+        };
+        g.bench_function(name, |bch| {
+            bch.iter(|| black_box(factor(&a, &b, &opts)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_factor);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks of the tile kernels (Table I in wall-clock
+//! form): one benchmark per kernel at the experiment tile size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use luqr_kernels::blas::{gemm, trsm, Diag, Side, Trans, UpLo};
+use luqr_kernels::lu::getrf;
+use luqr_kernels::qr::{geqrt, tpmqrt, tpqrt, unmqr};
+use luqr_kernels::Mat;
+use std::hint::black_box;
+
+const NB: usize = 80;
+const IB: usize = 16;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tile-kernels-nb80");
+    g.sample_size(20);
+
+    let a0 = Mat::random(NB, NB, 1);
+    let tri = {
+        let mut t = Mat::random(NB, NB, 2).upper_triangular();
+        for i in 0..NB {
+            t[(i, i)] += 2.0;
+        }
+        t
+    };
+
+    g.bench_function("getrf", |b| {
+        b.iter(|| {
+            let mut a = a0.clone();
+            black_box(getrf(&mut a).unwrap());
+        })
+    });
+
+    g.bench_function("trsm", |b| {
+        let rhs = Mat::random(NB, NB, 3);
+        b.iter(|| {
+            let mut x = rhs.clone();
+            trsm(Side::Right, UpLo::Upper, Trans::NoTrans, Diag::NonUnit, 1.0, &tri, &mut x);
+            black_box(&x);
+        })
+    });
+
+    g.bench_function("gemm", |b| {
+        let x = Mat::random(NB, NB, 4);
+        let y = Mat::random(NB, NB, 5);
+        let c0 = Mat::random(NB, NB, 6);
+        b.iter(|| {
+            let mut c = c0.clone();
+            gemm(Trans::NoTrans, Trans::NoTrans, -1.0, &x, &y, 1.0, &mut c);
+            black_box(&c);
+        })
+    });
+
+    g.bench_function("geqrt", |b| {
+        b.iter(|| {
+            let mut a = a0.clone();
+            black_box(geqrt(&mut a, IB));
+        })
+    });
+
+    let (vq, tq) = {
+        let mut a = a0.clone();
+        let t = geqrt(&mut a, IB);
+        (a, t)
+    };
+    g.bench_function("unmqr", |b| {
+        let c0 = Mat::random(NB, NB, 7);
+        b.iter(|| {
+            let mut c = c0.clone();
+            unmqr(Trans::Trans, &vq, &tq, &mut c);
+            black_box(&c);
+        })
+    });
+
+    g.bench_function("tsqrt", |b| {
+        let b0 = Mat::random(NB, NB, 8);
+        b.iter(|| {
+            let mut r = tri.clone();
+            let mut bb = b0.clone();
+            black_box(tpqrt(0, &mut r, &mut bb, IB));
+        })
+    });
+
+    g.bench_function("ttqrt", |b| {
+        let b0 = Mat::random(NB, NB, 9).upper_triangular();
+        b.iter(|| {
+            let mut r = tri.clone();
+            let mut bb = b0.clone();
+            black_box(tpqrt(NB, &mut r, &mut bb, IB));
+        })
+    });
+
+    let (vts, tts) = {
+        let mut r = tri.clone();
+        let mut bb = Mat::random(NB, NB, 10);
+        let t = tpqrt(0, &mut r, &mut bb, IB);
+        (bb, t)
+    };
+    g.bench_function("tsmqr", |b| {
+        let top0 = Mat::random(NB, NB, 11);
+        let bot0 = Mat::random(NB, NB, 12);
+        b.iter(|| {
+            let mut top = top0.clone();
+            let mut bot = bot0.clone();
+            tpmqrt(Trans::Trans, 0, &vts, &tts, &mut top, &mut bot);
+            black_box(&bot);
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! **Ablation A2** — diagonal *tile* vs diagonal *domain* pivot scope
+//! (paper §II-A / §V-B: pivoting across the whole diagonal domain greatly
+//! improves the stability of the α = ∞ hybrid at zero communication cost,
+//! and increases the LU-step rate at finite α).
+//!
+//! ```sh
+//! cargo run --release -p luqr-bench --bin ablation_domain [--n 1600] [--nb 80]
+//! ```
+
+use luqr::{Algorithm, Criterion, FactorOptions, PivotScope};
+use luqr_bench::{cell, geomean, random_system, run, Args};
+use luqr_runtime::Platform;
+use luqr_tile::Grid;
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get("n", 1600usize);
+    let nb = args.get("nb", 80usize);
+    let seeds = args.get("seeds", 3u64);
+    let grid = Grid::new(4, 1);
+    let platform = Platform::dancer_nodes(4);
+
+    println!("Pivot-scope ablation — N = {n}, nb = {nb}, 4x1 grid, {seeds} seeds");
+    println!(
+        "{:<26} {:<10} {:>12} {:>8}",
+        "criterion", "scope", "rel. HPL3", "%LU"
+    );
+    let systems: Vec<_> = (0..seeds).map(|s| random_system(n, 300 + s)).collect();
+    let lupp: Vec<f64> = systems
+        .iter()
+        .map(|sys| {
+            run(
+                sys,
+                &FactorOptions {
+                    nb,
+                    grid,
+                    algorithm: Algorithm::Lupp,
+                    ..FactorOptions::default()
+                },
+                &platform,
+            )
+            .hpl3
+        })
+        .collect();
+    let lupp_ref = geomean(&lupp);
+
+    for criterion in [
+        Criterion::AlwaysLu,
+        Criterion::Max { alpha: 600.0 },
+        Criterion::Mumps { alpha: 2.1 },
+    ] {
+        for scope in [PivotScope::DiagonalTile, PivotScope::DiagonalDomain] {
+            let mut h = Vec::new();
+            let mut lu = Vec::new();
+            for sys in &systems {
+                let m = run(
+                    sys,
+                    &FactorOptions {
+                        nb,
+                        grid,
+                        algorithm: Algorithm::LuQr(criterion.clone()),
+                        pivot_scope: scope,
+                        ..FactorOptions::default()
+                    },
+                    &platform,
+                );
+                h.push(m.hpl3);
+                lu.push(m.lu_fraction);
+            }
+            println!(
+                "{:<26} {:<10} {:>12} {:>7.0}%",
+                criterion.name(),
+                match scope {
+                    PivotScope::DiagonalTile => "tile",
+                    PivotScope::DiagonalDomain => "domain",
+                },
+                cell(geomean(&h) / lupp_ref),
+                100.0 * lu.iter().sum::<f64>() / lu.len() as f64,
+            );
+        }
+    }
+    println!("\nPaper claim: domain pivoting makes α = ∞ nearly as stable as LUPP on");
+    println!("random matrices, and raises the LU-step rate at fixed finite α.");
+}

@@ -1,0 +1,30 @@
+//! **Figure 1** — the dataflow of one elimination step: Backup Panel →
+//! LU On Panel (criterion) → Propagate → {LU | QR} kernels, with the
+//! unselected branch shown dashed. Emits Graphviz DOT.
+//!
+//! ```sh
+//! cargo run --release -p luqr-bench --bin fig1_dataflow [--step 1] > step.dot
+//! dot -Tpng step.dot -o step.png
+//! ```
+
+use luqr::{factor, Algorithm, Criterion, FactorOptions};
+use luqr_bench::{random_system, Args};
+use luqr_tile::Grid;
+
+fn main() {
+    let args = Args::parse();
+    let step = args.get("step", 1usize);
+    let sys = random_system(192, 5);
+    let opts = FactorOptions {
+        nb: 48,
+        grid: Grid::new(2, 1),
+        algorithm: Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
+        ..FactorOptions::default()
+    };
+    let f = factor(&sys.a, &sys.b, &opts);
+    eprintln!(
+        "step {step} decision: {:?} (dashed nodes = discarded branch)",
+        f.records.iter().find(|r| r.k == step).map(|r| r.decision)
+    );
+    print!("{}", f.dot_for_step(step));
+}

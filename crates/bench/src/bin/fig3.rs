@@ -1,0 +1,111 @@
+//! **Figure 3** — stability on special matrices: relative HPL3 (vs LUPP)
+//! of LU NoPiv, LUQR with Random choices / Max / MUMPS criteria, and HQR,
+//! on 5 random matrices plus the 21 special matrices of Table III.
+//!
+//! Paper setup: N = 40000, 16x1 grid, α = 50% (Random), 6000 (Max),
+//! 2.1 (MUMPS). Scaled here to N = 768 (so Wilkinson-class growth stays
+//! within f64 range) on a 16x1 grid with nb = 48.
+//!
+//! ```sh
+//! cargo run --release -p luqr-bench --bin fig3 [--n 768] [--nb 48]
+//! ```
+
+use luqr::{stability, Algorithm, Criterion};
+use luqr_bench::{cell, run, system_from, Args};
+use luqr_runtime::Platform;
+use luqr_tile::gallery::{self, SpecialMatrix};
+use luqr_tile::Grid;
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get("n", 768usize);
+    let nb = args.get("nb", 48usize);
+    let grid = Grid::new(16, 1);
+    let platform = Platform::dancer();
+
+    // The Max threshold scales with tile norms (∝ nb); the paper's 6000 was
+    // tuned for nb = 240, which rescales to ≈ 2000 at nb = 48. MUMPS works
+    // on scalars, so the paper's 2.1 carries over unchanged.
+    let alpha_max = args.get("alpha-max", 2000.0f64);
+    let alpha_mumps = args.get("alpha-mumps", 2.1f64);
+
+    println!("Figure 3 — special matrices, N = {n}, nb = {nb}, 16x1 grid");
+    println!("relative HPL3 vs LUPP (fail = non-finite solution)\n");
+    println!(
+        "{:<12} {:>10} | {:>10} {:>14} {:>14} {:>14} {:>10}",
+        "matrix", "LUPP hpl3", "LU NoPiv", "LUQR Random", "LUQR Max", "LUQR MUMPS", "HQR"
+    );
+
+    let algos: Vec<(&str, Algorithm)> = vec![
+        ("nopiv", Algorithm::LuNoPiv),
+        (
+            "random",
+            Algorithm::LuQr(Criterion::Random {
+                lu_fraction: 0.5,
+                seed: 11,
+            }),
+        ),
+        ("max", Algorithm::LuQr(Criterion::Max { alpha: alpha_max })),
+        (
+            "mumps",
+            Algorithm::LuQr(Criterion::Mumps { alpha: alpha_mumps }),
+        ),
+        ("hqr", Algorithm::Hqr),
+    ];
+
+    let mut cases: Vec<(String, luqr_kernels::Mat)> = (0..5)
+        .map(|s| (format!("random-{s}"), gallery::random(n, 500 + s)))
+        .collect();
+    for m in SpecialMatrix::TABLE3 {
+        cases.push((m.name().to_string(), m.generate(n, 1234)));
+    }
+
+    for (name, a) in cases {
+        let sys = system_from(a, 77);
+        let opts_base = luqr::FactorOptions {
+            nb,
+            grid,
+            ..luqr::FactorOptions::default()
+        };
+        let lupp = run(
+            &sys,
+            &luqr::FactorOptions {
+                algorithm: Algorithm::Lupp,
+                ..opts_base.clone()
+            },
+            &platform,
+        );
+        let mut cells = Vec::new();
+        for (_, algo) in &algos {
+            let m = run(
+                &sys,
+                &luqr::FactorOptions {
+                    algorithm: algo.clone(),
+                    ..opts_base.clone()
+                },
+                &platform,
+            );
+            let rel = stability::relative_hpl3(m.hpl3, lupp.hpl3);
+            let tag = if matches!(algo, Algorithm::LuQr(_)) {
+                format!("{} ({:>3.0}%)", cell(rel), 100.0 * m.lu_fraction)
+            } else {
+                cell(rel)
+            };
+            cells.push(tag);
+        }
+        println!(
+            "{:<12} {:>10} | {:>10} {:>14} {:>14} {:>14} {:>10}",
+            name,
+            cell(lupp.hpl3),
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3],
+            cells[4]
+        );
+    }
+    println!("\n(%) = fraction of LU steps taken by the hybrid.");
+    println!("Paper shape: Random choices become unstable on special matrices; the Max");
+    println!("criterion stays within ~1e2 of LUPP everywhere; MUMPS is good except on");
+    println!("Wilkinson/Foster-class growth matrices; HQR is unconditionally stable.");
+}

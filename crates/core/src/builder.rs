@@ -1,0 +1,1265 @@
+//! Task-graph construction for every factorization algorithm.
+//!
+//! One function per algorithm inserts the complete factorization (all
+//! elimination steps, panel through trailing updates, right-hand-side
+//! columns included) into a [`GraphBuilder`]; the runtime's hazard inference
+//! then yields the full dependency structure, including pipelining between
+//! consecutive steps.
+//!
+//! The hybrid insertion mirrors Figure 1 of the paper step by step:
+//!
+//! ```text
+//!  BACKUP(i,k)  — save diagonal-domain panel tiles
+//!  CRIT(d,k)    — off-domain nodes reduce their panel-column norms
+//!  PANEL(k)     — trial LU of the diagonal domain + criterion decision
+//!  PROP(i,k)    — restore the panel from backup if the decision was QR
+//!  LU branch    — SWPTRSM / TRSM / GEMM   (discarded on a QR decision)
+//!  QR branch    — GEQRT / TSQRT / TTQRT / UNMQR / TSMQR / TTMQR
+//!                 (discarded on an LU decision)
+//! ```
+//!
+//! Both branches are always present in the graph (the paper's static PTG
+//! constraint); the branch tasks read the decision at run time and either
+//! execute or discard themselves.
+
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+use luqr_kernels::blas::{trsm, Diag, Side, Trans, UpLo};
+use luqr_kernels::flops::{geqrt_flops, getrf_flops};
+use luqr_kernels::incpiv::{gessm, ssssm, tstrf, PairPivot};
+use luqr_kernels::lu::getf2_continue;
+use luqr_kernels::qr::{geqrt, tpmqrt, tpqrt, unmqr, TFactor};
+use luqr_kernels::Mat;
+use luqr_runtime::{Access, CostClass, GraphBuilder, TaskResult};
+use luqr_tile::{Grid, TiledMatrix};
+use parking_lot::Mutex;
+
+use crate::config::{Algorithm, Decision, FactorOptions, LuVariant, PivotScope, StepRecord};
+use crate::criteria::{decide, Criterion, DomainCritData, PanelCritData};
+use crate::keys;
+use crate::panel::{
+    apply_swap_group, factor_diagonal_domain, stack, swap_permutation, unstack,
+    PanelFactorization,
+};
+use crate::trees::{elimination_list, ElimOp};
+
+/// Shared state written by tasks and read back by the driver.
+#[derive(Clone, Default)]
+pub struct SharedState {
+    /// Per-step criterion records (hybrid only), pushed in step order.
+    pub records: Arc<Mutex<Vec<StepRecord>>>,
+    /// First numerical failure observed (zero pivot etc.).
+    pub error: Arc<Mutex<Option<String>>>,
+}
+
+impl SharedState {
+    fn fail(&self, msg: String) {
+        let mut e = self.error.lock();
+        if e.is_none() {
+            *e = Some(msg);
+        }
+    }
+}
+
+/// Insert the complete factorization of `aug` (an augmented `[A | B]` tiled
+/// matrix with `nt_a` tile columns of `A`) into a fresh graph.
+pub fn build_graph(
+    aug: &TiledMatrix,
+    nt_a: usize,
+    opts: &FactorOptions,
+) -> (luqr_runtime::Graph, SharedState) {
+    let shared = SharedState::default();
+    let grid = opts.grid;
+    let mut b = GraphBuilder::new(grid.nodes());
+
+    // Declare every tile with its block-cyclic home.
+    for i in 0..aug.mt() {
+        for j in 0..aug.nt() {
+            let (tm, tn) = aug.tile_dims(i, j);
+            b.declare(keys::tile(i, j), tm * tn * 8, grid.owner(i, j));
+        }
+    }
+
+    let mut ins = Inserter {
+        b,
+        aug,
+        nt_a,
+        grid,
+        opts,
+        shared: shared.clone(),
+    };
+    match &opts.algorithm {
+        Algorithm::LuQr(criterion) => ins.insert_hybrid(criterion.clone()),
+        Algorithm::LuNoPiv => ins.insert_lu_simple(false),
+        Algorithm::Lupp => ins.insert_lu_simple(true),
+        Algorithm::LuIncPiv => ins.insert_incpiv(),
+        Algorithm::Hqr => ins.insert_hqr(),
+    }
+    (ins.b.build(), shared)
+}
+
+/// Run `f` on the top-left `rows x cols` of `tile`, copying through a
+/// sub-matrix when the tile is larger (border tiles, R-region operations).
+fn with_sub<R>(tile: &mut Mat, rows: usize, cols: usize, f: impl FnOnce(&mut Mat) -> R) -> R {
+    if tile.dims() == (rows, cols) {
+        f(tile)
+    } else {
+        let mut s = tile.sub(0, 0, rows, cols);
+        let r = f(&mut s);
+        tile.set_sub(0, 0, &s);
+        r
+    }
+}
+
+type TfCell = Arc<Mutex<Option<TFactor>>>;
+type PanelCell = Arc<OnceLock<PanelFactorization>>;
+type DecCell = Arc<OnceLock<Decision>>;
+
+struct Inserter<'a> {
+    b: GraphBuilder,
+    aug: &'a TiledMatrix,
+    nt_a: usize,
+    grid: Grid,
+    opts: &'a FactorOptions,
+    shared: SharedState,
+}
+
+impl<'a> Inserter<'a> {
+    fn tile_bytes(&self, i: usize, j: usize) -> usize {
+        let (tm, tn) = self.aug.tile_dims(i, j);
+        tm * tn * 8
+    }
+
+    /// All trailing column indices of step `k` (matrix + rhs tile columns).
+    fn trailing(&self, k: usize) -> std::ops::Range<usize> {
+        k + 1..self.aug.nt()
+    }
+
+    // -----------------------------------------------------------------
+    // Hybrid LU-QR (Algorithm 1)
+    // -----------------------------------------------------------------
+
+    fn insert_hybrid(&mut self, criterion: Criterion) {
+        let mt = self.aug.mt();
+        let variant = self.opts.lu_variant;
+        for k in 0..self.nt_a {
+            // Variant A2 factors the diagonal tile with QR — no pivot pool
+            // beyond the tile, so the trial is always tile-scoped.
+            let trial_rows: Vec<usize> = match (variant, self.opts.pivot_scope) {
+                (LuVariant::A2, _) => vec![k],
+                (_, PivotScope::DiagonalDomain) => self.grid.diagonal_domain_rows(k, mt),
+                (_, PivotScope::DiagonalTile) => vec![k],
+            };
+            let dec: DecCell = Arc::new(OnceLock::new());
+            let pan: PanelCell = Arc::new(OnceLock::new());
+
+            // --- Backup the trial panel tiles.
+            let mut backups: Vec<Arc<Mutex<Option<Mat>>>> = Vec::new();
+            for &i in &trial_rows {
+                let cell: Arc<Mutex<Option<Mat>>> = Arc::new(Mutex::new(None));
+                let bytes = self.tile_bytes(i, k);
+                self.b.declare(keys::backup(i, k), bytes, self.grid.owner(i, k));
+                let tile = self.aug.tile(i, k);
+                let c = Arc::clone(&cell);
+                self.b.task(
+                    format!("BACKUP({i},k={k})"),
+                    self.grid.owner(i, k),
+                    &[Access::Read(keys::tile(i, k)), Access::Mut(keys::backup(i, k))],
+                    move || {
+                        *c.lock() = Some(tile.lock().clone());
+                        TaskResult::memory(bytes)
+                    },
+                );
+                backups.push(cell);
+            }
+
+            // --- Off-trial criterion collection, one task per owning node.
+            let mut groups: Vec<(usize, Vec<usize>)> = Vec::new(); // (node, rows)
+            for i in k..mt {
+                if trial_rows.contains(&i) {
+                    continue;
+                }
+                let node = self.grid.owner(i, k);
+                match groups.iter_mut().find(|(n, _)| *n == node) {
+                    Some((_, rows)) => rows.push(i),
+                    None => groups.push((node, vec![i])),
+                }
+            }
+            let needs_collect = !matches!(
+                criterion,
+                Criterion::AlwaysLu | Criterion::AlwaysQr | Criterion::Random { .. }
+            );
+            let mut crit_cells: Vec<Arc<OnceLock<DomainCritData>>> = Vec::new();
+            let mut crit_keys = Vec::new();
+            if needs_collect {
+                for (gidx, (node, rows)) in groups.iter().enumerate() {
+                    let key = keys::crit_scratch(gidx, k);
+                    let nbk = self.aug.tile_cols(k);
+                    self.b.declare(key, (2 + nbk) * 8, *node);
+                    let cell: Arc<OnceLock<DomainCritData>> = Arc::new(OnceLock::new());
+                    let tiles: Vec<_> = rows.iter().map(|&i| self.aug.tile(i, k)).collect();
+                    let area: usize = rows
+                        .iter()
+                        .map(|&i| {
+                            let (tm, tn) = self.aug.tile_dims(i, k);
+                            tm * tn
+                        })
+                        .sum();
+                    let c = Arc::clone(&cell);
+                    let mut accesses: Vec<Access> =
+                        rows.iter().map(|&i| Access::Read(keys::tile(i, k))).collect();
+                    accesses.push(Access::Mut(key));
+                    self.b.task(
+                        format!("CRIT(d={gidx},k={k})"),
+                        *node,
+                        &accesses,
+                        move || {
+                            let guards: Vec<_> = tiles.iter().map(|t| t.lock()).collect();
+                            let data = DomainCritData::from_tiles(guards.iter().map(|g| &**g));
+                            let _ = c.set(data);
+                            TaskResult::executed(2.0 * area as f64, CostClass::Estimate)
+                        },
+                    );
+                    crit_cells.push(cell);
+                    crit_keys.push(key);
+                }
+            }
+
+            // --- Panel: trial factorization + criterion decision.
+            let a2_tf: TfCell = Arc::new(Mutex::new(None));
+            if variant == LuVariant::A2 {
+                self.insert_a2_panel(k, &criterion, &dec, &pan, &a2_tf, &crit_cells, &crit_keys);
+            } else {
+                let nbk = self.aug.tile_cols(k);
+                self.b.declare(keys::pivots(k), mt * 8, self.grid.diag_owner(k));
+                self.b.declare(keys::decision(k), 8, self.grid.diag_owner(k));
+                let tiles: Vec<_> = trial_rows.iter().map(|&i| self.aug.tile(i, k)).collect();
+                let rows_total: usize = trial_rows.iter().map(|&i| self.aug.tile_rows(i)).sum();
+                let crit_cells = crit_cells.clone();
+                let dec2 = Arc::clone(&dec);
+                let pan2 = Arc::clone(&pan);
+                let shared = self.shared.clone();
+                let criterion = criterion.clone();
+                let mut accesses: Vec<Access> = trial_rows
+                    .iter()
+                    .map(|&i| Access::Mut(keys::tile(i, k)))
+                    .collect();
+                accesses.extend(crit_keys.iter().map(|&c| Access::Read(c)));
+                accesses.push(Access::Mut(keys::pivots(k)));
+                accesses.push(Access::Mut(keys::decision(k)));
+                let flops = getrf_flops(rows_total, nbk) as f64 + 2.0 * (nbk * nbk) as f64;
+                let allreduce_rounds =
+                    (self.grid.panel_node_count(k, mt) as f64).log2().ceil() as u32;
+                self.b.task(
+                    format!("PANEL(k={k})"),
+                    self.grid.diag_owner(k),
+                    &accesses,
+                    move || {
+                        let mut guards: Vec<_> = tiles.iter().map(|t| t.lock()).collect();
+                        let mut refs: Vec<&mut Mat> =
+                            guards.iter_mut().map(|g| &mut **g).collect();
+                        let (pf, crit_panel) = match factor_diagonal_domain(&mut refs, 4) {
+                            Ok(pf) => {
+                                let crit = pf.crit.clone();
+                                (Some(pf), crit)
+                            }
+                            Err((e, crit)) => {
+                                shared.fail(format!("panel {k}: {e}"));
+                                (None, crit)
+                            }
+                        };
+                        let domains: Vec<DomainCritData> = crit_cells
+                            .iter()
+                            .map(|c| c.get().cloned().unwrap_or_default())
+                            .collect();
+                        let outcome = if pf.is_none() {
+                            // Unfactorable panel: force the QR path.
+                            crate::criteria::CritOutcome {
+                                decision: Decision::Qr,
+                                lhs: 0.0,
+                                rhs: f64::INFINITY,
+                            }
+                        } else {
+                            decide(&criterion, k, &crit_panel, &domains)
+                        };
+                        let panel_norm = crit_panel
+                            .below_diag_max_norm1
+                            .max(domains.iter().map(|d| d.max_tile_norm1).fold(0.0, f64::max));
+                        shared.records.lock().push(StepRecord {
+                            k,
+                            decision: outcome.decision,
+                            lhs: outcome.lhs,
+                            rhs: outcome.rhs,
+                            panel_norm,
+                        });
+                        let _ = dec2.set(outcome.decision);
+                        if let Some(pf) = pf {
+                            let _ = pan2.set(pf);
+                        }
+                        // The trial factorization uses the node's
+                        // multi-threaded recursive-LU kernel (paper §IV);
+                        // the criterion all-reduce costs log2(p) rounds.
+                        TaskResult::executed(flops, CostClass::PanelFactor)
+                            .with_cores(u32::MAX)
+                            .with_latency_events(allreduce_rounds)
+                    },
+                );
+            }
+
+            // --- Propagate: restore the panel from backup on a QR decision.
+            for (idx, &i) in trial_rows.iter().enumerate() {
+                let tile = self.aug.tile(i, k);
+                let backup = Arc::clone(&backups[idx]);
+                let dec2 = Arc::clone(&dec);
+                let bytes = self.tile_bytes(i, k);
+                self.b.task(
+                    format!("PROP({i},k={k})"),
+                    self.grid.owner(i, k),
+                    &[
+                        Access::Read(keys::decision(k)),
+                        Access::Read(keys::backup(i, k)),
+                        Access::Mut(keys::tile(i, k)),
+                    ],
+                    move || {
+                        let restore = *dec2.get().expect("decision missing") == Decision::Qr;
+                        let saved = backup.lock().take().expect("backup missing");
+                        if restore {
+                            *tile.lock() = saved;
+                            TaskResult::memory(bytes)
+                        } else {
+                            TaskResult::control()
+                        }
+                    },
+                );
+            }
+
+            // --- LU branch (discarded when the decision is QR).
+            if variant == LuVariant::A2 {
+                self.insert_lu_step_a2(k, Arc::clone(&dec), Arc::clone(&a2_tf));
+            } else {
+                self.insert_lu_step(k, &trial_rows, Some(Arc::clone(&dec)), Some(Arc::clone(&pan)));
+            }
+
+            // --- QR branch (discarded when the decision is LU).
+            self.insert_qr_step(k, Some(Arc::clone(&dec)));
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Variant A2 (paper §II-C1): the trial factors the diagonal tile by
+    // QR; the LU step eliminates against `R` and applies `Qᵀ` to row k.
+    // -----------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn insert_a2_panel(
+        &mut self,
+        k: usize,
+        criterion: &Criterion,
+        dec: &DecCell,
+        pan: &PanelCell,
+        a2_tf: &TfCell,
+        crit_cells: &[Arc<OnceLock<DomainCritData>>],
+        crit_keys: &[luqr_runtime::DataKey],
+    ) {
+        let nbk = self.aug.tile_cols(k);
+        let ib = self.opts.ib;
+        let mt = self.aug.mt();
+        self.b.declare(keys::pivots(k), 8, self.grid.diag_owner(k));
+        self.b.declare(keys::decision(k), 8, self.grid.diag_owner(k));
+        self.b
+            .declare(keys::tfactor(k, k), ib * nbk * 8, self.grid.diag_owner(k));
+        let tile = self.aug.tile(k, k);
+        let dec2 = Arc::clone(dec);
+        let pan2 = Arc::clone(pan);
+        let tf2 = Arc::clone(a2_tf);
+        let crit_cells = crit_cells.to_vec();
+        let shared = self.shared.clone();
+        let criterion = criterion.clone();
+        let mut accesses: Vec<Access> = vec![
+            Access::Mut(keys::tile(k, k)),
+            Access::Mut(keys::tfactor(k, k)),
+        ];
+        accesses.extend(crit_keys.iter().map(|&c| Access::Read(c)));
+        accesses.push(Access::Mut(keys::pivots(k)));
+        accesses.push(Access::Mut(keys::decision(k)));
+        let flops = geqrt_flops(self.aug.tile_rows(k), nbk) as f64 + 2.0 * (nbk * nbk) as f64;
+        let allreduce_rounds = (self.grid.panel_node_count(k, mt) as f64).log2().ceil() as u32;
+        self.b.task(
+            format!("PANELA2(k={k})"),
+            self.grid.diag_owner(k),
+            &accesses,
+            move || {
+                let mut g = tile.lock();
+                // Pre-factorization criterion data from the tile itself.
+                let mut crit = PanelCritData {
+                    local_col_max: (0..g.cols()).map(|j| g.col_max_abs_from(j, 0)).collect(),
+                    ..Default::default()
+                };
+                let tf = geqrt(&mut g, ib);
+                crit.pivot_abs = (0..g.rows().min(g.cols()))
+                    .map(|j| g[(j, j)].abs())
+                    .collect();
+                let est = luqr_kernels::norm_est::invnorm_est_r(&g, 4);
+                crit.inv_norm_recip = if est > 0.0 { 1.0 / est } else { 0.0 };
+                *tf2.lock() = Some(tf);
+                let domains: Vec<DomainCritData> = crit_cells
+                    .iter()
+                    .map(|c| c.get().cloned().unwrap_or_default())
+                    .collect();
+                let outcome = decide(&criterion, k, &crit, &domains);
+                let panel_norm = domains
+                    .iter()
+                    .map(|d| d.max_tile_norm1)
+                    .fold(crit.below_diag_max_norm1, f64::max);
+                shared.records.lock().push(StepRecord {
+                    k,
+                    decision: outcome.decision,
+                    lhs: outcome.lhs,
+                    rhs: outcome.rhs,
+                    panel_norm,
+                });
+                let _ = dec2.set(outcome.decision);
+                let _ = pan2.set(PanelFactorization {
+                    ipiv: Vec::new(),
+                    crit,
+                    heights: vec![g.rows()],
+                });
+                TaskResult::executed(flops, CostClass::PanelFactor)
+                    .with_cores(u32::MAX)
+                    .with_latency_events(allreduce_rounds)
+            },
+        );
+    }
+
+    /// LU-step tasks for variant A2: Apply is `A_kj <- Qᵀ A_kj` (UNMQR),
+    /// Eliminate is `A_ik <- A_ik R⁻¹`, Update is the usual GEMM.
+    fn insert_lu_step_a2(&mut self, k: usize, dec: DecCell, a2_tf: TfCell) {
+        let mt = self.aug.mt();
+        let nbk = self.aug.tile_cols(k);
+        // Apply Qᵀ to row k (including rhs columns).
+        for j in self.trailing(k) {
+            let w = self.aug.tile_cols(j);
+            let v_src = self.aug.tile(k, k);
+            let c = self.aug.tile(k, j);
+            let tf = Arc::clone(&a2_tf);
+            let dec2 = Arc::clone(&dec);
+            let tm = self.aug.tile_rows(k);
+            let kref = tm.min(nbk);
+            let flops = ((4 * tm - 2 * kref) * kref * w) as f64;
+            self.b.task(
+                format!("ORMQR({j},k={k})"),
+                self.grid.owner(k, j),
+                &[
+                    Access::Read(keys::decision(k)),
+                    Access::Read(keys::tile(k, k)),
+                    Access::Read(keys::tfactor(k, k)),
+                    Access::Mut(keys::tile(k, j)),
+                ],
+                move || {
+                    if *dec2.get().expect("decision missing") != Decision::Lu {
+                        return TaskResult::discarded();
+                    }
+                    let v = v_src.lock();
+                    let tg = tf.lock();
+                    let tfr = tg.as_ref().expect("missing A2 T factor");
+                    let mut cg = c.lock();
+                    unmqr(Trans::Trans, &v, tfr, &mut cg);
+                    TaskResult::executed(flops, CostClass::QrApply)
+                },
+            );
+        }
+        // Eliminate + update every row below.
+        for i in k + 1..mt {
+            let tm = self.aug.tile_rows(i);
+            {
+                let a_ik = self.aug.tile(i, k);
+                let a_kk = self.aug.tile(k, k);
+                let dec2 = Arc::clone(&dec);
+                let flops = (tm * nbk * nbk) as f64;
+                self.b.task(
+                    format!("TRSM({i},k={k})"),
+                    self.grid.owner(i, k),
+                    &[
+                        Access::Read(keys::decision(k)),
+                        Access::Read(keys::tile(k, k)),
+                        Access::Mut(keys::tile(i, k)),
+                    ],
+                    move || {
+                        if *dec2.get().expect("decision missing") != Decision::Lu {
+                            return TaskResult::discarded();
+                        }
+                        let kk = a_kk.lock();
+                        let r = kk.sub(0, 0, nbk, nbk);
+                        let mut ik = a_ik.lock();
+                        trsm(
+                            Side::Right,
+                            UpLo::Upper,
+                            Trans::NoTrans,
+                            Diag::NonUnit,
+                            1.0,
+                            &r,
+                            &mut ik,
+                        );
+                        TaskResult::executed(flops, CostClass::Trsm)
+                    },
+                );
+            }
+            for j in self.trailing(k) {
+                let w = self.aug.tile_cols(j);
+                let a_ik = self.aug.tile(i, k);
+                let a_kj = self.aug.tile(k, j);
+                let a_ij = self.aug.tile(i, j);
+                let dec2 = Arc::clone(&dec);
+                let flops = 2.0 * (tm * w * nbk) as f64;
+                self.b.task(
+                    format!("GEMM({i},{j},k={k})"),
+                    self.grid.owner(i, j),
+                    &[
+                        Access::Read(keys::decision(k)),
+                        Access::Read(keys::tile(i, k)),
+                        Access::Read(keys::tile(k, j)),
+                        Access::Mut(keys::tile(i, j)),
+                    ],
+                    move || {
+                        if *dec2.get().expect("decision missing") != Decision::Lu {
+                            return TaskResult::discarded();
+                        }
+                        let ik = a_ik.lock();
+                        let kj = a_kj.lock();
+                        let kj_top = kj.sub(0, 0, nbk, kj.cols());
+                        let mut ij = a_ij.lock();
+                        luqr_kernels::blas::gemm(
+                            Trans::NoTrans,
+                            Trans::NoTrans,
+                            -1.0,
+                            &ik,
+                            &kj_top,
+                            1.0,
+                            &mut ij,
+                        );
+                        TaskResult::executed(flops, CostClass::Gemm)
+                    },
+                );
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // LU elimination step (shared by the hybrid's LU branch, LU NoPiv and
+    // LUPP; `dec == None` means unconditional).
+    // -----------------------------------------------------------------
+
+    /// Insert the Apply/Eliminate/Update tasks of an LU step whose panel has
+    /// been factored over `trial_rows` (with pivots in `pan` — when `pan` is
+    /// `None` the caller inserts its own panel task storing into the cell it
+    /// passes here).
+    fn insert_lu_step(
+        &mut self,
+        k: usize,
+        trial_rows: &[usize],
+        dec: Option<DecCell>,
+        pan: Option<PanelCell>,
+    ) {
+        let pan = pan.expect("LU step requires a panel cell");
+        let mt = self.aug.mt();
+        let nbk = self.aug.tile_cols(k);
+
+        // The diagonal tile of a square matrix is always square; the
+        // fine-grained apply below relies on it (its rows are exactly the
+        // pivoted `U` rows).
+        debug_assert_eq!(self.aug.tile_rows(k), nbk);
+
+        // Apply phase, ScaLAPACK PDLASWP-style: snapshot the pivot-block
+        // tile, let each owning node exchange *its own* rows with the pivot
+        // block (disjoint writes, so the exchanges parallelize and each node
+        // only communicates one pivot-block tile), then solve the top with
+        // L11. The per-tile Schur updates are separate GEMM tasks below.
+        //
+        // Stack offsets of the trial rows (ascending, diagonal tile first).
+        let offsets: Vec<usize> = {
+            let mut off = 0usize;
+            trial_rows
+                .iter()
+                .map(|&i| {
+                    let o = off;
+                    off += self.aug.tile_rows(i);
+                    o
+                })
+                .collect()
+        };
+        // Group trial rows (excluding the top tile) by grid row: for any
+        // trailing column j, all tiles (i, j) of one grid row live on the
+        // same node.
+        let mut swap_groups: Vec<(usize, Vec<(usize, usize)>)> = Vec::new(); // (grid_row, [(row, offset)])
+        for (idx, &i) in trial_rows.iter().enumerate().skip(1) {
+            let gr = i % self.grid.p;
+            let entry = (i, offsets[idx]);
+            match swap_groups.iter_mut().find(|(n, _)| *n == gr) {
+                Some((_, v)) => v.push(entry),
+                None => swap_groups.push((gr, vec![entry])),
+            }
+        }
+        let total_rows: usize = trial_rows.iter().map(|&i| self.aug.tile_rows(i)).sum();
+
+        for j in self.trailing(k) {
+            let w = self.aug.tile_cols(j);
+            let scratch: Arc<Mutex<Option<Mat>>> = Arc::new(Mutex::new(None));
+            let scratch_key = keys::swap_scratch(j, k);
+            self.b.declare(scratch_key, nbk * w * 8, self.grid.owner(k, j));
+
+            // Snapshot the pivot-block tile.
+            {
+                let top = self.aug.tile(k, j);
+                let sc = Arc::clone(&scratch);
+                let dec2 = dec.clone();
+                let mut accesses = vec![Access::Read(keys::tile(k, j)), Access::Mut(scratch_key)];
+                if dec.is_some() {
+                    accesses.insert(0, Access::Read(keys::decision(k)));
+                }
+                let bytes = nbk * w * 8;
+                self.b.task(
+                    format!("SWPINIT({j},k={k})"),
+                    self.grid.owner(k, j),
+                    &accesses,
+                    move || {
+                        if let Some(d) = &dec2 {
+                            if *d.get().expect("decision missing") != Decision::Lu {
+                                return TaskResult::discarded();
+                            }
+                        }
+                        *sc.lock() = Some(top.lock().clone());
+                        TaskResult::memory(bytes)
+                    },
+                );
+            }
+
+            // One exchange task per grid row; the first also applies the
+            // pivot-block-internal permutation.
+            let mut first = true;
+            for (node, rows) in std::iter::once((self.grid.owner(k, j), Vec::new())).chain(
+                swap_groups
+                    .iter()
+                    .map(|(_, v)| (self.grid.owner(v[0].0, j), v.clone())),
+            ) {
+                if rows.is_empty() && !first {
+                    continue;
+                }
+                let handles_top = first;
+                first = false;
+                let top = self.aug.tile(k, j);
+                let sc = Arc::clone(&scratch);
+                let pan2 = Arc::clone(&pan);
+                let dec2 = dec.clone();
+                let tiles: Vec<(usize, luqr_tile::TileRef)> = rows
+                    .iter()
+                    .map(|&(i, off)| (off, self.aug.tile(i, j)))
+                    .collect();
+                let mut accesses = vec![
+                    Access::Read(keys::pivots(k)),
+                    Access::Read(scratch_key),
+                    Access::Mut(keys::tile(k, j)),
+                ];
+                if dec.is_some() {
+                    accesses.insert(0, Access::Read(keys::decision(k)));
+                }
+                accesses.extend(rows.iter().map(|&(i, _)| Access::Mut(keys::tile(i, j))));
+                let bytes = nbk * w * 8;
+                self.b.task(
+                    format!("PIVSWP(n{node},{j},k={k})"),
+                    node,
+                    &accesses,
+                    move || {
+                        if let Some(d) = &dec2 {
+                            if *d.get().expect("decision missing") != Decision::Lu {
+                                return TaskResult::discarded();
+                            }
+                        }
+                        let Some(pf) = pan2.get() else {
+                            return TaskResult::discarded();
+                        };
+                        let src = swap_permutation(&pf.ipiv, total_rows);
+                        let sg = sc.lock();
+                        let orig = sg.as_ref().expect("missing swap snapshot");
+                        let mut tg = top.lock();
+                        let mut guards: Vec<_> =
+                            tiles.iter().map(|(o, t)| (*o, t.lock())).collect();
+                        let mut refs: Vec<(usize, &mut Mat)> =
+                            guards.iter_mut().map(|(o, g)| (*o, &mut **g)).collect();
+                        apply_swap_group(&src, orig, &mut tg, &mut refs, handles_top);
+                        TaskResult::memory(bytes)
+                    },
+                );
+            }
+
+            // Top solve: U_kj = L11^{-1} (P C)_top.
+            {
+                let l11 = self.aug.tile(k, k);
+                let top = self.aug.tile(k, j);
+                let dec2 = dec.clone();
+                let pan2 = Arc::clone(&pan);
+                let mut accesses = vec![
+                    Access::Read(keys::tile(k, k)),
+                    Access::Mut(keys::tile(k, j)),
+                ];
+                if dec.is_some() {
+                    accesses.insert(0, Access::Read(keys::decision(k)));
+                }
+                let flops = (nbk * nbk * w) as f64;
+                self.b.task(
+                    format!("TRSMTOP({j},k={k})"),
+                    self.grid.owner(k, j),
+                    &accesses,
+                    move || {
+                        if let Some(d) = &dec2 {
+                            if *d.get().expect("decision missing") != Decision::Lu {
+                                return TaskResult::discarded();
+                            }
+                        }
+                        if pan2.get().is_none() {
+                            return TaskResult::discarded();
+                        }
+                        let lg = l11.lock();
+                        let l_top = lg.sub(0, 0, nbk.min(lg.rows()), nbk.min(lg.cols()));
+                        let mut tg = top.lock();
+                        trsm(
+                            Side::Left,
+                            UpLo::Lower,
+                            Trans::NoTrans,
+                            Diag::Unit,
+                            1.0,
+                            &l_top,
+                            &mut tg,
+                        );
+                        TaskResult::executed(flops, CostClass::Trsm)
+                    },
+                );
+            }
+        }
+
+        // Eliminate (off-trial rows only; trial rows already hold their
+        // multipliers from the panel factorization) + per-tile update.
+        for i in k + 1..mt {
+            let off_trial = !trial_rows.contains(&i);
+            let tm = self.aug.tile_rows(i);
+            // Eliminate: A_ik <- A_ik U_kk^{-1}.
+            if off_trial {
+                let a_ik = self.aug.tile(i, k);
+                let a_kk = self.aug.tile(k, k);
+                let dec2 = dec.clone();
+                let mut accesses = vec![
+                    Access::Read(keys::tile(k, k)),
+                    Access::Mut(keys::tile(i, k)),
+                ];
+                if dec.is_some() {
+                    accesses.insert(0, Access::Read(keys::decision(k)));
+                }
+                let flops = (tm * nbk * nbk) as f64;
+                self.b.task(
+                    format!("TRSM({i},k={k})"),
+                    self.grid.owner(i, k),
+                    &accesses,
+                    move || {
+                        if let Some(d) = &dec2 {
+                            if *d.get().expect("decision missing") != Decision::Lu {
+                                return TaskResult::discarded();
+                            }
+                        }
+                        let kk = a_kk.lock();
+                        let u = kk.sub(0, 0, nbk, nbk); // upper triangle = U_kk
+                        let mut ik = a_ik.lock();
+                        trsm(
+                            Side::Right,
+                            UpLo::Upper,
+                            Trans::NoTrans,
+                            Diag::NonUnit,
+                            1.0,
+                            &u,
+                            &mut ik,
+                        );
+                        TaskResult::executed(flops, CostClass::Trsm)
+                    },
+                );
+            }
+            // Update: A_ij -= A_ik A_kj.
+            for j in self.trailing(k) {
+                let w = self.aug.tile_cols(j);
+                let a_ik = self.aug.tile(i, k);
+                let a_kj = self.aug.tile(k, j);
+                let a_ij = self.aug.tile(i, j);
+                let dec2 = dec.clone();
+                let mut accesses = vec![
+                    Access::Read(keys::tile(i, k)),
+                    Access::Read(keys::tile(k, j)),
+                    Access::Mut(keys::tile(i, j)),
+                ];
+                if dec.is_some() {
+                    accesses.insert(0, Access::Read(keys::decision(k)));
+                }
+                let flops = 2.0 * (tm * w * nbk) as f64;
+                self.b.task(
+                    format!("GEMM({i},{j},k={k})"),
+                    self.grid.owner(i, j),
+                    &accesses,
+                    move || {
+                        if let Some(d) = &dec2 {
+                            if *d.get().expect("decision missing") != Decision::Lu {
+                                return TaskResult::discarded();
+                            }
+                        }
+                        let ik = a_ik.lock();
+                        let kj = a_kj.lock();
+                        let kj_top = kj.sub(0, 0, nbk, kj.cols());
+                        let mut ij = a_ij.lock();
+                        luqr_kernels::blas::gemm(
+                            Trans::NoTrans,
+                            Trans::NoTrans,
+                            -1.0,
+                            &ik,
+                            &kj_top,
+                            1.0,
+                            &mut ij,
+                        );
+                        TaskResult::executed(flops, CostClass::Gemm)
+                    },
+                );
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // QR elimination step (hybrid's QR branch and the HQR baseline).
+    // -----------------------------------------------------------------
+
+    fn insert_qr_step(&mut self, k: usize, dec: Option<DecCell>) {
+        let mt = self.aug.mt();
+        let nbk = self.aug.tile_cols(k);
+        let ib = self.opts.ib;
+
+        // Panel rows grouped by owning node, diagonal domain first (the
+        // first group necessarily contains row k since rows ascend).
+        let domains: Vec<Vec<usize>> = {
+            let mut ordered: Vec<(usize, Vec<usize>)> = Vec::new();
+            for i in k..mt {
+                let node = self.grid.owner(i, k);
+                match ordered.iter_mut().find(|(n, _)| *n == node) {
+                    Some((_, rows)) => rows.push(i),
+                    None => ordered.push((node, vec![i])),
+                }
+            }
+            debug_assert_eq!(ordered[0].1[0], k);
+            ordered.into_iter().map(|(_, rows)| rows).collect()
+        };
+        let ops = elimination_list(&domains, &self.opts.trees);
+
+        // T-factor cells, one per panel row.
+        let mut tf_cells: Vec<Option<TfCell>> = vec![None; mt];
+        let mut tf_cell = |ins: &mut Self, i: usize| -> TfCell {
+            if tf_cells[i].is_none() {
+                let cell: TfCell = Arc::new(Mutex::new(None));
+                ins.b
+                    .declare(keys::tfactor(i, k), ib * nbk * 8, ins.grid.owner(i, k));
+                tf_cells[i] = Some(cell);
+            }
+            Arc::clone(tf_cells[i].as_ref().unwrap())
+        };
+
+        for op in ops {
+            match op {
+                ElimOp::Geqrt { row } => {
+                    let (tm, _) = self.aug.tile_dims(row, k);
+                    let tile = self.aug.tile(row, k);
+                    let tf = tf_cell(self, row);
+                    let dec2 = dec.clone();
+                    let mut accesses = vec![
+                        Access::Mut(keys::tile(row, k)),
+                        Access::Mut(keys::tfactor(row, k)),
+                    ];
+                    if dec.is_some() {
+                        accesses.insert(0, Access::Read(keys::decision(k)));
+                    }
+                    let flops = geqrt_flops(tm, nbk) as f64;
+                    self.b.task(
+                        format!("GEQRT({row},k={k})"),
+                        self.grid.owner(row, k),
+                        &accesses,
+                        move || {
+                            if let Some(d) = &dec2 {
+                                if *d.get().expect("decision missing") != Decision::Qr {
+                                    return TaskResult::discarded();
+                                }
+                            }
+                            let mut t = tile.lock();
+                            let f = geqrt(&mut t, ib);
+                            *tf.lock() = Some(f);
+                            TaskResult::executed(flops, CostClass::QrFactor)
+                        },
+                    );
+                    // Trailing updates: A_row,j <- Q^T A_row,j.
+                    for j in self.trailing(k) {
+                        let w = self.aug.tile_cols(j);
+                        let v_src = self.aug.tile(row, k);
+                        let c = self.aug.tile(row, j);
+                        let tf = tf_cell(self, row);
+                        let dec2 = dec.clone();
+                        let kref = tm.min(nbk);
+                        let mut accesses = vec![
+                            Access::Read(keys::tile(row, k)),
+                            Access::Read(keys::tfactor(row, k)),
+                            Access::Mut(keys::tile(row, j)),
+                        ];
+                        if dec.is_some() {
+                            accesses.insert(0, Access::Read(keys::decision(k)));
+                        }
+                        let flops = ((4 * tm - 2 * kref) * kref * w) as f64;
+                        self.b.task(
+                            format!("UNMQR({row},{j},k={k})"),
+                            self.grid.owner(row, j),
+                            &accesses,
+                            move || {
+                                if let Some(d) = &dec2 {
+                                    if *d.get().expect("decision missing") != Decision::Qr {
+                                        return TaskResult::discarded();
+                                    }
+                                }
+                                let v = v_src.lock();
+                                let tfg = tf.lock();
+                                let tfr = tfg.as_ref().expect("missing T factor");
+                                let mut cg = c.lock();
+                                unmqr(Trans::Trans, &v, tfr, &mut cg);
+                                TaskResult::executed(flops, CostClass::QrApply)
+                            },
+                        );
+                    }
+                }
+                ElimOp::Kill {
+                    victim,
+                    eliminator,
+                    ts,
+                } => {
+                    let (vm, _) = self.aug.tile_dims(victim, k);
+                    // TS: full square victim, l = 0. TT: triangular victim,
+                    // l = its (possibly short) row count.
+                    let l = if ts { 0 } else { vm.min(nbk) };
+                    let tile_e = self.aug.tile(eliminator, k);
+                    let tile_v = self.aug.tile(victim, k);
+                    let tf = tf_cell(self, victim);
+                    let dec2 = dec.clone();
+                    let kname = if ts { "TSQRT" } else { "TTQRT" };
+                    let mut accesses = vec![
+                        Access::Mut(keys::tile(eliminator, k)),
+                        Access::Mut(keys::tile(victim, k)),
+                        Access::Mut(keys::tfactor(victim, k)),
+                    ];
+                    if dec.is_some() {
+                        accesses.insert(0, Access::Read(keys::decision(k)));
+                    }
+                    let flops = if ts {
+                        2.0 * (vm * nbk * nbk) as f64
+                    } else {
+                        (2.0 / 3.0) * (vm * nbk * nbk) as f64
+                    };
+                    self.b.task(
+                        format!("{kname}({victim},{eliminator},k={k})"),
+                        self.grid.owner(victim, k),
+                        &accesses,
+                        move || {
+                            if let Some(d) = &dec2 {
+                                if *d.get().expect("decision missing") != Decision::Qr {
+                                    return TaskResult::discarded();
+                                }
+                            }
+                            let mut eg = tile_e.lock();
+                            let mut vg = tile_v.lock();
+                            let f = with_sub(&mut eg, nbk, nbk, |r| {
+                                with_sub(&mut vg, vm, nbk, |b| tpqrt(l, r, b, ib))
+                            });
+                            *tf.lock() = Some(f);
+                            TaskResult::executed(flops, CostClass::QrFactor)
+                        },
+                    );
+                    // Trailing updates on the pair of rows.
+                    for j in self.trailing(k) {
+                        let w = self.aug.tile_cols(j);
+                        let v_src = self.aug.tile(victim, k);
+                        let top = self.aug.tile(eliminator, j);
+                        let bot = self.aug.tile(victim, j);
+                        let tf = tf_cell(self, victim);
+                        let dec2 = dec.clone();
+                        let uname = if ts { "TSMQR" } else { "TTMQR" };
+                        let mut accesses = vec![
+                            Access::Read(keys::tile(victim, k)),
+                            Access::Read(keys::tfactor(victim, k)),
+                            Access::Mut(keys::tile(eliminator, j)),
+                            Access::Mut(keys::tile(victim, j)),
+                        ];
+                        if dec.is_some() {
+                            accesses.insert(0, Access::Read(keys::decision(k)));
+                        }
+                        let flops = if ts {
+                            4.0 * (vm * nbk * w) as f64
+                        } else {
+                            2.0 * (vm * nbk * w) as f64
+                        };
+                        self.b.task(
+                            format!("{uname}({victim},{eliminator},{j},k={k})"),
+                            self.grid.owner(victim, j),
+                            &accesses,
+                            move || {
+                                if let Some(d) = &dec2 {
+                                    if *d.get().expect("decision missing") != Decision::Qr {
+                                        return TaskResult::discarded();
+                                    }
+                                }
+                                let vsg = v_src.lock();
+                                let vview = vsg.sub(0, 0, vm, nbk);
+                                let tfg = tf.lock();
+                                let tfr = tfg.as_ref().expect("missing T factor");
+                                let mut tg = top.lock();
+                                let mut bg = bot.lock();
+                                with_sub(&mut tg, nbk, w, |a| {
+                                    with_sub(&mut bg, vm, w, |b2| {
+                                        tpmqrt(Trans::Trans, l, &vview, tfr, a, b2)
+                                    })
+                                });
+                                TaskResult::executed(flops, CostClass::QrApply)
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // LU NoPiv / LUPP baselines
+    // -----------------------------------------------------------------
+
+    /// `full_panel = false`: pivot inside the diagonal tile only (LU NoPiv).
+    /// `full_panel = true`: pivot across the whole panel (LUPP).
+    /// Both continue LAPACK-style past zero pivots (NaN flood, recorded).
+    fn insert_lu_simple(&mut self, full_panel: bool) {
+        let mt = self.aug.mt();
+        for k in 0..self.nt_a {
+            let trial_rows: Vec<usize> = if full_panel {
+                (k..mt).collect()
+            } else {
+                vec![k]
+            };
+            let pan: PanelCell = Arc::new(OnceLock::new());
+            let nbk = self.aug.tile_cols(k);
+            self.b.declare(keys::pivots(k), mt * 8, self.grid.diag_owner(k));
+
+            // Panel with partial pivoting over the trial rows, continuing
+            // past zero pivots.
+            {
+                let tiles: Vec<_> = trial_rows.iter().map(|&i| self.aug.tile(i, k)).collect();
+                let rows_total: usize = trial_rows.iter().map(|&i| self.aug.tile_rows(i)).sum();
+                let heights: Vec<usize> =
+                    trial_rows.iter().map(|&i| self.aug.tile_rows(i)).collect();
+                let pan2 = Arc::clone(&pan);
+                let shared = self.shared.clone();
+                let name = if full_panel { "PANELPP" } else { "PANELNP" };
+                let mut accesses: Vec<Access> = trial_rows
+                    .iter()
+                    .map(|&i| Access::Mut(keys::tile(i, k)))
+                    .collect();
+                accesses.push(Access::Mut(keys::pivots(k)));
+                if full_panel {
+                    // ScaLAPACK's PDGETRF is bulk-synchronous: the panel of
+                    // step k starts only after the *entire* trailing update
+                    // of step k-1 — no lookahead. Model the barrier by
+                    // reading the whole trailing matrix.
+                    for i in k..mt {
+                        for j in self.trailing(k) {
+                            accesses.push(Access::Control(keys::tile(i, j)));
+                        }
+                    }
+                }
+                let flops = getrf_flops(rows_total, nbk) as f64;
+                let (panel_cores, latency_events) = if full_panel {
+                    let p_nodes = self.grid.panel_node_count(k, mt);
+                    let rounds = (p_nodes as f64).log2().ceil().max(0.0) as u32;
+                    (u32::MAX, nbk as u32 * rounds)
+                } else {
+                    (1, 0)
+                };
+                self.b.task(
+                    format!("{name}(k={k})"),
+                    self.grid.diag_owner(k),
+                    &accesses,
+                    move || {
+                        let mut guards: Vec<_> = tiles.iter().map(|t| t.lock()).collect();
+                        let refs: Vec<&Mat> = guards.iter().map(|g| &**g).collect();
+                        let mut s = stack(&refs);
+                        let (ipiv, info) = getf2_continue(&mut s);
+                        if let Some(step) = info {
+                            shared.fail(format!(
+                                "zero pivot at step {k} (panel column {step})"
+                            ));
+                        }
+                        let mut refs_mut: Vec<&mut Mat> =
+                            guards.iter_mut().map(|g| &mut **g).collect();
+                        unstack(&s, &heights, &mut refs_mut);
+                        let _ = pan2.set(PanelFactorization {
+                            ipiv,
+                            crit: PanelCritData::default(),
+                            heights,
+                        });
+                        // A full-panel LUPP factorization spans the grid
+                        // column: every pivot search is an all-reduce over
+                        // its p nodes (the latency the paper blames for
+                        // LUPP's poor distributed performance).
+                        TaskResult::executed(flops, CostClass::PanelFactor)
+                            .with_cores(panel_cores)
+                            .with_latency_events(latency_events)
+                    },
+                );
+            }
+
+            self.insert_lu_step(k, &trial_rows, None, Some(pan));
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // LU IncPiv baseline (pairwise pivoting)
+    // -----------------------------------------------------------------
+
+    fn insert_incpiv(&mut self) {
+        let mt = self.aug.mt();
+        for k in 0..self.nt_a {
+            let nbk = self.aug.tile_cols(k);
+            // Diagonal tile: GETRF with in-tile pivoting.
+            let pan: PanelCell = Arc::new(OnceLock::new());
+            self.b.declare(keys::pivots(k), nbk * 8, self.grid.diag_owner(k));
+            {
+                let tile = self.aug.tile(k, k);
+                let pan2 = Arc::clone(&pan);
+                let shared = self.shared.clone();
+                let (tm, _) = self.aug.tile_dims(k, k);
+                let flops = getrf_flops(tm, nbk) as f64;
+                self.b.task(
+                    format!("GETRF(k={k})"),
+                    self.grid.diag_owner(k),
+                    &[Access::Mut(keys::tile(k, k)), Access::Mut(keys::pivots(k))],
+                    move || {
+                        let mut t = tile.lock();
+                        let (ipiv, info) = getf2_continue(&mut t);
+                        if let Some(step) = info {
+                            shared.fail(format!("zero pivot at step {k} (column {step})"));
+                        }
+                        let heights = vec![t.rows()];
+                        let _ = pan2.set(PanelFactorization {
+                            ipiv,
+                            crit: PanelCritData::default(),
+                            heights,
+                        });
+                        TaskResult::executed(flops, CostClass::PanelFactor)
+                    },
+                );
+            }
+            // Apply to the diagonal row: GESSM.
+            for j in self.trailing(k) {
+                let w = self.aug.tile_cols(j);
+                let lu_t = self.aug.tile(k, k);
+                let c = self.aug.tile(k, j);
+                let pan2 = Arc::clone(&pan);
+                let flops = (nbk * nbk * w) as f64;
+                self.b.task(
+                    format!("GESSM(k={k},j={j})"),
+                    self.grid.owner(k, j),
+                    &[
+                        Access::Read(keys::pivots(k)),
+                        Access::Read(keys::tile(k, k)),
+                        Access::Mut(keys::tile(k, j)),
+                    ],
+                    move || {
+                        let pf = pan2.get().expect("diag LU missing");
+                        let lu = lu_t.lock();
+                        let lu_sq = lu.sub(0, 0, nbk.min(lu.rows()), nbk);
+                        let mut cg = c.lock();
+                        with_sub(&mut cg, lu_sq.rows(), w, |top| {
+                            gessm(&lu_sq, &pf.ipiv, top)
+                        });
+                        TaskResult::executed(flops, CostClass::Trsm)
+                    },
+                );
+            }
+            // Pairwise elimination chain down the panel.
+            for i in k + 1..mt {
+                let (tm, _) = self.aug.tile_dims(i, k);
+                type LCell = Arc<OnceLock<(Mat, Vec<PairPivot>)>>;
+                let lcell: LCell = Arc::new(OnceLock::new());
+                self.b
+                    .declare(keys::incpiv_l(i, k), (tm * nbk + nbk) * 8, self.grid.owner(i, k));
+                {
+                    let u_t = self.aug.tile(k, k);
+                    let a_t = self.aug.tile(i, k);
+                    let lc = Arc::clone(&lcell);
+                    let shared = self.shared.clone();
+                    let flops = (tm * nbk * nbk) as f64;
+                    self.b.task(
+                        format!("TSTRF({i},k={k})"),
+                        self.grid.owner(i, k),
+                        &[
+                            Access::Mut(keys::tile(k, k)),
+                            Access::Mut(keys::tile(i, k)),
+                            Access::Mut(keys::incpiv_l(i, k)),
+                        ],
+                        move || {
+                            let mut ug = u_t.lock();
+                            let mut ag = a_t.lock();
+                            let mut l = Mat::zeros(ag.rows(), nbk);
+                            let r = with_sub(&mut ug, nbk, nbk, |u| {
+                                tstrf(u, &mut ag, &mut l)
+                            });
+                            match r {
+                                Ok(piv) => {
+                                    let _ = lc.set((l, piv));
+                                }
+                                Err(e) => {
+                                    shared.fail(format!("TSTRF({i},{k}): {e}"));
+                                    let _ = lc.set((l, Vec::new()));
+                                }
+                            }
+                            TaskResult::executed(flops, CostClass::Trsm)
+                        },
+                    );
+                }
+                for j in self.trailing(k) {
+                    let w = self.aug.tile_cols(j);
+                    let top = self.aug.tile(k, j);
+                    let bot = self.aug.tile(i, j);
+                    let lc = Arc::clone(&lcell);
+                    let flops = 2.0 * (tm * nbk * w) as f64;
+                    self.b.task(
+                        format!("SSSSM({i},{j},k={k})"),
+                        self.grid.owner(i, j),
+                        &[
+                            Access::Read(keys::incpiv_l(i, k)),
+                            Access::Mut(keys::tile(k, j)),
+                            Access::Mut(keys::tile(i, j)),
+                        ],
+                        move || {
+                            let (l, piv) = lc.get().expect("TSTRF output missing");
+                            let mut tg = top.lock();
+                            let mut bg = bot.lock();
+                            with_sub(&mut tg, nbk, w, |t| ssssm(l, piv, t, &mut bg));
+                            TaskResult::executed(flops, CostClass::Gemm)
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // HQR baseline: QR steps only, no panel trial / backup overhead.
+    // -----------------------------------------------------------------
+
+    fn insert_hqr(&mut self) {
+        for k in 0..self.nt_a {
+            self.insert_qr_step(k, None);
+        }
+    }
+}

@@ -1,0 +1,452 @@
+//! Robustness criteria (paper Section III).
+//!
+//! Before each elimination step the hybrid algorithm factors the diagonal
+//! domain with partial pivoting and then decides — from cheap, panel-local
+//! information — whether using that LU factorization to eliminate the rest
+//! of the panel is numerically safe. Three criteria are implemented, plus
+//! the random-choice control used by Figure 2 and the two degenerate
+//! settings (`α = ∞` → always LU, `α = 0` → always QR):
+//!
+//! * **Max** (III-A): LU iff `α · ‖(A_kk)⁻¹‖₁⁻¹ ≥ max_{i>k} ‖A_ik‖₁`.
+//!   Growth of any tile norm bounded by `(1 + α)` per step, hence
+//!   `(1 + α)^(n−1)` overall — the tile analogue of GEPP's `2^(n−1)`.
+//! * **Sum** (III-B): LU iff `α · ‖(A_kk)⁻¹‖₁⁻¹ ≥ Σ_{i>k} ‖A_ik‖₁`.
+//!   Strictest; at `α = 1` the growth is bounded *linearly* (`≤ n`), and the
+//!   criterion always passes on block diagonally dominant matrices.
+//! * **MUMPS** (III-C): scalar-level test comparing each pivot of the
+//!   diagonal-domain LU against an estimate of the column maximum outside
+//!   the domain, grown by the locally observed growth factors.
+//!
+//! All criteria consume only panel-local tile norms plus one all-reduce
+//! across the nodes hosting panel tiles — no global pivoting communication.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::config::Decision;
+
+/// A robustness criterion with its threshold `α`.
+///
+/// For Max/Sum/MUMPS, larger `α` loosens the stability requirement and
+/// yields more LU steps; `α = 0` forces QR everywhere and `α = ∞` forces LU
+/// everywhere (paper Section V-B).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Criterion {
+    Max { alpha: f64 },
+    Sum { alpha: f64 },
+    Mumps { alpha: f64 },
+    /// Choose LU with probability `lu_fraction` (deterministic per step
+    /// given `seed`) — the control experiment of Figure 2's fourth row.
+    Random { lu_fraction: f64, seed: u64 },
+    /// Unconditional LU (the `α = ∞` limit).
+    AlwaysLu,
+    /// Unconditional QR (the `α = 0` limit; stability of HQR).
+    AlwaysQr,
+}
+
+impl Criterion {
+    pub fn name(&self) -> String {
+        match self {
+            Criterion::Max { alpha } => format!("Max α={alpha}"),
+            Criterion::Sum { alpha } => format!("Sum α={alpha}"),
+            Criterion::Mumps { alpha } => format!("MUMPS α={alpha}"),
+            Criterion::Random { lu_fraction, .. } => {
+                format!("Random {}%LU", (lu_fraction * 100.0).round())
+            }
+            Criterion::AlwaysLu => "AlwaysLU".to_string(),
+            Criterion::AlwaysQr => "AlwaysQR".to_string(),
+        }
+    }
+
+    /// Worst-case bound on the growth of the max tile 1-norm after `n` tile
+    /// steps when every step satisfies this criterion (paper Section III).
+    /// `None` when the criterion gives no bound (Random / AlwaysLu).
+    pub fn growth_bound(&self, n: usize) -> Option<f64> {
+        match self {
+            Criterion::Max { alpha } => Some((1.0 + alpha).powi(n as i32 - 1)),
+            Criterion::Sum { alpha } if *alpha <= 1.0 => Some(n as f64),
+            Criterion::Sum { alpha } => Some((1.0 + alpha).powi(n as i32 - 1)),
+            Criterion::Mumps { .. } => None, // scalar-level, GEPP-like in practice
+            Criterion::Random { .. } | Criterion::AlwaysLu => None,
+            Criterion::AlwaysQr => Some(1.0),
+        }
+    }
+}
+
+/// Panel information contributed by one *off-diagonal* domain (computed
+/// locally on its node, shipped in the criterion all-reduce).
+#[derive(Debug, Clone, Default)]
+pub struct DomainCritData {
+    /// `max_i ‖A_ik‖₁` over the domain's panel tiles.
+    pub max_tile_norm1: f64,
+    /// `Σ_i ‖A_ik‖₁` over the domain's panel tiles.
+    pub sum_tile_norm1: f64,
+    /// Per panel column `j`: `max |a_ij|` over the domain's tiles
+    /// (the MUMPS `away_max` contribution).
+    pub col_max: Vec<f64>,
+}
+
+impl DomainCritData {
+    /// Compute from the domain's stacked panel tiles.
+    pub fn from_tiles<'a>(tiles: impl Iterator<Item = &'a luqr_kernels::Mat>) -> Self {
+        let mut out = DomainCritData::default();
+        for t in tiles {
+            let n1 = t.norm_one();
+            out.max_tile_norm1 = out.max_tile_norm1.max(n1);
+            out.sum_tile_norm1 += n1;
+            if out.col_max.len() < t.cols() {
+                out.col_max.resize(t.cols(), 0.0);
+            }
+            for j in 0..t.cols() {
+                out.col_max[j] = out.col_max[j].max(t.col_max_abs_from(j, 0));
+            }
+        }
+        out
+    }
+}
+
+/// Panel information from the diagonal domain and its trial factorization.
+#[derive(Debug, Clone, Default)]
+pub struct PanelCritData {
+    /// Estimated `‖(A_kk)⁻¹‖₁⁻¹` (after pivoting inside the domain).
+    pub inv_norm_recip: f64,
+    /// `max ‖A_ik‖₁` over the diagonal domain's tiles strictly below the
+    /// diagonal tile (pre-factorization values).
+    pub below_diag_max_norm1: f64,
+    /// Sum version of the above.
+    pub below_diag_sum_norm1: f64,
+    /// Pre-factorization `max |a_ij|` per panel column over the whole
+    /// diagonal domain (the MUMPS `local_max`).
+    pub local_col_max: Vec<f64>,
+    /// `|U_jj|` from the diagonal-domain LU (the MUMPS `pivot`).
+    pub pivot_abs: Vec<f64>,
+}
+
+/// Outcome of evaluating a criterion at one step.
+#[derive(Debug, Clone, Copy)]
+pub struct CritOutcome {
+    pub decision: Decision,
+    /// Left-hand side of the test (criterion-specific; for reporting).
+    pub lhs: f64,
+    /// Right-hand side of the test.
+    pub rhs: f64,
+}
+
+/// Evaluate `criterion` at step `k` from the diagonal-domain data and the
+/// off-domain contributions.
+pub fn decide(
+    criterion: &Criterion,
+    k: usize,
+    panel: &PanelCritData,
+    domains: &[DomainCritData],
+) -> CritOutcome {
+    match criterion {
+        Criterion::AlwaysLu => CritOutcome {
+            decision: Decision::Lu,
+            lhs: f64::INFINITY,
+            rhs: 0.0,
+        },
+        Criterion::AlwaysQr => CritOutcome {
+            decision: Decision::Qr,
+            lhs: 0.0,
+            rhs: f64::INFINITY,
+        },
+        Criterion::Random { lu_fraction, seed } => {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(0x9E37_79B9).wrapping_mul(31).wrapping_add(k as u64));
+            let draw: f64 = rng.random_range(0.0..1.0);
+            CritOutcome {
+                decision: if draw < *lu_fraction {
+                    Decision::Lu
+                } else {
+                    Decision::Qr
+                },
+                lhs: draw,
+                rhs: *lu_fraction,
+            }
+        }
+        Criterion::Max { alpha } => {
+            let off = domains
+                .iter()
+                .map(|d| d.max_tile_norm1)
+                .fold(0.0f64, f64::max);
+            let rhs = off.max(panel.below_diag_max_norm1);
+            let lhs = alpha * panel.inv_norm_recip;
+            // α = 0 degenerates to "always QR" (paper §V-B), including the
+            // final panel where there is nothing below the diagonal.
+            let ok = *alpha > 0.0
+                && ((lhs >= rhs && lhs.is_finite())
+                    || (*alpha == f64::INFINITY && panel.inv_norm_recip > 0.0));
+            lu_if(ok, lhs, rhs)
+        }
+        Criterion::Sum { alpha } => {
+            let off: f64 = domains.iter().map(|d| d.sum_tile_norm1).sum();
+            let rhs = off + panel.below_diag_sum_norm1;
+            let lhs = alpha * panel.inv_norm_recip;
+            let ok = *alpha > 0.0
+                && ((lhs >= rhs && lhs.is_finite())
+                    || (*alpha == f64::INFINITY && panel.inv_norm_recip > 0.0));
+            lu_if(ok, lhs, rhs)
+        }
+        Criterion::Mumps { alpha } => {
+            let ncols = panel.pivot_abs.len();
+            // away_max per column from the off-domain contributions.
+            let mut away = vec![0.0f64; ncols];
+            for d in domains {
+                for (j, &v) in d.col_max.iter().enumerate().take(ncols) {
+                    away[j] = away[j].max(v);
+                }
+            }
+            // The estimated maximum of column j outside the domain grows
+            // the way the column grew locally: `estimate_max(j) =
+            // away_max(j) · growth_factor(j)` with `growth_factor(j) =
+            // pivot(j) / local_max(j)` (clamped at 1: elimination never
+            // *shrinks* the worst case). A step is LU iff every local pivot
+            // dominates its estimate up to the threshold:
+            // `α · pivot(j) ≥ estimate_max(j)`.
+            //
+            // Note the emergent behaviour the paper observes (§V-C): when
+            // the *local* part grows in lockstep with the away part
+            // (Wilkinson-style matrices), the growth factors cancel and the
+            // criterion sees nothing wrong — MUMPS misses those cases while
+            // Max catches them.
+            let mut worst_ratio = 0.0f64; // max estimate/pivot over columns
+            let mut ok = *alpha > 0.0;
+            for j in 0..ncols {
+                let pivot = panel.pivot_abs[j];
+                let local = panel.local_col_max.get(j).copied().unwrap_or(0.0);
+                let growth = if local > 0.0 && pivot.is_finite() {
+                    (pivot / local).max(1.0)
+                } else {
+                    1.0
+                };
+                let estimate = away[j] * growth;
+                if !(alpha * pivot >= estimate) {
+                    ok = false;
+                }
+                if pivot > 0.0 {
+                    worst_ratio = worst_ratio.max(estimate / pivot);
+                } else if estimate > 0.0 {
+                    ok = false;
+                    worst_ratio = f64::INFINITY;
+                }
+            }
+            CritOutcome {
+                decision: if ok { Decision::Lu } else { Decision::Qr },
+                lhs: *alpha,
+                rhs: worst_ratio,
+            }
+        }
+    }
+}
+
+fn lu_if(cond: bool, lhs: f64, rhs: f64) -> CritOutcome {
+    CritOutcome {
+        decision: if cond { Decision::Lu } else { Decision::Qr },
+        lhs,
+        rhs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use luqr_kernels::Mat;
+
+    fn panel(inv: f64, below_max: f64, below_sum: f64) -> PanelCritData {
+        PanelCritData {
+            inv_norm_recip: inv,
+            below_diag_max_norm1: below_max,
+            below_diag_sum_norm1: below_sum,
+            local_col_max: vec![1.0; 4],
+            pivot_abs: vec![1.0; 4],
+        }
+    }
+
+    fn dom(max: f64, sum: f64) -> DomainCritData {
+        DomainCritData {
+            max_tile_norm1: max,
+            sum_tile_norm1: sum,
+            col_max: vec![max; 4],
+        }
+    }
+
+    #[test]
+    fn max_criterion_thresholds() {
+        let p = panel(2.0, 1.0, 1.0);
+        let d = [dom(3.0, 3.0)];
+        // α = 1: 2.0 < 3.0 → QR.
+        let o = decide(&Criterion::Max { alpha: 1.0 }, 0, &p, &d);
+        assert_eq!(o.decision, Decision::Qr);
+        // α = 2: 4.0 ≥ 3.0 → LU.
+        let o = decide(&Criterion::Max { alpha: 2.0 }, 0, &p, &d);
+        assert_eq!(o.decision, Decision::Lu);
+        assert_eq!(o.rhs, 3.0);
+    }
+
+    #[test]
+    fn sum_is_stricter_than_max() {
+        let p = panel(2.0, 1.0, 1.0);
+        let d = [dom(1.5, 1.5), dom(1.0, 1.0)];
+        // Max: rhs = 1.5; Sum: rhs = 1.5 + 1.0 + 1.0 = 3.5.
+        let m = decide(&Criterion::Max { alpha: 1.0 }, 0, &p, &d);
+        let s = decide(&Criterion::Sum { alpha: 1.0 }, 0, &p, &d);
+        assert_eq!(m.decision, Decision::Lu);
+        assert_eq!(s.decision, Decision::Qr);
+        assert!(s.rhs > m.rhs);
+    }
+
+    #[test]
+    fn alpha_zero_always_qr_alpha_inf_always_lu() {
+        let p = panel(5.0, 1.0, 1.0);
+        let d = [dom(1e300, 1e300)];
+        let o = decide(&Criterion::Max { alpha: 0.0 }, 0, &p, &d);
+        assert_eq!(o.decision, Decision::Qr);
+        let o = decide(&Criterion::Max { alpha: f64::INFINITY }, 0, &p, &d);
+        assert_eq!(o.decision, Decision::Lu);
+        // ... unless the tile is singular.
+        let p_sing = panel(0.0, 1.0, 1.0);
+        let o = decide(&Criterion::Max { alpha: f64::INFINITY }, 0, &p_sing, &d);
+        assert_eq!(o.decision, Decision::Qr);
+    }
+
+    #[test]
+    fn block_diagonally_dominant_passes_max_and_sum_at_alpha_one() {
+        // Paper III-B: block diagonal dominance ⇒ both criteria hold at α=1.
+        // ‖A_kk⁻¹‖⁻¹ = 10 ≥ Σ off-diagonal norms = 6.
+        let p = panel(10.0, 2.0, 2.0);
+        let d = [dom(3.0, 4.0)];
+        assert_eq!(
+            decide(&Criterion::Max { alpha: 1.0 }, 0, &p, &d).decision,
+            Decision::Lu
+        );
+        assert_eq!(
+            decide(&Criterion::Sum { alpha: 1.0 }, 0, &p, &d).decision,
+            Decision::Lu
+        );
+    }
+
+    #[test]
+    fn mumps_accepts_good_local_pivots() {
+        // Pivots comparable to away max: fine at α ≥ 1.
+        let p = PanelCritData {
+            inv_norm_recip: 1.0,
+            below_diag_max_norm1: 0.0,
+            below_diag_sum_norm1: 0.0,
+            local_col_max: vec![1.0, 1.0, 1.0],
+            pivot_abs: vec![1.0, 0.9, 0.8],
+        };
+        let d = [DomainCritData {
+            max_tile_norm1: 1.0,
+            sum_tile_norm1: 1.0,
+            col_max: vec![0.9, 0.8, 0.7],
+        }];
+        let o = decide(&Criterion::Mumps { alpha: 2.1 }, 0, &p, &d);
+        assert_eq!(o.decision, Decision::Lu);
+    }
+
+    #[test]
+    fn mumps_rejects_tiny_pivot_against_large_away() {
+        let p = PanelCritData {
+            inv_norm_recip: 1.0,
+            below_diag_max_norm1: 0.0,
+            below_diag_sum_norm1: 0.0,
+            local_col_max: vec![1.0, 1.0],
+            pivot_abs: vec![1.0, 1e-9],
+        };
+        let d = [DomainCritData {
+            max_tile_norm1: 1.0,
+            sum_tile_norm1: 1.0,
+            col_max: vec![0.5, 0.5],
+        }];
+        let o = decide(&Criterion::Mumps { alpha: 2.1 }, 0, &p, &d);
+        assert_eq!(o.decision, Decision::Qr);
+    }
+
+    #[test]
+    fn mumps_growth_scales_the_away_estimate() {
+        // Column 0 grew 10x locally (local_max 0.1 → pivot 1.0), so the
+        // away estimate for it is 0.5·10 = 5 > α·pivot at α = 1 → QR;
+        // a looser α accepts.
+        let p = PanelCritData {
+            inv_norm_recip: 1.0,
+            below_diag_max_norm1: 0.0,
+            below_diag_sum_norm1: 0.0,
+            local_col_max: vec![0.1, 1.0],
+            pivot_abs: vec![1.0, 1.0],
+        };
+        let d = [DomainCritData {
+            max_tile_norm1: 1.0,
+            sum_tile_norm1: 1.0,
+            col_max: vec![0.5, 0.2],
+        }];
+        let o = decide(&Criterion::Mumps { alpha: 1.0 }, 0, &p, &d);
+        assert_eq!(o.decision, Decision::Qr);
+        let o = decide(&Criterion::Mumps { alpha: 6.0 }, 0, &p, &d);
+        assert_eq!(o.decision, Decision::Lu);
+    }
+
+    #[test]
+    fn mumps_blind_to_lockstep_growth() {
+        // When local and away parts grow identically, the growth factors
+        // cancel and MUMPS accepts — the blind spot Figure 3 exhibits on
+        // the Wilkinson/Foster matrices.
+        let p = PanelCritData {
+            inv_norm_recip: 1e-9, // Max would scream here
+            below_diag_max_norm1: 1.0,
+            below_diag_sum_norm1: 1.0,
+            local_col_max: vec![1.0, 1.0],
+            pivot_abs: vec![1000.0, 2000.0], // huge local growth
+        };
+        let d = [DomainCritData {
+            max_tile_norm1: 1.0,
+            sum_tile_norm1: 1.0,
+            col_max: vec![1.0, 1.0],
+        }];
+        let o = decide(&Criterion::Mumps { alpha: 2.1 }, 0, &p, &d);
+        assert_eq!(o.decision, Decision::Lu, "MUMPS accepts lockstep growth");
+        let m = decide(&Criterion::Max { alpha: 2.1 }, 0, &p, &d);
+        assert_eq!(m.decision, Decision::Qr, "Max rejects via the inverse norm");
+    }
+
+    #[test]
+    fn random_is_deterministic_and_respects_fraction() {
+        let c = Criterion::Random {
+            lu_fraction: 0.7,
+            seed: 42,
+        };
+        let p = panel(1.0, 1.0, 1.0);
+        let mut lus = 0;
+        let n = 2000;
+        for k in 0..n {
+            let o1 = decide(&c, k, &p, &[]);
+            let o2 = decide(&c, k, &p, &[]);
+            assert_eq!(o1.decision, o2.decision, "not deterministic at k={k}");
+            if o1.decision == Decision::Lu {
+                lus += 1;
+            }
+        }
+        let frac = lus as f64 / n as f64;
+        assert!((frac - 0.7).abs() < 0.05, "fraction {frac}");
+    }
+
+    #[test]
+    fn domain_crit_data_from_tiles() {
+        let t1 = Mat::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]); // ‖·‖₁ = 6
+        let t2 = Mat::from_rows(&[&[0.5, 0.5], &[0.5, 0.5]]); // ‖·‖₁ = 1
+        let d = DomainCritData::from_tiles([&t1, &t2].into_iter());
+        assert_eq!(d.max_tile_norm1, 6.0);
+        assert_eq!(d.sum_tile_norm1, 7.0);
+        assert_eq!(d.col_max, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn growth_bounds() {
+        let m = Criterion::Max { alpha: 1.0 };
+        assert_eq!(m.growth_bound(5), Some(16.0)); // 2^4
+        let s = Criterion::Sum { alpha: 1.0 };
+        assert_eq!(s.growth_bound(7), Some(7.0));
+        assert_eq!(Criterion::AlwaysQr.growth_bound(10), Some(1.0));
+        assert_eq!(Criterion::AlwaysLu.growth_bound(10), None);
+    }
+}

@@ -1,0 +1,367 @@
+//! # luqr — hybrid LU-QR dense linear solvers
+//!
+//! A reproduction of **"Designing LU-QR hybrid solvers for performance and
+//! stability"** (Faverge, Herrmann, Langou, Lowery, Robert, Dongarra —
+//! IPDPS 2014). The hybrid factorization decides, at *every* elimination
+//! step, between an LU step (cheap: `2/3 nb³`-class kernels, embarrassingly
+//! parallel update) and a QR step (always stable, twice the flops), based
+//! on a robustness criterion evaluated on the panel with no global
+//! communication.
+//!
+//! ```
+//! use luqr::{factor, Algorithm, Criterion, FactorOptions};
+//! use luqr_kernels::Mat;
+//!
+//! let n = 64;
+//! let a = Mat::random(n, n, 42);
+//! let b = Mat::random(n, 1, 7);
+//! let opts = FactorOptions {
+//!     nb: 16,
+//!     algorithm: Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
+//!     ..FactorOptions::default()
+//! };
+//! let f = factor(&a, &b, &opts);
+//! let x = f.solution();
+//! assert!(luqr::stability::hpl3(&a, &x, &b) < 10.0);
+//! ```
+//!
+//! Module map:
+//! * [`criteria`] — Max / Sum / MUMPS / Random robustness criteria (§III);
+//! * [`trees`] — reduction trees for QR steps (§II-B, §IV);
+//! * [`panel`] — diagonal-domain trial factorization (§II-A);
+//! * [`builder`] — task-graph insertion of the hybrid and all four
+//!   baselines (LU NoPiv, LU IncPiv, LUPP, HQR) (§IV, Figure 1);
+//! * [`solve`] / [`stability`] — augmented-rhs solve and HPL3 metrics (§V).
+
+pub mod builder;
+pub mod config;
+pub mod criteria;
+pub mod keys;
+pub mod panel;
+pub mod solve;
+pub mod stability;
+pub mod trees;
+
+pub use config::{Algorithm, Decision, FactorOptions, LuVariant, PivotScope, StepRecord};
+pub use criteria::Criterion;
+pub use trees::{TreeConfig, TreeKind};
+
+use luqr_kernels::Mat;
+use luqr_runtime::{execute, simulate, ExecReport, Graph, Platform, SimReport};
+use luqr_tile::TiledMatrix;
+
+/// A completed factorization of an augmented system `[A | B]`.
+pub struct Factorization {
+    /// The factored augmented matrix (upper triangle = `U`/`R`; below lives
+    /// whatever the eliminations left there).
+    pub aug: TiledMatrix,
+    /// The executed task graph (replayable by the platform simulator).
+    pub graph: Graph,
+    /// Executor statistics.
+    pub exec: ExecReport,
+    /// Per-step criterion decisions (hybrid algorithm only; empty for the
+    /// baselines).
+    pub records: Vec<StepRecord>,
+    /// First numerical breakdown, if any (zero pivots in the baselines).
+    pub error: Option<String>,
+    /// Order of `A`.
+    pub n: usize,
+    /// Right-hand-side columns carried through the factorization.
+    pub nrhs: usize,
+    /// The algorithm that produced this factorization.
+    pub algorithm: Algorithm,
+}
+
+impl Factorization {
+    /// Back-substitute for the solution of `A x = B`.
+    pub fn solution(&self) -> Mat {
+        solve::back_substitute(&self.aug, self.n, self.nrhs)
+    }
+
+    /// Replay the executed task graph on a virtual platform.
+    pub fn simulate(&self, platform: &Platform) -> SimReport {
+        simulate(&self.graph, platform)
+    }
+
+    /// Fraction of elimination steps that were LU steps.
+    pub fn lu_step_fraction(&self) -> f64 {
+        match &self.algorithm {
+            Algorithm::LuQr(_) => {
+                if self.records.is_empty() {
+                    return 0.0;
+                }
+                let lus = self
+                    .records
+                    .iter()
+                    .filter(|r| r.decision == Decision::Lu)
+                    .count();
+                lus as f64 / self.records.len() as f64
+            }
+            Algorithm::Hqr => 0.0,
+            _ => 1.0,
+        }
+    }
+
+    /// The nominal LUPP operation count `2/3 N³` the paper normalizes
+    /// GFLOP/s against ("fake" performance, Section V-A).
+    pub fn nominal_flops(&self) -> f64 {
+        2.0 / 3.0 * (self.n as f64).powi(3)
+    }
+
+    /// The algorithm's true leading-order operation count
+    /// `(2/3 f_LU + 4/3 (1 − f_LU)) N³` (Table II).
+    pub fn true_flops(&self) -> f64 {
+        let f_lu = self.lu_step_fraction();
+        (2.0 / 3.0 * f_lu + 4.0 / 3.0 * (1.0 - f_lu)) * (self.n as f64).powi(3)
+    }
+
+    /// Graphviz rendering of the executed graph (see
+    /// [`luqr_runtime::dot`]). Filter to one step with e.g. `"k=3)"`.
+    pub fn dot_for_step(&self, k: usize) -> String {
+        let suffix = format!("k={k})");
+        luqr_runtime::dot::to_dot_filtered(&self.graph, |name| name.ends_with(&suffix))
+    }
+
+    /// Simulate on `platform` and render the schedule as Chrome trace-event
+    /// JSON (open in `chrome://tracing` or Perfetto).
+    pub fn chrome_trace(&self, platform: &Platform) -> String {
+        let sim = self.simulate(platform);
+        luqr_runtime::trace::to_chrome_trace(&self.graph, &sim)
+    }
+}
+
+/// Factor `[A | rhs]` with the configured algorithm and solve-ready output.
+///
+/// `a` must be square; `rhs` must have the same row count and at least one
+/// column (the paper's augmented-matrix workflow always carries the
+/// right-hand side through the factorization).
+pub fn factor(a: &Mat, rhs: &Mat, opts: &FactorOptions) -> Factorization {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "A must be square");
+    assert_eq!(rhs.rows(), n, "rhs row mismatch");
+    assert!(rhs.cols() >= 1, "need at least one rhs column");
+    assert!(opts.nb >= 2, "tile size must be at least 2");
+
+    let tiled = TiledMatrix::from_dense(a, opts.nb);
+    let aug = tiled.augment(rhs);
+    let nt_a = tiled.nt();
+    let (graph, shared) = builder::build_graph(&aug, nt_a, opts);
+    let exec = execute(&graph, opts.threads);
+    let records = shared.records.lock().clone();
+    let error = shared.error.lock().clone();
+    let mut records = records;
+    records.sort_by_key(|r| r.k);
+    Factorization {
+        aug,
+        graph,
+        exec,
+        records,
+        error,
+        n,
+        nrhs: rhs.cols(),
+        algorithm: opts.algorithm.clone(),
+    }
+}
+
+/// Convenience: factor and immediately back-substitute.
+pub fn factor_solve(a: &Mat, rhs: &Mat, opts: &FactorOptions) -> (Mat, Factorization) {
+    let f = factor(a, rhs, opts);
+    let x = f.solution();
+    (x, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use luqr_tile::Grid;
+
+    fn well_conditioned(n: usize, seed: u64) -> Mat {
+        // Random + dominant diagonal: every algorithm must nail this.
+        let mut a = Mat::random(n, n, seed);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    fn check_solves(a: &Mat, opts: &FactorOptions, tol: f64) {
+        let n = a.rows();
+        let x_true = Mat::random(n, 2, 99);
+        let mut b = Mat::zeros(n, 2);
+        luqr_kernels::blas::gemm(
+            luqr_kernels::Trans::NoTrans,
+            luqr_kernels::Trans::NoTrans,
+            1.0,
+            a,
+            &x_true,
+            0.0,
+            &mut b,
+        );
+        let (x, f) = factor_solve(a, &b, opts);
+        assert!(
+            f.error.is_none(),
+            "{}: unexpected failure {:?}",
+            opts.algorithm.name(),
+            f.error
+        );
+        let err = x.max_abs_diff(&x_true);
+        assert!(
+            err < tol,
+            "{}: solution error {err} (tol {tol})",
+            opts.algorithm.name()
+        );
+    }
+
+    #[test]
+    fn all_algorithms_solve_easy_system() {
+        let a = well_conditioned(48, 5);
+        for algorithm in [
+            Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
+            Algorithm::LuQr(Criterion::Sum { alpha: 100.0 }),
+            Algorithm::LuQr(Criterion::Mumps { alpha: 100.0 }),
+            Algorithm::LuQr(Criterion::AlwaysQr),
+            Algorithm::LuQr(Criterion::AlwaysLu),
+            Algorithm::LuNoPiv,
+            Algorithm::LuIncPiv,
+            Algorithm::Lupp,
+            Algorithm::Hqr,
+        ] {
+            let opts = FactorOptions {
+                nb: 8,
+                ib: 4,
+                threads: 2,
+                algorithm,
+                ..FactorOptions::default()
+            };
+            check_solves(&a, &opts, 1e-8);
+        }
+    }
+
+    #[test]
+    fn hybrid_on_grid_with_ragged_tiles() {
+        // N = 50 with nb = 8 → 7 tile rows, last of size 2; 2x2 grid.
+        let a = well_conditioned(50, 6);
+        for criterion in [
+            Criterion::Max { alpha: 10.0 },
+            Criterion::AlwaysQr,
+            Criterion::Random {
+                lu_fraction: 0.5,
+                seed: 3,
+            },
+        ] {
+            let opts = FactorOptions {
+                nb: 8,
+                ib: 4,
+                threads: 2,
+                grid: Grid::new(2, 2),
+                algorithm: Algorithm::LuQr(criterion),
+                ..FactorOptions::default()
+            };
+            check_solves(&a, &opts, 1e-8);
+        }
+    }
+
+    #[test]
+    fn dominant_matrix_takes_all_lu_steps() {
+        // Block diagonally dominant ⇒ Max criterion at α = 1 keeps LU
+        // everywhere (paper Section III-B).
+        let a = well_conditioned(40, 7);
+        let opts = FactorOptions {
+            nb: 8,
+            ib: 4,
+            algorithm: Algorithm::LuQr(Criterion::Max { alpha: 1.0 }),
+            ..FactorOptions::default()
+        };
+        let b = Mat::random(40, 1, 1);
+        let f = factor(&a, &b, &opts);
+        assert_eq!(f.lu_step_fraction(), 1.0, "records: {:?}", f.records);
+    }
+
+    #[test]
+    fn alpha_zero_takes_all_qr_steps() {
+        let a = well_conditioned(40, 8);
+        let opts = FactorOptions {
+            nb: 8,
+            ib: 4,
+            algorithm: Algorithm::LuQr(Criterion::Max { alpha: 0.0 }),
+            ..FactorOptions::default()
+        };
+        let b = Mat::random(40, 1, 2);
+        let f = factor(&a, &b, &opts);
+        assert_eq!(f.lu_step_fraction(), 0.0);
+        // And the result is still correct.
+        let x = f.solution();
+        assert!(stability::hpl3(&a, &x, &b) < 10.0);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let a = well_conditioned(32, 9);
+        let b = Mat::random(32, 1, 3);
+        let mk = |threads| {
+            let opts = FactorOptions {
+                nb: 8,
+                ib: 4,
+                threads,
+                grid: Grid::new(2, 1),
+                algorithm: Algorithm::LuQr(Criterion::Max { alpha: 5.0 }),
+                ..FactorOptions::default()
+            };
+            factor(&a, &b, &opts).solution()
+        };
+        let x1 = mk(1);
+        let x4 = mk(4);
+        assert_eq!(x1.max_abs_diff(&x4), 0.0, "thread count changed the result");
+    }
+
+    #[test]
+    fn simulate_executed_graph() {
+        let a = well_conditioned(40, 11);
+        let b = Mat::random(40, 1, 4);
+        let opts = FactorOptions {
+            nb: 8,
+            ib: 4,
+            grid: Grid::new(2, 2),
+            algorithm: Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
+            ..FactorOptions::default()
+        };
+        let f = factor(&a, &b, &opts);
+        let sim = f.simulate(&Platform::dancer());
+        assert!(sim.makespan > 0.0);
+        assert!(sim.makespan >= sim.critical_path - 1e-12);
+        assert!(sim.total_flops > 0.0);
+        assert!(sim.messages > 0, "2x2 grid must communicate");
+    }
+
+    #[test]
+    fn flops_accounting() {
+        let a = well_conditioned(32, 12);
+        let b = Mat::random(32, 1, 5);
+        let opts = FactorOptions {
+            nb: 8,
+            ib: 4,
+            algorithm: Algorithm::Hqr,
+            ..FactorOptions::default()
+        };
+        let f = factor(&a, &b, &opts);
+        assert_eq!(f.lu_step_fraction(), 0.0);
+        assert!((f.true_flops() - 2.0 * f.nominal_flops()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_export_for_one_step() {
+        let a = well_conditioned(24, 13);
+        let b = Mat::random(24, 1, 6);
+        let opts = FactorOptions {
+            nb: 8,
+            ib: 4,
+            algorithm: Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
+            ..FactorOptions::default()
+        };
+        let f = factor(&a, &b, &opts);
+        let dot = f.dot_for_step(0);
+        assert!(dot.contains("PANEL(k=0)"));
+        assert!(dot.contains("BACKUP"));
+        assert!(!dot.contains("k=1)"));
+    }
+}

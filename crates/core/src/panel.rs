@@ -1,0 +1,516 @@
+//! Diagonal-domain panel factorization (paper Section II-A).
+//!
+//! At step `k` the hybrid algorithm LU-factors, with partial pivoting, the
+//! stack of panel tiles local to the node owning the diagonal tile (the
+//! *diagonal domain*). Pivoting inside the domain needs no inter-node
+//! communication yet greatly enlarges the pivot pool compared to the
+//! diagonal tile alone — the paper shows this alone nearly recovers LUPP
+//! stability on random matrices (Section V-B). The same routines serve the
+//! LUPP baseline (domain = the whole panel) and LU NoPiv (domain = the
+//! diagonal tile).
+//!
+//! These are plain matrix functions: the graph layer locks the tiles and
+//! calls in here from task kernels.
+
+use luqr_kernels::blas::{gemm, trsm, Diag, Side, Trans, UpLo};
+use luqr_kernels::lu::{getrf, laswp, KernelError};
+use luqr_kernels::norm_est::invnorm_est_lu;
+use luqr_kernels::Mat;
+
+use crate::criteria::PanelCritData;
+
+/// Output of a diagonal-domain trial factorization.
+#[derive(Debug, Clone)]
+pub struct PanelFactorization {
+    /// Row interchanges over the stacked domain (LAPACK convention).
+    pub ipiv: Vec<usize>,
+    /// Criterion inputs gathered before/during the factorization.
+    pub crit: PanelCritData,
+    /// Row count of each domain tile (for re-stacking columns later).
+    pub heights: Vec<usize>,
+}
+
+/// Stack tiles vertically into one matrix.
+pub fn stack(tiles: &[&Mat]) -> Mat {
+    let width = tiles[0].cols();
+    let total: usize = tiles.iter().map(|t| t.rows()).sum();
+    let mut s = Mat::zeros(total, width);
+    let mut row = 0;
+    for t in tiles {
+        assert_eq!(t.cols(), width, "stack: ragged widths");
+        s.set_sub(row, 0, t);
+        row += t.rows();
+    }
+    s
+}
+
+/// Scatter a stacked matrix back into tiles of the given heights.
+pub fn unstack(s: &Mat, heights: &[usize], tiles: &mut [&mut Mat]) {
+    assert_eq!(heights.len(), tiles.len());
+    let mut row = 0;
+    for (t, &h) in tiles.iter_mut().zip(heights) {
+        **t = s.sub(row, 0, h, t.cols());
+        row += h;
+    }
+}
+
+/// LU-factor the stacked diagonal-domain tiles with partial pivoting and
+/// collect the criterion inputs. `tiles[0]` must be the diagonal tile.
+///
+/// On success the tiles hold the packed factors (`U` on top, multipliers
+/// below, permuted rows). On a zero-pivot failure the tiles are left
+/// *corrupted* — callers must restore from backup (which the hybrid does
+/// whenever it takes the QR path).
+pub fn factor_diagonal_domain(
+    tiles: &mut [&mut Mat],
+    est_iters: usize,
+) -> Result<PanelFactorization, (KernelError, PanelCritData)> {
+    assert!(!tiles.is_empty());
+    let width = tiles[0].cols();
+    let heights: Vec<usize> = tiles.iter().map(|t| t.rows()).collect();
+
+    // Pre-factorization criterion data.
+    let mut crit = PanelCritData {
+        local_col_max: vec![0.0; width],
+        ..Default::default()
+    };
+    for (idx, t) in tiles.iter().enumerate() {
+        for j in 0..width {
+            crit.local_col_max[j] = crit.local_col_max[j].max(t.col_max_abs_from(j, 0));
+        }
+        if idx > 0 {
+            let n1 = t.norm_one();
+            crit.below_diag_max_norm1 = crit.below_diag_max_norm1.max(n1);
+            crit.below_diag_sum_norm1 += n1;
+        }
+    }
+
+    // Factor the stack.
+    let mut s = stack(&tiles.iter().map(|t| &**t).collect::<Vec<_>>());
+    let ipiv = match getrf(&mut s) {
+        Ok(p) => p,
+        Err(e) => return Err((e, crit)),
+    };
+
+    // Post-factorization criterion data.
+    let steps = s.rows().min(width);
+    crit.pivot_abs = (0..steps).map(|j| s[(j, j)].abs()).collect();
+    let top = s.sub(0, 0, width.min(s.rows()), width);
+    if top.rows() == width {
+        let identity: Vec<usize> = (0..width).collect();
+        let est = invnorm_est_lu(&top, &identity, est_iters);
+        crit.inv_norm_recip = if est > 0.0 { 1.0 / est } else { 0.0 };
+    }
+
+    unstack(&s, &heights, tiles);
+    Ok(PanelFactorization { ipiv, crit, heights })
+}
+
+/// Apply a panel factorization to one trailing column of the domain
+/// (the paper's *Apply* step, SWPTRSM generalized to the domain stack):
+/// pivots, then `U_kj = L11⁻¹ (P C)_top`, then the domain's own Schur
+/// update `C_rest -= L21 · U_kj`.
+///
+/// `l_tiles` are the factored panel tiles (same order as in
+/// [`factor_diagonal_domain`]), `col_tiles` the same rows of column `j`.
+pub fn apply_panel_to_column(
+    l_tiles: &[&Mat],
+    ipiv: &[usize],
+    col_tiles: &mut [&mut Mat],
+) {
+    let width = l_tiles[0].cols();
+    let heights: Vec<usize> = col_tiles.iter().map(|t| t.rows()).collect();
+    let l = stack(l_tiles);
+    let mut c = stack(&col_tiles.iter().map(|t| &**t).collect::<Vec<_>>());
+    laswp(&mut c, ipiv, 0, ipiv.len());
+
+    let steps = ipiv.len().min(width);
+    // Top block: U_kj = L11^{-1} (P C)_top.
+    let l11 = l.sub(0, 0, steps, steps);
+    let mut top = c.sub(0, 0, steps, c.cols());
+    trsm(Side::Left, UpLo::Lower, Trans::NoTrans, Diag::Unit, 1.0, &l11, &mut top);
+    c.set_sub(0, 0, &top);
+    // Domain Schur update: C_rest -= L21 * U_kj.
+    if c.rows() > steps {
+        let l21 = l.sub(steps, 0, l.rows() - steps, steps);
+        let mut rest = c.sub(steps, 0, c.rows() - steps, c.cols());
+        gemm(Trans::NoTrans, Trans::NoTrans, -1.0, &l21, &top, 1.0, &mut rest);
+        c.set_sub(steps, 0, &rest);
+    }
+    unstack(&c, &heights, col_tiles);
+}
+
+/// Net permutation of a LAPACK-style sequential swap vector: `src[pos]` is
+/// the original row index whose content ends up at `pos`.
+///
+/// Key structural property (used by the distributed swap tasks): content
+/// moving *into* a row below the pivot block always originates from the
+/// pivot block (`pos >= steps ⇒ src[pos] < steps`), because a row below can
+/// only be touched by the one swap that selects it as pivot.
+pub fn swap_permutation(ipiv: &[usize], m: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..m).collect();
+    for (c, &p) in ipiv.iter().enumerate() {
+        idx.swap(c, p);
+    }
+    idx
+}
+
+/// Apply the part of a pivot permutation owned by one group of panel tiles,
+/// exchanging rows with the pivot-block tile (ScaLAPACK PDLASWP-style: each
+/// process row trades only its own rows with the top block — the
+/// communication pattern that makes LUPP's pivoting expensive but bounded).
+///
+/// * `src` — net permutation from [`swap_permutation`] over the whole
+///   stacked panel (pivot block = stack rows `0..top_original.rows()`);
+/// * `top_original` — snapshot of the pivot-block rows taken before any
+///   group ran;
+/// * `top` — the live pivot-block tile;
+/// * `tiles` — the group's below-block tiles with their stack offsets;
+/// * `handles_top_internal` — exactly one group (the diagonal's) also
+///   applies the permutation *within* the pivot block.
+///
+/// Groups write disjoint `top` positions and only their own rows, so they
+/// may run in any order once `top_original` is snapshotted.
+pub fn apply_swap_group(
+    src: &[usize],
+    top_original: &Mat,
+    top: &mut Mat,
+    tiles: &mut [(usize, &mut Mat)],
+    handles_top_internal: bool,
+) {
+    let steps = top_original.rows();
+    let w = top_original.cols();
+    // Top positions fed by this group's rows (snapshot first: those rows
+    // may themselves receive pivot-block content below).
+    let mut feeds: Vec<(usize, Vec<f64>)> = Vec::new();
+    for (c, &s) in src.iter().enumerate().take(steps) {
+        if s >= steps {
+            if let Some((t, r)) = locate(tiles, s) {
+                let row: Vec<f64> = (0..w).map(|j| tiles[t].1[(r, j)]).collect();
+                feeds.push((c, row));
+            }
+        }
+    }
+    // This group's rows receiving pivot-block content.
+    for (off, tile) in tiles.iter_mut() {
+        for r in 0..tile.rows() {
+            let pos = *off + r;
+            if pos < steps {
+                continue; // the pivot block itself is handled via `top`
+            }
+            let s = src[pos];
+            if s != pos {
+                debug_assert!(s < steps, "below-block row sourced outside the pivot block");
+                for j in 0..w {
+                    tile[(r, j)] = top_original[(s, j)];
+                }
+            }
+        }
+    }
+    for (c, row) in feeds {
+        for (j, v) in row.into_iter().enumerate() {
+            top[(c, j)] = v;
+        }
+    }
+    if handles_top_internal {
+        for (c, &s) in src.iter().enumerate().take(steps) {
+            if s < steps && s != c {
+                for j in 0..w {
+                    top[(c, j)] = top_original[(s, j)];
+                }
+            }
+        }
+    }
+}
+
+fn locate(tiles: &[(usize, &mut Mat)], pos: usize) -> Option<(usize, usize)> {
+    for (t, (off, tile)) in tiles.iter().enumerate() {
+        if pos >= *off && pos < *off + tile.rows() {
+            return Some((t, pos - *off));
+        }
+    }
+    None
+}
+
+/// Row interchanges + top triangular solve on one trailing column of the
+/// panel's row set (the fine-grained *Apply* used by the task graph: the
+/// per-tile Schur updates `A_ij -= L21_i · U_kj` are separate GEMM tasks).
+///
+/// `l11` is the factored diagonal tile (unit-lower factor in its strictly
+/// lower part); `col_tiles` are the panel rows of column `j`, diagonal row
+/// first. After this, `col_tiles[0]`'s top holds `U_kj`.
+pub fn swap_trsm_column(l11: &Mat, ipiv: &[usize], col_tiles: &mut [&mut Mat]) {
+    let heights: Vec<usize> = col_tiles.iter().map(|t| t.rows()).collect();
+    let mut c = stack(&col_tiles.iter().map(|t| &**t).collect::<Vec<_>>());
+    laswp(&mut c, ipiv, 0, ipiv.len());
+    let steps = ipiv.len().min(l11.cols()).min(l11.rows());
+    let l_top = l11.sub(0, 0, steps, steps);
+    let mut top = c.sub(0, 0, steps, c.cols());
+    trsm(Side::Left, UpLo::Lower, Trans::NoTrans, Diag::Unit, 1.0, &l_top, &mut top);
+    c.set_sub(0, 0, &top);
+    unstack(&c, &heights, col_tiles);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use luqr_kernels::lu::{lu_reconstruct, permute_rows};
+
+    fn make_tiles(heights: &[usize], width: usize, seed: u64) -> Vec<Mat> {
+        heights
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| Mat::random(h, width, seed + i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn stack_unstack_roundtrip() {
+        let tiles = make_tiles(&[4, 4, 2], 4, 1);
+        let s = stack(&tiles.iter().collect::<Vec<_>>());
+        assert_eq!(s.dims(), (10, 4));
+        let mut out = vec![Mat::zeros(4, 4), Mat::zeros(4, 4), Mat::zeros(2, 4)];
+        let mut refs: Vec<&mut Mat> = out.iter_mut().collect();
+        unstack(&s, &[4, 4, 2], &mut refs);
+        for (a, b) in out.iter().zip(&tiles) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn domain_factorization_is_plu_of_stack() {
+        let nb = 8;
+        let mut tiles = make_tiles(&[nb, nb, nb], nb, 5);
+        let originals = stack(&tiles.iter().collect::<Vec<_>>());
+        let mut refs: Vec<&mut Mat> = tiles.iter_mut().collect();
+        let pf = factor_diagonal_domain(&mut refs, 4).unwrap();
+        let s = stack(&tiles.iter().collect::<Vec<_>>());
+        let pa = permute_rows(&originals, &pf.ipiv);
+        let rec = lu_reconstruct(&s);
+        assert!(pa.max_abs_diff(&rec) < 1e-12);
+    }
+
+    #[test]
+    fn crit_data_collected() {
+        let nb = 6;
+        let mut tiles = make_tiles(&[nb, nb], nb, 7);
+        // Plant a known max in a below-diagonal tile.
+        tiles[1][(0, 0)] = 50.0;
+        let below_norm = tiles[1].norm_one();
+        let mut refs: Vec<&mut Mat> = tiles.iter_mut().collect();
+        let pf = factor_diagonal_domain(&mut refs, 4).unwrap();
+        assert_eq!(pf.crit.local_col_max[0], 50.0);
+        assert!((pf.crit.below_diag_max_norm1 - below_norm).abs() < 1e-12);
+        assert!((pf.crit.below_diag_sum_norm1 - below_norm).abs() < 1e-12);
+        assert_eq!(pf.crit.pivot_abs.len(), nb);
+        // Partial pivoting brings the planted 50 to the first pivot.
+        assert!((pf.crit.pivot_abs[0] - 50.0).abs() < 1e-12);
+        assert!(pf.crit.inv_norm_recip > 0.0);
+    }
+
+    #[test]
+    fn apply_panel_reproduces_block_elimination() {
+        // Factor a 2-tile domain; apply to a column; verify against the
+        // dense LU of the stacked [panel | column] system.
+        let nb = 8;
+        let mut panel_tiles = make_tiles(&[nb, nb], nb, 11);
+        let dense_panel = stack(&panel_tiles.iter().collect::<Vec<_>>());
+        let mut col_tiles = make_tiles(&[nb, nb], 5, 13);
+        let dense_col = stack(&col_tiles.iter().collect::<Vec<_>>());
+
+        let mut refs: Vec<&mut Mat> = panel_tiles.iter_mut().collect();
+        let pf = factor_diagonal_domain(&mut refs, 4).unwrap();
+        let l_refs: Vec<&Mat> = panel_tiles.iter().collect();
+        let mut c_refs: Vec<&mut Mat> = col_tiles.iter_mut().collect();
+        apply_panel_to_column(&l_refs, &pf.ipiv, &mut c_refs);
+
+        // Dense reference: P [panel col] — factor panel, apply same steps.
+        let mut dense = Mat::zeros(2 * nb, nb + 5);
+        dense.set_sub(0, 0, &dense_panel);
+        dense.set_sub(0, nb, &dense_col);
+        laswp(&mut dense, &pf.ipiv, 0, pf.ipiv.len());
+        let lu = stack(&panel_tiles.iter().collect::<Vec<_>>());
+        let l11 = lu.sub(0, 0, nb, nb);
+        let mut top = dense.sub(0, nb, nb, 5);
+        trsm(Side::Left, UpLo::Lower, Trans::NoTrans, Diag::Unit, 1.0, &l11, &mut top);
+        let l21 = lu.sub(nb, 0, nb, nb);
+        let mut rest = dense.sub(nb, nb, nb, 5);
+        gemm(Trans::NoTrans, Trans::NoTrans, -1.0, &l21, &top, 1.0, &mut rest);
+
+        let got = stack(&col_tiles.iter().collect::<Vec<_>>());
+        assert!(got.sub(0, 0, nb, 5).max_abs_diff(&top) < 1e-12);
+        assert!(got.sub(nb, 0, nb, 5).max_abs_diff(&rest) < 1e-12);
+    }
+
+    #[test]
+    fn swap_permutation_matches_sequential_swaps() {
+        let m = 12;
+        let ipiv = vec![5usize, 1, 9, 3, 3, 11];
+        let src = swap_permutation(&ipiv, m);
+        // Reference: apply swaps to an index-identifying matrix.
+        let mut a = Mat::from_fn(m, 1, |i, _| i as f64);
+        laswp(&mut a, &ipiv, 0, ipiv.len());
+        for pos in 0..m {
+            assert_eq!(a[(pos, 0)] as usize, src[pos], "pos {pos}");
+        }
+        // Structural property: below-block rows sourced from the block.
+        for pos in ipiv.len()..m {
+            if src[pos] != pos {
+                assert!(src[pos] < ipiv.len());
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_swap_exchange_equals_laswp() {
+        // Stack of 4 tiles (heights 6,6,6,4); pivot block = first 6 rows.
+        // Split the below-block tiles into two "nodes" and verify the
+        // group-wise exchange reproduces a plain laswp of the stack.
+        let heights = [6usize, 6, 6, 4];
+        let w = 5;
+        let tiles: Vec<Mat> = heights
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| Mat::random(h, w, 50 + i as u64))
+            .collect();
+        let stack0 = stack(&tiles.iter().collect::<Vec<_>>());
+        let total = stack0.rows();
+        let ipiv = vec![14usize, 1, 20, 3, 9, 21];
+
+        // Reference.
+        let mut reference = stack0.clone();
+        laswp(&mut reference, &ipiv, 0, ipiv.len());
+
+        // Grouped: top tile + groups {tile1, tile3} and {tile2}.
+        let src = swap_permutation(&ipiv, total);
+        let mut top = tiles[0].clone();
+        let orig = top.clone();
+        let mut t1 = tiles[1].clone();
+        let mut t2 = tiles[2].clone();
+        let mut t3 = tiles[3].clone();
+        {
+            let mut group_a: Vec<(usize, &mut Mat)> = vec![(6, &mut t1), (18, &mut t3)];
+            apply_swap_group(&src, &orig, &mut top, &mut group_a, true);
+        }
+        {
+            let mut group_b: Vec<(usize, &mut Mat)> = vec![(12, &mut t2)];
+            apply_swap_group(&src, &orig, &mut top, &mut group_b, false);
+        }
+        let got = stack(&[&top, &t1, &t2, &t3]);
+        assert!(got.max_abs_diff(&reference) < 1e-15);
+    }
+
+    #[test]
+    fn grouped_swap_group_order_is_irrelevant() {
+        let heights = [4usize, 4, 4];
+        let w = 3;
+        let tiles: Vec<Mat> = heights
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| Mat::random(h, w, 80 + i as u64))
+            .collect();
+        let ipiv = vec![7usize, 10, 2, 5];
+        let src = swap_permutation(&ipiv, 12);
+        let orig = tiles[0].clone();
+
+        let run = |order_ab: bool| {
+            let mut top = tiles[0].clone();
+            let mut t1 = tiles[1].clone();
+            let mut t2 = tiles[2].clone();
+            let run_a = |top: &mut Mat, t1: &mut Mat| {
+                let mut g: Vec<(usize, &mut Mat)> = vec![(4, t1)];
+                apply_swap_group(&src, &orig, top, &mut g, true);
+            };
+            let run_b = |top: &mut Mat, t2: &mut Mat| {
+                let mut g: Vec<(usize, &mut Mat)> = vec![(8, t2)];
+                apply_swap_group(&src, &orig, top, &mut g, false);
+            };
+            if order_ab {
+                run_a(&mut top, &mut t1);
+                run_b(&mut top, &mut t2);
+            } else {
+                run_b(&mut top, &mut t2);
+                run_a(&mut top, &mut t1);
+            }
+            stack(&[&top, &t1, &t2])
+        };
+        assert_eq!(run(true).max_abs_diff(&run(false)), 0.0);
+    }
+
+    #[test]
+    fn swap_trsm_plus_tile_gemms_equals_coarse_apply() {
+        // The fine-grained path (swap_trsm_column + per-tile GEMMs) must
+        // produce exactly what apply_panel_to_column does.
+        let nb = 8;
+        let mut panel_tiles = make_tiles(&[nb, nb, nb], nb, 31);
+        let mut refs: Vec<&mut Mat> = panel_tiles.iter_mut().collect();
+        let pf = factor_diagonal_domain(&mut refs, 4).unwrap();
+
+        let col0 = make_tiles(&[nb, nb, nb], 5, 33);
+        // Coarse path.
+        let mut coarse = col0.clone();
+        {
+            let l_refs: Vec<&Mat> = panel_tiles.iter().collect();
+            let mut c_refs: Vec<&mut Mat> = coarse.iter_mut().collect();
+            apply_panel_to_column(&l_refs, &pf.ipiv, &mut c_refs);
+        }
+        // Fine path.
+        let mut fine = col0.clone();
+        {
+            let mut c_refs: Vec<&mut Mat> = fine.iter_mut().collect();
+            swap_trsm_column(&panel_tiles[0], &pf.ipiv, &mut c_refs);
+        }
+        let u_kj = fine[0].clone();
+        for i in 1..3 {
+            gemm(
+                Trans::NoTrans,
+                Trans::NoTrans,
+                -1.0,
+                &panel_tiles[i],
+                &u_kj,
+                1.0,
+                &mut fine[i],
+            );
+        }
+        for (a, b) in fine.iter().zip(&coarse) {
+            assert!(a.max_abs_diff(b) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_column_fails_with_crit_data() {
+        let nb = 4;
+        let mut tiles = vec![Mat::zeros(nb, nb), Mat::zeros(nb, nb)];
+        let mut refs: Vec<&mut Mat> = tiles.iter_mut().collect();
+        let err = factor_diagonal_domain(&mut refs, 2);
+        assert!(err.is_err());
+        let (_, crit) = err.unwrap_err();
+        assert_eq!(crit.local_col_max, vec![0.0; nb]);
+    }
+
+    #[test]
+    fn ragged_last_tile() {
+        let nb = 6;
+        let mut tiles = make_tiles(&[nb, 3], nb, 21);
+        let originals = stack(&tiles.iter().collect::<Vec<_>>());
+        let mut refs: Vec<&mut Mat> = tiles.iter_mut().collect();
+        let pf = factor_diagonal_domain(&mut refs, 4).unwrap();
+        let s = stack(&tiles.iter().collect::<Vec<_>>());
+        let pa = permute_rows(&originals, &pf.ipiv);
+        assert!(pa.max_abs_diff(&lu_reconstruct(&s)) < 1e-12);
+        assert_eq!(pf.heights, vec![6, 3]);
+    }
+
+    #[test]
+    fn single_tile_domain_equals_getrf() {
+        let nb = 10;
+        let a0 = Mat::random(nb, nb, 31);
+        let mut a = a0.clone();
+        let mut refs: Vec<&mut Mat> = vec![&mut a];
+        let pf = factor_diagonal_domain(&mut refs, 4).unwrap();
+        let mut b = a0.clone();
+        let ipiv = getrf(&mut b).unwrap();
+        assert_eq!(pf.ipiv, ipiv);
+        assert!(a.max_abs_diff(&b) < 1e-15);
+    }
+}

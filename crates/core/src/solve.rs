@@ -1,0 +1,86 @@
+//! Triangular solve after factorization.
+//!
+//! The paper's approach (Section II-D1): the right-hand side is appended to
+//! `A` and every elimination transformation is applied to the augmented
+//! matrix, so after the factorization only an `N x N` triangular solve
+//! remains. Both LU and QR steps leave the transformed matrix upper
+//! triangular (tile row `k` finalized at step `k`), so a single dense
+//! back-substitution recovers `x` regardless of which steps were LU and
+//! which were QR.
+
+use luqr_kernels::blas::{trsm, Diag, Side, Trans, UpLo};
+use luqr_kernels::Mat;
+use luqr_tile::TiledMatrix;
+
+/// Back-substitute the factored augmented matrix: solves `U x = c` where
+/// `U` is the upper triangle of the first `n` columns and `c` the trailing
+/// `nrhs` columns. Returns the `n x nrhs` solution.
+///
+/// Zero diagonal entries produce `inf`/`NaN` in the solution (LAPACK
+/// semantics) rather than an error — stability metrics downstream report
+/// the failure.
+pub fn back_substitute(aug: &TiledMatrix, n: usize, nrhs: usize) -> Mat {
+    assert_eq!(aug.n(), n + nrhs, "augmented width mismatch");
+    assert_eq!(aug.m(), n, "factored matrix must be square");
+    let dense = aug.to_dense();
+    let u = Mat::from_fn(n, n, |i, j| if i <= j { dense[(i, j)] } else { 0.0 });
+    let mut x = dense.sub(0, n, n, nrhs);
+    trsm(
+        Side::Left,
+        UpLo::Upper,
+        Trans::NoTrans,
+        Diag::NonUnit,
+        1.0,
+        &u,
+        &mut x,
+    );
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use luqr_kernels::blas::gemm;
+
+    #[test]
+    fn solves_explicit_triangular_system() {
+        let n = 24;
+        let mut u = Mat::random(n, n, 9).upper_triangular();
+        for i in 0..n {
+            u[(i, i)] += 3.0; // well conditioned
+        }
+        let x_true = Mat::random(n, 2, 10);
+        let mut c = Mat::zeros(n, 2);
+        gemm(Trans::NoTrans, Trans::NoTrans, 1.0, &u, &x_true, 0.0, &mut c);
+        // Assemble [U | c] — garbage below the diagonal must be ignored.
+        let mut full = Mat::random(n, n + 2, 11);
+        for i in 0..n {
+            for j in 0..n {
+                if i <= j {
+                    full[(i, j)] = u[(i, j)];
+                }
+            }
+            for j in 0..2 {
+                full[(i, n + j)] = c[(i, j)];
+            }
+        }
+        let aug = TiledMatrix::from_dense(&full, 7);
+        let x = back_substitute(&aug, n, 2);
+        assert!(x.max_abs_diff(&x_true) < 1e-10);
+    }
+
+    #[test]
+    fn zero_diagonal_floods_nan() {
+        let n = 4;
+        let mut full = Mat::eye(n);
+        full[(1, 1)] = 0.0;
+        let mut aug = Mat::zeros(n, n + 1);
+        aug.set_sub(0, 0, &full);
+        for i in 0..n {
+            aug[(i, n)] = 1.0;
+        }
+        let t = TiledMatrix::from_dense(&aug, 2);
+        let x = back_substitute(&t, n, 1);
+        assert!(!x.all_finite());
+    }
+}

@@ -1,0 +1,359 @@
+//! Reduction trees for the QR elimination steps (paper Sections II-B, IV).
+//!
+//! A QR step zeroes every panel tile below the diagonal using eliminator
+//! tiles. The *elimination list* — which tile kills which, in what order —
+//! is exactly what distinguishes the HQR tree variants. The hybrid uses a
+//! two-level hierarchy matched to the platform: an **intra-domain** tree
+//! reduces each node's local tiles to one root without inter-node
+//! communication, then an **inter-domain** tree merges the domain roots.
+//! The paper's default is GREEDY inside nodes and FIBONACCI across nodes
+//! (chosen for its short critical path and good pipelining of consecutive
+//! QR steps).
+
+/// Shape of a reduction tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeKind {
+    /// Flat tree with TS kernels: the domain root eliminates every local
+    /// tile in sequence (square victims; sequential but cheap kernels).
+    FlatTs,
+    /// Flat tree with TT kernels: all tiles triangularized first, then the
+    /// root merges them in sequence.
+    FlatTt,
+    /// Binary tournament with TT kernels (adjacent pairing).
+    Binary,
+    /// Greedy tournament with TT kernels: each round the top half of the
+    /// surviving tiles eliminates the bottom half.
+    Greedy,
+    /// Fibonacci-staggered TT tree: round `r` kills a Fibonacci-growing
+    /// number of tiles, trading single-step critical path for pipelining of
+    /// consecutive steps.
+    Fibonacci,
+}
+
+/// Two-level tree configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeConfig {
+    /// Tree within each domain (node-local, no communication).
+    pub intra: TreeKind,
+    /// Tree across domain roots (inter-node).
+    pub inter: TreeKind,
+}
+
+impl Default for TreeConfig {
+    /// The paper's default: GREEDY inside nodes, FIBONACCI between nodes.
+    fn default() -> Self {
+        TreeConfig {
+            intra: TreeKind::Greedy,
+            inter: TreeKind::Fibonacci,
+        }
+    }
+}
+
+/// One operation of a QR step's elimination list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElimOp {
+    /// Triangularize tile row `row` (GEQRT) — prerequisite for acting as a
+    /// TT eliminator or victim.
+    Geqrt { row: usize },
+    /// Zero tile row `victim` against `eliminator`. `ts = true` uses the
+    /// TSQRT kernel (square victim), `ts = false` uses TTQRT (triangular
+    /// victim, cheaper, enabled by a prior [`ElimOp::Geqrt`]).
+    Kill {
+        victim: usize,
+        eliminator: usize,
+        ts: bool,
+    },
+}
+
+/// Build the elimination list for one QR step.
+///
+/// `domains` groups the panel's tile rows by owning domain, each ascending;
+/// the first row of the first domain is the step's diagonal row `k` and
+/// must be the overall smallest (callers pass
+/// [`luqr_tile::Grid::panel_domains`] output rotated so the diagonal domain
+/// comes first).
+pub fn elimination_list(domains: &[Vec<usize>], cfg: &TreeConfig) -> Vec<ElimOp> {
+    assert!(!domains.is_empty() && !domains[0].is_empty());
+    let k = domains[0][0];
+    for d in domains {
+        debug_assert!(d.windows(2).all(|w| w[0] < w[1]), "domain rows must ascend");
+        debug_assert!(d.iter().all(|&r| r >= k), "row below the diagonal step");
+    }
+
+    let mut ops = Vec::new();
+    let mut roots = Vec::with_capacity(domains.len());
+    for rows in domains {
+        intra_domain(rows, cfg.intra, &mut ops);
+        roots.push(rows[0]);
+    }
+    // Inter-domain reduction over the (already triangular) roots.
+    roots.sort_unstable();
+    debug_assert_eq!(roots[0], k);
+    for (victim, eliminator) in tt_tree(&roots, cfg.inter) {
+        ops.push(ElimOp::Kill {
+            victim,
+            eliminator,
+            ts: false,
+        });
+    }
+    ops
+}
+
+fn intra_domain(rows: &[usize], kind: TreeKind, ops: &mut Vec<ElimOp>) {
+    let root = rows[0];
+    match kind {
+        TreeKind::FlatTs => {
+            // Root triangularized once; every other tile killed square.
+            ops.push(ElimOp::Geqrt { row: root });
+            for &r in &rows[1..] {
+                ops.push(ElimOp::Kill {
+                    victim: r,
+                    eliminator: root,
+                    ts: true,
+                });
+            }
+        }
+        _ => {
+            for &r in rows {
+                ops.push(ElimOp::Geqrt { row: r });
+            }
+            for (victim, eliminator) in tt_tree(rows, kind) {
+                ops.push(ElimOp::Kill {
+                    victim,
+                    eliminator,
+                    ts: false,
+                });
+            }
+        }
+    }
+}
+
+/// Pairings `(victim, eliminator)` reducing `rows` (ascending, all already
+/// triangular) onto `rows[0]` with TT kernels.
+fn tt_tree(rows: &[usize], kind: TreeKind) -> Vec<(usize, usize)> {
+    let mut ops = Vec::new();
+    let mut alive: Vec<usize> = rows.to_vec();
+    match kind {
+        TreeKind::FlatTs | TreeKind::FlatTt => {
+            for &r in &rows[1..] {
+                ops.push((r, rows[0]));
+            }
+        }
+        TreeKind::Binary => {
+            while alive.len() > 1 {
+                let mut survivors = Vec::with_capacity(alive.len().div_ceil(2));
+                let mut i = 0;
+                while i < alive.len() {
+                    if i + 1 < alive.len() {
+                        ops.push((alive[i + 1], alive[i]));
+                    }
+                    survivors.push(alive[i]);
+                    i += 2;
+                }
+                alive = survivors;
+            }
+        }
+        TreeKind::Greedy => {
+            while alive.len() > 1 {
+                let m = alive.len();
+                let kills = m / 2;
+                for t in 0..kills {
+                    ops.push((alive[m - kills + t], alive[t]));
+                }
+                alive.truncate(m - kills);
+            }
+        }
+        TreeKind::Fibonacci => {
+            let (mut f1, mut f2) = (1usize, 1usize);
+            while alive.len() > 1 {
+                let m = alive.len();
+                let kills = f1.clamp(1, (m / 2).max(1)).min(m - 1);
+                for t in 0..kills {
+                    let vi = m - kills + t;
+                    let ei = vi - kills;
+                    ops.push((alive[vi], alive[ei]));
+                }
+                alive.truncate(m - kills);
+                let f3 = f1 + f2;
+                f1 = f2;
+                f2 = f3;
+            }
+        }
+    }
+    ops
+}
+
+/// Depth (rounds) of the single-step critical path of a TT tree over `m`
+/// tiles — diagnostic used by the tree ablation bench.
+pub fn tree_depth(m: usize, kind: TreeKind) -> usize {
+    if m <= 1 {
+        return 0;
+    }
+    let rows: Vec<usize> = (0..m).collect();
+    let ops = tt_tree(&rows, kind);
+    // Longest chain: depth[victim's eliminator] + 1 along usage order.
+    let mut depth = vec![0usize; m];
+    let mut max_depth = 0;
+    for (v, e) in ops {
+        let d = depth[e].max(depth[v]) + 1;
+        depth[e] = d;
+        max_depth = max_depth.max(d);
+    }
+    max_depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Every non-root row killed exactly once; eliminators alive when used;
+    /// eliminator index always below victim.
+    fn check_valid(domains: &[Vec<usize>], cfg: &TreeConfig) {
+        let ops = elimination_list(domains, cfg);
+        let all: Vec<usize> = domains.iter().flatten().copied().collect();
+        let root = domains[0][0];
+        let mut killed: HashSet<usize> = HashSet::new();
+        let mut triangular: HashSet<usize> = HashSet::new();
+        for op in &ops {
+            match *op {
+                ElimOp::Geqrt { row } => {
+                    assert!(!killed.contains(&row), "GEQRT on killed row {row}");
+                    triangular.insert(row);
+                }
+                ElimOp::Kill {
+                    victim,
+                    eliminator,
+                    ts,
+                } => {
+                    assert!(eliminator < victim, "eliminator above victim");
+                    assert!(!killed.contains(&victim), "row {victim} killed twice");
+                    assert!(!killed.contains(&eliminator), "dead eliminator {eliminator}");
+                    assert!(
+                        triangular.contains(&eliminator),
+                        "eliminator {eliminator} not triangularized"
+                    );
+                    if !ts {
+                        assert!(
+                            triangular.contains(&victim),
+                            "TT victim {victim} not triangularized"
+                        );
+                    }
+                    killed.insert(victim);
+                }
+            }
+        }
+        let expected: HashSet<usize> = all.iter().copied().filter(|&r| r != root).collect();
+        assert_eq!(killed, expected, "not all rows eliminated exactly once");
+    }
+
+    fn all_kinds() -> [TreeKind; 5] {
+        [
+            TreeKind::FlatTs,
+            TreeKind::FlatTt,
+            TreeKind::Binary,
+            TreeKind::Greedy,
+            TreeKind::Fibonacci,
+        ]
+    }
+
+    #[test]
+    fn all_tree_combinations_valid() {
+        let domains = vec![vec![2, 6, 10, 14], vec![3, 7, 11], vec![4, 8, 12], vec![5, 9, 13]];
+        for intra in all_kinds() {
+            for inter in all_kinds() {
+                check_valid(&domains, &TreeConfig { intra, inter });
+            }
+        }
+    }
+
+    #[test]
+    fn single_tile_panel_only_triangularizes() {
+        let ops = elimination_list(&[vec![7]], &TreeConfig::default());
+        assert_eq!(ops, vec![ElimOp::Geqrt { row: 7 }]);
+    }
+
+    #[test]
+    fn single_domain_many_tiles() {
+        for kind in all_kinds() {
+            let cfg = TreeConfig {
+                intra: kind,
+                inter: TreeKind::Fibonacci,
+            };
+            check_valid(&[(0..17).collect::<Vec<_>>()], &cfg);
+        }
+    }
+
+    #[test]
+    fn uneven_domains() {
+        let domains = vec![vec![0, 4, 8, 12, 16, 20], vec![1], vec![2, 6], vec![3, 7, 11, 15, 19]];
+        for intra in all_kinds() {
+            check_valid(
+                &domains,
+                &TreeConfig {
+                    intra,
+                    inter: TreeKind::Greedy,
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn flat_ts_emits_single_geqrt_per_domain() {
+        let ops = elimination_list(
+            &[vec![0, 2, 4], vec![1, 3]],
+            &TreeConfig {
+                intra: TreeKind::FlatTs,
+                inter: TreeKind::FlatTt,
+            },
+        );
+        let geqrts = ops
+            .iter()
+            .filter(|o| matches!(o, ElimOp::Geqrt { .. }))
+            .count();
+        assert_eq!(geqrts, 2);
+        let ts_kills = ops
+            .iter()
+            .filter(|o| matches!(o, ElimOp::Kill { ts: true, .. }))
+            .count();
+        assert_eq!(ts_kills, 3); // victims 2, 4 and 3
+    }
+
+    #[test]
+    fn binary_tree_is_logarithmic() {
+        assert_eq!(tree_depth(16, TreeKind::Binary), 4);
+        assert_eq!(tree_depth(16, TreeKind::Greedy), 4);
+        assert_eq!(tree_depth(16, TreeKind::FlatTt), 15);
+        let fib = tree_depth(16, TreeKind::Fibonacci);
+        assert!(fib > 4 && fib < 15, "fibonacci depth {fib} should sit between");
+    }
+
+    #[test]
+    fn greedy_and_binary_kill_half_per_round() {
+        let rows: Vec<usize> = (0..8).collect();
+        let g = tt_tree(&rows, TreeKind::Greedy);
+        let b = tt_tree(&rows, TreeKind::Binary);
+        assert_eq!(g.len(), 7);
+        assert_eq!(b.len(), 7);
+        // First greedy round: top 4 eliminate bottom 4.
+        assert_eq!(&g[..4], &[(4, 0), (5, 1), (6, 2), (7, 3)]);
+        // First binary round: adjacent pairs.
+        assert_eq!(&b[..4], &[(1, 0), (3, 2), (5, 4), (7, 6)]);
+    }
+
+    #[test]
+    fn survivor_is_diagonal_row() {
+        // The diagonal row k=5 must never be a victim.
+        let domains = vec![vec![5, 9, 13], vec![6, 10], vec![7, 11], vec![8, 12]];
+        for intra in all_kinds() {
+            for inter in all_kinds() {
+                let ops = elimination_list(&domains, &TreeConfig { intra, inter });
+                for op in ops {
+                    if let ElimOp::Kill { victim, .. } = op {
+                        assert_ne!(victim, 5);
+                    }
+                }
+            }
+        }
+    }
+}

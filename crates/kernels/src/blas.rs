@@ -1,0 +1,679 @@
+//! BLAS-like dense operations on [`Mat`].
+//!
+//! These are the building blocks for the LAPACK-style tile kernels. They
+//! follow the BLAS parameter conventions (side / uplo / trans / diag) for the
+//! combinations the solver actually uses, and report flops to the global
+//! counters of [`crate::flops`].
+//!
+//! The GEMM implementation is cache-blocked for column-major operands; on the
+//! small tile sizes used here (nb ≤ 256) this is within a small factor of a
+//! tuned BLAS and — more importantly for this reproduction — performs exactly
+//! the textbook `2 m n k` flops that Table I of the paper accounts for.
+
+use crate::flops::{add_flops, gemm_flops, trsm_flops, KernelClass};
+use crate::mat::Mat;
+
+/// Which side a triangular matrix is applied from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    Left,
+    Right,
+}
+
+/// Which triangle of the matrix is referenced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpLo {
+    Upper,
+    Lower,
+}
+
+/// Whether to use the matrix or its transpose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trans {
+    NoTrans,
+    Trans,
+}
+
+/// Whether the triangular matrix has an implicit unit diagonal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Diag {
+    NonUnit,
+    Unit,
+}
+
+// ---------------------------------------------------------------------------
+// Level 1
+// ---------------------------------------------------------------------------
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Dot product.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm with scaling against overflow (dnrm2-style).
+pub fn nrm2(x: &[f64]) -> f64 {
+    let mut scale = 0.0f64;
+    let mut ssq = 1.0f64;
+    for &v in x {
+        if v != 0.0 {
+            let a = v.abs();
+            if scale < a {
+                ssq = 1.0 + ssq * (scale / a).powi(2);
+                scale = a;
+            } else {
+                ssq += (a / scale).powi(2);
+            }
+        }
+    }
+    scale * ssq.sqrt()
+}
+
+/// Index of the element with the largest absolute value (first on ties).
+pub fn iamax(x: &[f64]) -> usize {
+    let mut best = 0usize;
+    let mut bv = f64::NEG_INFINITY;
+    for (i, &v) in x.iter().enumerate() {
+        let a = v.abs();
+        if a > bv {
+            bv = a;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Scale a slice in place.
+#[inline]
+pub fn scal(alpha: f64, x: &mut [f64]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Level 2
+// ---------------------------------------------------------------------------
+
+/// `y = alpha * op(A) * x + beta * y`.
+pub fn gemv(trans: Trans, alpha: f64, a: &Mat, x: &[f64], beta: f64, y: &mut [f64]) {
+    let (m, n) = a.dims();
+    match trans {
+        Trans::NoTrans => {
+            debug_assert_eq!(x.len(), n);
+            debug_assert_eq!(y.len(), m);
+            if beta != 1.0 {
+                scal(beta, y);
+            }
+            for j in 0..n {
+                let axj = alpha * x[j];
+                if axj != 0.0 {
+                    axpy(axj, a.col(j), y);
+                }
+            }
+        }
+        Trans::Trans => {
+            debug_assert_eq!(x.len(), m);
+            debug_assert_eq!(y.len(), n);
+            for j in 0..n {
+                y[j] = alpha * dot(a.col(j), x) + beta * y[j];
+            }
+        }
+    }
+    add_flops(KernelClass::Other, gemm_flops(m, 1, n));
+}
+
+/// Rank-1 update `A += alpha * x * y^T`.
+pub fn ger(alpha: f64, x: &[f64], y: &[f64], a: &mut Mat) {
+    let (m, n) = a.dims();
+    debug_assert_eq!(x.len(), m);
+    debug_assert_eq!(y.len(), n);
+    for j in 0..n {
+        let ayj = alpha * y[j];
+        if ayj != 0.0 {
+            axpy(ayj, x, a.col_mut(j));
+        }
+    }
+    add_flops(KernelClass::Other, gemm_flops(m, n, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Level 3: GEMM
+// ---------------------------------------------------------------------------
+
+/// Cache block sizes for GEMM (tuned for typical L1/L2 with f64).
+const MC: usize = 64;
+const KC: usize = 128;
+const NC: usize = 256;
+
+/// `C = alpha * op(A) * op(B) + beta * C`.
+///
+/// Dimensions: `op(A)` is m×k, `op(B)` is k×n, `C` is m×n.
+pub fn gemm(
+    transa: Trans,
+    transb: Trans,
+    alpha: f64,
+    a: &Mat,
+    b: &Mat,
+    beta: f64,
+    c: &mut Mat,
+) {
+    let (m, n) = c.dims();
+    let k = match transa {
+        Trans::NoTrans => {
+            assert_eq!(a.rows(), m, "gemm: A rows != C rows");
+            a.cols()
+        }
+        Trans::Trans => {
+            assert_eq!(a.cols(), m, "gemm: A^T rows != C rows");
+            a.rows()
+        }
+    };
+    match transb {
+        Trans::NoTrans => {
+            assert_eq!(b.dims(), (k, n), "gemm: B dims mismatch");
+        }
+        Trans::Trans => {
+            assert_eq!(b.dims(), (n, k), "gemm: B^T dims mismatch");
+        }
+    }
+
+    if beta != 1.0 {
+        scal(beta, c.as_mut_slice());
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        add_flops(KernelClass::Gemm, 0);
+        return;
+    }
+
+    // Fast path: NoTrans/NoTrans with blocked jki loops over column-major data.
+    match (transa, transb) {
+        (Trans::NoTrans, Trans::NoTrans) => {
+            for jj in (0..n).step_by(NC) {
+                let je = (jj + NC).min(n);
+                for kk in (0..k).step_by(KC) {
+                    let ke = (kk + KC).min(k);
+                    for ii in (0..m).step_by(MC) {
+                        let ie = (ii + MC).min(m);
+                        for j in jj..je {
+                            for p in kk..ke {
+                                let abp = alpha * b[(p, j)];
+                                if abp != 0.0 {
+                                    let acol = &a.col(p)[ii..ie];
+                                    let ccol = &mut c.col_mut(j)[ii..ie];
+                                    for (cv, av) in ccol.iter_mut().zip(acol) {
+                                        *cv += abp * av;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (Trans::Trans, Trans::NoTrans) => {
+            // C(i,j) += alpha * dot(A(:,i), B(:,j)) — both column reads are contiguous.
+            for j in 0..n {
+                for i in 0..m {
+                    let s = dot(&a.col(i)[..k], &b.col(j)[..k]);
+                    c[(i, j)] += alpha * s;
+                }
+            }
+        }
+        (Trans::NoTrans, Trans::Trans) => {
+            for j in 0..n {
+                for p in 0..k {
+                    let abp = alpha * b[(j, p)];
+                    if abp != 0.0 {
+                        let acol = a.col(p);
+                        let ccol = c.col_mut(j);
+                        for (cv, av) in ccol.iter_mut().zip(acol) {
+                            *cv += abp * av;
+                        }
+                    }
+                }
+            }
+        }
+        (Trans::Trans, Trans::Trans) => {
+            for j in 0..n {
+                for i in 0..m {
+                    let mut s = 0.0;
+                    for p in 0..k {
+                        s += a[(p, i)] * b[(j, p)];
+                    }
+                    c[(i, j)] += alpha * s;
+                }
+            }
+        }
+    }
+    add_flops(KernelClass::Gemm, gemm_flops(m, n, k));
+}
+
+// ---------------------------------------------------------------------------
+// Level 3: TRSM
+// ---------------------------------------------------------------------------
+
+/// Triangular solve with multiple right-hand sides:
+/// `B <- alpha * op(A)^{-1} B` (Left) or `B <- alpha * B op(A)^{-1}` (Right).
+///
+/// `A` is the triangular factor; only the triangle selected by `uplo` is
+/// referenced (plus the diagonal unless `Diag::Unit`).
+pub fn trsm(
+    side: Side,
+    uplo: UpLo,
+    trans: Trans,
+    diag: Diag,
+    alpha: f64,
+    a: &Mat,
+    b: &mut Mat,
+) {
+    let (m, n) = b.dims();
+    let d = match side {
+        Side::Left => m,
+        Side::Right => n,
+    };
+    assert_eq!(a.dims(), (d, d), "trsm: triangle dims mismatch");
+
+    if alpha != 1.0 {
+        scal(alpha, b.as_mut_slice());
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    let unit = diag == Diag::Unit;
+    // Effective triangle orientation after transposition: solving with
+    // op(A) where A upper + trans behaves like lower, and vice versa.
+    match (side, uplo, trans) {
+        (Side::Left, UpLo::Upper, Trans::NoTrans) => {
+            // Backward substitution: solve U X = B column by column.
+            for j in 0..n {
+                for i in (0..m).rev() {
+                    let mut s = b[(i, j)];
+                    for p in i + 1..m {
+                        s -= a[(i, p)] * b[(p, j)];
+                    }
+                    b[(i, j)] = if unit { s } else { s / a[(i, i)] };
+                }
+            }
+        }
+        (Side::Left, UpLo::Lower, Trans::NoTrans) => {
+            // Forward substitution: solve L X = B.
+            for j in 0..n {
+                for i in 0..m {
+                    let mut s = b[(i, j)];
+                    for p in 0..i {
+                        s -= a[(i, p)] * b[(p, j)];
+                    }
+                    b[(i, j)] = if unit { s } else { s / a[(i, i)] };
+                }
+            }
+        }
+        (Side::Left, UpLo::Upper, Trans::Trans) => {
+            // Solve U^T X = B — forward substitution on rows of U read as cols.
+            for j in 0..n {
+                for i in 0..m {
+                    let mut s = b[(i, j)];
+                    for p in 0..i {
+                        s -= a[(p, i)] * b[(p, j)];
+                    }
+                    b[(i, j)] = if unit { s } else { s / a[(i, i)] };
+                }
+            }
+        }
+        (Side::Left, UpLo::Lower, Trans::Trans) => {
+            // Solve L^T X = B — backward substitution.
+            for j in 0..n {
+                for i in (0..m).rev() {
+                    let mut s = b[(i, j)];
+                    for p in i + 1..m {
+                        s -= a[(p, i)] * b[(p, j)];
+                    }
+                    b[(i, j)] = if unit { s } else { s / a[(i, i)] };
+                }
+            }
+        }
+        (Side::Right, UpLo::Upper, Trans::NoTrans) => {
+            // X U = B: process columns of X left to right.
+            for j in 0..n {
+                // b_col_j -= sum_{p<j} X(:,p) * U(p,j); then divide.
+                for p in 0..j {
+                    let u = a[(p, j)];
+                    if u != 0.0 {
+                        let (xp, bj) = b.two_cols_mut(p, j);
+                        for (bv, xv) in bj.iter_mut().zip(xp.iter()) {
+                            *bv -= u * *xv;
+                        }
+                    }
+                }
+                if !unit {
+                    let inv = 1.0 / a[(j, j)];
+                    scal(inv, b.col_mut(j));
+                }
+            }
+        }
+        (Side::Right, UpLo::Lower, Trans::NoTrans) => {
+            // X L = B: process columns right to left.
+            for j in (0..n).rev() {
+                for p in j + 1..n {
+                    let lv = a[(p, j)];
+                    if lv != 0.0 {
+                        let (xp, bj) = b.two_cols_mut(p, j);
+                        for (bv, xv) in bj.iter_mut().zip(xp.iter()) {
+                            *bv -= lv * *xv;
+                        }
+                    }
+                }
+                if !unit {
+                    let inv = 1.0 / a[(j, j)];
+                    scal(inv, b.col_mut(j));
+                }
+            }
+        }
+        (Side::Right, UpLo::Upper, Trans::Trans) => {
+            // X U^T = B: like Right/Lower/NoTrans with transposed reads.
+            for j in (0..n).rev() {
+                for p in j + 1..n {
+                    let u = a[(j, p)];
+                    if u != 0.0 {
+                        let (xp, bj) = b.two_cols_mut(p, j);
+                        for (bv, xv) in bj.iter_mut().zip(xp.iter()) {
+                            *bv -= u * *xv;
+                        }
+                    }
+                }
+                if !unit {
+                    let inv = 1.0 / a[(j, j)];
+                    scal(inv, b.col_mut(j));
+                }
+            }
+        }
+        (Side::Right, UpLo::Lower, Trans::Trans) => {
+            for j in 0..n {
+                for p in 0..j {
+                    let lv = a[(j, p)];
+                    if lv != 0.0 {
+                        let (xp, bj) = b.two_cols_mut(p, j);
+                        for (bv, xv) in bj.iter_mut().zip(xp.iter()) {
+                            *bv -= lv * *xv;
+                        }
+                    }
+                }
+                if !unit {
+                    let inv = 1.0 / a[(j, j)];
+                    scal(inv, b.col_mut(j));
+                }
+            }
+        }
+    }
+    add_flops(KernelClass::Trsm, trsm_flops(m, n, side == Side::Left));
+}
+
+/// Triangular matrix multiply `B <- op(A) * B` with `A` triangular, from the
+/// left (dtrmm, side=Left). Used by the blocked Householder applications.
+pub fn trmm_left(uplo: UpLo, trans: Trans, diag: Diag, a: &Mat, b: &mut Mat) {
+    let n = b.cols();
+    for j in 0..n {
+        trmv(uplo, trans, diag, a, b.col_mut(j));
+    }
+}
+
+/// Triangular matrix-vector product `x <- op(A) x` with `A` triangular
+/// (dtrmv). Used by the T-factor construction in the QR kernels.
+pub fn trmv(uplo: UpLo, trans: Trans, diag: Diag, a: &Mat, x: &mut [f64]) {
+    let n = a.rows();
+    assert_eq!(a.dims(), (n, n));
+    assert_eq!(x.len(), n);
+    let unit = diag == Diag::Unit;
+    match (uplo, trans) {
+        (UpLo::Upper, Trans::NoTrans) => {
+            for i in 0..n {
+                let mut s = if unit { x[i] } else { a[(i, i)] * x[i] };
+                for j in i + 1..n {
+                    s += a[(i, j)] * x[j];
+                }
+                x[i] = s;
+            }
+        }
+        (UpLo::Upper, Trans::Trans) => {
+            for i in (0..n).rev() {
+                let mut s = if unit { x[i] } else { a[(i, i)] * x[i] };
+                for j in 0..i {
+                    s += a[(j, i)] * x[j];
+                }
+                x[i] = s;
+            }
+        }
+        (UpLo::Lower, Trans::NoTrans) => {
+            for i in (0..n).rev() {
+                let mut s = if unit { x[i] } else { a[(i, i)] * x[i] };
+                for j in 0..i {
+                    s += a[(i, j)] * x[j];
+                }
+                x[i] = s;
+            }
+        }
+        (UpLo::Lower, Trans::Trans) => {
+            for i in 0..n {
+                let mut s = if unit { x[i] } else { a[(i, i)] * x[i] };
+                for j in i + 1..n {
+                    s += a[(j, i)] * x[j];
+                }
+                x[i] = s;
+            }
+        }
+    }
+    add_flops(KernelClass::Other, (n * n) as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_gemm(ta: Trans, tb: Trans, alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &Mat) -> Mat {
+        let (m, n) = c.dims();
+        let k = if ta == Trans::NoTrans { a.cols() } else { a.rows() };
+        Mat::from_fn(m, n, |i, j| {
+            let mut s = 0.0;
+            for p in 0..k {
+                let av = if ta == Trans::NoTrans { a[(i, p)] } else { a[(p, i)] };
+                let bv = if tb == Trans::NoTrans { b[(p, j)] } else { b[(j, p)] };
+                s += av * bv;
+            }
+            alpha * s + beta * c[(i, j)]
+        })
+    }
+
+    #[test]
+    fn gemm_all_transposes_match_naive() {
+        let (m, n, k) = (13, 9, 17);
+        for (ta, tb) in [
+            (Trans::NoTrans, Trans::NoTrans),
+            (Trans::Trans, Trans::NoTrans),
+            (Trans::NoTrans, Trans::Trans),
+            (Trans::Trans, Trans::Trans),
+        ] {
+            let a = if ta == Trans::NoTrans {
+                Mat::random(m, k, 1)
+            } else {
+                Mat::random(k, m, 1)
+            };
+            let b = if tb == Trans::NoTrans {
+                Mat::random(k, n, 2)
+            } else {
+                Mat::random(n, k, 2)
+            };
+            let c0 = Mat::random(m, n, 3);
+            let expected = naive_gemm(ta, tb, 1.5, &a, &b, -0.5, &c0);
+            let mut c = c0.clone();
+            gemm(ta, tb, 1.5, &a, &b, -0.5, &mut c);
+            assert!(c.max_abs_diff(&expected) < 1e-12, "ta={ta:?} tb={tb:?}");
+        }
+    }
+
+    #[test]
+    fn gemm_blocked_path_large() {
+        // Exceed all block sizes to exercise the tiling loops.
+        let (m, n, k) = (130, 300, 150);
+        let a = Mat::random(m, k, 10);
+        let b = Mat::random(k, n, 11);
+        let c0 = Mat::random(m, n, 12);
+        let expected = naive_gemm(Trans::NoTrans, Trans::NoTrans, 1.0, &a, &b, 1.0, &c0);
+        let mut c = c0;
+        gemm(Trans::NoTrans, Trans::NoTrans, 1.0, &a, &b, 1.0, &mut c);
+        assert!(c.max_abs_diff(&expected) < 1e-10);
+    }
+
+    #[test]
+    fn trsm_roundtrips_all_variants() {
+        let n = 11;
+        let nrhs = 6;
+        // Well-conditioned triangle: dominant diagonal.
+        let mut tri = Mat::random(n, n, 5);
+        for i in 0..n {
+            tri[(i, i)] = 4.0 + tri[(i, i)].abs();
+        }
+        for side in [Side::Left, Side::Right] {
+            for uplo in [UpLo::Upper, UpLo::Lower] {
+                for trans in [Trans::NoTrans, Trans::Trans] {
+                    for diag in [Diag::NonUnit, Diag::Unit] {
+                        let x = if side == Side::Left {
+                            Mat::random(n, nrhs, 9)
+                        } else {
+                            Mat::random(nrhs, n, 9)
+                        };
+                        // Build the effective triangle T.
+                        let mut t = match uplo {
+                            UpLo::Upper => tri.upper_triangular(),
+                            UpLo::Lower => Mat::from_fn(n, n, |i, j| {
+                                if i >= j { tri[(i, j)] } else { 0.0 }
+                            }),
+                        };
+                        if diag == Diag::Unit {
+                            for i in 0..n {
+                                t[(i, i)] = 1.0;
+                            }
+                        }
+                        // B = op(T) * X (Left) or X * op(T) (Right)
+                        let mut b = if side == Side::Left {
+                            let mut b = Mat::zeros(n, nrhs);
+                            gemm(trans, Trans::NoTrans, 1.0, &t, &x, 0.0, &mut b);
+                            b
+                        } else {
+                            let mut b = Mat::zeros(nrhs, n);
+                            gemm(Trans::NoTrans, trans, 1.0, &x, &t, 0.0, &mut b);
+                            b
+                        };
+                        trsm(side, uplo, trans, diag, 1.0, &tri, &mut b);
+                        assert!(
+                            b.max_abs_diff(&x) < 1e-10,
+                            "side={side:?} uplo={uplo:?} trans={trans:?} diag={diag:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_alpha_scaling() {
+        let a = Mat::eye(4);
+        let b0 = Mat::random(4, 3, 2);
+        let mut b = b0.clone();
+        trsm(Side::Left, UpLo::Upper, Trans::NoTrans, Diag::NonUnit, 2.0, &a, &mut b);
+        for i in 0..4 {
+            for j in 0..3 {
+                assert!((b[(i, j)] - 2.0 * b0[(i, j)]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_and_ger_match_naive() {
+        let a = Mat::random(7, 5, 1);
+        let x = Mat::random(5, 1, 2);
+        let mut y = vec![1.0; 7];
+        gemv(Trans::NoTrans, 2.0, &a, x.col(0), 3.0, &mut y);
+        for i in 0..7 {
+            let mut s = 0.0;
+            for j in 0..5 {
+                s += a[(i, j)] * x[(j, 0)];
+            }
+            assert!((y[i] - (2.0 * s + 3.0)).abs() < 1e-12);
+        }
+
+        let mut b = Mat::zeros(7, 5);
+        ger(1.0, &y, x.col(0), &mut b);
+        for i in 0..7 {
+            for j in 0..5 {
+                assert!((b[(i, j)] - y[i] * x[(j, 0)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_trans_matches_naive() {
+        let a = Mat::random(7, 5, 3);
+        let x: Vec<f64> = (0..7).map(|i| i as f64).collect();
+        let mut y = vec![0.5; 5];
+        gemv(Trans::Trans, 1.0, &a, &x, -1.0, &mut y);
+        for j in 0..5 {
+            let mut s = 0.0;
+            for i in 0..7 {
+                s += a[(i, j)] * x[i];
+            }
+            assert!((y[j] - (s - 0.5)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trmv_matches_dense_product() {
+        let n = 8;
+        let a = Mat::random(n, n, 4);
+        for uplo in [UpLo::Upper, UpLo::Lower] {
+            for trans in [Trans::NoTrans, Trans::Trans] {
+                for diag in [Diag::NonUnit, Diag::Unit] {
+                    let mut t = match uplo {
+                        UpLo::Upper => a.upper_triangular(),
+                        UpLo::Lower => Mat::from_fn(n, n, |i, j| if i >= j { a[(i, j)] } else { 0.0 }),
+                    };
+                    if diag == Diag::Unit {
+                        for i in 0..n {
+                            t[(i, i)] = 1.0;
+                        }
+                    }
+                    let x0: Vec<f64> = (0..n).map(|i| (i as f64) - 3.0).collect();
+                    let mut x = x0.clone();
+                    trmv(uplo, trans, diag, &a, &mut x);
+                    let mut expected = vec![0.0; n];
+                    gemv(trans, 1.0, &t, &x0, 0.0, &mut expected);
+                    for i in 0..n {
+                        assert!((x[i] - expected[i]).abs() < 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vector_ops() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+        assert_eq!(iamax(&[0.5, -3.0, 2.0]), 1);
+        assert!((nrm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        // nrm2 must not overflow on large inputs
+        assert!(nrm2(&[1e308, 1e308]).is_finite());
+    }
+}

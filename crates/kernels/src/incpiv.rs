@@ -1,0 +1,255 @@
+//! Incremental (pairwise) pivoting kernels — the PLASMA-style tile-LU used
+//! by the paper's `LU IncPiv` baseline (Section V-B / VI-C).
+//!
+//! Elimination of tile `A_ik` against the diagonal tile proceeds pairwise:
+//! the stacked 2·nb rows `[U_kk; A_ik]` are LU-factored with pivoting
+//! restricted to that pair (TSTRF), and the same transformation is replayed
+//! on every trailing pair `[A_kj; A_ij]` (SSSSM). The diagonal tile itself is
+//! factored with standard partial pivoting (GETRF) and applied to its row
+//! with GESSM. Pairwise pivoting is cheap and communication-local but its
+//! stability degrades as the number of tiles grows — which is exactly the
+//! behaviour the paper's Figure 2 exhibits and this reproduction must retain.
+
+use crate::blas::{trsm, Diag, Side, Trans, UpLo};
+use crate::flops::{add_flops, Attribution, KernelClass};
+use crate::lu::{laswp, KernelError};
+use crate::mat::Mat;
+
+/// Pivot record for one TSTRF column step: `None` keeps the diagonal-tile
+/// row, `Some(i)` means row `i` of the square tile was swapped in.
+pub type PairPivot = Option<usize>;
+
+/// Apply the diagonal-tile LU (pivots `ipiv`, unit-lower factor in `lu`) to a
+/// tile of the same row: `a <- L^{-1} P a` (PLASMA GESSM).
+pub fn gessm(lu: &Mat, ipiv: &[usize], a: &mut Mat) {
+    let _attr = Attribution::new(KernelClass::Ssssm);
+    laswp(a, ipiv, 0, ipiv.len());
+    trsm(Side::Left, UpLo::Lower, Trans::NoTrans, Diag::Unit, 1.0, lu, a);
+}
+
+/// LU of the stacked pair `[U; A]` with pivoting restricted to the pair
+/// (PLASMA TSTRF).
+///
+/// `u` is the current nb×nb upper-triangular factor (updated in place), `a`
+/// a full m×nb tile whose rows are eliminated. The multipliers are returned
+/// in `l` (m×nb), and the pivot choices in the returned vector.
+pub fn tstrf(u: &mut Mat, a: &mut Mat, l: &mut Mat) -> Result<Vec<PairPivot>, KernelError> {
+    let _attr = Attribution::new(KernelClass::Tstrf);
+    let n = u.cols();
+    assert_eq!(u.dims(), (n, n), "tstrf: U must be square");
+    let (m, na) = a.dims();
+    assert_eq!(na, n, "tstrf: A column mismatch");
+    assert_eq!(l.dims(), (m, n), "tstrf: L tile dims mismatch");
+    l.fill(0.0);
+
+    let mut pivots = Vec::with_capacity(n);
+    let mut flops = 0u64;
+    for j in 0..n {
+        // Pivot among U(j,j) and A(0..m, j).
+        let mut best = u[(j, j)].abs();
+        let mut bi: PairPivot = None;
+        for i in 0..m {
+            let v = a[(i, j)].abs();
+            if v > best {
+                best = v;
+                bi = Some(i);
+            }
+        }
+        if best == 0.0 || !best.is_finite() {
+            return Err(KernelError::ZeroPivot(j));
+        }
+        if let Some(i) = bi {
+            // Swap row j of U with row i of A over columns j..n.
+            for c in j..n {
+                let tmp = u[(j, c)];
+                u[(j, c)] = a[(i, c)];
+                a[(i, c)] = tmp;
+            }
+        }
+        pivots.push(bi);
+        // Multipliers and trailing update of the square tile.
+        let inv = 1.0 / u[(j, j)];
+        for i in 0..m {
+            let mult = a[(i, j)] * inv;
+            l[(i, j)] = mult;
+            a[(i, j)] = 0.0;
+        }
+        for c in j + 1..n {
+            let ujc = u[(j, c)];
+            if ujc != 0.0 {
+                for i in 0..m {
+                    let lij = l[(i, j)];
+                    if lij != 0.0 {
+                        a[(i, c)] -= lij * ujc;
+                    }
+                }
+            }
+        }
+        flops += (2 * m * (n - j)) as u64;
+    }
+    add_flops(KernelClass::Other, flops);
+    Ok(pivots)
+}
+
+/// Replay a [`tstrf`] transformation on a trailing pair of tiles
+/// (PLASMA SSSSM): `[B_top; B_bot] <- L^{-1} P [B_top; B_bot]`.
+pub fn ssssm(l: &Mat, pivots: &[PairPivot], b_top: &mut Mat, b_bot: &mut Mat) {
+    let _attr = Attribution::new(KernelClass::Ssssm);
+    let (m, n) = l.dims();
+    assert_eq!(b_bot.rows(), m, "ssssm: bottom tile rows mismatch");
+    assert_eq!(b_top.cols(), b_bot.cols(), "ssssm: width mismatch");
+    assert!(pivots.len() <= n);
+    let w = b_top.cols();
+    let mut flops = 0u64;
+    for (j, piv) in pivots.iter().enumerate() {
+        if let Some(i) = piv {
+            // Swap row j of the top tile with row i of the bottom tile.
+            for c in 0..w {
+                let tmp = b_top[(j, c)];
+                b_top[(j, c)] = b_bot[(*i, c)];
+                b_bot[(*i, c)] = tmp;
+            }
+        }
+        // Eliminate: bottom rows -= L(:, j) * top row j.
+        for c in 0..w {
+            let t = b_top[(j, c)];
+            if t != 0.0 {
+                for i in 0..m {
+                    let lij = l[(i, j)];
+                    if lij != 0.0 {
+                        b_bot[(i, c)] -= lij * t;
+                    }
+                }
+            }
+        }
+        flops += (2 * m * w) as u64;
+    }
+    add_flops(KernelClass::Other, flops);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::gemm;
+    use crate::lu::getf2;
+
+    /// Verify TSTRF by reconstruction: the recorded transformation applied to
+    /// the original stack must yield [U'; 0].
+    #[test]
+    fn tstrf_reconstructs() {
+        let n = 10;
+        let u0 = Mat::random(n, n, 1).upper_triangular();
+        let a0 = Mat::random(n, n, 2);
+        let mut u = u0.clone();
+        let mut a = a0.clone();
+        let mut l = Mat::zeros(n, n);
+        let piv = tstrf(&mut u, &mut a, &mut l).unwrap();
+        // Replay on the original pair: must produce [U'; 0].
+        let mut top = u0.clone();
+        let mut bot = a0.clone();
+        ssssm(&l, &piv, &mut top, &mut bot);
+        assert!(top.max_abs_diff(&u) < 1e-12, "top mismatch {}", top.max_abs_diff(&u));
+        assert!(bot.norm_max() < 1e-12, "bottom not eliminated: {}", bot.norm_max());
+    }
+
+    #[test]
+    fn tstrf_multipliers_bounded() {
+        // Pairwise pivoting bounds every multiplier by 1.
+        let n = 16;
+        let mut u = Mat::random(n, n, 3).upper_triangular();
+        let mut a = Mat::random(n, n, 4);
+        let mut l = Mat::zeros(n, n);
+        let _ = tstrf(&mut u, &mut a, &mut l).unwrap();
+        assert!(l.norm_max() <= 1.0 + 1e-14, "multiplier {} > 1", l.norm_max());
+    }
+
+    #[test]
+    fn tstrf_rectangular_bottom() {
+        let (m, n) = (14, 9);
+        let u0 = Mat::random(n, n, 5).upper_triangular();
+        let a0 = Mat::random(m, n, 6);
+        let mut u = u0.clone();
+        let mut a = a0.clone();
+        let mut l = Mat::zeros(m, n);
+        let piv = tstrf(&mut u, &mut a, &mut l).unwrap();
+        let mut top = u0;
+        let mut bot = a0;
+        ssssm(&l, &piv, &mut top, &mut bot);
+        assert!(top.max_abs_diff(&u) < 1e-12);
+        assert!(bot.norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn gessm_applies_diag_lu() {
+        let n = 12;
+        let a0 = Mat::random(n, n, 7);
+        let mut lu = a0.clone();
+        let ipiv = getf2(&mut lu).unwrap();
+        let c0 = Mat::random(n, 8, 8);
+        let mut c = c0.clone();
+        gessm(&lu, &ipiv, &mut c);
+        // L * c must equal P * c0.
+        let lfac = lu.unit_lower_triangular();
+        let mut lc = Mat::zeros(n, 8);
+        gemm(Trans::NoTrans, Trans::NoTrans, 1.0, &lfac, &c, 0.0, &mut lc);
+        let mut pc = c0.clone();
+        laswp(&mut pc, &ipiv, 0, n);
+        assert!(lc.max_abs_diff(&pc) < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_step_solves_2x1_tile_system() {
+        // Full miniature IncPiv elimination on a 2x1 tile column, then check
+        // the resulting triangular system solves the original one.
+        let nb = 8;
+        let a_top0 = Mat::random(nb, nb, 10);
+        let a_bot0 = Mat::random(nb, nb, 11);
+        let b_top0 = Mat::random(nb, 2, 12);
+        let b_bot0 = Mat::random(nb, 2, 13);
+
+        // Factor diagonal tile, apply to its rhs.
+        let mut lu = a_top0.clone();
+        let ipiv = getf2(&mut lu).unwrap();
+        let mut b_top = b_top0.clone();
+        gessm(&lu, &ipiv, &mut b_top);
+        let mut u = lu.upper_triangular();
+
+        // Eliminate the bottom tile.
+        let mut a_bot = a_bot0.clone();
+        let mut l = Mat::zeros(nb, nb);
+        let piv = tstrf(&mut u, &mut a_bot, &mut l).unwrap();
+        let mut b_bot = b_bot0.clone();
+        ssssm(&l, &piv, &mut b_top, &mut b_bot);
+
+        // Now U x = b_top should be consistent with the least-squares-free
+        // square system [A_top; A_bot] x' = [b_top0; b_bot0] restricted to
+        // x: the stacked system was square only in the top part, so instead
+        // verify via residual of the *top* equations after elimination:
+        // any x with U x = b_top must satisfy A_top x = b_top0 rows that
+        // were not swapped out... Simplest complete check: build the full
+        // 2nb x nb stacked factorization as a dense LU and compare solutions
+        // of the square nb x nb system A_top x = b_top0 restricted... —
+        // instead verify the elimination is *exact*: reconstruct.
+        let mut top_r = a_top0.clone();
+        let mut bot_r = a_bot0.clone();
+        gessm(&lu, &ipiv, &mut top_r);
+        top_r = {
+            // After gessm, top_r = L^{-1} P A_top = U (by definition).
+            top_r
+        };
+        ssssm(&l, &piv, &mut top_r, &mut bot_r);
+        assert!(bot_r.norm_max() < 1e-10, "stacked elimination residual");
+        assert!(top_r.max_abs_diff(&u) < 1e-10);
+    }
+
+    #[test]
+    fn tstrf_zero_column_errors() {
+        let mut u = Mat::zeros(4, 4);
+        let mut a = Mat::zeros(4, 4);
+        let mut l = Mat::zeros(4, 4);
+        assert!(matches!(
+            tstrf(&mut u, &mut a, &mut l),
+            Err(KernelError::ZeroPivot(0))
+        ));
+    }
+}

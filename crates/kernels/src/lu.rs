@@ -1,0 +1,456 @@
+//! LU factorization kernels.
+//!
+//! * [`getrf`] — LU with partial pivoting on an m×n panel (recursive,
+//!   PLASMA-style: the paper factors the *diagonal domain* with the
+//!   multi-threaded recursive-LU kernel of PLASMA; we provide the same
+//!   recursive algorithm, sequential).
+//! * [`getrf_nopiv`] — LU without pivoting (fails on an exactly-zero pivot).
+//! * [`laswp`] — apply row interchanges.
+//! * [`getrs`] — solve with an LU factorization, and [`getrs_right`] for
+//!   right-side application `B <- B A^{-1}` (used by the block-LU variants
+//!   B1/B2 of the paper, Section II-C2).
+//!
+//! Pivot conventions follow LAPACK: `ipiv[k] = p` means rows `k` and `p`
+//! (0-based) were swapped at step `k`.
+
+use crate::blas::{gemm, iamax, trsm, Diag, Side, Trans, UpLo};
+use crate::flops::{add_flops, getrf_flops, KernelClass};
+use crate::mat::Mat;
+
+/// Error type for factorization kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// A zero (or non-finite) pivot was encountered at the given elimination
+    /// step; the factorization cannot proceed.
+    ZeroPivot(usize),
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::ZeroPivot(k) => write!(f, "zero pivot at elimination step {k}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// Swap rows `r1` and `r2` of `a` over columns `j0..j1`.
+pub fn swap_rows(a: &mut Mat, r1: usize, r2: usize, j0: usize, j1: usize) {
+    if r1 == r2 {
+        return;
+    }
+    for j in j0..j1 {
+        let c = a.col_mut(j);
+        c.swap(r1, r2);
+    }
+}
+
+/// Apply the row interchanges `ipiv[k0..k1]` to all columns of `a`
+/// (dlaswp, forward direction).
+pub fn laswp(a: &mut Mat, ipiv: &[usize], k0: usize, k1: usize) {
+    let n = a.cols();
+    for k in k0..k1 {
+        swap_rows(a, k, ipiv[k], 0, n);
+    }
+}
+
+/// Apply the row interchanges in reverse order (undo a forward laswp).
+pub fn laswp_backward(a: &mut Mat, ipiv: &[usize], k0: usize, k1: usize) {
+    let n = a.cols();
+    for k in (k0..k1).rev() {
+        swap_rows(a, k, ipiv[k], 0, n);
+    }
+}
+
+/// Unblocked LU with partial pivoting on the m×n matrix `a` (dgetf2).
+///
+/// On success, `L` (unit lower) and `U` (upper) overwrite `a`, and the pivot
+/// vector is returned. Fails only if an entire pivot column is exactly zero.
+pub fn getf2(a: &mut Mat) -> Result<Vec<usize>, KernelError> {
+    let (m, n) = a.dims();
+    let steps = m.min(n);
+    let mut ipiv = vec![0usize; steps];
+    for k in 0..steps {
+        // Pivot search in column k, rows k..m.
+        let rel = iamax(&a.col(k)[k..]);
+        let p = k + rel;
+        ipiv[k] = p;
+        let pivot = a[(p, k)];
+        if pivot == 0.0 || !pivot.is_finite() {
+            return Err(KernelError::ZeroPivot(k));
+        }
+        swap_rows(a, k, p, 0, n);
+        // Scale multipliers.
+        let inv = 1.0 / a[(k, k)];
+        for i in k + 1..m {
+            a[(i, k)] *= inv;
+        }
+        // Rank-1 update of the trailing block.
+        for j in k + 1..n {
+            let ukj = a[(k, j)];
+            if ukj != 0.0 {
+                // a[k+1.., j] -= a[k+1.., k] * ukj — split borrows via raw cols.
+                let (ck, cj) = a.two_cols_mut(k, j);
+                for i in k + 1..m {
+                    cj[i] -= ck[i] * ukj;
+                }
+            }
+        }
+    }
+    add_flops(KernelClass::Getrf, getrf_flops(m, n));
+    Ok(ipiv)
+}
+
+/// Unblocked LU with partial pivoting that, like LAPACK's DGETF2, *keeps
+/// going* past an exactly-zero pivot: the multipliers of that column are
+/// left untouched (no division) and the first zero-pivot step is reported.
+/// Downstream triangular solves will then divide by zero and flood the
+/// results with `inf`/`NaN` — precisely the "small values rounded up to 0
+/// and then illegally used in a division" failure mode the paper observes
+/// for LU NoPiv and LUPP on the Fiedler matrix (Section V-C).
+pub fn getf2_continue(a: &mut Mat) -> (Vec<usize>, Option<usize>) {
+    let (m, n) = a.dims();
+    let steps = m.min(n);
+    let mut ipiv = vec![0usize; steps];
+    let mut first_zero = None;
+    for k in 0..steps {
+        let rel = iamax(&a.col(k)[k..]);
+        let p = k + rel;
+        ipiv[k] = p;
+        swap_rows(a, k, p, 0, n);
+        let pivot = a[(k, k)];
+        if pivot == 0.0 || !pivot.is_finite() {
+            if first_zero.is_none() {
+                first_zero = Some(k);
+            }
+            continue; // LAPACK: skip the division, record info.
+        }
+        let inv = 1.0 / pivot;
+        for i in k + 1..m {
+            a[(i, k)] *= inv;
+        }
+        for j in k + 1..n {
+            let ukj = a[(k, j)];
+            if ukj != 0.0 {
+                let (ck, cj) = a.two_cols_mut(k, j);
+                for i in k + 1..m {
+                    cj[i] -= ck[i] * ukj;
+                }
+            }
+        }
+    }
+    add_flops(KernelClass::Getrf, getrf_flops(m, n));
+    (ipiv, first_zero)
+}
+
+/// Recursive LU with partial pivoting (dgetrf, recursive variant).
+///
+/// This mirrors the PLASMA recursive panel kernel the paper uses for the
+/// diagonal-domain factorization: split the columns in half, factor the left
+/// half recursively, apply pivots + TRSM to the right half, update, factor
+/// the right half recursively, and merge pivots.
+pub fn getrf(a: &mut Mat) -> Result<Vec<usize>, KernelError> {
+    // All inner TRSM/GEMM work is part of the GETRF kernel for accounting.
+    let _attr = crate::flops::Attribution::new(KernelClass::Getrf);
+    let (m, n) = a.dims();
+    let steps = m.min(n);
+    if steps == 0 {
+        return Ok(vec![]);
+    }
+    if n <= 16 {
+        return getf2(a);
+    }
+    let n1 = (steps / 2).max(1);
+
+    // Factor left block column A(:, 0..n1).
+    let mut left = a.sub(0, 0, m, n1);
+    let mut ipiv = getf2_or_recurse(&mut left)?;
+    a.set_sub(0, 0, &left);
+
+    // Apply interchanges to the right block and solve for U12.
+    let mut right = a.sub(0, n1, m, n - n1);
+    laswp(&mut right, &ipiv, 0, n1);
+    {
+        let l11 = a.sub(0, 0, n1, n1);
+        let mut u12 = right.sub(0, 0, n1, n - n1);
+        trsm(Side::Left, UpLo::Lower, Trans::NoTrans, Diag::Unit, 1.0, &l11, &mut u12);
+        right.set_sub(0, 0, &u12);
+    }
+    // Trailing update A22 -= L21 * U12.
+    if m > n1 {
+        let l21 = a.sub(n1, 0, m - n1, n1);
+        let u12 = right.sub(0, 0, n1, n - n1);
+        let mut a22 = right.sub(n1, 0, m - n1, n - n1);
+        gemm(Trans::NoTrans, Trans::NoTrans, -1.0, &l21, &u12, 1.0, &mut a22);
+        right.set_sub(n1, 0, &a22);
+
+        // Factor the trailing block column recursively.
+        let mut a22 = right.sub(n1, 0, m - n1, n - n1);
+        let ipiv2 = getf2_or_recurse(&mut a22)?;
+        right.set_sub(n1, 0, &a22);
+        a.set_sub(0, n1, &right);
+
+        // Apply the second set of interchanges to L21 (left block, rows n1..).
+        let mut l_panel = a.sub(0, 0, m, n1);
+        for (k, &p) in ipiv2.iter().enumerate() {
+            swap_rows(&mut l_panel, n1 + k, n1 + p, 0, n1);
+        }
+        a.set_sub(0, 0, &l_panel);
+
+        ipiv.extend(ipiv2.iter().map(|&p| p + n1));
+    } else {
+        a.set_sub(0, n1, &right);
+    }
+    Ok(ipiv)
+}
+
+fn getf2_or_recurse(a: &mut Mat) -> Result<Vec<usize>, KernelError> {
+    if a.cols() <= 16 {
+        getf2(a)
+    } else {
+        getrf(a)
+    }
+}
+
+/// LU without pivoting (used by tests and the pure `LU NoPiv` discussion;
+/// note the paper's "LU NoPiv" algorithm still pivots *inside* the diagonal
+/// tile and therefore calls [`getrf`], not this).
+pub fn getrf_nopiv(a: &mut Mat) -> Result<(), KernelError> {
+    let (m, n) = a.dims();
+    let steps = m.min(n);
+    for k in 0..steps {
+        let pivot = a[(k, k)];
+        if pivot == 0.0 || !pivot.is_finite() {
+            return Err(KernelError::ZeroPivot(k));
+        }
+        let inv = 1.0 / pivot;
+        for i in k + 1..m {
+            a[(i, k)] *= inv;
+        }
+        for j in k + 1..n {
+            let ukj = a[(k, j)];
+            if ukj != 0.0 {
+                let (ck, cj) = a.two_cols_mut(k, j);
+                for i in k + 1..m {
+                    cj[i] -= ck[i] * ukj;
+                }
+            }
+        }
+    }
+    add_flops(KernelClass::Getrf, getrf_flops(m, n));
+    Ok(())
+}
+
+/// Solve `A X = B` given the LU factorization of square `A` produced by
+/// [`getrf`] (factors packed in `lu`, pivots in `ipiv`). `B` is overwritten
+/// with the solution.
+pub fn getrs(lu: &Mat, ipiv: &[usize], b: &mut Mat) {
+    assert_eq!(lu.rows(), lu.cols());
+    assert_eq!(lu.rows(), b.rows());
+    laswp(b, ipiv, 0, ipiv.len());
+    trsm(Side::Left, UpLo::Lower, Trans::NoTrans, Diag::Unit, 1.0, lu, b);
+    trsm(Side::Left, UpLo::Upper, Trans::NoTrans, Diag::NonUnit, 1.0, lu, b);
+}
+
+/// Solve `X A = B` (i.e. `B <- B A^{-1}`) given the LU factorization of
+/// square `A`. Needed by the block-LU variants (B1/B2) where the eliminate
+/// step is `A_ik <- A_ik A_kk^{-1}` (paper §II-C2).
+pub fn getrs_right(lu: &Mat, ipiv: &[usize], b: &mut Mat) {
+    assert_eq!(lu.rows(), lu.cols());
+    assert_eq!(lu.cols(), b.cols());
+    // B A^{-1} = B (P^T L U)^{-1} = B U^{-1} L^{-1} P.
+    trsm(Side::Right, UpLo::Upper, Trans::NoTrans, Diag::NonUnit, 1.0, lu, b);
+    trsm(Side::Right, UpLo::Lower, Trans::NoTrans, Diag::Unit, 1.0, lu, b);
+    // Apply P from the right: column interchanges in reverse order.
+    for k in (0..ipiv.len()).rev() {
+        let p = ipiv[k];
+        if p != k {
+            let (c1, c2) = b.two_cols_mut(k, p);
+            c1.swap_with_slice(c2);
+        }
+    }
+}
+
+/// Reconstruct `P * A` from packed LU factors (test helper; also used by the
+/// stability diagnostics to compute factorization residuals).
+pub fn lu_reconstruct(lu: &Mat) -> Mat {
+    let (m, n) = lu.dims();
+    let k = m.min(n);
+    let l = Mat::from_fn(m, k, |i, j| {
+        if i == j {
+            1.0
+        } else if i > j {
+            lu[(i, j)]
+        } else {
+            0.0
+        }
+    });
+    let u = Mat::from_fn(k, n, |i, j| if i <= j { lu[(i, j)] } else { 0.0 });
+    let mut pa = Mat::zeros(m, n);
+    gemm(Trans::NoTrans, Trans::NoTrans, 1.0, &l, &u, 0.0, &mut pa);
+    pa
+}
+
+/// Apply the permutation recorded in `ipiv` to a fresh copy of `a`
+/// (i.e. compute `P * A`). Test helper.
+pub fn permute_rows(a: &Mat, ipiv: &[usize]) -> Mat {
+    let mut pa = a.clone();
+    laswp(&mut pa, ipiv, 0, ipiv.len());
+    pa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_plu(a0: &Mat, lu: &Mat, ipiv: &[usize]) {
+        let pa = permute_rows(a0, ipiv);
+        let rec = lu_reconstruct(lu);
+        let scale = a0.norm_max().max(1.0);
+        assert!(
+            pa.max_abs_diff(&rec) / scale < 1e-13,
+            "PA != LU, err={}",
+            pa.max_abs_diff(&rec)
+        );
+    }
+
+    #[test]
+    fn getf2_square() {
+        let a0 = Mat::random(12, 12, 1);
+        let mut a = a0.clone();
+        let ipiv = getf2(&mut a).unwrap();
+        check_plu(&a0, &a, &ipiv);
+    }
+
+    #[test]
+    fn getf2_tall() {
+        let a0 = Mat::random(20, 7, 2);
+        let mut a = a0.clone();
+        let ipiv = getf2(&mut a).unwrap();
+        check_plu(&a0, &a, &ipiv);
+    }
+
+    #[test]
+    fn getrf_recursive_square_matches_plu() {
+        for n in [17, 33, 64, 100] {
+            let a0 = Mat::random(n, n, n as u64);
+            let mut a = a0.clone();
+            let ipiv = getrf(&mut a).unwrap();
+            check_plu(&a0, &a, &ipiv);
+        }
+    }
+
+    #[test]
+    fn getrf_recursive_tall_panel() {
+        // The diagonal-domain panel: several stacked tiles, e.g. 4 tiles of 24.
+        let a0 = Mat::random(96, 24, 9);
+        let mut a = a0.clone();
+        let ipiv = getrf(&mut a).unwrap();
+        check_plu(&a0, &a, &ipiv);
+    }
+
+    #[test]
+    fn getrf_pivots_select_column_max() {
+        // With partial pivoting all multipliers are bounded by 1.
+        let a0 = Mat::random(40, 40, 77);
+        let mut a = a0.clone();
+        let _ = getrf(&mut a).unwrap();
+        for j in 0..40 {
+            for i in j + 1..40 {
+                assert!(a[(i, j)].abs() <= 1.0 + 1e-14, "multiplier > 1 at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn getrf_nopiv_breaks_on_zero_pivot() {
+        let mut a = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert_eq!(getrf_nopiv(&mut a), Err(KernelError::ZeroPivot(0)));
+        // ... while pivoting handles it fine.
+        let mut b = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!(getf2(&mut b).is_ok());
+    }
+
+    #[test]
+    fn getrf_zero_column_is_error() {
+        let mut a = Mat::zeros(3, 3);
+        a[(0, 1)] = 1.0;
+        a[(1, 2)] = 1.0;
+        assert!(matches!(getf2(&mut a), Err(KernelError::ZeroPivot(0))));
+    }
+
+    #[test]
+    fn getf2_continue_matches_getf2_on_regular_input() {
+        let a0 = Mat::random(15, 15, 40);
+        let mut a1 = a0.clone();
+        let mut a2 = a0.clone();
+        let p1 = getf2(&mut a1).unwrap();
+        let (p2, info) = getf2_continue(&mut a2);
+        assert_eq!(info, None);
+        assert_eq!(p1, p2);
+        assert!(a1.max_abs_diff(&a2) < 1e-15);
+    }
+
+    #[test]
+    fn getf2_continue_reports_and_survives_zero_column() {
+        // Column 1 becomes exactly zero after step 0.
+        let mut a = Mat::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[2.0, 4.0, 1.0],
+            &[3.0, 6.0, 2.0],
+        ]);
+        let (_, info) = getf2_continue(&mut a);
+        assert_eq!(info, Some(1));
+        assert!(a.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn getrs_solves() {
+        let n = 25;
+        let a0 = Mat::random(n, n, 3);
+        let x_true = Mat::random(n, 2, 4);
+        let mut b = Mat::zeros(n, 2);
+        gemm(Trans::NoTrans, Trans::NoTrans, 1.0, &a0, &x_true, 0.0, &mut b);
+        let mut lu = a0.clone();
+        let ipiv = getrf(&mut lu).unwrap();
+        getrs(&lu, &ipiv, &mut b);
+        assert!(b.max_abs_diff(&x_true) < 1e-10);
+    }
+
+    #[test]
+    fn getrs_right_applies_inverse_from_right() {
+        let n = 15;
+        let a0 = Mat::random(n, n, 5);
+        let x_true = Mat::random(4, n, 6);
+        // B = X * A
+        let mut b = Mat::zeros(4, n);
+        gemm(Trans::NoTrans, Trans::NoTrans, 1.0, &x_true, &a0, 0.0, &mut b);
+        let mut lu = a0.clone();
+        let ipiv = getrf(&mut lu).unwrap();
+        getrs_right(&lu, &ipiv, &mut b);
+        assert!(b.max_abs_diff(&x_true) < 1e-10);
+    }
+
+    #[test]
+    fn laswp_roundtrip() {
+        let a0 = Mat::random(10, 4, 8);
+        let ipiv = vec![3, 5, 2, 9];
+        let mut a = a0.clone();
+        laswp(&mut a, &ipiv, 0, 4);
+        laswp_backward(&mut a, &ipiv, 0, 4);
+        assert_eq!(a, a0);
+    }
+
+    #[test]
+    fn recursive_matches_unblocked() {
+        let a0 = Mat::random(48, 48, 21);
+        let mut a1 = a0.clone();
+        let mut a2 = a0.clone();
+        let p1 = getf2(&mut a1).unwrap();
+        let p2 = getrf(&mut a2).unwrap();
+        // Same pivot choices (ties broken identically) => identical factors.
+        assert_eq!(p1, p2);
+        assert!(a1.max_abs_diff(&a2) < 1e-12);
+    }
+}

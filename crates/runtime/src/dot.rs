@@ -1,0 +1,122 @@
+//! Graphviz export of task graphs.
+//!
+//! The paper's Figure 1 shows the dataflow of one elimination step —
+//! Backup Panel → LU On Panel → Propagate → {LU step | QR step} kernels.
+//! [`to_dot_filtered`] renders the same picture from a real graph: pass a
+//! prefix filter (e.g. tasks of step `k`) and get a DOT digraph with tasks
+//! colored by branch and discarded tasks grayed out.
+
+use std::fmt::Write as _;
+
+use crate::graph::Graph;
+
+/// Render the whole graph as a Graphviz `digraph`.
+pub fn to_dot(graph: &Graph) -> String {
+    to_dot_filtered(graph, |_| true)
+}
+
+/// Render the subgraph of tasks whose *name* passes `keep`, preserving edges
+/// among kept tasks.
+pub fn to_dot_filtered(graph: &Graph, keep: impl Fn(&str) -> bool) -> String {
+    let mut s = String::new();
+    s.push_str("digraph luqr {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    let kept: Vec<bool> = graph.tasks.iter().map(|t| keep(&t.name)).collect();
+    for (i, t) in graph.tasks.iter().enumerate() {
+        if !kept[i] {
+            continue;
+        }
+        let color = task_color(&t.name);
+        let style = match t.result() {
+            Some(r) if !r.executed => ", style=dashed, fontcolor=gray",
+            _ => "",
+        };
+        let _ = writeln!(
+            s,
+            "  t{} [label=\"{}\\nnode {}\", color={}{}];",
+            i,
+            t.name.replace('"', "'"),
+            t.node,
+            color,
+            style
+        );
+    }
+    for (i, t) in graph.tasks.iter().enumerate() {
+        if !kept[i] {
+            continue;
+        }
+        for &succ in &t.successors {
+            if kept[succ] {
+                let _ = writeln!(s, "  t{i} -> t{succ};");
+            }
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn task_color(name: &str) -> &'static str {
+    // Color families matching Figure 1's stages.
+    if name.starts_with("BACKUP") || name.starts_with("RESTORE") {
+        "orange"
+    } else if name.starts_with("PANEL") || name.starts_with("CRIT") {
+        "red"
+    } else if name.starts_with("PROP") {
+        "purple"
+    } else if name.contains("QRT") || name.contains("MQR") || name.starts_with("GEQRT") {
+        "blue"
+    } else if name.starts_with("GETRF")
+        || name.starts_with("TRSM")
+        || name.starts_with("GEMM")
+        || name.starts_with("SWPTRSM")
+    {
+        "darkgreen"
+    } else {
+        "black"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Access, DataKey, GraphBuilder, TaskResult};
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut b = GraphBuilder::new(1);
+        b.declare(DataKey(0), 8, 0);
+        b.task("PANEL(k=0)", 0, &[Access::Mut(DataKey(0))], TaskResult::control);
+        b.task("GEMM(1,1,k=0)", 0, &[Access::Mut(DataKey(0))], TaskResult::control);
+        let g = b.build();
+        let dot = to_dot(&g);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("PANEL(k=0)"));
+        assert!(dot.contains("t0 -> t1;"));
+        assert!(dot.contains("color=red"));
+        assert!(dot.contains("color=darkgreen"));
+    }
+
+    #[test]
+    fn filter_drops_tasks_and_their_edges() {
+        let mut b = GraphBuilder::new(1);
+        b.declare(DataKey(0), 8, 0);
+        b.task("keep", 0, &[Access::Mut(DataKey(0))], TaskResult::control);
+        b.task("drop", 0, &[Access::Mut(DataKey(0))], TaskResult::control);
+        let g = b.build();
+        let dot = to_dot_filtered(&g, |n| n == "keep");
+        assert!(dot.contains("keep"));
+        assert!(!dot.contains("drop"));
+        assert!(!dot.contains("->"));
+    }
+
+    #[test]
+    fn discarded_tasks_render_dashed() {
+        let mut b = GraphBuilder::new(1);
+        b.declare(DataKey(0), 8, 0);
+        b.task("TSQRT(1,k=0)", 0, &[Access::Mut(DataKey(0))], TaskResult::discarded);
+        let g = b.build();
+        crate::exec::execute(&g, 1);
+        let dot = to_dot(&g);
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("color=blue"));
+    }
+}

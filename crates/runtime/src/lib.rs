@@ -1,0 +1,31 @@
+//! # luqr-runtime — dynamic task-graph runtime and platform simulator
+//!
+//! A library-form reproduction of the runtime substrate the paper builds on
+//! PaRSEC (Section IV):
+//!
+//! * [`graph`] — task graphs with *superscalar* dependency inference: tasks
+//!   declare the tiles they read/write and RAW/WAR/WAW hazards become edges.
+//!   Both the LU and the QR branch of every elimination step live in the
+//!   graph; branch tasks consult the recorded criterion decision when they
+//!   run and either execute or discard themselves — the paper's dynamic
+//!   task-graph mechanism ("select the adequate tasks on the fly, and
+//!   discard the useless ones").
+//! * [`exec`] — a dependency-counting multithreaded executor.
+//! * [`platform`] / [`sim`] — a description of the paper's *Dancer* cluster
+//!   and a discrete-event simulator replaying executed graphs against it:
+//!   owner-computes placement, per-class kernel efficiencies, NIC-serialized
+//!   messages with latency + bandwidth. This regenerates the paper's
+//!   distributed performance results from a single machine.
+//! * [`dot`] — Graphviz export (Figure 1's dataflow, from a live graph).
+
+pub mod dot;
+pub mod exec;
+pub mod graph;
+pub mod platform;
+pub mod sim;
+pub mod trace;
+
+pub use exec::{execute, ExecReport};
+pub use graph::{Access, CostClass, DataKey, Graph, GraphBuilder, TaskId, TaskResult};
+pub use platform::{Efficiency, Platform};
+pub use sim::{simulate, SimReport};

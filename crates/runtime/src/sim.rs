@@ -1,0 +1,554 @@
+//! Discrete-event platform simulator.
+//!
+//! Replays an **executed** task graph on a virtual cluster ([`Platform`]):
+//! every task runs on one core of its owner node (owner-computes placement,
+//! as the 2D block-cyclic distribution dictates), data crossing node
+//! boundaries costs `latency + bytes/bandwidth` serialized on the sender's
+//! NIC, and each task's duration comes from its *recorded* flops and kernel
+//! class. A datum is sent **once per destination node** regardless of how
+//! many tasks there consume it (runtimes cache remote tiles), and discarded
+//! tasks (the unselected LU/QR branch) take zero time and move zero data —
+//! like PaRSEC's dropped alternatives.
+//!
+//! This is the performance vehicle of the reproduction: the build machine
+//! cannot physically reproduce a 128-core cluster, but the task graph it
+//! executed *numerically* is the same graph the paper's runtime would
+//! schedule, so replaying it against the Dancer platform model recovers the
+//! paper's performance shapes (Figure 2, Table II).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::graph::{CostClass, DataKey, Graph, TaskId};
+use crate::platform::Platform;
+
+/// Result of simulating a graph on a platform.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// End-to-end simulated time, seconds.
+    pub makespan: f64,
+    /// Sum of task durations (serial time), seconds.
+    pub serial_seconds: f64,
+    /// Longest dependency chain including communication delays, seconds.
+    pub critical_path: f64,
+    /// Inter-node messages sent.
+    pub messages: u64,
+    /// Inter-node bytes moved.
+    pub bytes: u64,
+    /// Per-node busy seconds.
+    pub node_busy: Vec<f64>,
+    /// Total executed flops (Memory/Control excluded).
+    pub total_flops: f64,
+    /// Per-task start times (simulation seconds, by task id).
+    pub starts: Vec<f64>,
+    /// Per-task finish times.
+    pub finishes: Vec<f64>,
+}
+
+impl SimReport {
+    /// Achieved GFLOP/s for the executed work.
+    pub fn gflops(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.total_flops / self.makespan / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// GFLOP/s normalized to a nominal operation count (the paper reports
+    /// `2/3 N³ / time` regardless of the algorithm's true flops).
+    pub fn gflops_normalized(&self, nominal_flops: f64) -> f64 {
+        if self.makespan > 0.0 {
+            nominal_flops / self.makespan / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of the platform peak achieved (on executed flops).
+    pub fn peak_fraction(&self, platform: &Platform) -> f64 {
+        self.gflops() / platform.peak_gflops()
+    }
+
+    /// Average node utilization over the makespan.
+    pub fn avg_utilization(&self, platform: &Platform) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.node_busy.iter().sum();
+        busy / (self.makespan * (platform.nodes * platform.cores_per_node) as f64)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    task: TaskId,
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Total order: earlier time first, ties by task id (deterministic).
+        self.time
+            .partial_cmp(&other.time)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(self.task.cmp(&other.task))
+    }
+}
+
+/// Mutable transfer bookkeeping shared by the main loop and the
+/// initial-fetch path.
+struct Network {
+    /// Earliest next free egress slot per node.
+    nic_free: Vec<f64>,
+    /// Arrival time of initial data already fetched to a node.
+    initial_cache: HashMap<(DataKey, usize), f64>,
+    messages: u64,
+    bytes: u64,
+}
+
+impl Network {
+    /// Send `bytes` from `from` at `ready` (or later, NIC permitting);
+    /// returns arrival time at the destination.
+    fn send(&mut self, platform: &Platform, from: usize, ready: f64, nbytes: usize) -> f64 {
+        let start = ready.max(self.nic_free[from]);
+        let wire = nbytes as f64 / platform.bandwidth;
+        self.nic_free[from] = start + wire;
+        self.messages += 1;
+        self.bytes += nbytes as u64;
+        start + platform.latency + wire
+    }
+}
+
+/// Simulate an executed graph on `platform`.
+///
+/// Panics if any task lacks a recorded result (run
+/// [`crate::exec::execute`] first) or is placed on a node outside the
+/// platform.
+pub fn simulate(graph: &Graph, platform: &Platform) -> SimReport {
+    let n = graph.len();
+    assert!(
+        graph.num_nodes <= platform.nodes,
+        "graph uses {} nodes, platform has {}",
+        graph.num_nodes,
+        platform.nodes
+    );
+
+    // Per-task duration, core occupancy, and executed flag.
+    let mut duration = vec![0.0f64; n];
+    let mut task_cores = vec![1usize; n];
+    let mut executed = vec![false; n];
+    let mut total_flops = 0.0f64;
+    for (i, t) in graph.tasks.iter().enumerate() {
+        let r = t
+            .result()
+            .unwrap_or_else(|| panic!("task '{}' has no result; execute first", t.name));
+        executed[i] = r.executed;
+        if r.executed {
+            let c = (r.cores as usize).min(platform.cores_per_node).max(1);
+            task_cores[i] = c;
+            duration[i] = platform.task_seconds(r.flops, r.class) / c as f64
+                + r.latency_events as f64 * platform.latency;
+            if r.class != CostClass::Memory && r.class != CostClass::Control {
+                total_flops += r.flops;
+            }
+        }
+    }
+
+    let mut data_ready = vec![0.0f64; n];
+    let mut preds_left: Vec<usize> = graph.tasks.iter().map(|t| t.num_preds).collect();
+    let mut finish = vec![0.0f64; n];
+    let mut starts = vec![0.0f64; n];
+
+    // Core availability per node (min-heap of free times).
+    let mut cores: Vec<BinaryHeap<Reverse<OrderedF64>>> = (0..platform.nodes)
+        .map(|_| {
+            (0..platform.cores_per_node)
+                .map(|_| Reverse(OrderedF64(0.0)))
+                .collect()
+        })
+        .collect();
+    let mut net = Network {
+        nic_free: vec![0.0f64; platform.nodes],
+        initial_cache: HashMap::new(),
+        messages: 0,
+        bytes: 0,
+    };
+    let mut node_busy = vec![0.0f64; platform.nodes];
+
+    // Ready heap ordered by data-ready time.
+    let mut ready: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    for t in graph.roots() {
+        let init = initial_input_time(graph, t, platform, &executed, &mut net);
+        ready.push(Reverse(Event { time: init, task: t }));
+    }
+
+    let mut makespan = 0.0f64;
+    let mut scheduled = 0usize;
+    while let Some(Reverse(ev)) = ready.pop() {
+        let tid = ev.task;
+        let node = graph.tasks[tid].node;
+        // Claim as many cores as the kernel occupies; it starts when the
+        // latest of them frees up.
+        let claim = task_cores[tid];
+        let mut claimed = Vec::with_capacity(claim);
+        for _ in 0..claim {
+            let Reverse(OrderedF64(f)) = cores[node].pop().expect("node has cores");
+            claimed.push(f);
+        }
+        let core_free = claimed.iter().copied().fold(0.0f64, f64::max);
+        let start = ev.time.max(core_free);
+        let end = start + duration[tid];
+        for _ in 0..claim {
+            cores[node].push(Reverse(OrderedF64(end)));
+        }
+        node_busy[node] += duration[tid] * claim as f64;
+        starts[tid] = start;
+        finish[tid] = end;
+        makespan = makespan.max(end);
+        scheduled += 1;
+
+        // One transfer per (produced datum, destination node): compute the
+        // arrival times for all consuming successors up front.
+        let mut arrivals: HashMap<(DataKey, usize), f64> = HashMap::new();
+        if executed[tid] {
+            for &s in &graph.tasks[tid].successors {
+                if !executed[s] || graph.tasks[s].node == node {
+                    continue;
+                }
+                for input in &graph.tasks[s].inputs {
+                    if input.producer == Some(tid) && input.bytes > 0 {
+                        arrivals
+                            .entry((input.key, graph.tasks[s].node))
+                            .or_insert_with(|| net.send(platform, node, end, input.bytes));
+                    }
+                }
+            }
+        }
+
+        // Release successors.
+        for &s in &graph.tasks[tid].successors {
+            let mut arrival = end;
+            if executed[tid] && executed[s] && graph.tasks[s].node != node {
+                for input in &graph.tasks[s].inputs {
+                    if input.producer == Some(tid) && input.bytes > 0 {
+                        if let Some(&t) = arrivals.get(&(input.key, graph.tasks[s].node)) {
+                            arrival = arrival.max(t);
+                        }
+                    }
+                }
+            }
+            data_ready[s] = data_ready[s].max(arrival);
+            preds_left[s] -= 1;
+            if preds_left[s] == 0 {
+                let init = initial_input_time(graph, s, platform, &executed, &mut net);
+                ready.push(Reverse(Event {
+                    time: data_ready[s].max(init),
+                    task: s,
+                }));
+            }
+        }
+    }
+    assert_eq!(scheduled, n, "simulator failed to schedule every task (cycle?)");
+
+    // Critical path: longest chain of task durations + comm delays,
+    // ignoring resource constraints.
+    let mut cp = vec![0.0f64; n];
+    let mut cp_max = 0.0f64;
+    for tid in 0..n {
+        let end = cp[tid] + duration[tid];
+        cp_max = cp_max.max(end);
+        for &s in &graph.tasks[tid].successors {
+            let mut delay = 0.0f64;
+            if executed[tid] && executed[s] && graph.tasks[s].node != graph.tasks[tid].node {
+                for input in &graph.tasks[s].inputs {
+                    if input.producer == Some(tid) && input.bytes > 0 {
+                        delay = delay.max(platform.transfer_seconds(input.bytes));
+                    }
+                }
+            }
+            cp[s] = cp[s].max(end + delay);
+        }
+    }
+
+    SimReport {
+        makespan,
+        serial_seconds: duration.iter().sum(),
+        critical_path: cp_max,
+        messages: net.messages,
+        bytes: net.bytes,
+        node_busy,
+        total_flops,
+        starts,
+        finishes: finish,
+    }
+}
+
+/// Arrival time of a task's never-written inputs (initial tiles fetched
+/// from their home nodes; each datum fetched at most once per node).
+fn initial_input_time(
+    graph: &Graph,
+    tid: TaskId,
+    platform: &Platform,
+    executed: &[bool],
+    net: &mut Network,
+) -> f64 {
+    if !executed[tid] {
+        return 0.0;
+    }
+    let node = graph.tasks[tid].node;
+    let mut t = 0.0f64;
+    for input in &graph.tasks[tid].inputs {
+        if input.producer.is_none() && input.from_node != node && input.bytes > 0 {
+            let arrival = match net.initial_cache.get(&(input.key, node)) {
+                Some(&a) => a,
+                None => {
+                    let a = net.send(platform, input.from_node, 0.0, input.bytes);
+                    net.initial_cache.insert((input.key, node), a);
+                    a
+                }
+            };
+            t = t.max(arrival);
+        }
+    }
+    t
+}
+
+/// f64 wrapper with a total order (no NaNs by construction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use crate::graph::{Access, DataKey, GraphBuilder, TaskResult};
+
+    fn k(i: u64) -> DataKey {
+        DataKey(i)
+    }
+
+    fn flat_platform(nodes: usize, cores: usize) -> Platform {
+        Platform {
+            nodes,
+            cores_per_node: cores,
+            core_gflops: 1.0, // 1 GFLOP/s, efficiency 1 below
+            latency: 1.0,
+            bandwidth: 1e9,
+            mem_bandwidth: 1e9,
+            efficiency: crate::platform::Efficiency {
+                gemm: 1.0,
+                trsm: 1.0,
+                panel_factor: 1.0,
+                qr_factor: 1.0,
+                qr_apply: 1.0,
+                estimate: 1.0,
+            },
+        }
+    }
+
+    /// 1 GFLOP at 1 GFLOP/s = 1 second per task.
+    fn one_sec_task() -> TaskResult {
+        TaskResult::executed(1e9, CostClass::Gemm)
+    }
+
+    #[test]
+    fn serial_chain_equals_sum() {
+        let mut b = GraphBuilder::new(1);
+        b.declare(k(0), 0, 0);
+        for i in 0..5 {
+            b.task(format!("t{i}"), 0, &[Access::Mut(k(0))], one_sec_task);
+        }
+        let g = b.build();
+        execute(&g, 1);
+        let r = simulate(&g, &flat_platform(1, 4));
+        assert!((r.makespan - 5.0).abs() < 1e-9);
+        assert!((r.critical_path - 5.0).abs() < 1e-9);
+        assert_eq!(r.messages, 0);
+    }
+
+    #[test]
+    fn independent_tasks_fill_cores() {
+        let mut b = GraphBuilder::new(1);
+        for i in 0..8u64 {
+            b.declare(k(i), 0, 0);
+            b.task(format!("t{i}"), 0, &[Access::Mut(k(i))], one_sec_task);
+        }
+        let g = b.build();
+        execute(&g, 1);
+        // 8 unit tasks on 4 cores => 2 seconds.
+        let r = simulate(&g, &flat_platform(1, 4));
+        assert!((r.makespan - 2.0).abs() < 1e-9);
+        assert!((r.serial_seconds - 8.0).abs() < 1e-9);
+        // Critical path is one task.
+        assert!((r.critical_path - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_node_edge_pays_latency() {
+        let mut b = GraphBuilder::new(2);
+        b.declare(k(0), 1000, 0);
+        b.task("producer", 0, &[Access::Mut(k(0))], one_sec_task);
+        b.task("consumer", 1, &[Access::Read(k(0))], one_sec_task);
+        let g = b.build();
+        execute(&g, 1);
+        let p = flat_platform(2, 1);
+        let r = simulate(&g, &p);
+        // 1s task + (1s latency + 1e-6s wire) + 1s task.
+        assert!(r.makespan > 3.0 && r.makespan < 3.01, "{}", r.makespan);
+        assert_eq!(r.messages, 1);
+        assert_eq!(r.bytes, 1000);
+    }
+
+    #[test]
+    fn same_node_edge_is_free() {
+        let mut b = GraphBuilder::new(2);
+        b.declare(k(0), 1000, 0);
+        b.task("p", 0, &[Access::Mut(k(0))], one_sec_task);
+        b.task("c", 0, &[Access::Read(k(0))], one_sec_task);
+        let g = b.build();
+        execute(&g, 1);
+        let r = simulate(&g, &flat_platform(2, 1));
+        assert!((r.makespan - 2.0).abs() < 1e-9);
+        assert_eq!(r.messages, 0);
+    }
+
+    #[test]
+    fn discarded_tasks_cost_nothing() {
+        let mut b = GraphBuilder::new(2);
+        b.declare(k(0), 1_000_000, 0);
+        b.task("real", 0, &[Access::Mut(k(0))], one_sec_task);
+        b.task("dead", 1, &[Access::Mut(k(0))], TaskResult::discarded);
+        b.task("after", 0, &[Access::Mut(k(0))], one_sec_task);
+        let g = b.build();
+        execute(&g, 1);
+        let r = simulate(&g, &flat_platform(2, 1));
+        assert!((r.makespan - 2.0).abs() < 1e-9, "{}", r.makespan);
+        assert_eq!(r.messages, 0);
+        assert_eq!(r.bytes, 0);
+    }
+
+    #[test]
+    fn initial_data_fetched_from_home() {
+        let mut b = GraphBuilder::new(2);
+        b.declare(k(0), 1000, 1); // lives on node 1
+        b.task("t", 0, &[Access::Read(k(0))], one_sec_task); // runs on node 0
+        let g = b.build();
+        execute(&g, 1);
+        let r = simulate(&g, &flat_platform(2, 1));
+        assert!(r.makespan > 2.0, "fetch latency must delay start");
+        assert_eq!(r.messages, 1);
+    }
+
+    #[test]
+    fn initial_fetch_cached_per_node() {
+        // Two tasks on node 0 reading the same remote datum: one fetch.
+        let mut b = GraphBuilder::new(2);
+        b.declare(k(0), 1000, 1);
+        b.task("t1", 0, &[Access::Read(k(0))], one_sec_task);
+        b.task("t2", 0, &[Access::Read(k(0))], one_sec_task);
+        let g = b.build();
+        execute(&g, 1);
+        let r = simulate(&g, &flat_platform(2, 2));
+        assert_eq!(r.messages, 1, "datum must be fetched once per node");
+    }
+
+    #[test]
+    fn broadcast_sends_once_per_destination_node() {
+        // Producer on node 0; 3 consumer tasks on node 1, 2 on node 2:
+        // exactly 2 messages (one per destination node).
+        let mut b = GraphBuilder::new(3);
+        b.declare(k(0), 1000, 0);
+        b.task("p", 0, &[Access::Mut(k(0))], one_sec_task);
+        for i in 0..3 {
+            b.task(format!("c1_{i}"), 1, &[Access::Read(k(0))], one_sec_task);
+        }
+        for i in 0..2 {
+            b.task(format!("c2_{i}"), 2, &[Access::Read(k(0))], one_sec_task);
+        }
+        let g = b.build();
+        execute(&g, 1);
+        let r = simulate(&g, &flat_platform(3, 4));
+        assert_eq!(r.messages, 2);
+        assert_eq!(r.bytes, 2000);
+    }
+
+    #[test]
+    fn makespan_bounded_by_critical_path_and_serial() {
+        // Chain of diamonds.
+        let mut b = GraphBuilder::new(1);
+        b.declare(k(0), 0, 0);
+        b.declare(k(1), 0, 0);
+        b.declare(k(2), 0, 0);
+        for _ in 0..6 {
+            b.task("fork", 0, &[Access::Mut(k(0))], one_sec_task);
+            b.task("l", 0, &[Access::Read(k(0)), Access::Mut(k(1))], one_sec_task);
+            b.task("r", 0, &[Access::Read(k(0)), Access::Mut(k(2))], one_sec_task);
+            b.task(
+                "join",
+                0,
+                &[Access::Read(k(1)), Access::Read(k(2)), Access::Mut(k(0))],
+                one_sec_task,
+            );
+        }
+        let g = b.build();
+        execute(&g, 2);
+        let r = simulate(&g, &flat_platform(1, 2));
+        assert!(r.makespan >= r.critical_path - 1e-9);
+        assert!(r.makespan <= r.serial_seconds + 1e-9);
+        // With 2 cores the two middle tasks overlap: 3 s per diamond.
+        assert!((r.makespan - 18.0).abs() < 1e-9, "{}", r.makespan);
+    }
+
+    #[test]
+    fn nic_serializes_distinct_sends() {
+        // One producer on node 0 sending distinct 1 GB data to 3 other
+        // nodes: egress serializes on node 0's NIC.
+        let mut b = GraphBuilder::new(4);
+        for i in 0..3u64 {
+            b.declare(k(i), 1_000_000_000, 0);
+        }
+        let mut acc = vec![];
+        for i in 0..3u64 {
+            acc.push(Access::Mut(k(i)));
+        }
+        b.task("p", 0, &acc, one_sec_task);
+        for i in 0..3u64 {
+            b.task(
+                format!("c{i}"),
+                (i + 1) as usize,
+                &[Access::Read(k(i))],
+                one_sec_task,
+            );
+        }
+        let g = b.build();
+        execute(&g, 1);
+        let r = simulate(&g, &flat_platform(4, 1));
+        // p ends at 1; three 1s wire-time sends pipeline on the NIC:
+        // arrivals ~3, ~4, ~5; last consumer ends ~6.
+        assert!(r.makespan > 5.5, "NIC contention not modeled: {}", r.makespan);
+        assert_eq!(r.messages, 3);
+    }
+}

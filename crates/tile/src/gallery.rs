@@ -1,0 +1,684 @@
+//! Test-matrix gallery (paper Table III).
+//!
+//! All 21 special matrices of the paper's stability experiment (Figure 3),
+//! plus the Fiedler matrix (Section V-C) and the seeded random matrices used
+//! throughout Section V. Formulas follow Higham's *Matrix Computation
+//! Toolbox* / MATLAB `gallery` conventions; the two literature matrices
+//! without a toolbox generator (`foster`, `wright`) use the standard
+//! published constructions that reproduce their pathology — exponential
+//! growth under Gaussian elimination with partial pivoting. Deviations are
+//! documented on each generator.
+//!
+//! Every generator is deterministic given `(n, seed)`.
+
+#[cfg(test)]
+use luqr_kernels::blas::{gemm, Trans};
+use luqr_kernels::Mat;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use std::f64::consts::PI;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Uniform random matrix in `[-1, 1]` (the paper's random test matrices).
+pub fn random(n: usize, seed: u64) -> Mat {
+    Mat::random(n, n, seed)
+}
+
+/// 1. Householder matrix: `A = I − β v vᵀ` with random `v`, `β = 2/(vᵀv)`.
+/// Symmetric and orthogonal.
+pub fn house(n: usize, seed: u64) -> Mat {
+    let mut r = rng(seed);
+    let v: Vec<f64> = (0..n).map(|_| r.random_range(-1.0..1.0)).collect();
+    let vtv: f64 = v.iter().map(|x| x * x).sum();
+    let beta = 2.0 / vtv;
+    Mat::from_fn(n, n, |i, j| {
+        let e = if i == j { 1.0 } else { 0.0 };
+        e - beta * v[i] * v[j]
+    })
+}
+
+/// 2. Parter matrix: Toeplitz with `A(i,j) = 1/(i − j + 0.5)` (1-based);
+/// most singular values are near π.
+pub fn parter(n: usize) -> Mat {
+    Mat::from_fn(n, n, |i, j| 1.0 / (i as f64 - j as f64 + 0.5))
+}
+
+/// 3. Ris matrix: `A(i,j) = 0.5/(n − i − j + 1.5)` (1-based); Hankel,
+/// eigenvalues cluster around ±π/2.
+pub fn ris(n: usize) -> Mat {
+    let nf = n as f64;
+    Mat::from_fn(n, n, |i, j| {
+        0.5 / (nf - (i + 1) as f64 - (j + 1) as f64 + 1.5)
+    })
+}
+
+/// 4. Counter-example to condition estimators: the 4×4 Cline/Rew matrix
+/// (Higham `condex(n, 1, θ)` with θ = 100) embedded in the identity.
+pub fn condex(n: usize) -> Mat {
+    assert!(n >= 4, "condex needs n >= 4");
+    let th = 100.0;
+    let block = [
+        [1.0, -1.0, -2.0 * th, 0.0],
+        [0.0, 1.0, th, -th],
+        [0.0, 1.0, 1.0 + th, -(th + 1.0)],
+        [0.0, 0.0, 0.0, th],
+    ];
+    Mat::from_fn(n, n, |i, j| {
+        if i < 4 && j < 4 {
+            block[i][j]
+        } else if i == j {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+/// 5. Circulant matrix of a random vector: `A(i,j) = v((j − i) mod n)`.
+pub fn circul(n: usize, seed: u64) -> Mat {
+    let mut r = rng(seed);
+    let v: Vec<f64> = (0..n).map(|_| r.random_range(-1.0..1.0)).collect();
+    Mat::from_fn(n, n, |i, j| v[(n + j - i) % n])
+}
+
+/// 6. Hankel matrix of random vectors `c`, `r` with `c(n) = r(1)`:
+/// constant anti-diagonals `A(i,j) = c(i+j+1)` spilling into `r`.
+pub fn hankel(n: usize, seed: u64) -> Mat {
+    let mut g = rng(seed);
+    let c: Vec<f64> = (0..n).map(|_| g.random_range(-1.0..1.0)).collect();
+    let mut r: Vec<f64> = (0..n).map(|_| g.random_range(-1.0..1.0)).collect();
+    r[0] = c[n - 1];
+    Mat::from_fn(n, n, |i, j| {
+        let s = i + j; // anti-diagonal index, 0-based
+        if s < n {
+            c[s]
+        } else {
+            r[s - n + 1]
+        }
+    })
+}
+
+/// 7. Companion matrix (sparse) of a monic polynomial with random
+/// coefficients: ones on the subdiagonal, `−a_k` across the first row.
+pub fn compan(n: usize, seed: u64) -> Mat {
+    let mut g = rng(seed);
+    let coef: Vec<f64> = (0..n).map(|_| g.random_range(-1.0..1.0)).collect();
+    Mat::from_fn(n, n, |i, j| {
+        if i == 0 {
+            -coef[j]
+        } else if i == j + 1 {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+/// 8. Lehmer matrix: `A(i,j) = min(i,j)/max(i,j)` (1-based); symmetric
+/// positive definite, tridiagonal inverse.
+pub fn lehmer(n: usize) -> Mat {
+    Mat::from_fn(n, n, |i, j| {
+        let (a, b) = ((i + 1) as f64, (j + 1) as f64);
+        a.min(b) / a.max(b)
+    })
+}
+
+/// 9. Dorr matrix: row-diagonally-dominant, ill-conditioned tridiagonal
+/// matrix from a central-difference discretization of a singularly
+/// perturbed convection-diffusion problem (θ = 0.01).
+pub fn dorr(n: usize) -> Mat {
+    let theta = 0.01;
+    let h = 1.0 / (n as f64 + 1.0);
+    let term = theta / (h * h);
+    let mut c = vec![0.0; n]; // subdiagonal A(i, i-1)
+    let mut d = vec![0.0; n]; // diagonal
+    let mut e = vec![0.0; n]; // superdiagonal A(i, i+1)
+    let half = (n + 1) / 2;
+    for i in 0..half {
+        let x = (i + 1) as f64 * h;
+        c[i] = -term;
+        e[i] = c[i] - (0.5 - x) / h;
+        d[i] = -(c[i] + e[i]);
+    }
+    for i in half..n {
+        let x = (i + 1) as f64 * h;
+        e[i] = -term;
+        c[i] = e[i] + (0.5 - x) / h;
+        d[i] = -(c[i] + e[i]);
+    }
+    Mat::from_fn(n, n, |i, j| {
+        if i == j {
+            d[i]
+        } else if j + 1 == i {
+            c[i]
+        } else if j == i + 1 {
+            e[i]
+        } else {
+            0.0
+        }
+    })
+}
+
+/// 10. Demmel matrix: `A = D (I + 10⁻⁷ R)` with `D = diag(10^(14 (0:n−1)/n))`
+/// and `R` uniform random in `[0, 1]`; badly scaled and ill conditioned.
+pub fn demmel(n: usize, seed: u64) -> Mat {
+    let mut g = rng(seed);
+    let r = Mat::from_fn(n, n, |_, _| g.random_range(0.0..1.0));
+    Mat::from_fn(n, n, |i, j| {
+        let d = 10f64.powf(14.0 * i as f64 / n as f64);
+        let e = if i == j { 1.0 } else { 0.0 };
+        d * (e + 1e-7 * r[(i, j)])
+    })
+}
+
+/// 11. Chebyshev–Vandermonde matrix on `n` equispaced points of `[0, 1]`:
+/// `A(i,j) = T_{i−1}(x_j)`.
+pub fn chebvand(n: usize) -> Mat {
+    let pts: Vec<f64> = if n == 1 {
+        vec![0.5]
+    } else {
+        (0..n).map(|j| j as f64 / (n as f64 - 1.0)).collect()
+    };
+    let mut a = Mat::zeros(n, n);
+    for (j, &x) in pts.iter().enumerate() {
+        // Chebyshev recurrence on [0,1] mapped to [-1,1]: t = 2x - 1.
+        let t = 2.0 * x - 1.0;
+        let mut tkm1 = 1.0; // T_0
+        let mut tk = t; // T_1
+        a[(0, j)] = 1.0;
+        if n > 1 {
+            a[(1, j)] = t;
+        }
+        for i in 2..n {
+            let tkp1 = 2.0 * t * tk - tkm1;
+            a[(i, j)] = tkp1;
+            tkm1 = tk;
+            tk = tkp1;
+        }
+    }
+    a
+}
+
+/// 12. Invhess matrix: `A(i,j) = x_j` for `i ≥ j`, `y_i` for `i < j`, with
+/// `x = (1..n)`, `y = −x` — its inverse is upper Hessenberg.
+pub fn invhess(n: usize) -> Mat {
+    Mat::from_fn(n, n, |i, j| {
+        if i >= j {
+            (j + 1) as f64
+        } else {
+            -((i + 1) as f64)
+        }
+    })
+}
+
+/// 13. Prolate matrix (w = 0.25): symmetric, ill-conditioned Toeplitz with
+/// `a_0 = 2w`, `a_k = sin(2πwk)/(πk)`.
+pub fn prolate(n: usize) -> Mat {
+    let w = 0.25;
+    Mat::from_fn(n, n, |i, j| {
+        let k = i.abs_diff(j);
+        if k == 0 {
+            2.0 * w
+        } else {
+            (2.0 * PI * w * k as f64).sin() / (PI * k as f64)
+        }
+    })
+}
+
+/// 14. Cauchy matrix: `A(i,j) = 1/(x_i + y_j)` with `x = y = (1..n)`.
+pub fn cauchy(n: usize) -> Mat {
+    Mat::from_fn(n, n, |i, j| 1.0 / ((i + 1) as f64 + (j + 1) as f64))
+}
+
+/// 15. Hilbert matrix: `A(i,j) = 1/(i + j − 1)` (1-based).
+pub fn hilb(n: usize) -> Mat {
+    Mat::from_fn(n, n, |i, j| 1.0 / ((i + j + 1) as f64))
+}
+
+/// 16. Lotkin matrix: the Hilbert matrix with its first row set to ones.
+pub fn lotkin(n: usize) -> Mat {
+    Mat::from_fn(n, n, |i, j| {
+        if i == 0 {
+            1.0
+        } else {
+            1.0 / ((i + j + 1) as f64)
+        }
+    })
+}
+
+/// 17. Kahan matrix (θ = 1.2): upper trapezoidal,
+/// `A(i,i) = sⁱ`, `A(i,j) = −c sⁱ` for `j > i`, `s = sin θ`, `c = cos θ`.
+pub fn kahan(n: usize) -> Mat {
+    let theta: f64 = 1.2;
+    let s = theta.sin();
+    let c = theta.cos();
+    Mat::from_fn(n, n, |i, j| {
+        let si = s.powi(i as i32);
+        if i == j {
+            si
+        } else if j > i {
+            -c * si
+        } else {
+            0.0
+        }
+    })
+}
+
+/// 18. Symmetric orthogonal eigenvector matrix:
+/// `A(i,j) = sqrt(2/(n+1)) sin(i j π/(n+1))` (1-based).
+pub fn orthogo(n: usize) -> Mat {
+    let np1 = (n + 1) as f64;
+    let scale = (2.0 / np1).sqrt();
+    Mat::from_fn(n, n, |i, j| {
+        scale * (((i + 1) * (j + 1)) as f64 * PI / np1).sin()
+    })
+}
+
+/// 19. Wilkinson's growth matrix: attains the GEPP growth-factor bound
+/// `2^(n−1)`: unit diagonal, −1 below, last column of ones.
+pub fn wilkinson(n: usize) -> Mat {
+    Mat::from_fn(n, n, |i, j| {
+        if j + 1 == n {
+            1.0
+        } else if i == j {
+            1.0
+        } else if i > j {
+            -1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+/// 20. Foster-class growth matrix.
+///
+/// Foster's original matrix (SIMAX 1994) comes from a Volterra integral
+/// equation whose trapezoid-rule discretization makes GEPP unstable. We use
+/// the equivalent *gfpp* family member (Higham & Higham 1989) with
+/// multiplier magnitude `c = 1/2`: unit diagonal, `−c` strictly below, ones
+/// in the last column. GEPP performs no row interchanges and the last column
+/// doubles geometrically — growth `(1 + c)^(n−1) = 1.5^(n−1)`, the same
+/// pathology class at a milder rate than [`wilkinson`] (`c = 1`).
+pub fn foster(n: usize) -> Mat {
+    let c = 0.5;
+    Mat::from_fn(n, n, |i, j| {
+        if j + 1 == n {
+            1.0
+        } else if i == j {
+            1.0
+        } else if i > j {
+            -c
+        } else {
+            0.0
+        }
+    })
+}
+
+/// 21. Wright-class growth matrix: multiple-shooting discretization of a
+/// two-point boundary-value problem (Wright, SIMAX 1993). Block lower
+/// bidiagonal with 2×2 identity diagonal blocks, subdiagonal blocks
+/// `−c·e^{Mh}` with `M = [[0, ω],[ω, 0]]`, and the boundary-condition
+/// coupling in the last block column. Parameters (`c = 0.5`, `ωh = 1.2`)
+/// chosen so no row interchange occurs (`c·cosh(ωh) < 1`) while the chained
+/// update ratio `c·(cosh + sinh)(ωh) ≈ 1.66 > 1` — GEPP growth is
+/// exponential in the block count (≈ `4·10⁶` at n = 64).
+pub fn wright(n: usize) -> Mat {
+    assert!(n >= 4 && n % 2 == 0, "wright needs even n >= 4");
+    let c = 0.5f64;
+    let wh = 1.2f64;
+    let (cwh, swh) = (wh.cosh(), wh.sinh());
+    let e = [[cwh, swh], [swh, cwh]];
+    let nb2 = n / 2; // number of 2x2 block rows
+    Mat::from_fn(n, n, |i, j| {
+        let (bi, bj) = (i / 2, j / 2);
+        let (li, lj) = (i % 2, j % 2);
+        let mut v = 0.0;
+        if bi == bj && li == lj {
+            v += 1.0;
+        }
+        if bi > 0 && bj + 1 == bi {
+            v += -c * e[li][lj];
+        }
+        if bj == nb2 - 1 && lj == li {
+            // Boundary coupling: ones in the last block column.
+            v += 1.0;
+        }
+        v
+    })
+}
+
+/// Fiedler matrix: `A(i,j) = |i − j|` — the Section V-C pathological case on
+/// which both LU NoPiv and LUPP break down (division by a rounded-to-zero
+/// pivot) while the criteria-guarded hybrid survives.
+pub fn fiedler(n: usize) -> Mat {
+    Mat::from_fn(n, n, |i, j| i.abs_diff(j) as f64)
+}
+
+/// The named special matrices of Table III (in paper order) plus `fiedler`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecialMatrix {
+    House,
+    Parter,
+    Ris,
+    Condex,
+    Circul,
+    Hankel,
+    Compan,
+    Lehmer,
+    Dorr,
+    Demmel,
+    Chebvand,
+    Invhess,
+    Prolate,
+    Cauchy,
+    Hilb,
+    Lotkin,
+    Kahan,
+    Orthogo,
+    Wilkinson,
+    Foster,
+    Wright,
+    Fiedler,
+}
+
+impl SpecialMatrix {
+    /// The 21 matrices of Table III, in the paper's numbering.
+    pub const TABLE3: [SpecialMatrix; 21] = [
+        SpecialMatrix::House,
+        SpecialMatrix::Parter,
+        SpecialMatrix::Ris,
+        SpecialMatrix::Condex,
+        SpecialMatrix::Circul,
+        SpecialMatrix::Hankel,
+        SpecialMatrix::Compan,
+        SpecialMatrix::Lehmer,
+        SpecialMatrix::Dorr,
+        SpecialMatrix::Demmel,
+        SpecialMatrix::Chebvand,
+        SpecialMatrix::Invhess,
+        SpecialMatrix::Prolate,
+        SpecialMatrix::Cauchy,
+        SpecialMatrix::Hilb,
+        SpecialMatrix::Lotkin,
+        SpecialMatrix::Kahan,
+        SpecialMatrix::Orthogo,
+        SpecialMatrix::Wilkinson,
+        SpecialMatrix::Foster,
+        SpecialMatrix::Wright,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            SpecialMatrix::House => "house",
+            SpecialMatrix::Parter => "parter",
+            SpecialMatrix::Ris => "ris",
+            SpecialMatrix::Condex => "condex",
+            SpecialMatrix::Circul => "circul",
+            SpecialMatrix::Hankel => "hankel",
+            SpecialMatrix::Compan => "compan",
+            SpecialMatrix::Lehmer => "lehmer",
+            SpecialMatrix::Dorr => "dorr",
+            SpecialMatrix::Demmel => "demmel",
+            SpecialMatrix::Chebvand => "chebvand",
+            SpecialMatrix::Invhess => "invhess",
+            SpecialMatrix::Prolate => "prolate",
+            SpecialMatrix::Cauchy => "cauchy",
+            SpecialMatrix::Hilb => "hilb",
+            SpecialMatrix::Lotkin => "lotkin",
+            SpecialMatrix::Kahan => "kahan",
+            SpecialMatrix::Orthogo => "orthogo",
+            SpecialMatrix::Wilkinson => "wilkinson",
+            SpecialMatrix::Foster => "foster",
+            SpecialMatrix::Wright => "wright",
+            SpecialMatrix::Fiedler => "fiedler",
+        }
+    }
+
+    /// Generate the matrix at size `n` (`seed` only affects the random-based
+    /// generators). `wright` rounds `n` down to an even size internally.
+    pub fn generate(self, n: usize, seed: u64) -> Mat {
+        match self {
+            SpecialMatrix::House => house(n, seed),
+            SpecialMatrix::Parter => parter(n),
+            SpecialMatrix::Ris => ris(n),
+            SpecialMatrix::Condex => condex(n),
+            SpecialMatrix::Circul => circul(n, seed),
+            SpecialMatrix::Hankel => hankel(n, seed),
+            SpecialMatrix::Compan => compan(n, seed),
+            SpecialMatrix::Lehmer => lehmer(n),
+            SpecialMatrix::Dorr => dorr(n),
+            SpecialMatrix::Demmel => demmel(n, seed),
+            SpecialMatrix::Chebvand => chebvand(n),
+            SpecialMatrix::Invhess => invhess(n),
+            SpecialMatrix::Prolate => prolate(n),
+            SpecialMatrix::Cauchy => cauchy(n),
+            SpecialMatrix::Hilb => hilb(n),
+            SpecialMatrix::Lotkin => lotkin(n),
+            SpecialMatrix::Kahan => kahan(n),
+            SpecialMatrix::Orthogo => orthogo(n),
+            SpecialMatrix::Wilkinson => wilkinson(n),
+            SpecialMatrix::Foster => foster(n),
+            SpecialMatrix::Wright => {
+                let even = if n % 2 == 0 { n } else { n - 1 };
+                let mut a = wright(even.max(4));
+                if a.rows() != n {
+                    // Pad with an identity row/column to reach odd n.
+                    let mut b = Mat::eye(n);
+                    b.set_sub(0, 0, &a);
+                    a = b;
+                }
+                a
+            }
+            SpecialMatrix::Fiedler => fiedler(n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_orthogonal(a: &Mat, tol: f64) {
+        let n = a.rows();
+        let mut ata = Mat::zeros(n, n);
+        gemm(Trans::Trans, Trans::NoTrans, 1.0, a, a, 0.0, &mut ata);
+        assert!(
+            ata.max_abs_diff(&Mat::eye(n)) < tol,
+            "deviation {}",
+            ata.max_abs_diff(&Mat::eye(n))
+        );
+    }
+
+    #[test]
+    fn house_is_symmetric_orthogonal() {
+        let a = house(20, 3);
+        assert!(a.max_abs_diff(&a.transpose()) < 1e-15);
+        assert_orthogonal(&a, 1e-13);
+    }
+
+    #[test]
+    fn orthogo_is_orthogonal() {
+        assert_orthogonal(&orthogo(24), 1e-12);
+    }
+
+    #[test]
+    fn parter_and_ris_formulas() {
+        let p = parter(5);
+        assert!((p[(0, 0)] - 2.0).abs() < 1e-15); // 1/0.5
+        assert!((p[(2, 0)] - 1.0 / 2.5).abs() < 1e-15);
+        let r = ris(4);
+        // (i,j) 1-based (1,1): 0.5/(4-2+1.5) = 0.5/3.5
+        assert!((r[(0, 0)] - 0.5 / 3.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn circul_is_circulant() {
+        let a = circul(8, 5);
+        for i in 0..7 {
+            for j in 0..7 {
+                assert_eq!(a[(i, j)], a[(i + 1, j + 1)]);
+            }
+        }
+    }
+
+    #[test]
+    fn hankel_constant_antidiagonals() {
+        let a = hankel(9, 6);
+        for i in 0..8 {
+            for j in 1..9 {
+                assert_eq!(a[(i, j)], a[(i + 1, j - 1)]);
+            }
+        }
+    }
+
+    #[test]
+    fn compan_structure() {
+        let a = compan(6, 7);
+        for i in 1..6 {
+            for j in 0..6 {
+                if i == j + 1 {
+                    assert_eq!(a[(i, j)], 1.0);
+                } else {
+                    assert_eq!(a[(i, j)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lehmer_symmetric_unit_diagonal() {
+        let a = lehmer(12);
+        assert!(a.max_abs_diff(&a.transpose()) < 1e-16);
+        for i in 0..12 {
+            assert_eq!(a[(i, i)], 1.0);
+        }
+        assert!((a[(1, 3)] - 0.5).abs() < 1e-15); // min(2,4)/max(2,4)
+    }
+
+    #[test]
+    fn dorr_is_tridiagonal_and_row_dominant() {
+        let n = 16;
+        let a = dorr(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i.abs_diff(j) > 1 {
+                    assert_eq!(a[(i, j)], 0.0);
+                }
+            }
+        }
+        // Row diagonal dominance (weak in the interior, strict at borders).
+        for i in 0..n {
+            let off: f64 = (0..n).filter(|&j| j != i).map(|j| a[(i, j)].abs()).sum();
+            assert!(a[(i, i)].abs() >= off - 1e-9, "row {i} not dominant");
+        }
+    }
+
+    #[test]
+    fn hilb_cauchy_lotkin_formulas() {
+        let h = hilb(4);
+        assert_eq!(h[(0, 0)], 1.0);
+        assert!((h[(1, 2)] - 0.25).abs() < 1e-16);
+        let c = cauchy(4);
+        assert!((c[(0, 0)] - 0.5).abs() < 1e-16);
+        let l = lotkin(4);
+        for j in 0..4 {
+            assert_eq!(l[(0, j)], 1.0);
+        }
+        assert_eq!(l[(2, 1)], h[(2, 1)]);
+    }
+
+    #[test]
+    fn kahan_upper_triangular_decaying_diagonal() {
+        let a = kahan(10);
+        for i in 0..10 {
+            for j in 0..i {
+                assert_eq!(a[(i, j)], 0.0);
+            }
+        }
+        for i in 1..10 {
+            assert!(a[(i, i)] < a[(i - 1, i - 1)]);
+        }
+    }
+
+    #[test]
+    fn wilkinson_attains_gepp_growth() {
+        use luqr_kernels::lu::getrf;
+        let n = 24;
+        let a = wilkinson(n);
+        let mut lu = a.clone();
+        let _ = getrf(&mut lu).unwrap();
+        // The U factor's last column doubles every step: U(n-1, n-1) = 2^(n-1).
+        let growth = lu[(n - 1, n - 1)];
+        assert!(
+            (growth - 2f64.powi(n as i32 - 1)).abs() < 1e-6 * growth,
+            "got {growth}"
+        );
+    }
+
+    #[test]
+    fn foster_and_wright_cause_gepp_growth() {
+        use luqr_kernels::lu::getrf;
+        for (name, a) in [("foster", foster(64)), ("wright", wright(64))] {
+            let mut lu = a.clone();
+            let _ = getrf(&mut lu).unwrap();
+            let mut umax = 0.0f64;
+            for j in 0..64 {
+                for i in 0..=j {
+                    umax = umax.max(lu[(i, j)].abs());
+                }
+            }
+            let growth = umax / a.norm_max();
+            assert!(growth > 50.0, "{name}: GEPP growth only {growth}");
+        }
+    }
+
+    #[test]
+    fn fiedler_zero_diagonal_symmetric() {
+        let a = fiedler(10);
+        for i in 0..10 {
+            assert_eq!(a[(i, i)], 0.0);
+        }
+        assert!(a.max_abs_diff(&a.transpose()) < 1e-16);
+    }
+
+    #[test]
+    fn demmel_scaling_spans_fourteen_decades() {
+        let a = demmel(10, 1);
+        assert!(a[(9, 9)] / a[(0, 0)] > 1e12);
+    }
+
+    #[test]
+    fn all_generators_produce_finite_matrices() {
+        for m in SpecialMatrix::TABLE3 {
+            let a = m.generate(33, 42);
+            assert_eq!(a.dims(), (33, 33), "{}", m.name());
+            assert!(a.all_finite(), "{} has non-finite entries", m.name());
+        }
+        let f = SpecialMatrix::Fiedler.generate(33, 0);
+        assert!(f.all_finite());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for m in [SpecialMatrix::House, SpecialMatrix::Hankel, SpecialMatrix::Demmel] {
+            let a = m.generate(16, 9);
+            let b = m.generate(16, 9);
+            assert_eq!(a.max_abs_diff(&b), 0.0, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn chebvand_first_rows() {
+        let a = chebvand(6);
+        for j in 0..6 {
+            assert_eq!(a[(0, j)], 1.0);
+            let x = j as f64 / 5.0;
+            assert!((a[(1, j)] - (2.0 * x - 1.0)).abs() < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Run the hybrid solver against pathological matrices from the paper's
+//! Table III and compare criteria side by side (a miniature Figure 3).
+//!
+//! ```sh
+//! cargo run --release --example stability_gallery [N] [nb]
+//! ```
+
+use luqr::{factor_solve, stability, Algorithm, Criterion, FactorOptions};
+use luqr_kernels::blas::{gemm, Trans};
+use luqr_kernels::Mat;
+use luqr_tile::gallery::SpecialMatrix;
+use luqr_tile::Grid;
+
+fn run(a: &Mat, algorithm: Algorithm, nb: usize) -> (f64, f64) {
+    let n = a.rows();
+    let x_true = Mat::random(n, 1, 11);
+    let mut b = Mat::zeros(n, 1);
+    gemm(Trans::NoTrans, Trans::NoTrans, 1.0, a, &x_true, 0.0, &mut b);
+    let opts = FactorOptions {
+        nb,
+        grid: Grid::new(4, 1),
+        algorithm,
+        ..FactorOptions::default()
+    };
+    let (x, f) = factor_solve(a, &b, &opts);
+    (stability::hpl3(a, &x, &b), f.lu_step_fraction())
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(512);
+    let nb: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(64);
+
+    let subset = [
+        SpecialMatrix::Wilkinson,
+        SpecialMatrix::Foster,
+        SpecialMatrix::Wright,
+        SpecialMatrix::Fiedler,
+        SpecialMatrix::Circul,
+        SpecialMatrix::Orthogo,
+        SpecialMatrix::Lehmer,
+        SpecialMatrix::Compan,
+    ];
+    println!("stability on special matrices, N = {n}, nb = {nb} (relative HPL3 vs LUPP)");
+    println!(
+        "{:<12} {:>12} {:>18} {:>18} {:>14}",
+        "matrix", "LUPP hpl3", "LUQR-Max rel", "LUQR-MUMPS rel", "HQR rel"
+    );
+    for m in subset {
+        let a = m.generate(n, 1234);
+        let (lupp, _) = run(&a, Algorithm::Lupp, nb);
+        let (max_h, max_lu) = run(
+            &a,
+            Algorithm::LuQr(Criterion::Max { alpha: 6000.0 }),
+            nb,
+        );
+        let (mumps_h, mumps_lu) = run(
+            &a,
+            Algorithm::LuQr(Criterion::Mumps { alpha: 2.1 }),
+            nb,
+        );
+        let (hqr_h, _) = run(&a, Algorithm::Hqr, nb);
+        println!(
+            "{:<12} {:>12.3e} {:>11.3e} ({:>2.0}%LU) {:>11.3e} ({:>2.0}%LU) {:>14.3e}",
+            m.name(),
+            lupp,
+            stability::relative_hpl3(max_h, lupp),
+            100.0 * max_lu,
+            stability::relative_hpl3(mumps_h, lupp),
+            100.0 * mumps_lu,
+            stability::relative_hpl3(hqr_h, lupp),
+        );
+    }
+}

@@ -1,0 +1,5 @@
+//! Integration-test crate for the `luqr` workspace.
+//!
+//! The tests live in `tests/tests/` and exercise the full stack — kernels,
+//! tiled storage, runtime, and the factorization drivers — together. This
+//! library target is intentionally empty.

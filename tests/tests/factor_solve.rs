@@ -1,0 +1,283 @@
+//! End-to-end factor/solve correctness across algorithms, criteria, grids,
+//! tile sizes and right-hand-side shapes.
+
+use luqr::{factor, factor_solve, stability, Algorithm, Criterion, FactorOptions, PivotScope};
+use luqr_kernels::blas::{gemm, Trans};
+use luqr_kernels::Mat;
+use luqr_tile::Grid;
+
+fn well_conditioned(n: usize, seed: u64) -> Mat {
+    let mut a = Mat::random(n, n, seed);
+    for i in 0..n {
+        a[(i, i)] += n as f64;
+    }
+    a
+}
+
+fn exact_system(a: &Mat, nrhs: usize, seed: u64) -> (Mat, Mat) {
+    let n = a.rows();
+    let x = Mat::random(n, nrhs, seed);
+    let mut b = Mat::zeros(n, nrhs);
+    gemm(Trans::NoTrans, Trans::NoTrans, 1.0, a, &x, 0.0, &mut b);
+    (x, b)
+}
+
+fn all_algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::LuQr(Criterion::Max { alpha: 50.0 }),
+        Algorithm::LuQr(Criterion::Sum { alpha: 500.0 }),
+        Algorithm::LuQr(Criterion::Mumps { alpha: 2.1 }),
+        Algorithm::LuQr(Criterion::Random {
+            lu_fraction: 0.5,
+            seed: 9,
+        }),
+        Algorithm::LuQr(Criterion::AlwaysLu),
+        Algorithm::LuQr(Criterion::AlwaysQr),
+        Algorithm::LuNoPiv,
+        Algorithm::LuIncPiv,
+        Algorithm::Lupp,
+        Algorithm::Hqr,
+    ]
+}
+
+#[test]
+fn every_algorithm_every_grid_solves() {
+    let n = 60;
+    let a = well_conditioned(n, 1);
+    let (x_true, b) = exact_system(&a, 2, 2);
+    for algorithm in all_algorithms() {
+        for (p, q) in [(1, 1), (2, 2), (4, 1), (1, 3)] {
+            let opts = FactorOptions {
+                nb: 10,
+                ib: 4,
+                grid: Grid::new(p, q),
+                threads: 2,
+                algorithm: algorithm.clone(),
+                ..FactorOptions::default()
+            };
+            let (x, f) = factor_solve(&a, &b, &opts);
+            assert!(
+                f.error.is_none(),
+                "{} on {p}x{q}: {:?}",
+                opts.algorithm.name(),
+                f.error
+            );
+            let err = x.max_abs_diff(&x_true);
+            assert!(
+                err < 1e-8,
+                "{} on {p}x{q}: error {err:.3e}",
+                opts.algorithm.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn ragged_sizes_solve() {
+    // N not a multiple of nb: border tiles everywhere, rhs starts on its
+    // own tile boundary.
+    for n in [29usize, 47, 53] {
+        let a = well_conditioned(n, n as u64);
+        let (x_true, b) = exact_system(&a, 3, 3);
+        for algorithm in [
+            Algorithm::LuQr(Criterion::Max { alpha: 20.0 }),
+            Algorithm::LuQr(Criterion::AlwaysQr),
+            Algorithm::LuIncPiv,
+            Algorithm::Lupp,
+            Algorithm::Hqr,
+        ] {
+            let opts = FactorOptions {
+                nb: 8,
+                ib: 3,
+                grid: Grid::new(2, 2),
+                algorithm,
+                ..FactorOptions::default()
+            };
+            let (x, f) = factor_solve(&a, &b, &opts);
+            assert!(f.error.is_none());
+            assert!(
+                x.max_abs_diff(&x_true) < 1e-8,
+                "{} N={n}: {:.3e}",
+                f.algorithm.name(),
+                x.max_abs_diff(&x_true)
+            );
+        }
+    }
+}
+
+#[test]
+fn pivot_scope_variants_solve() {
+    let a = well_conditioned(48, 5);
+    let (x_true, b) = exact_system(&a, 1, 6);
+    for scope in [PivotScope::DiagonalTile, PivotScope::DiagonalDomain] {
+        let opts = FactorOptions {
+            nb: 8,
+            ib: 4,
+            grid: Grid::new(3, 1),
+            algorithm: Algorithm::LuQr(Criterion::Max { alpha: 50.0 }),
+            pivot_scope: scope,
+            ..FactorOptions::default()
+        };
+        let (x, _) = factor_solve(&a, &b, &opts);
+        assert!(x.max_abs_diff(&x_true) < 1e-8, "{scope:?}");
+    }
+}
+
+#[test]
+fn hard_matrix_qr_steps_rescue_stability() {
+    // A matrix engineered with a terrible diagonal tile: pure LU without
+    // cross-tile pivoting degrades; the criterion must fire QR steps and
+    // keep HPL3 small.
+    let n = 48;
+    let nb = 8;
+    let mut a = Mat::random(n, n, 7);
+    for i in 0..nb {
+        for j in 0..nb {
+            a[(i, j)] *= 1e-10; // nearly singular top-left tile
+        }
+    }
+    let (_, b) = exact_system(&a, 1, 8);
+    let hybrid = FactorOptions {
+        nb,
+        ib: 4,
+        algorithm: Algorithm::LuQr(Criterion::Max { alpha: 4.0 }),
+        pivot_scope: PivotScope::DiagonalTile,
+        ..FactorOptions::default()
+    };
+    let f = factor(&a, &b, &hybrid);
+    let x = f.solution();
+    let h_hybrid = stability::hpl3(&a, &x, &b);
+    assert!(f.lu_step_fraction() < 1.0, "criterion must fire at least one QR step");
+    assert!(h_hybrid < 100.0, "hybrid must stay stable, got {h_hybrid}");
+}
+
+#[test]
+fn augmented_rhs_matches_second_pass_solve() {
+    // Solving with 4 rhs columns at once must match solving each alone.
+    let n = 40;
+    let a = well_conditioned(n, 11);
+    let (_, b) = exact_system(&a, 4, 12);
+    let opts = FactorOptions {
+        nb: 8,
+        ib: 4,
+        algorithm: Algorithm::LuQr(Criterion::Max { alpha: 30.0 }),
+        ..FactorOptions::default()
+    };
+    let (x_all, _) = factor_solve(&a, &b, &opts);
+    for c in 0..4 {
+        let bc = Mat::from_fn(n, 1, |i, _| b[(i, c)]);
+        let (xc, _) = factor_solve(&a, &bc, &opts);
+        for i in 0..n {
+            assert!(
+                (x_all[(i, c)] - xc[(i, 0)]).abs() < 1e-9,
+                "rhs {c} row {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn decision_records_are_complete_and_ordered() {
+    let a = well_conditioned(64, 13);
+    let (_, b) = exact_system(&a, 1, 14);
+    let opts = FactorOptions {
+        nb: 8,
+        ib: 4,
+        grid: Grid::new(2, 1),
+        algorithm: Algorithm::LuQr(Criterion::Sum { alpha: 100.0 }),
+        ..FactorOptions::default()
+    };
+    let f = factor(&a, &b, &opts);
+    assert_eq!(f.records.len(), 8);
+    for (k, r) in f.records.iter().enumerate() {
+        assert_eq!(r.k, k);
+    }
+}
+
+#[test]
+fn growth_bound_of_max_criterion_holds() {
+    // Paper §III-A: with the Max criterion at threshold α, the largest tile
+    // 1-norm grows at most (1+α)^(n-1).
+    let n = 64;
+    let nb = 8;
+    let alpha = 2.0;
+    for seed in [3u64, 4, 5] {
+        let a = Mat::random(n, nb * 8, seed).sub(0, 0, n, n);
+        let b = Mat::random(n, 1, seed + 50);
+        let opts = FactorOptions {
+            nb,
+            ib: 4,
+            algorithm: Algorithm::LuQr(Criterion::Max { alpha }),
+            ..FactorOptions::default()
+        };
+        let f = factor(&a, &b, &opts);
+        let initial = luqr_tile::TiledMatrix::from_dense(&a, nb).max_tile_norm_one();
+        let bound = (1.0 + alpha) * initial; // per-step bound on panel norms
+        for pair in f.records.windows(2) {
+            assert!(
+                pair[1].panel_norm <= (1.0 + alpha) * pair[0].panel_norm.max(initial) + 1e-9,
+                "per-step growth bound violated at k={}",
+                pair[1].k
+            );
+        }
+        let _ = bound;
+    }
+}
+
+#[test]
+fn variant_a2_solves_and_records_decisions() {
+    // Paper §II-C1: factor the diagonal tile by QR, eliminate against R,
+    // apply Qᵀ to the diagonal row. Same dependencies and results as A1.
+    use luqr::LuVariant;
+    let a = well_conditioned(48, 21);
+    let (x_true, b) = exact_system(&a, 2, 22);
+    for criterion in [
+        Criterion::Max { alpha: 50.0 },
+        Criterion::AlwaysLu,
+        Criterion::AlwaysQr,
+        Criterion::Random {
+            lu_fraction: 0.5,
+            seed: 4,
+        },
+    ] {
+        let opts = FactorOptions {
+            nb: 8,
+            ib: 4,
+            grid: Grid::new(2, 2),
+            algorithm: Algorithm::LuQr(criterion),
+            lu_variant: LuVariant::A2,
+            ..FactorOptions::default()
+        };
+        let (x, f) = factor_solve(&a, &b, &opts);
+        assert!(f.error.is_none());
+        assert_eq!(f.records.len(), 6);
+        assert!(
+            x.max_abs_diff(&x_true) < 1e-8,
+            "A2 {}: {:.3e}",
+            f.algorithm.name(),
+            x.max_abs_diff(&x_true)
+        );
+    }
+}
+
+#[test]
+fn variant_a2_matches_a1_on_pure_qr_path() {
+    // With AlwaysQr both variants must produce the identical factorization
+    // (the trial is discarded and restored either way).
+    use luqr::LuVariant;
+    let a = well_conditioned(40, 23);
+    let (_, b) = exact_system(&a, 1, 24);
+    let mk = |v: LuVariant| {
+        let opts = FactorOptions {
+            nb: 8,
+            ib: 4,
+            algorithm: Algorithm::LuQr(Criterion::AlwaysQr),
+            lu_variant: v,
+            ..FactorOptions::default()
+        };
+        factor_solve(&a, &b, &opts).0
+    };
+    let x1 = mk(LuVariant::A1);
+    let x2 = mk(LuVariant::A2);
+    assert_eq!(x1.max_abs_diff(&x2), 0.0);
+}
