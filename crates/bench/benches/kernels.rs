@@ -35,7 +35,15 @@ fn bench_kernels(c: &mut Criterion) {
         let rhs = Mat::random(NB, NB, 3);
         b.iter(|| {
             let mut x = rhs.clone();
-            trsm(Side::Right, UpLo::Upper, Trans::NoTrans, Diag::NonUnit, 1.0, &tri, &mut x);
+            trsm(
+                Side::Right,
+                UpLo::Upper,
+                Trans::NoTrans,
+                Diag::NonUnit,
+                1.0,
+                &tri,
+                &mut x,
+            );
             black_box(&x);
         })
     });

@@ -36,7 +36,12 @@ fn main() {
     ];
     let mut best = (f64::INFINITY, String::new());
     for intra in kinds {
-        for inter in [TreeKind::FlatTt, TreeKind::Binary, TreeKind::Greedy, TreeKind::Fibonacci] {
+        for inter in [
+            TreeKind::FlatTt,
+            TreeKind::Binary,
+            TreeKind::Greedy,
+            TreeKind::Fibonacci,
+        ] {
             let opts = FactorOptions {
                 nb,
                 grid,

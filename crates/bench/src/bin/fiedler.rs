@@ -20,12 +20,21 @@ fn main() {
     let platform = Platform::dancer();
 
     println!("Fiedler matrix, N = {n}, nb = {nb} (paper §V-C)");
-    println!("{:<22} {:>12} {:>8} {:>26}", "algorithm", "HPL3", "%LU", "failure");
+    println!(
+        "{:<22} {:>12} {:>8} {:>26}",
+        "algorithm", "HPL3", "%LU", "failure"
+    );
     for (name, algo) in [
         ("LU NoPiv", Algorithm::LuNoPiv),
         ("LUPP", Algorithm::Lupp),
-        ("LUQR Max α=2000", Algorithm::LuQr(Criterion::Max { alpha: 2000.0 })),
-        ("LUQR MUMPS α=2.1", Algorithm::LuQr(Criterion::Mumps { alpha: 2.1 })),
+        (
+            "LUQR Max α=2000",
+            Algorithm::LuQr(Criterion::Max { alpha: 2000.0 }),
+        ),
+        (
+            "LUQR MUMPS α=2.1",
+            Algorithm::LuQr(Criterion::Mumps { alpha: 2.1 }),
+        ),
         ("HQR", Algorithm::Hqr),
     ] {
         let opts = luqr::FactorOptions {

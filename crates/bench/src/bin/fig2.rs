@@ -30,7 +30,9 @@ fn main() {
 
     // Reference and baseline rows.
     let mut lupp_hpl3 = Vec::new();
-    let systems: Vec<_> = (0..seeds).map(|s| random_system(scale.n, 100 + s)).collect();
+    let systems: Vec<_> = (0..seeds)
+        .map(|s| random_system(scale.n, 100 + s))
+        .collect();
     for sys in &systems {
         let m = run(sys, &scale.options(Algorithm::Lupp), &platform);
         lupp_hpl3.push(m.hpl3);

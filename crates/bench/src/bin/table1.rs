@@ -43,7 +43,15 @@ fn main() {
     };
     let (_, s) = measure(|| {
         let mut b = Mat::random(nb, nb, 3);
-        trsm(Side::Right, UpLo::Upper, Trans::NoTrans, Diag::NonUnit, 1.0, &tri, &mut b);
+        trsm(
+            Side::Right,
+            UpLo::Upper,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            1.0,
+            &tri,
+            &mut b,
+        );
     });
     row("TRSM (eliminate/apply, LU)", "1", s, nb);
 

@@ -28,7 +28,15 @@ pub fn system_from(a: Mat, seed: u64) -> System {
     let n = a.rows();
     let x_true = Mat::random(n, 1, seed);
     let mut b = Mat::zeros(n, 1);
-    gemm(Trans::NoTrans, Trans::NoTrans, 1.0, &a, &x_true, 0.0, &mut b);
+    gemm(
+        Trans::NoTrans,
+        Trans::NoTrans,
+        1.0,
+        &a,
+        &x_true,
+        0.0,
+        &mut b,
+    );
     System { a, b, x_true }
 }
 

@@ -1,0 +1,107 @@
+//! The hybrid LU-QR planner (paper Algorithm 1): at every step, a trial LU
+//! of the diagonal domain decides — via the configured robustness criterion
+//! — between a cheap LU step and a stable QR step. Both branches are
+//! inserted into the graph; the losing branch discards itself at run time.
+
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+use crate::config::LuVariant;
+use crate::criteria::Criterion;
+
+use super::{hqr, lu, panel, update, BranchGate, DecCell, Inserter, StepPlanner, TfCell};
+
+/// The hybrid LU-QR algorithm with its per-step robustness criterion.
+pub struct HybridPlanner {
+    criterion: Criterion,
+}
+
+impl HybridPlanner {
+    pub fn new(criterion: Criterion) -> Self {
+        HybridPlanner { criterion }
+    }
+}
+
+impl StepPlanner for HybridPlanner {
+    fn name(&self) -> &'static str {
+        "hybrid-luqr"
+    }
+
+    fn plan_step(&self, k: usize, ins: &mut Inserter<'_>) {
+        let variant = ins.opts.lu_variant;
+        let trial_rows = panel::trial_rows(ins, k);
+        let dec: DecCell = Arc::new(OnceLock::new());
+        let pan: super::PanelCell = Arc::new(OnceLock::new());
+
+        // --- Backup the trial panel tiles.
+        let backups = panel::insert_backups(ins, k, &trial_rows);
+
+        // --- Off-trial criterion collection, one task per owning node.
+        let (crit_cells, crit_keys) =
+            panel::insert_crit_collection(ins, k, &trial_rows, &self.criterion);
+
+        // --- Panel: trial factorization + criterion decision.
+        let a2_tf: TfCell = Arc::new(parking_lot::Mutex::new(None));
+        if variant == LuVariant::A2 {
+            panel::insert_a2_panel(
+                ins,
+                k,
+                &self.criterion,
+                &dec,
+                &pan,
+                &a2_tf,
+                &crit_cells,
+                &crit_keys,
+            );
+        } else {
+            panel::insert_trial_panel(
+                ins,
+                k,
+                &self.criterion,
+                &trial_rows,
+                &dec,
+                &pan,
+                &crit_cells,
+                &crit_keys,
+            );
+        }
+
+        // --- Propagate: restore the panel from backup on a QR decision.
+        panel::insert_propagate(ins, k, &trial_rows, &backups, &dec);
+
+        // --- LU branch (discarded when the decision is QR).
+        let lu_gate = BranchGate::lu(k, &dec);
+        if variant == LuVariant::A2 {
+            insert_lu_step_a2(ins, k, &lu_gate, &a2_tf);
+        } else {
+            lu::insert_lu_step(ins, k, &trial_rows, Some(&lu_gate), &pan);
+        }
+
+        // --- QR branch (discarded when the decision is LU).
+        let qr_gate = BranchGate::qr(k, &dec);
+        hqr::insert_qr_step(ins, k, Some(&qr_gate));
+    }
+}
+
+/// LU-step tasks for variant A2: Apply is `A_kj <- Qᵀ A_kj` (UNMQR),
+/// Eliminate is `A_ik <- A_ik R⁻¹`, Update is the usual GEMM.
+fn insert_lu_step_a2(ins: &mut Inserter<'_>, k: usize, gate: &BranchGate, a2_tf: &TfCell) {
+    let mt = ins.aug.mt();
+    // Apply Qᵀ to row k (including rhs columns).
+    for j in ins.trailing(k) {
+        update::insert_qt_apply(
+            ins,
+            k,
+            k,
+            j,
+            format!("ORMQR({j},k={k})"),
+            Arc::clone(a2_tf),
+            Some(gate),
+        );
+    }
+    // Eliminate + update every row below.
+    for i in k + 1..mt {
+        update::insert_trsm_eliminate(ins, k, i, Some(gate));
+        update::insert_row_updates(ins, k, i, Some(gate));
+    }
+}

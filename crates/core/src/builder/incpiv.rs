@@ -1,0 +1,110 @@
+//! The LU IncPiv baseline (pairwise / incremental pivoting): GETRF on the
+//! diagonal tile, GESSM applies along the pivot row, then a TSTRF/SSSSM
+//! elimination chain down the panel.
+
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+use luqr_kernels::incpiv::{gessm, ssssm, tstrf, PairPivot};
+use luqr_kernels::Mat;
+use luqr_runtime::CostClass;
+
+use crate::keys;
+
+use super::{panel, with_sub, Inserter, PanelCell, StepPlanner};
+
+/// Output of one TSTRF: the L-factor block and its pairwise pivot record,
+/// consumed by the row's SSSSM updates.
+type LCell = Arc<OnceLock<(Mat, Vec<PairPivot>)>>;
+
+/// LU with incremental (pairwise) pivoting across the panel.
+pub struct IncPivPlanner;
+
+impl StepPlanner for IncPivPlanner {
+    fn name(&self) -> &'static str {
+        "lu-incpiv"
+    }
+
+    fn plan_step(&self, k: usize, ins: &mut Inserter<'_>) {
+        let mt = ins.aug.mt();
+        let nbk = ins.aug.tile_cols(k);
+        // Diagonal tile: GETRF with in-tile pivoting.
+        let pan: PanelCell = Arc::new(OnceLock::new());
+        panel::insert_incpiv_diag(ins, k, &pan);
+        // Apply to the diagonal row: GESSM.
+        for j in ins.trailing(k) {
+            let w = ins.aug.tile_cols(j);
+            let lu_t = ins.aug.tile(k, k);
+            let c = ins.aug.tile(k, j);
+            let pan2 = Arc::clone(&pan);
+            let flops = (nbk * nbk * w) as f64;
+            ins.b
+                .insert(format!("GESSM(k={k},j={j})"), ins.grid.owner(k, j))
+                .reads(keys::pivots(k))
+                .reads(keys::tile(k, k))
+                .writes(keys::tile(k, j))
+                .spawn_costed(flops, CostClass::Trsm, move || {
+                    let pf = pan2.get().expect("diag LU missing");
+                    let lu = lu_t.lock();
+                    let lu_sq = lu.sub(0, 0, nbk.min(lu.rows()), nbk);
+                    let mut cg = c.lock();
+                    with_sub(&mut cg, lu_sq.rows(), w, |top| gessm(&lu_sq, &pf.ipiv, top));
+                });
+        }
+        // Pairwise elimination chain down the panel.
+        for i in k + 1..mt {
+            let (tm, _) = ins.aug.tile_dims(i, k);
+            let lcell: LCell = Arc::new(OnceLock::new());
+            ins.b.declare(
+                keys::incpiv_l(i, k),
+                (tm * nbk + nbk) * 8,
+                ins.grid.owner(i, k),
+            );
+            {
+                let u_t = ins.aug.tile(k, k);
+                let a_t = ins.aug.tile(i, k);
+                let lc = Arc::clone(&lcell);
+                let shared = ins.shared.clone();
+                let flops = (tm * nbk * nbk) as f64;
+                ins.b
+                    .insert(format!("TSTRF({i},k={k})"), ins.grid.owner(i, k))
+                    .writes(keys::tile(k, k))
+                    .writes(keys::tile(i, k))
+                    .writes(keys::incpiv_l(i, k))
+                    .spawn_costed(flops, CostClass::Trsm, move || {
+                        let mut ug = u_t.lock();
+                        let mut ag = a_t.lock();
+                        let mut l = Mat::zeros(ag.rows(), nbk);
+                        let r = with_sub(&mut ug, nbk, nbk, |u| tstrf(u, &mut ag, &mut l));
+                        match r {
+                            Ok(piv) => {
+                                let _ = lc.set((l, piv));
+                            }
+                            Err(e) => {
+                                shared.fail(format!("TSTRF({i},{k}): {e}"));
+                                let _ = lc.set((l, Vec::new()));
+                            }
+                        }
+                    });
+            }
+            for j in ins.trailing(k) {
+                let w = ins.aug.tile_cols(j);
+                let top = ins.aug.tile(k, j);
+                let bot = ins.aug.tile(i, j);
+                let lc = Arc::clone(&lcell);
+                let flops = 2.0 * (tm * nbk * w) as f64;
+                ins.b
+                    .insert(format!("SSSSM({i},{j},k={k})"), ins.grid.owner(i, j))
+                    .reads(keys::incpiv_l(i, k))
+                    .writes(keys::tile(k, j))
+                    .writes(keys::tile(i, j))
+                    .spawn_costed(flops, CostClass::Gemm, move || {
+                        let (l, piv) = lc.get().expect("TSTRF output missing");
+                        let mut tg = top.lock();
+                        let mut bg = bot.lock();
+                        with_sub(&mut tg, nbk, w, |t| ssssm(l, piv, t, &mut bg));
+                    });
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! The LU elimination step (pivot application, eliminate, update) shared by
+//! the hybrid's LU branch and the LU NoPiv / LUPP baselines, plus the
+//! [`LuSimplePlanner`] implementing those two baselines.
+
+use std::sync::Arc;
+
+use luqr_kernels::blas::{trsm, Diag, Side, Trans, UpLo};
+use luqr_kernels::Mat;
+use luqr_runtime::{CostClass, TaskResult};
+
+use crate::keys;
+use crate::panel::{apply_swap_group, swap_permutation};
+
+use super::{panel, update, BranchGate, Gated, Inserter, PanelCell, StepPlanner};
+
+/// Insert the Apply/Eliminate/Update tasks of an LU step whose panel has
+/// been factored over `trial_rows`, with the pivot record in `pan` (written
+/// by the caller's panel task). `gate` is `None` for the unconditional
+/// baselines and the hybrid's LU branch gate otherwise.
+///
+/// Apply phase, ScaLAPACK PDLASWP-style: snapshot the pivot-block tile, let
+/// each owning node exchange *its own* rows with the pivot block (disjoint
+/// writes, so the exchanges parallelize and each node only communicates one
+/// pivot-block tile), then solve the top with `L11`. The per-tile Schur
+/// updates are separate GEMM tasks.
+pub(crate) fn insert_lu_step(
+    ins: &mut Inserter<'_>,
+    k: usize,
+    trial_rows: &[usize],
+    gate: Option<&BranchGate>,
+    pan: &PanelCell,
+) {
+    let mt = ins.aug.mt();
+    let nbk = ins.aug.tile_cols(k);
+
+    // The diagonal tile of a square matrix is always square; the
+    // fine-grained apply below relies on it (its rows are exactly the
+    // pivoted `U` rows).
+    debug_assert_eq!(ins.aug.tile_rows(k), nbk);
+
+    // Stack offsets of the trial rows (ascending, diagonal tile first).
+    let offsets: Vec<usize> = {
+        let mut off = 0usize;
+        trial_rows
+            .iter()
+            .map(|&i| {
+                let o = off;
+                off += ins.aug.tile_rows(i);
+                o
+            })
+            .collect()
+    };
+    // Group trial rows (excluding the top tile) by grid row: for any
+    // trailing column j, all tiles (i, j) of one grid row live on the same
+    // node.
+    let mut swap_groups: Vec<(usize, Vec<(usize, usize)>)> = Vec::new(); // (grid_row, [(row, offset)])
+    for (idx, &i) in trial_rows.iter().enumerate().skip(1) {
+        let gr = i % ins.grid.p;
+        let entry = (i, offsets[idx]);
+        match swap_groups.iter_mut().find(|(n, _)| *n == gr) {
+            Some((_, v)) => v.push(entry),
+            None => swap_groups.push((gr, vec![entry])),
+        }
+    }
+    let total_rows: usize = trial_rows.iter().map(|&i| ins.aug.tile_rows(i)).sum();
+
+    for j in ins.trailing(k) {
+        let w = ins.aug.tile_cols(j);
+        let scratch: Arc<parking_lot::Mutex<Option<Mat>>> = Arc::new(parking_lot::Mutex::new(None));
+        let scratch_key = keys::swap_scratch(j, k);
+        ins.b
+            .declare(scratch_key, nbk * w * 8, ins.grid.owner(k, j));
+
+        // Snapshot the pivot-block tile.
+        {
+            let top = ins.aug.tile(k, j);
+            let sc = Arc::clone(&scratch);
+            let bytes = nbk * w * 8;
+            ins.b
+                .insert(format!("SWPINIT({j},k={k})"), ins.grid.owner(k, j))
+                .reads(keys::tile(k, j))
+                .writes(scratch_key)
+                .gated(gate)
+                .spawn_memory(bytes, move || {
+                    *sc.lock() = Some(top.lock().clone());
+                });
+        }
+
+        // One exchange task per grid row; the first also applies the
+        // pivot-block-internal permutation.
+        let mut first = true;
+        for (node, rows) in std::iter::once((ins.grid.owner(k, j), Vec::new())).chain(
+            swap_groups
+                .iter()
+                .map(|(_, v)| (ins.grid.owner(v[0].0, j), v.clone())),
+        ) {
+            if rows.is_empty() && !first {
+                continue;
+            }
+            let handles_top = first;
+            first = false;
+            let top = ins.aug.tile(k, j);
+            let sc = Arc::clone(&scratch);
+            let pan2 = Arc::clone(pan);
+            let tiles: Vec<(usize, luqr_tile::TileRef)> = rows
+                .iter()
+                .map(|&(i, off)| (off, ins.aug.tile(i, j)))
+                .collect();
+            let bytes = nbk * w * 8;
+            ins.b
+                .insert(format!("PIVSWP(n{node},{j},k={k})"), node)
+                .reads(keys::pivots(k))
+                .reads(scratch_key)
+                .writes(keys::tile(k, j))
+                .writes_each(rows.iter().map(|&(i, _)| keys::tile(i, j)))
+                .gated(gate)
+                .spawn(move || {
+                    let Some(pf) = pan2.get() else {
+                        return TaskResult::discarded();
+                    };
+                    let src = swap_permutation(&pf.ipiv, total_rows);
+                    let sg = sc.lock();
+                    let orig = sg.as_ref().expect("missing swap snapshot");
+                    let mut tg = top.lock();
+                    let mut guards: Vec<_> = tiles.iter().map(|(o, t)| (*o, t.lock())).collect();
+                    let mut refs: Vec<(usize, &mut Mat)> =
+                        guards.iter_mut().map(|(o, g)| (*o, &mut **g)).collect();
+                    apply_swap_group(&src, orig, &mut tg, &mut refs, handles_top);
+                    TaskResult::memory(bytes)
+                });
+        }
+
+        // Top solve: U_kj = L11^{-1} (P C)_top.
+        {
+            let l11 = ins.aug.tile(k, k);
+            let top = ins.aug.tile(k, j);
+            let pan2 = Arc::clone(pan);
+            let flops = (nbk * nbk * w) as f64;
+            ins.b
+                .insert(format!("TRSMTOP({j},k={k})"), ins.grid.owner(k, j))
+                .reads(keys::tile(k, k))
+                .writes(keys::tile(k, j))
+                .gated(gate)
+                .spawn(move || {
+                    if pan2.get().is_none() {
+                        return TaskResult::discarded();
+                    }
+                    let lg = l11.lock();
+                    let l_top = lg.sub(0, 0, nbk.min(lg.rows()), nbk.min(lg.cols()));
+                    let mut tg = top.lock();
+                    trsm(
+                        Side::Left,
+                        UpLo::Lower,
+                        Trans::NoTrans,
+                        Diag::Unit,
+                        1.0,
+                        &l_top,
+                        &mut tg,
+                    );
+                    TaskResult::executed(flops, CostClass::Trsm)
+                });
+        }
+    }
+
+    // Eliminate (off-trial rows only; trial rows already hold their
+    // multipliers from the panel factorization) + per-tile update.
+    for i in k + 1..mt {
+        if !trial_rows.contains(&i) {
+            update::insert_trsm_eliminate(ins, k, i, gate);
+        }
+        update::insert_row_updates(ins, k, i, gate);
+    }
+}
+
+/// Planner for the two simple LU baselines.
+///
+/// `full_panel = false`: pivot inside the diagonal tile only (LU NoPiv).
+/// `full_panel = true`: pivot across the whole panel (LUPP).
+pub struct LuSimplePlanner {
+    full_panel: bool,
+}
+
+impl LuSimplePlanner {
+    /// LU NoPiv: pivoting restricted to the diagonal tile.
+    pub fn nopiv() -> Self {
+        LuSimplePlanner { full_panel: false }
+    }
+
+    /// LUPP: partial pivoting across the whole panel (ScaLAPACK-style,
+    /// bulk-synchronous).
+    pub fn partial_pivoting() -> Self {
+        LuSimplePlanner { full_panel: true }
+    }
+}
+
+impl StepPlanner for LuSimplePlanner {
+    fn name(&self) -> &'static str {
+        if self.full_panel {
+            "lupp"
+        } else {
+            "lu-nopiv"
+        }
+    }
+
+    fn plan_step(&self, k: usize, ins: &mut Inserter<'_>) {
+        let mt = ins.aug.mt();
+        let trial_rows: Vec<usize> = if self.full_panel {
+            (k..mt).collect()
+        } else {
+            vec![k]
+        };
+        let pan: PanelCell = Arc::new(std::sync::OnceLock::new());
+        panel::insert_simple_panel(ins, k, self.full_panel, &trial_rows, &pan);
+        insert_lu_step(ins, k, &trial_rows, None, &pan);
+    }
+}

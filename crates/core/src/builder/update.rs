@@ -1,0 +1,137 @@
+//! Shared trailing-update task insertion.
+//!
+//! Every LU-shaped step — the hybrid's LU branch (variants A1 and A2),
+//! LU NoPiv, and LUPP — eliminates sub-diagonal blocks against the diagonal
+//! factor and applies the same rank-`nb` Schur update to the trailing
+//! matrix; QR-shaped steps (and the A2 variant's pivot row) apply `Qᵀ` to
+//! their trailing tiles. These tasks were historically copy-pasted per
+//! algorithm; they are factored out here once, parameterized by the
+//! optional branch gate.
+
+use luqr_kernels::blas::{trsm, Diag, Side, Trans, UpLo};
+use luqr_kernels::qr::unmqr;
+use luqr_runtime::CostClass;
+
+use crate::keys;
+
+use super::{BranchGate, Gated, Inserter, TfCell};
+
+/// Insert the Eliminate task `A_ik <- A_ik U_kk^{-1}` (TRSM against the
+/// upper triangle of the factored diagonal tile).
+pub(crate) fn insert_trsm_eliminate(
+    ins: &mut Inserter<'_>,
+    k: usize,
+    i: usize,
+    gate: Option<&BranchGate>,
+) {
+    let nbk = ins.aug.tile_cols(k);
+    let tm = ins.aug.tile_rows(i);
+    let a_ik = ins.aug.tile(i, k);
+    let a_kk = ins.aug.tile(k, k);
+    let flops = (tm * nbk * nbk) as f64;
+    ins.b
+        .insert(format!("TRSM({i},k={k})"), ins.grid.owner(i, k))
+        .reads(keys::tile(k, k))
+        .writes(keys::tile(i, k))
+        .gated(gate)
+        .spawn_costed(flops, CostClass::Trsm, move || {
+            let kk = a_kk.lock();
+            let u = kk.sub(0, 0, nbk, nbk); // upper triangle = U_kk (or R)
+            let mut ik = a_ik.lock();
+            trsm(
+                Side::Right,
+                UpLo::Upper,
+                Trans::NoTrans,
+                Diag::NonUnit,
+                1.0,
+                &u,
+                &mut ik,
+            );
+        });
+}
+
+/// Insert the Schur-update task `A_ij -= A_ik A_kj` for one trailing tile.
+pub(crate) fn insert_gemm_update(
+    ins: &mut Inserter<'_>,
+    k: usize,
+    i: usize,
+    j: usize,
+    gate: Option<&BranchGate>,
+) {
+    let nbk = ins.aug.tile_cols(k);
+    let tm = ins.aug.tile_rows(i);
+    let w = ins.aug.tile_cols(j);
+    let a_ik = ins.aug.tile(i, k);
+    let a_kj = ins.aug.tile(k, j);
+    let a_ij = ins.aug.tile(i, j);
+    let flops = 2.0 * (tm * w * nbk) as f64;
+    ins.b
+        .insert(format!("GEMM({i},{j},k={k})"), ins.grid.owner(i, j))
+        .reads(keys::tile(i, k))
+        .reads(keys::tile(k, j))
+        .writes(keys::tile(i, j))
+        .gated(gate)
+        .spawn_costed(flops, CostClass::Gemm, move || {
+            let ik = a_ik.lock();
+            let kj = a_kj.lock();
+            let kj_top = kj.sub(0, 0, nbk, kj.cols());
+            let mut ij = a_ij.lock();
+            luqr_kernels::blas::gemm(
+                Trans::NoTrans,
+                Trans::NoTrans,
+                -1.0,
+                &ik,
+                &kj_top,
+                1.0,
+                &mut ij,
+            );
+        });
+}
+
+/// Insert one trailing `Qᵀ`-apply task (`A_row,j <- Qᵀ A_row,j`, UNMQR
+/// kernel) for the reflectors held in panel tile `(row, k)` with the
+/// T-factor in `tf`. Shared by the QR step's GEQRT updates and the A2
+/// variant's pivot-row apply (task-named ORMQR there).
+pub(crate) fn insert_qt_apply(
+    ins: &mut Inserter<'_>,
+    k: usize,
+    row: usize,
+    j: usize,
+    name: String,
+    tf: TfCell,
+    gate: Option<&BranchGate>,
+) {
+    let nbk = ins.aug.tile_cols(k);
+    let tm = ins.aug.tile_rows(row);
+    let w = ins.aug.tile_cols(j);
+    let v_src = ins.aug.tile(row, k);
+    let c = ins.aug.tile(row, j);
+    let kref = tm.min(nbk);
+    let flops = ((4 * tm - 2 * kref) * kref * w) as f64;
+    ins.b
+        .insert(name, ins.grid.owner(row, j))
+        .reads(keys::tile(row, k))
+        .reads(keys::tfactor(row, k))
+        .writes(keys::tile(row, j))
+        .gated(gate)
+        .spawn_costed(flops, CostClass::QrApply, move || {
+            let v = v_src.lock();
+            let tfg = tf.lock();
+            let tfr = tfg.as_ref().expect("missing T factor");
+            let mut cg = c.lock();
+            unmqr(Trans::Trans, &v, tfr, &mut cg);
+        });
+}
+
+/// Insert the full Schur update of panel row `i`: one GEMM per trailing
+/// tile column (matrix and right-hand-side columns alike).
+pub(crate) fn insert_row_updates(
+    ins: &mut Inserter<'_>,
+    k: usize,
+    i: usize,
+    gate: Option<&BranchGate>,
+) {
+    for j in ins.trailing(k) {
+        insert_gemm_update(ins, k, i, j, gate);
+    }
+}

@@ -33,12 +33,21 @@ use crate::config::Decision;
 /// everywhere (paper Section V-B).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Criterion {
-    Max { alpha: f64 },
-    Sum { alpha: f64 },
-    Mumps { alpha: f64 },
+    Max {
+        alpha: f64,
+    },
+    Sum {
+        alpha: f64,
+    },
+    Mumps {
+        alpha: f64,
+    },
     /// Choose LU with probability `lu_fraction` (deterministic per step
     /// given `seed`) — the control experiment of Figure 2's fourth row.
-    Random { lu_fraction: f64, seed: u64 },
+    Random {
+        lu_fraction: f64,
+        seed: u64,
+    },
     /// Unconditional LU (the `α = ∞` limit).
     AlwaysLu,
     /// Unconditional QR (the `α = 0` limit; stability of HQR).
@@ -153,7 +162,11 @@ pub fn decide(
             rhs: f64::INFINITY,
         },
         Criterion::Random { lu_fraction, seed } => {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(0x9E37_79B9).wrapping_mul(31).wrapping_add(k as u64));
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                seed.wrapping_add(0x9E37_79B9)
+                    .wrapping_mul(31)
+                    .wrapping_add(k as u64),
+            );
             let draw: f64 = rng.random_range(0.0..1.0);
             CritOutcome {
                 decision: if draw < *lu_fraction {
@@ -212,7 +225,7 @@ pub fn decide(
             // Max catches them.
             let mut worst_ratio = 0.0f64; // max estimate/pivot over columns
             let mut ok = *alpha > 0.0;
-            for j in 0..ncols {
+            for (j, &away_j) in away.iter().enumerate().take(ncols) {
                 let pivot = panel.pivot_abs[j];
                 let local = panel.local_col_max.get(j).copied().unwrap_or(0.0);
                 let growth = if local > 0.0 && pivot.is_finite() {
@@ -220,8 +233,11 @@ pub fn decide(
                 } else {
                     1.0
                 };
-                let estimate = away[j] * growth;
-                if !(alpha * pivot >= estimate) {
+                let estimate = away_j * growth;
+                // NaN-aware: a NaN pivot or estimate must fail the test, so
+                // the comparison is kept in `dominates` form and negated.
+                let dominates = alpha * pivot >= estimate;
+                if !dominates {
                     ok = false;
                 }
                 if pivot > 0.0 {
@@ -302,11 +318,25 @@ mod tests {
         let d = [dom(1e300, 1e300)];
         let o = decide(&Criterion::Max { alpha: 0.0 }, 0, &p, &d);
         assert_eq!(o.decision, Decision::Qr);
-        let o = decide(&Criterion::Max { alpha: f64::INFINITY }, 0, &p, &d);
+        let o = decide(
+            &Criterion::Max {
+                alpha: f64::INFINITY,
+            },
+            0,
+            &p,
+            &d,
+        );
         assert_eq!(o.decision, Decision::Lu);
         // ... unless the tile is singular.
         let p_sing = panel(0.0, 1.0, 1.0);
-        let o = decide(&Criterion::Max { alpha: f64::INFINITY }, 0, &p_sing, &d);
+        let o = decide(
+            &Criterion::Max {
+                alpha: f64::INFINITY,
+            },
+            0,
+            &p_sing,
+            &d,
+        );
         assert_eq!(o.decision, Decision::Qr);
     }
 

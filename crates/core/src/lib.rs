@@ -29,8 +29,9 @@
 //! * [`criteria`] — Max / Sum / MUMPS / Random robustness criteria (§III);
 //! * [`trees`] — reduction trees for QR steps (§II-B, §IV);
 //! * [`panel`] — diagonal-domain trial factorization (§II-A);
-//! * [`builder`] — task-graph insertion of the hybrid and all four
-//!   baselines (LU NoPiv, LU IncPiv, LUPP, HQR) (§IV, Figure 1);
+//! * [`builder`] — per-step task planners ([`builder::StepPlanner`]) for
+//!   the hybrid and all four baselines (LU NoPiv, LU IncPiv, LUPP, HQR)
+//!   (§IV, Figure 1), dispatched through [`planner_for`];
 //! * [`solve`] / [`stability`] — augmented-rhs solve and HPL3 metrics (§V).
 
 pub mod builder;
@@ -42,6 +43,7 @@ pub mod solve;
 pub mod stability;
 pub mod trees;
 
+pub use builder::{Inserter, StepPlanner};
 pub use config::{Algorithm, Decision, FactorOptions, LuVariant, PivotScope, StepRecord};
 pub use criteria::Criterion;
 pub use trees::{TreeConfig, TreeKind};
@@ -127,6 +129,26 @@ impl Factorization {
     pub fn chrome_trace(&self, platform: &Platform) -> String {
         let sim = self.simulate(platform);
         luqr_runtime::trace::to_chrome_trace(&self.graph, &sim)
+    }
+}
+
+/// The planner registry: map an [`Algorithm`] to the [`StepPlanner`] that
+/// inserts its per-step tasks.
+///
+/// This is the extension seam for new algorithms and step strategies
+/// *within this crate*: add a planner module under [`builder`] (the
+/// insertion helpers planners need — [`Inserter`]'s graph access, the
+/// panel/update task builders — are crate-internal), give it an
+/// [`Algorithm`] variant, and register it here.
+pub fn planner_for(algorithm: &Algorithm) -> Box<dyn StepPlanner> {
+    match algorithm {
+        Algorithm::LuQr(criterion) => {
+            Box::new(builder::hybrid::HybridPlanner::new(criterion.clone()))
+        }
+        Algorithm::LuNoPiv => Box::new(builder::lu::LuSimplePlanner::nopiv()),
+        Algorithm::Lupp => Box::new(builder::lu::LuSimplePlanner::partial_pivoting()),
+        Algorithm::LuIncPiv => Box::new(builder::incpiv::IncPivPlanner),
+        Algorithm::Hqr => Box::new(builder::hqr::HqrPlanner),
     }
 }
 
@@ -346,6 +368,23 @@ mod tests {
         let f = factor(&a, &b, &opts);
         assert_eq!(f.lu_step_fraction(), 0.0);
         assert!((f.true_flops() - 2.0 * f.nominal_flops()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn planner_registry_covers_every_algorithm() {
+        let cases = [
+            (
+                Algorithm::LuQr(Criterion::Max { alpha: 1.0 }),
+                "hybrid-luqr",
+            ),
+            (Algorithm::LuNoPiv, "lu-nopiv"),
+            (Algorithm::Lupp, "lupp"),
+            (Algorithm::LuIncPiv, "lu-incpiv"),
+            (Algorithm::Hqr, "hqr"),
+        ];
+        for (algorithm, expected) in cases {
+            assert_eq!(planner_for(&algorithm).name(), expected);
+        }
     }
 
     #[test]

@@ -103,7 +103,11 @@ pub fn factor_diagonal_domain(
     }
 
     unstack(&s, &heights, tiles);
-    Ok(PanelFactorization { ipiv, crit, heights })
+    Ok(PanelFactorization {
+        ipiv,
+        crit,
+        heights,
+    })
 }
 
 /// Apply a panel factorization to one trailing column of the domain
@@ -113,11 +117,7 @@ pub fn factor_diagonal_domain(
 ///
 /// `l_tiles` are the factored panel tiles (same order as in
 /// [`factor_diagonal_domain`]), `col_tiles` the same rows of column `j`.
-pub fn apply_panel_to_column(
-    l_tiles: &[&Mat],
-    ipiv: &[usize],
-    col_tiles: &mut [&mut Mat],
-) {
+pub fn apply_panel_to_column(l_tiles: &[&Mat], ipiv: &[usize], col_tiles: &mut [&mut Mat]) {
     let width = l_tiles[0].cols();
     let heights: Vec<usize> = col_tiles.iter().map(|t| t.rows()).collect();
     let l = stack(l_tiles);
@@ -128,13 +128,29 @@ pub fn apply_panel_to_column(
     // Top block: U_kj = L11^{-1} (P C)_top.
     let l11 = l.sub(0, 0, steps, steps);
     let mut top = c.sub(0, 0, steps, c.cols());
-    trsm(Side::Left, UpLo::Lower, Trans::NoTrans, Diag::Unit, 1.0, &l11, &mut top);
+    trsm(
+        Side::Left,
+        UpLo::Lower,
+        Trans::NoTrans,
+        Diag::Unit,
+        1.0,
+        &l11,
+        &mut top,
+    );
     c.set_sub(0, 0, &top);
     // Domain Schur update: C_rest -= L21 * U_kj.
     if c.rows() > steps {
         let l21 = l.sub(steps, 0, l.rows() - steps, steps);
         let mut rest = c.sub(steps, 0, c.rows() - steps, c.cols());
-        gemm(Trans::NoTrans, Trans::NoTrans, -1.0, &l21, &top, 1.0, &mut rest);
+        gemm(
+            Trans::NoTrans,
+            Trans::NoTrans,
+            -1.0,
+            &l21,
+            &top,
+            1.0,
+            &mut rest,
+        );
         c.set_sub(steps, 0, &rest);
     }
     unstack(&c, &heights, col_tiles);
@@ -246,7 +262,15 @@ pub fn swap_trsm_column(l11: &Mat, ipiv: &[usize], col_tiles: &mut [&mut Mat]) {
     let steps = ipiv.len().min(l11.cols()).min(l11.rows());
     let l_top = l11.sub(0, 0, steps, steps);
     let mut top = c.sub(0, 0, steps, c.cols());
-    trsm(Side::Left, UpLo::Lower, Trans::NoTrans, Diag::Unit, 1.0, &l_top, &mut top);
+    trsm(
+        Side::Left,
+        UpLo::Lower,
+        Trans::NoTrans,
+        Diag::Unit,
+        1.0,
+        &l_top,
+        &mut top,
+    );
     c.set_sub(0, 0, &top);
     unstack(&c, &heights, col_tiles);
 }
@@ -269,7 +293,7 @@ mod tests {
         let tiles = make_tiles(&[4, 4, 2], 4, 1);
         let s = stack(&tiles.iter().collect::<Vec<_>>());
         assert_eq!(s.dims(), (10, 4));
-        let mut out = vec![Mat::zeros(4, 4), Mat::zeros(4, 4), Mat::zeros(2, 4)];
+        let mut out = [Mat::zeros(4, 4), Mat::zeros(4, 4), Mat::zeros(2, 4)];
         let mut refs: Vec<&mut Mat> = out.iter_mut().collect();
         unstack(&s, &[4, 4, 2], &mut refs);
         for (a, b) in out.iter().zip(&tiles) {
@@ -332,10 +356,26 @@ mod tests {
         let lu = stack(&panel_tiles.iter().collect::<Vec<_>>());
         let l11 = lu.sub(0, 0, nb, nb);
         let mut top = dense.sub(0, nb, nb, 5);
-        trsm(Side::Left, UpLo::Lower, Trans::NoTrans, Diag::Unit, 1.0, &l11, &mut top);
+        trsm(
+            Side::Left,
+            UpLo::Lower,
+            Trans::NoTrans,
+            Diag::Unit,
+            1.0,
+            &l11,
+            &mut top,
+        );
         let l21 = lu.sub(nb, 0, nb, nb);
         let mut rest = dense.sub(nb, nb, nb, 5);
-        gemm(Trans::NoTrans, Trans::NoTrans, -1.0, &l21, &top, 1.0, &mut rest);
+        gemm(
+            Trans::NoTrans,
+            Trans::NoTrans,
+            -1.0,
+            &l21,
+            &top,
+            1.0,
+            &mut rest,
+        );
 
         let got = stack(&col_tiles.iter().collect::<Vec<_>>());
         assert!(got.sub(0, 0, nb, 5).max_abs_diff(&top) < 1e-12);
@@ -350,13 +390,13 @@ mod tests {
         // Reference: apply swaps to an index-identifying matrix.
         let mut a = Mat::from_fn(m, 1, |i, _| i as f64);
         laswp(&mut a, &ipiv, 0, ipiv.len());
-        for pos in 0..m {
-            assert_eq!(a[(pos, 0)] as usize, src[pos], "pos {pos}");
+        for (pos, &s) in src.iter().enumerate() {
+            assert_eq!(a[(pos, 0)] as usize, s, "pos {pos}");
         }
         // Structural property: below-block rows sourced from the block.
-        for pos in ipiv.len()..m {
-            if src[pos] != pos {
-                assert!(src[pos] < ipiv.len());
+        for (pos, &s) in src.iter().enumerate().skip(ipiv.len()) {
+            if s != pos {
+                assert!(s < ipiv.len());
             }
         }
     }
@@ -480,7 +520,7 @@ mod tests {
     #[test]
     fn zero_column_fails_with_crit_data() {
         let nb = 4;
-        let mut tiles = vec![Mat::zeros(nb, nb), Mat::zeros(nb, nb)];
+        let mut tiles = [Mat::zeros(nb, nb), Mat::zeros(nb, nb)];
         let mut refs: Vec<&mut Mat> = tiles.iter_mut().collect();
         let err = factor_diagonal_domain(&mut refs, 2);
         assert!(err.is_err());

@@ -51,7 +51,15 @@ mod tests {
         }
         let x_true = Mat::random(n, 2, 10);
         let mut c = Mat::zeros(n, 2);
-        gemm(Trans::NoTrans, Trans::NoTrans, 1.0, &u, &x_true, 0.0, &mut c);
+        gemm(
+            Trans::NoTrans,
+            Trans::NoTrans,
+            1.0,
+            &u,
+            &x_true,
+            0.0,
+            &mut c,
+        );
         // Assemble [U | c] — garbage below the diagonal must be ignored.
         let mut full = Mat::random(n, n + 2, 11);
         for i in 0..n {

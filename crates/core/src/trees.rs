@@ -228,7 +228,10 @@ mod tests {
                 } => {
                     assert!(eliminator < victim, "eliminator above victim");
                     assert!(!killed.contains(&victim), "row {victim} killed twice");
-                    assert!(!killed.contains(&eliminator), "dead eliminator {eliminator}");
+                    assert!(
+                        !killed.contains(&eliminator),
+                        "dead eliminator {eliminator}"
+                    );
                     assert!(
                         triangular.contains(&eliminator),
                         "eliminator {eliminator} not triangularized"
@@ -259,7 +262,12 @@ mod tests {
 
     #[test]
     fn all_tree_combinations_valid() {
-        let domains = vec![vec![2, 6, 10, 14], vec![3, 7, 11], vec![4, 8, 12], vec![5, 9, 13]];
+        let domains = vec![
+            vec![2, 6, 10, 14],
+            vec![3, 7, 11],
+            vec![4, 8, 12],
+            vec![5, 9, 13],
+        ];
         for intra in all_kinds() {
             for inter in all_kinds() {
                 check_valid(&domains, &TreeConfig { intra, inter });
@@ -286,7 +294,12 @@ mod tests {
 
     #[test]
     fn uneven_domains() {
-        let domains = vec![vec![0, 4, 8, 12, 16, 20], vec![1], vec![2, 6], vec![3, 7, 11, 15, 19]];
+        let domains = vec![
+            vec![0, 4, 8, 12, 16, 20],
+            vec![1],
+            vec![2, 6],
+            vec![3, 7, 11, 15, 19],
+        ];
         for intra in all_kinds() {
             check_valid(
                 &domains,
@@ -325,7 +338,10 @@ mod tests {
         assert_eq!(tree_depth(16, TreeKind::Greedy), 4);
         assert_eq!(tree_depth(16, TreeKind::FlatTt), 15);
         let fib = tree_depth(16, TreeKind::Fibonacci);
-        assert!(fib > 4 && fib < 15, "fibonacci depth {fib} should sit between");
+        assert!(
+            fib > 4 && fib < 15,
+            "fibonacci depth {fib} should sit between"
+        );
     }
 
     #[test]

@@ -115,8 +115,8 @@ pub fn gemv(trans: Trans, alpha: f64, a: &Mat, x: &[f64], beta: f64, y: &mut [f6
             if beta != 1.0 {
                 scal(beta, y);
             }
-            for j in 0..n {
-                let axj = alpha * x[j];
+            for (j, &xj) in x.iter().enumerate() {
+                let axj = alpha * xj;
                 if axj != 0.0 {
                     axpy(axj, a.col(j), y);
                 }
@@ -125,8 +125,8 @@ pub fn gemv(trans: Trans, alpha: f64, a: &Mat, x: &[f64], beta: f64, y: &mut [f6
         Trans::Trans => {
             debug_assert_eq!(x.len(), m);
             debug_assert_eq!(y.len(), n);
-            for j in 0..n {
-                y[j] = alpha * dot(a.col(j), x) + beta * y[j];
+            for (j, yj) in y.iter_mut().enumerate() {
+                *yj = alpha * dot(a.col(j), x) + beta * *yj;
             }
         }
     }
@@ -138,8 +138,8 @@ pub fn ger(alpha: f64, x: &[f64], y: &[f64], a: &mut Mat) {
     let (m, n) = a.dims();
     debug_assert_eq!(x.len(), m);
     debug_assert_eq!(y.len(), n);
-    for j in 0..n {
-        let ayj = alpha * y[j];
+    for (j, &yj) in y.iter().enumerate() {
+        let ayj = alpha * yj;
         if ayj != 0.0 {
             axpy(ayj, x, a.col_mut(j));
         }
@@ -159,15 +159,7 @@ const NC: usize = 256;
 /// `C = alpha * op(A) * op(B) + beta * C`.
 ///
 /// Dimensions: `op(A)` is m×k, `op(B)` is k×n, `C` is m×n.
-pub fn gemm(
-    transa: Trans,
-    transb: Trans,
-    alpha: f64,
-    a: &Mat,
-    b: &Mat,
-    beta: f64,
-    c: &mut Mat,
-) {
+pub fn gemm(transa: Trans, transb: Trans, alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &mut Mat) {
     let (m, n) = c.dims();
     let k = match transa {
         Trans::NoTrans => {
@@ -268,15 +260,7 @@ pub fn gemm(
 ///
 /// `A` is the triangular factor; only the triangle selected by `uplo` is
 /// referenced (plus the diagonal unless `Diag::Unit`).
-pub fn trsm(
-    side: Side,
-    uplo: UpLo,
-    trans: Trans,
-    diag: Diag,
-    alpha: f64,
-    a: &Mat,
-    b: &mut Mat,
-) {
+pub fn trsm(side: Side, uplo: UpLo, trans: Trans, diag: Diag, alpha: f64, a: &Mat, b: &mut Mat) {
     let (m, n) = b.dims();
     let d = match side {
         Side::Left => m,
@@ -482,12 +466,24 @@ mod tests {
 
     fn naive_gemm(ta: Trans, tb: Trans, alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &Mat) -> Mat {
         let (m, n) = c.dims();
-        let k = if ta == Trans::NoTrans { a.cols() } else { a.rows() };
+        let k = if ta == Trans::NoTrans {
+            a.cols()
+        } else {
+            a.rows()
+        };
         Mat::from_fn(m, n, |i, j| {
             let mut s = 0.0;
             for p in 0..k {
-                let av = if ta == Trans::NoTrans { a[(i, p)] } else { a[(p, i)] };
-                let bv = if tb == Trans::NoTrans { b[(p, j)] } else { b[(j, p)] };
+                let av = if ta == Trans::NoTrans {
+                    a[(i, p)]
+                } else {
+                    a[(p, i)]
+                };
+                let bv = if tb == Trans::NoTrans {
+                    b[(p, j)]
+                } else {
+                    b[(j, p)]
+                };
                 s += av * bv;
             }
             alpha * s + beta * c[(i, j)]
@@ -555,9 +551,9 @@ mod tests {
                         // Build the effective triangle T.
                         let mut t = match uplo {
                             UpLo::Upper => tri.upper_triangular(),
-                            UpLo::Lower => Mat::from_fn(n, n, |i, j| {
-                                if i >= j { tri[(i, j)] } else { 0.0 }
-                            }),
+                            UpLo::Lower => {
+                                Mat::from_fn(n, n, |i, j| if i >= j { tri[(i, j)] } else { 0.0 })
+                            }
                         };
                         if diag == Diag::Unit {
                             for i in 0..n {
@@ -590,7 +586,15 @@ mod tests {
         let a = Mat::eye(4);
         let b0 = Mat::random(4, 3, 2);
         let mut b = b0.clone();
-        trsm(Side::Left, UpLo::Upper, Trans::NoTrans, Diag::NonUnit, 2.0, &a, &mut b);
+        trsm(
+            Side::Left,
+            UpLo::Upper,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            2.0,
+            &a,
+            &mut b,
+        );
         for i in 0..4 {
             for j in 0..3 {
                 assert!((b[(i, j)] - 2.0 * b0[(i, j)]).abs() < 1e-15);
@@ -645,7 +649,9 @@ mod tests {
                 for diag in [Diag::NonUnit, Diag::Unit] {
                     let mut t = match uplo {
                         UpLo::Upper => a.upper_triangular(),
-                        UpLo::Lower => Mat::from_fn(n, n, |i, j| if i >= j { a[(i, j)] } else { 0.0 }),
+                        UpLo::Lower => {
+                            Mat::from_fn(n, n, |i, j| if i >= j { a[(i, j)] } else { 0.0 })
+                        }
                     };
                     if diag == Diag::Unit {
                         for i in 0..n {

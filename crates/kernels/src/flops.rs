@@ -159,21 +159,18 @@ impl FlopSnapshot {
     /// Per-class difference `self - earlier` (counters are monotone).
     pub fn since(&self, earlier: &FlopSnapshot) -> FlopSnapshot {
         let mut counts = [0u64; KERNEL_CLASS_COUNT];
-        for i in 0..KERNEL_CLASS_COUNT {
-            counts[i] = self.counts[i].saturating_sub(earlier.counts[i]);
+        for ((c, s), e) in counts.iter_mut().zip(&self.counts).zip(&earlier.counts) {
+            *c = s.saturating_sub(*e);
         }
         FlopSnapshot { counts }
     }
 
     /// Iterate `(class, flops)` pairs with non-zero counts.
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (KernelClass, u64)> + '_ {
-        ALL_KERNEL_CLASSES
-            .iter()
-            .copied()
-            .filter_map(move |c| {
-                let v = self.get(c);
-                (v > 0).then_some((c, v))
-            })
+        ALL_KERNEL_CLASSES.iter().copied().filter_map(move |c| {
+            let v = self.get(c);
+            (v > 0).then_some((c, v))
+        })
     }
 }
 

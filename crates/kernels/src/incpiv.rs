@@ -24,7 +24,15 @@ pub type PairPivot = Option<usize>;
 pub fn gessm(lu: &Mat, ipiv: &[usize], a: &mut Mat) {
     let _attr = Attribution::new(KernelClass::Ssssm);
     laswp(a, ipiv, 0, ipiv.len());
-    trsm(Side::Left, UpLo::Lower, Trans::NoTrans, Diag::Unit, 1.0, lu, a);
+    trsm(
+        Side::Left,
+        UpLo::Lower,
+        Trans::NoTrans,
+        Diag::Unit,
+        1.0,
+        lu,
+        a,
+    );
 }
 
 /// LU of the stacked pair `[U; A]` with pivoting restricted to the pair
@@ -61,9 +69,7 @@ pub fn tstrf(u: &mut Mat, a: &mut Mat, l: &mut Mat) -> Result<Vec<PairPivot>, Ke
         if let Some(i) = bi {
             // Swap row j of U with row i of A over columns j..n.
             for c in j..n {
-                let tmp = u[(j, c)];
-                u[(j, c)] = a[(i, c)];
-                a[(i, c)] = tmp;
+                std::mem::swap(&mut u[(j, c)], &mut a[(i, c)]);
             }
         }
         pivots.push(bi);
@@ -105,9 +111,7 @@ pub fn ssssm(l: &Mat, pivots: &[PairPivot], b_top: &mut Mat, b_bot: &mut Mat) {
         if let Some(i) = piv {
             // Swap row j of the top tile with row i of the bottom tile.
             for c in 0..w {
-                let tmp = b_top[(j, c)];
-                b_top[(j, c)] = b_bot[(*i, c)];
-                b_bot[(*i, c)] = tmp;
+                std::mem::swap(&mut b_top[(j, c)], &mut b_bot[(*i, c)]);
             }
         }
         // Eliminate: bottom rows -= L(:, j) * top row j.
@@ -148,8 +152,16 @@ mod tests {
         let mut top = u0.clone();
         let mut bot = a0.clone();
         ssssm(&l, &piv, &mut top, &mut bot);
-        assert!(top.max_abs_diff(&u) < 1e-12, "top mismatch {}", top.max_abs_diff(&u));
-        assert!(bot.norm_max() < 1e-12, "bottom not eliminated: {}", bot.norm_max());
+        assert!(
+            top.max_abs_diff(&u) < 1e-12,
+            "top mismatch {}",
+            top.max_abs_diff(&u)
+        );
+        assert!(
+            bot.norm_max() < 1e-12,
+            "bottom not eliminated: {}",
+            bot.norm_max()
+        );
     }
 
     #[test]
@@ -160,7 +172,11 @@ mod tests {
         let mut a = Mat::random(n, n, 4);
         let mut l = Mat::zeros(n, n);
         let _ = tstrf(&mut u, &mut a, &mut l).unwrap();
-        assert!(l.norm_max() <= 1.0 + 1e-14, "multiplier {} > 1", l.norm_max());
+        assert!(
+            l.norm_max() <= 1.0 + 1e-14,
+            "multiplier {} > 1",
+            l.norm_max()
+        );
     }
 
     #[test]

@@ -50,8 +50,8 @@ pub fn swap_rows(a: &mut Mat, r1: usize, r2: usize, j0: usize, j1: usize) {
 /// (dlaswp, forward direction).
 pub fn laswp(a: &mut Mat, ipiv: &[usize], k0: usize, k1: usize) {
     let n = a.cols();
-    for k in k0..k1 {
-        swap_rows(a, k, ipiv[k], 0, n);
+    for (k, &p) in ipiv.iter().enumerate().take(k1).skip(k0) {
+        swap_rows(a, k, p, 0, n);
     }
 }
 
@@ -174,7 +174,15 @@ pub fn getrf(a: &mut Mat) -> Result<Vec<usize>, KernelError> {
     {
         let l11 = a.sub(0, 0, n1, n1);
         let mut u12 = right.sub(0, 0, n1, n - n1);
-        trsm(Side::Left, UpLo::Lower, Trans::NoTrans, Diag::Unit, 1.0, &l11, &mut u12);
+        trsm(
+            Side::Left,
+            UpLo::Lower,
+            Trans::NoTrans,
+            Diag::Unit,
+            1.0,
+            &l11,
+            &mut u12,
+        );
         right.set_sub(0, 0, &u12);
     }
     // Trailing update A22 -= L21 * U12.
@@ -182,7 +190,15 @@ pub fn getrf(a: &mut Mat) -> Result<Vec<usize>, KernelError> {
         let l21 = a.sub(n1, 0, m - n1, n1);
         let u12 = right.sub(0, 0, n1, n - n1);
         let mut a22 = right.sub(n1, 0, m - n1, n - n1);
-        gemm(Trans::NoTrans, Trans::NoTrans, -1.0, &l21, &u12, 1.0, &mut a22);
+        gemm(
+            Trans::NoTrans,
+            Trans::NoTrans,
+            -1.0,
+            &l21,
+            &u12,
+            1.0,
+            &mut a22,
+        );
         right.set_sub(n1, 0, &a22);
 
         // Factor the trailing block column recursively.
@@ -249,8 +265,24 @@ pub fn getrs(lu: &Mat, ipiv: &[usize], b: &mut Mat) {
     assert_eq!(lu.rows(), lu.cols());
     assert_eq!(lu.rows(), b.rows());
     laswp(b, ipiv, 0, ipiv.len());
-    trsm(Side::Left, UpLo::Lower, Trans::NoTrans, Diag::Unit, 1.0, lu, b);
-    trsm(Side::Left, UpLo::Upper, Trans::NoTrans, Diag::NonUnit, 1.0, lu, b);
+    trsm(
+        Side::Left,
+        UpLo::Lower,
+        Trans::NoTrans,
+        Diag::Unit,
+        1.0,
+        lu,
+        b,
+    );
+    trsm(
+        Side::Left,
+        UpLo::Upper,
+        Trans::NoTrans,
+        Diag::NonUnit,
+        1.0,
+        lu,
+        b,
+    );
 }
 
 /// Solve `X A = B` (i.e. `B <- B A^{-1}`) given the LU factorization of
@@ -260,8 +292,24 @@ pub fn getrs_right(lu: &Mat, ipiv: &[usize], b: &mut Mat) {
     assert_eq!(lu.rows(), lu.cols());
     assert_eq!(lu.cols(), b.cols());
     // B A^{-1} = B (P^T L U)^{-1} = B U^{-1} L^{-1} P.
-    trsm(Side::Right, UpLo::Upper, Trans::NoTrans, Diag::NonUnit, 1.0, lu, b);
-    trsm(Side::Right, UpLo::Lower, Trans::NoTrans, Diag::Unit, 1.0, lu, b);
+    trsm(
+        Side::Right,
+        UpLo::Upper,
+        Trans::NoTrans,
+        Diag::NonUnit,
+        1.0,
+        lu,
+        b,
+    );
+    trsm(
+        Side::Right,
+        UpLo::Lower,
+        Trans::NoTrans,
+        Diag::Unit,
+        1.0,
+        lu,
+        b,
+    );
     // Apply P from the right: column interchanges in reverse order.
     for k in (0..ipiv.len()).rev() {
         let p = ipiv[k];
@@ -358,7 +406,10 @@ mod tests {
         let _ = getrf(&mut a).unwrap();
         for j in 0..40 {
             for i in j + 1..40 {
-                assert!(a[(i, j)].abs() <= 1.0 + 1e-14, "multiplier > 1 at ({i},{j})");
+                assert!(
+                    a[(i, j)].abs() <= 1.0 + 1e-14,
+                    "multiplier > 1 at ({i},{j})"
+                );
             }
         }
     }
@@ -395,11 +446,7 @@ mod tests {
     #[test]
     fn getf2_continue_reports_and_survives_zero_column() {
         // Column 1 becomes exactly zero after step 0.
-        let mut a = Mat::from_rows(&[
-            &[1.0, 2.0, 3.0],
-            &[2.0, 4.0, 1.0],
-            &[3.0, 6.0, 2.0],
-        ]);
+        let mut a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[2.0, 4.0, 1.0], &[3.0, 6.0, 2.0]]);
         let (_, info) = getf2_continue(&mut a);
         assert_eq!(info, Some(1));
         assert!(a.as_slice().iter().all(|v| v.is_finite()));
@@ -411,7 +458,15 @@ mod tests {
         let a0 = Mat::random(n, n, 3);
         let x_true = Mat::random(n, 2, 4);
         let mut b = Mat::zeros(n, 2);
-        gemm(Trans::NoTrans, Trans::NoTrans, 1.0, &a0, &x_true, 0.0, &mut b);
+        gemm(
+            Trans::NoTrans,
+            Trans::NoTrans,
+            1.0,
+            &a0,
+            &x_true,
+            0.0,
+            &mut b,
+        );
         let mut lu = a0.clone();
         let ipiv = getrf(&mut lu).unwrap();
         getrs(&lu, &ipiv, &mut b);
@@ -425,7 +480,15 @@ mod tests {
         let x_true = Mat::random(4, n, 6);
         // B = X * A
         let mut b = Mat::zeros(4, n);
-        gemm(Trans::NoTrans, Trans::NoTrans, 1.0, &x_true, &a0, 0.0, &mut b);
+        gemm(
+            Trans::NoTrans,
+            Trans::NoTrans,
+            1.0,
+            &x_true,
+            &a0,
+            0.0,
+            &mut b,
+        );
         let mut lu = a0.clone();
         let ipiv = getrf(&mut lu).unwrap();
         getrs_right(&lu, &ipiv, &mut b);

@@ -157,7 +157,10 @@ impl Mat {
 
     /// Extract the sub-block `rows x cols` starting at `(i0, j0)`.
     pub fn sub(&self, i0: usize, j0: usize, rows: usize, cols: usize) -> Mat {
-        assert!(i0 + rows <= self.m && j0 + cols <= self.n, "sub out of range");
+        assert!(
+            i0 + rows <= self.m && j0 + cols <= self.n,
+            "sub out of range"
+        );
         Mat::from_fn(rows, cols, |i, j| self[(i0 + i, j0 + j)])
     }
 
@@ -181,7 +184,11 @@ impl Mat {
 
     /// Upper-triangular copy (entries strictly below the diagonal zeroed).
     pub fn upper_triangular(&self) -> Mat {
-        Mat::from_fn(self.m, self.n, |i, j| if i <= j { self[(i, j)] } else { 0.0 })
+        Mat::from_fn(
+            self.m,
+            self.n,
+            |i, j| if i <= j { self[(i, j)] } else { 0.0 },
+        )
     }
 
     /// Unit-lower-triangular copy (ones on the diagonal, zeros above).
@@ -227,7 +234,9 @@ impl Mat {
 
     /// Largest absolute entry of column `j` restricted to rows `i0..`.
     pub fn col_max_abs_from(&self, j: usize, i0: usize) -> f64 {
-        self.col(j)[i0..].iter().fold(0.0, |acc, x| acc.max(x.abs()))
+        self.col(j)[i0..]
+            .iter()
+            .fold(0.0, |acc, x| acc.max(x.abs()))
     }
 
     /// `max |self - other|` over all entries (dims must match).
@@ -249,7 +258,11 @@ impl std::ops::Index<(usize, usize)> for Mat {
     type Output = f64;
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        debug_assert!(i < self.m && j < self.n, "index ({i},{j}) out of {:?}", self.dims());
+        debug_assert!(
+            i < self.m && j < self.n,
+            "index ({i},{j}) out of {:?}",
+            self.dims()
+        );
         &self.data[j * self.m + i]
     }
 }
@@ -257,7 +270,11 @@ impl std::ops::Index<(usize, usize)> for Mat {
 impl std::ops::IndexMut<(usize, usize)> for Mat {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        debug_assert!(i < self.m && j < self.n, "index ({i},{j}) out of {:?}", self.dims());
+        debug_assert!(
+            i < self.m && j < self.n,
+            "index ({i},{j}) out of {:?}",
+            self.dims()
+        );
         &mut self.data[j * self.m + i]
     }
 }
@@ -287,7 +304,7 @@ mod tests {
     fn index_is_column_major() {
         let mut a = Mat::zeros(3, 2);
         a[(2, 1)] = 5.0;
-        assert_eq!(a.as_slice()[1 * 3 + 2], 5.0);
+        assert_eq!(a.as_slice()[3 + 2], 5.0);
         assert_eq!(a[(2, 1)], 5.0);
     }
 

@@ -16,15 +16,47 @@ use crate::mat::Mat;
 /// Solve `A x = b` in place from packed LU factors (column vector form).
 fn solve_lu(lu: &Mat, ipiv: &[usize], x: &mut Mat) {
     laswp(x, ipiv, 0, ipiv.len());
-    trsm(Side::Left, UpLo::Lower, Trans::NoTrans, Diag::Unit, 1.0, lu, x);
-    trsm(Side::Left, UpLo::Upper, Trans::NoTrans, Diag::NonUnit, 1.0, lu, x);
+    trsm(
+        Side::Left,
+        UpLo::Lower,
+        Trans::NoTrans,
+        Diag::Unit,
+        1.0,
+        lu,
+        x,
+    );
+    trsm(
+        Side::Left,
+        UpLo::Upper,
+        Trans::NoTrans,
+        Diag::NonUnit,
+        1.0,
+        lu,
+        x,
+    );
 }
 
 /// Solve `Aᵀ x = b` in place from packed LU factors.
 fn solve_lu_t(lu: &Mat, ipiv: &[usize], x: &mut Mat) {
     // Aᵀ = Uᵀ Lᵀ P, so x = Pᵀ L⁻ᵀ U⁻ᵀ b.
-    trsm(Side::Left, UpLo::Upper, Trans::Trans, Diag::NonUnit, 1.0, lu, x);
-    trsm(Side::Left, UpLo::Lower, Trans::Trans, Diag::Unit, 1.0, lu, x);
+    trsm(
+        Side::Left,
+        UpLo::Upper,
+        Trans::Trans,
+        Diag::NonUnit,
+        1.0,
+        lu,
+        x,
+    );
+    trsm(
+        Side::Left,
+        UpLo::Lower,
+        Trans::Trans,
+        Diag::Unit,
+        1.0,
+        lu,
+        x,
+    );
     laswp_backward(x, ipiv, 0, ipiv.len());
 }
 
@@ -102,13 +134,29 @@ pub fn invnorm_est_r(rf: &Mat, max_iter: usize) -> f64 {
     let mut x = Mat::from_fn(n, 1, |_, _| 1.0 / n as f64);
     let mut est = 0.0f64;
     for _ in 0..max_iter.max(1) {
-        trsm(Side::Left, UpLo::Upper, Trans::NoTrans, Diag::NonUnit, 1.0, rf, &mut x);
+        trsm(
+            Side::Left,
+            UpLo::Upper,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            1.0,
+            rf,
+            &mut x,
+        );
         let new_est: f64 = x.col(0).iter().map(|v| v.abs()).sum();
         if !new_est.is_finite() {
             return f64::INFINITY;
         }
         let mut z = Mat::from_fn(n, 1, |i, _| if x[(i, 0)] >= 0.0 { 1.0 } else { -1.0 });
-        trsm(Side::Left, UpLo::Upper, Trans::Trans, Diag::NonUnit, 1.0, rf, &mut z);
+        trsm(
+            Side::Left,
+            UpLo::Upper,
+            Trans::Trans,
+            Diag::NonUnit,
+            1.0,
+            rf,
+            &mut z,
+        );
         let mut jmax = 0usize;
         let mut zmax = 0.0f64;
         for i in 0..n {
@@ -164,13 +212,7 @@ mod tests {
     #[test]
     fn estimator_exact_on_diagonal() {
         let n = 12;
-        let a = Mat::from_fn(n, n, |i, j| {
-            if i == j {
-                (i + 1) as f64
-            } else {
-                0.0
-            }
-        });
+        let a = Mat::from_fn(n, n, |i, j| if i == j { (i + 1) as f64 } else { 0.0 });
         let (est, exact) = est_vs_exact(&a);
         assert!((exact - 1.0).abs() < 1e-14); // inverse has max column sum 1/1
         assert!((est - exact).abs() < 1e-12);
@@ -205,7 +247,15 @@ mod tests {
         let est = invnorm_est_r(&r, 5);
         // Exact ‖R⁻¹‖₁ via solves against unit vectors.
         let mut cols = Mat::eye(n);
-        trsm(Side::Left, UpLo::Upper, Trans::NoTrans, Diag::NonUnit, 1.0, &r, &mut cols);
+        trsm(
+            Side::Left,
+            UpLo::Upper,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            1.0,
+            &r,
+            &mut cols,
+        );
         let exact = cols.norm_one();
         assert!(est <= exact * (1.0 + 1e-12));
         assert!(est >= 0.2 * exact, "estimate too loose: {est} vs {exact}");

@@ -49,7 +49,11 @@ impl TFactor {
     /// Extract the `ibb x ibb` upper-triangular T block starting at column `i`.
     fn block(&self, i: usize) -> Mat {
         let ibb = self.ib.min(self.n() - i);
-        Mat::from_fn(ibb, ibb, |r, c| if r <= c { self.t[(r, i + c)] } else { 0.0 })
+        Mat::from_fn(
+            ibb,
+            ibb,
+            |r, c| if r <= c { self.t[(r, i + c)] } else { 0.0 },
+        )
     }
 }
 
@@ -452,7 +456,11 @@ pub fn tpqrt(l: usize, a: &mut Mat, b: &mut Mat, ib: usize) -> TFactor {
         let ibb = ib.min(n - i);
         // Rows of B involved in this block column, and its own l parameter.
         let mb = (m - l + i + ibb).min(m);
-        let lb = if l == 0 { 0 } else { (mb + l).saturating_sub(m + i).min(ibb.min(mb)) };
+        let lb = if l == 0 {
+            0
+        } else {
+            (mb + l).saturating_sub(m + i).min(ibb.min(mb))
+        };
         // Factor [A(i..i+ibb, i..i+ibb); B(0..mb, i..i+ibb)].
         let mut ablk = a.sub(i, i, ibb, ibb);
         let mut bblk = b.sub(0, i, mb, ibb);
@@ -499,7 +507,11 @@ pub fn tpmqrt(trans: Trans, l: usize, v: &Mat, tf: &TFactor, a: &mut Mat, b: &mu
     for i in order {
         let ibb = ib.min(k - i);
         let mb = (m - l + i + ibb).min(m);
-        let lb = if l == 0 { 0 } else { (mb + l).saturating_sub(m + i).min(ibb.min(mb)) };
+        let lb = if l == 0 {
+            0
+        } else {
+            (mb + l).saturating_sub(m + i).min(ibb.min(mb))
+        };
         let vblk = v.sub(0, i, mb, ibb);
         let tblk = tf.block(i);
         let mut ablk = a.sub(i, 0, ibb, w);
@@ -569,7 +581,7 @@ mod tests {
         assert!(beta.is_finite() && tau.is_finite());
         assert!(x.iter().all(|v| v.is_finite()));
         // |beta| equals the (rescaled) input norm.
-        let norm = ((2e-311f64).powi(2) as f64).sqrt(); // underflows — use hypot chain
+        let norm = (2e-311f64).powi(2).sqrt(); // underflows — use hypot chain
         let _ = norm;
     }
 
@@ -589,7 +601,13 @@ mod tests {
 
     #[test]
     fn geqrt_reconstructs_a() {
-        for (m, n, ib) in [(16, 16, 4), (24, 24, 24), (24, 24, 5), (32, 16, 4), (7, 7, 3)] {
+        for (m, n, ib) in [
+            (16, 16, 4),
+            (24, 24, 24),
+            (24, 24, 5),
+            (32, 16, 4),
+            (7, 7, 3),
+        ] {
             let a0 = Mat::random(m, n, (m * n) as u64);
             let mut a = a0.clone();
             let tf = geqrt(&mut a, ib);
@@ -647,7 +665,11 @@ mod tests {
         let mut bot = b0.clone();
         tpmqrt(Trans::Trans, 0, &b, &tf, &mut top, &mut bot);
         assert!(top.max_abs_diff(&r) < 1e-12, "top != new R");
-        assert!(bot.norm_max() < 1e-12, "bottom tile not annihilated: {}", bot.norm_max());
+        assert!(
+            bot.norm_max() < 1e-12,
+            "bottom tile not annihilated: {}",
+            bot.norm_max()
+        );
     }
 
     #[test]
@@ -682,7 +704,10 @@ mod tests {
             // V2 stays upper triangular (structure exploited by TT kernels).
             for j in 0..n {
                 for i in j + 1..n {
-                    assert!(b[(i, j)].abs() < 1e-13, "V2 fill-in below diagonal (ib={ib})");
+                    assert!(
+                        b[(i, j)].abs() < 1e-13,
+                        "V2 fill-in below diagonal (ib={ib})"
+                    );
                 }
             }
             // Applying Q^T to the original stack annihilates the bottom tile.

@@ -84,8 +84,18 @@ mod tests {
     fn dot_contains_nodes_and_edges() {
         let mut b = GraphBuilder::new(1);
         b.declare(DataKey(0), 8, 0);
-        b.task("PANEL(k=0)", 0, &[Access::Mut(DataKey(0))], TaskResult::control);
-        b.task("GEMM(1,1,k=0)", 0, &[Access::Mut(DataKey(0))], TaskResult::control);
+        b.task(
+            "PANEL(k=0)",
+            0,
+            &[Access::Mut(DataKey(0))],
+            TaskResult::control,
+        );
+        b.task(
+            "GEMM(1,1,k=0)",
+            0,
+            &[Access::Mut(DataKey(0))],
+            TaskResult::control,
+        );
         let g = b.build();
         let dot = to_dot(&g);
         assert!(dot.contains("digraph"));
@@ -112,7 +122,12 @@ mod tests {
     fn discarded_tasks_render_dashed() {
         let mut b = GraphBuilder::new(1);
         b.declare(DataKey(0), 8, 0);
-        b.task("TSQRT(1,k=0)", 0, &[Access::Mut(DataKey(0))], TaskResult::discarded);
+        b.task(
+            "TSQRT(1,k=0)",
+            0,
+            &[Access::Mut(DataKey(0))],
+            TaskResult::discarded,
+        );
         let g = b.build();
         crate::exec::execute(&g, 1);
         let dot = to_dot(&g);

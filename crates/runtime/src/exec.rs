@@ -80,7 +80,9 @@ pub fn execute(graph: &Graph, threads: usize) -> ExecReport {
                         .expect("task result already recorded");
                     // Release successors.
                     for &s in &task.successors {
-                        let prev = graph.tasks[s].preds_remaining.fetch_sub(1, Ordering::AcqRel);
+                        let prev = graph.tasks[s]
+                            .preds_remaining
+                            .fetch_sub(1, Ordering::AcqRel);
                         debug_assert!(prev >= 1, "dependency underflow");
                         if prev == 1 {
                             let _ = tx.send(s);

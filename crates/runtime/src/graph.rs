@@ -360,6 +360,21 @@ impl GraphBuilder {
         id
     }
 
+    /// Start a typed task insertion: declare accesses fluently, optionally
+    /// gate the task on a runtime branch decision, then [`TaskBuilder::spawn`]
+    /// the kernel. This is the preferred insertion surface for algorithm
+    /// planners — it removes hand-rolled `&[Access::...]` arrays and
+    /// centralizes the dynamic branch-discard mechanism.
+    pub fn insert(&mut self, name: impl Into<String>, node: usize) -> TaskBuilder<'_> {
+        TaskBuilder {
+            builder: self,
+            name: name.into(),
+            node,
+            accesses: Vec::new(),
+            guard: None,
+        }
+    }
+
     /// Finalize into an executable [`Graph`].
     pub fn build(mut self) -> Graph {
         for t in &mut self.tasks {
@@ -372,6 +387,119 @@ impl GraphBuilder {
         };
         debug_assert!(g.validate().is_ok());
         g
+    }
+}
+
+/// Fluent, typed task insertion (created by [`GraphBuilder::insert`]).
+///
+/// Accesses are recorded in call order; [`TaskBuilder::guard`] implements
+/// the paper's dynamic task-graph discard: both branch alternatives are
+/// statically present in the graph, and a guarded task consults its branch
+/// predicate at execution time, running its kernel or reporting itself
+/// [`TaskResult::discarded`].
+pub struct TaskBuilder<'b> {
+    builder: &'b mut GraphBuilder,
+    name: String,
+    node: usize,
+    accesses: Vec<Access>,
+    guard: Option<Box<dyn Fn() -> bool + Send + 'static>>,
+}
+
+impl TaskBuilder<'_> {
+    /// Shared-read access.
+    pub fn reads(mut self, key: DataKey) -> Self {
+        self.accesses.push(Access::Read(key));
+        self
+    }
+
+    /// Shared-read access to each key in `keys`.
+    pub fn reads_each(mut self, keys: impl IntoIterator<Item = DataKey>) -> Self {
+        self.accesses.extend(keys.into_iter().map(Access::Read));
+        self
+    }
+
+    /// Exclusive read-write access.
+    pub fn writes(mut self, key: DataKey) -> Self {
+        self.accesses.push(Access::Mut(key));
+        self
+    }
+
+    /// Exclusive read-write access to each key in `keys`.
+    pub fn writes_each(mut self, keys: impl IntoIterator<Item = DataKey>) -> Self {
+        self.accesses.extend(keys.into_iter().map(Access::Mut));
+        self
+    }
+
+    /// Ordering-only access (synchronize with the key's last writer, move no
+    /// data).
+    pub fn controls(mut self, key: DataKey) -> Self {
+        self.accesses.push(Access::Control(key));
+        self
+    }
+
+    /// Ordering-only access to each key in `keys`.
+    pub fn controls_each(mut self, keys: impl IntoIterator<Item = DataKey>) -> Self {
+        self.accesses.extend(keys.into_iter().map(Access::Control));
+        self
+    }
+
+    /// Gate this task on a branch decision stored under `decision_key`: the
+    /// task reads the decision datum and, at execution time, runs its kernel
+    /// only if `selected()` returns true — otherwise it discards itself
+    /// (zero cost, no data flow). One task of every branch pair survives.
+    pub fn guard(
+        mut self,
+        decision_key: DataKey,
+        selected: impl Fn() -> bool + Send + 'static,
+    ) -> Self {
+        // The decision read is ordered first so trace output shows the gate.
+        self.accesses.insert(0, Access::Read(decision_key));
+        self.guard = Some(Box::new(selected));
+        self
+    }
+
+    /// Insert the task with a raw kernel returning its own [`TaskResult`].
+    pub fn spawn(self, kernel: impl FnOnce() -> TaskResult + Send + 'static) -> TaskId {
+        let TaskBuilder {
+            builder,
+            name,
+            node,
+            accesses,
+            guard,
+        } = self;
+        match guard {
+            None => builder.task(name, node, &accesses, kernel),
+            Some(selected) => builder.task(name, node, &accesses, move || {
+                if !selected() {
+                    return TaskResult::discarded();
+                }
+                kernel()
+            }),
+        }
+    }
+
+    /// Insert a compute task with declared cost: the kernel body just does
+    /// the work, and the task result is tagged `(flops, class)` — the
+    /// cost-class tagging used by the platform simulator's efficiency model.
+    pub fn spawn_costed(
+        self,
+        flops: f64,
+        class: CostClass,
+        body: impl FnOnce() + Send + 'static,
+    ) -> TaskId {
+        self.spawn(move || {
+            body();
+            TaskResult::executed(flops, class)
+        })
+    }
+
+    /// Insert a memory-movement task of `bytes` volume (backup / restore /
+    /// swap traffic; costed by bandwidth, not flops).
+    pub fn spawn_memory(self, bytes: usize, body: impl FnOnce() + Send + 'static) -> TaskId {
+        self.spawn(move || {
+            body();
+            TaskResult::memory(bytes)
+        })
     }
 }
 
@@ -494,6 +622,78 @@ mod tests {
         let _ = kern();
         assert_eq!(counter.load(Ordering::SeqCst), 1);
         assert!(g.tasks[t].kernel.lock().is_none());
+    }
+
+    #[test]
+    fn task_builder_matches_raw_insertion() {
+        let mut b = GraphBuilder::new(2);
+        b.declare(k(0), 8, 0);
+        b.declare(k(1), 16, 1);
+        b.declare(k(2), 8, 0);
+        let w = b
+            .insert("w", 0)
+            .writes(k(0))
+            .writes_each([k(1)])
+            .spawn(noop);
+        let r = b
+            .insert("r", 1)
+            .reads(k(0))
+            .reads_each([k(1)])
+            .controls(k(2))
+            .spawn(noop);
+        let g = b.build();
+        assert_eq!(g.tasks[w].successors, vec![r]);
+        assert_eq!(g.tasks[r].num_preds, 1);
+        // Control access to untouched k(2) contributes no data input.
+        assert_eq!(g.tasks[r].inputs.len(), 2);
+    }
+
+    #[test]
+    fn guarded_task_discards_when_branch_unselected() {
+        use std::sync::atomic::AtomicBool;
+        let decision = Arc::new(AtomicBool::new(false)); // "QR" selected
+        let mut b = GraphBuilder::new(1);
+        b.declare(k(0), 8, 0);
+        b.declare(k(9), 1, 0); // decision datum
+        let lu_branch = {
+            let d = Arc::clone(&decision);
+            b.insert("lu", 0)
+                .writes(k(0))
+                .guard(k(9), move || d.load(Ordering::SeqCst))
+                .spawn(|| TaskResult::executed(10.0, CostClass::Gemm))
+        };
+        let qr_branch = {
+            let d = Arc::clone(&decision);
+            b.insert("qr", 0)
+                .writes(k(0))
+                .guard(k(9), move || !d.load(Ordering::SeqCst))
+                .spawn(|| TaskResult::executed(20.0, CostClass::QrFactor))
+        };
+        let g = b.build();
+        let run = |t: TaskId| g.tasks[t].kernel.lock().take().unwrap()();
+        let lu = run(lu_branch);
+        let qr = run(qr_branch);
+        assert!(!lu.executed, "unselected branch must discard");
+        assert_eq!(lu.flops, 0.0);
+        assert!(qr.executed);
+        assert_eq!(qr.flops, 20.0);
+    }
+
+    #[test]
+    fn spawn_costed_and_memory_tag_results() {
+        let mut b = GraphBuilder::new(1);
+        b.declare(k(0), 8, 0);
+        let c = b
+            .insert("c", 0)
+            .writes(k(0))
+            .spawn_costed(42.0, CostClass::Trsm, || {});
+        let m = b.insert("m", 0).reads(k(0)).spawn_memory(4096, || {});
+        let g = b.build();
+        let run = |t: TaskId| g.tasks[t].kernel.lock().take().unwrap()();
+        let rc = run(c);
+        assert_eq!((rc.flops, rc.class), (42.0, CostClass::Trsm));
+        let rm = run(m);
+        assert_eq!((rm.flops, rm.class), (4096.0, CostClass::Memory));
     }
 
     #[test]

@@ -26,6 +26,6 @@ pub mod sim;
 pub mod trace;
 
 pub use exec::{execute, ExecReport};
-pub use graph::{Access, CostClass, DataKey, Graph, GraphBuilder, TaskId, TaskResult};
+pub use graph::{Access, CostClass, DataKey, Graph, GraphBuilder, TaskBuilder, TaskId, TaskResult};
 pub use platform::{Efficiency, Platform};
 pub use sim::{simulate, SimReport};

@@ -139,7 +139,11 @@ mod tests {
     #[test]
     fn dancer_matches_paper_peak() {
         let p = Platform::dancer();
-        assert!((p.peak_gflops() - 1090.56).abs() < 1.0, "{}", p.peak_gflops());
+        assert!(
+            (p.peak_gflops() - 1090.56).abs() < 1.0,
+            "{}",
+            p.peak_gflops()
+        );
     }
 
     #[test]

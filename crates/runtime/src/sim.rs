@@ -188,7 +188,10 @@ pub fn simulate(graph: &Graph, platform: &Platform) -> SimReport {
     let mut ready: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
     for t in graph.roots() {
         let init = initial_input_time(graph, t, platform, &executed, &mut net);
-        ready.push(Reverse(Event { time: init, task: t }));
+        ready.push(Reverse(Event {
+            time: init,
+            task: t,
+        }));
     }
 
     let mut makespan = 0.0f64;
@@ -257,7 +260,10 @@ pub fn simulate(graph: &Graph, platform: &Platform) -> SimReport {
             }
         }
     }
-    assert_eq!(scheduled, n, "simulator failed to schedule every task (cycle?)");
+    assert_eq!(
+        scheduled, n,
+        "simulator failed to schedule every task (cycle?)"
+    );
 
     // Critical path: longest chain of task durations + comm delays,
     // ignoring resource constraints.
@@ -336,7 +342,9 @@ impl PartialOrd for OrderedF64 {
 
 impl Ord for OrderedF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
     }
 }
 
@@ -504,8 +512,18 @@ mod tests {
         b.declare(k(2), 0, 0);
         for _ in 0..6 {
             b.task("fork", 0, &[Access::Mut(k(0))], one_sec_task);
-            b.task("l", 0, &[Access::Read(k(0)), Access::Mut(k(1))], one_sec_task);
-            b.task("r", 0, &[Access::Read(k(0)), Access::Mut(k(2))], one_sec_task);
+            b.task(
+                "l",
+                0,
+                &[Access::Read(k(0)), Access::Mut(k(1))],
+                one_sec_task,
+            );
+            b.task(
+                "r",
+                0,
+                &[Access::Read(k(0)), Access::Mut(k(2))],
+                one_sec_task,
+            );
             b.task(
                 "join",
                 0,
@@ -548,7 +566,11 @@ mod tests {
         let r = simulate(&g, &flat_platform(4, 1));
         // p ends at 1; three 1s wire-time sends pipeline on the NIC:
         // arrivals ~3, ~4, ~5; last consumer ends ~6.
-        assert!(r.makespan > 5.5, "NIC contention not modeled: {}", r.makespan);
+        assert!(
+            r.makespan > 5.5,
+            "NIC contention not modeled: {}",
+            r.makespan
+        );
         assert_eq!(r.messages, 3);
     }
 }

@@ -30,7 +30,7 @@ pub fn random(n: usize, seed: u64) -> Mat {
 }
 
 /// 1. Householder matrix: `A = I − β v vᵀ` with random `v`, `β = 2/(vᵀv)`.
-/// Symmetric and orthogonal.
+///    Symmetric and orthogonal.
 pub fn house(n: usize, seed: u64) -> Mat {
     let mut r = rng(seed);
     let v: Vec<f64> = (0..n).map(|_| r.random_range(-1.0..1.0)).collect();
@@ -43,13 +43,13 @@ pub fn house(n: usize, seed: u64) -> Mat {
 }
 
 /// 2. Parter matrix: Toeplitz with `A(i,j) = 1/(i − j + 0.5)` (1-based);
-/// most singular values are near π.
+///    most singular values are near π.
 pub fn parter(n: usize) -> Mat {
     Mat::from_fn(n, n, |i, j| 1.0 / (i as f64 - j as f64 + 0.5))
 }
 
 /// 3. Ris matrix: `A(i,j) = 0.5/(n − i − j + 1.5)` (1-based); Hankel,
-/// eigenvalues cluster around ±π/2.
+///    eigenvalues cluster around ±π/2.
 pub fn ris(n: usize) -> Mat {
     let nf = n as f64;
     Mat::from_fn(n, n, |i, j| {
@@ -58,7 +58,7 @@ pub fn ris(n: usize) -> Mat {
 }
 
 /// 4. Counter-example to condition estimators: the 4×4 Cline/Rew matrix
-/// (Higham `condex(n, 1, θ)` with θ = 100) embedded in the identity.
+///    (Higham `condex(n, 1, θ)` with θ = 100) embedded in the identity.
 pub fn condex(n: usize) -> Mat {
     assert!(n >= 4, "condex needs n >= 4");
     let th = 100.0;
@@ -87,7 +87,7 @@ pub fn circul(n: usize, seed: u64) -> Mat {
 }
 
 /// 6. Hankel matrix of random vectors `c`, `r` with `c(n) = r(1)`:
-/// constant anti-diagonals `A(i,j) = c(i+j+1)` spilling into `r`.
+///    constant anti-diagonals `A(i,j) = c(i+j+1)` spilling into `r`.
 pub fn hankel(n: usize, seed: u64) -> Mat {
     let mut g = rng(seed);
     let c: Vec<f64> = (0..n).map(|_| g.random_range(-1.0..1.0)).collect();
@@ -104,7 +104,7 @@ pub fn hankel(n: usize, seed: u64) -> Mat {
 }
 
 /// 7. Companion matrix (sparse) of a monic polynomial with random
-/// coefficients: ones on the subdiagonal, `−a_k` across the first row.
+///    coefficients: ones on the subdiagonal, `−a_k` across the first row.
 pub fn compan(n: usize, seed: u64) -> Mat {
     let mut g = rng(seed);
     let coef: Vec<f64> = (0..n).map(|_| g.random_range(-1.0..1.0)).collect();
@@ -120,7 +120,7 @@ pub fn compan(n: usize, seed: u64) -> Mat {
 }
 
 /// 8. Lehmer matrix: `A(i,j) = min(i,j)/max(i,j)` (1-based); symmetric
-/// positive definite, tridiagonal inverse.
+///    positive definite, tridiagonal inverse.
 pub fn lehmer(n: usize) -> Mat {
     Mat::from_fn(n, n, |i, j| {
         let (a, b) = ((i + 1) as f64, (j + 1) as f64);
@@ -129,8 +129,8 @@ pub fn lehmer(n: usize) -> Mat {
 }
 
 /// 9. Dorr matrix: row-diagonally-dominant, ill-conditioned tridiagonal
-/// matrix from a central-difference discretization of a singularly
-/// perturbed convection-diffusion problem (θ = 0.01).
+///    matrix from a central-difference discretization of a singularly
+///    perturbed convection-diffusion problem (θ = 0.01).
 pub fn dorr(n: usize) -> Mat {
     let theta = 0.01;
     let h = 1.0 / (n as f64 + 1.0);
@@ -138,7 +138,7 @@ pub fn dorr(n: usize) -> Mat {
     let mut c = vec![0.0; n]; // subdiagonal A(i, i-1)
     let mut d = vec![0.0; n]; // diagonal
     let mut e = vec![0.0; n]; // superdiagonal A(i, i+1)
-    let half = (n + 1) / 2;
+    let half = n.div_ceil(2);
     for i in 0..half {
         let x = (i + 1) as f64 * h;
         c[i] = -term;
@@ -165,7 +165,7 @@ pub fn dorr(n: usize) -> Mat {
 }
 
 /// 10. Demmel matrix: `A = D (I + 10⁻⁷ R)` with `D = diag(10^(14 (0:n−1)/n))`
-/// and `R` uniform random in `[0, 1]`; badly scaled and ill conditioned.
+///     and `R` uniform random in `[0, 1]`; badly scaled and ill conditioned.
 pub fn demmel(n: usize, seed: u64) -> Mat {
     let mut g = rng(seed);
     let r = Mat::from_fn(n, n, |_, _| g.random_range(0.0..1.0));
@@ -177,7 +177,7 @@ pub fn demmel(n: usize, seed: u64) -> Mat {
 }
 
 /// 11. Chebyshev–Vandermonde matrix on `n` equispaced points of `[0, 1]`:
-/// `A(i,j) = T_{i−1}(x_j)`.
+///     `A(i,j) = T_{i−1}(x_j)`.
 pub fn chebvand(n: usize) -> Mat {
     let pts: Vec<f64> = if n == 1 {
         vec![0.5]
@@ -205,7 +205,7 @@ pub fn chebvand(n: usize) -> Mat {
 }
 
 /// 12. Invhess matrix: `A(i,j) = x_j` for `i ≥ j`, `y_i` for `i < j`, with
-/// `x = (1..n)`, `y = −x` — its inverse is upper Hessenberg.
+///     `x = (1..n)`, `y = −x` — its inverse is upper Hessenberg.
 pub fn invhess(n: usize) -> Mat {
     Mat::from_fn(n, n, |i, j| {
         if i >= j {
@@ -217,7 +217,7 @@ pub fn invhess(n: usize) -> Mat {
 }
 
 /// 13. Prolate matrix (w = 0.25): symmetric, ill-conditioned Toeplitz with
-/// `a_0 = 2w`, `a_k = sin(2πwk)/(πk)`.
+///     `a_0 = 2w`, `a_k = sin(2πwk)/(πk)`.
 pub fn prolate(n: usize) -> Mat {
     let w = 0.25;
     Mat::from_fn(n, n, |i, j| {
@@ -252,7 +252,7 @@ pub fn lotkin(n: usize) -> Mat {
 }
 
 /// 17. Kahan matrix (θ = 1.2): upper trapezoidal,
-/// `A(i,i) = sⁱ`, `A(i,j) = −c sⁱ` for `j > i`, `s = sin θ`, `c = cos θ`.
+///     `A(i,i) = sⁱ`, `A(i,j) = −c sⁱ` for `j > i`, `s = sin θ`, `c = cos θ`.
 pub fn kahan(n: usize) -> Mat {
     let theta: f64 = 1.2;
     let s = theta.sin();
@@ -270,7 +270,7 @@ pub fn kahan(n: usize) -> Mat {
 }
 
 /// 18. Symmetric orthogonal eigenvector matrix:
-/// `A(i,j) = sqrt(2/(n+1)) sin(i j π/(n+1))` (1-based).
+///     `A(i,j) = sqrt(2/(n+1)) sin(i j π/(n+1))` (1-based).
 pub fn orthogo(n: usize) -> Mat {
     let np1 = (n + 1) as f64;
     let scale = (2.0 / np1).sqrt();
@@ -280,12 +280,10 @@ pub fn orthogo(n: usize) -> Mat {
 }
 
 /// 19. Wilkinson's growth matrix: attains the GEPP growth-factor bound
-/// `2^(n−1)`: unit diagonal, −1 below, last column of ones.
+///     `2^(n−1)`: unit diagonal, −1 below, last column of ones.
 pub fn wilkinson(n: usize) -> Mat {
     Mat::from_fn(n, n, |i, j| {
-        if j + 1 == n {
-            1.0
-        } else if i == j {
+        if j + 1 == n || i == j {
             1.0
         } else if i > j {
             -1.0
@@ -307,9 +305,7 @@ pub fn wilkinson(n: usize) -> Mat {
 pub fn foster(n: usize) -> Mat {
     let c = 0.5;
     Mat::from_fn(n, n, |i, j| {
-        if j + 1 == n {
-            1.0
-        } else if i == j {
+        if j + 1 == n || i == j {
             1.0
         } else if i > j {
             -c
@@ -320,15 +316,15 @@ pub fn foster(n: usize) -> Mat {
 }
 
 /// 21. Wright-class growth matrix: multiple-shooting discretization of a
-/// two-point boundary-value problem (Wright, SIMAX 1993). Block lower
-/// bidiagonal with 2×2 identity diagonal blocks, subdiagonal blocks
-/// `−c·e^{Mh}` with `M = [[0, ω],[ω, 0]]`, and the boundary-condition
-/// coupling in the last block column. Parameters (`c = 0.5`, `ωh = 1.2`)
-/// chosen so no row interchange occurs (`c·cosh(ωh) < 1`) while the chained
-/// update ratio `c·(cosh + sinh)(ωh) ≈ 1.66 > 1` — GEPP growth is
-/// exponential in the block count (≈ `4·10⁶` at n = 64).
+///     two-point boundary-value problem (Wright, SIMAX 1993). Block lower
+///     bidiagonal with 2×2 identity diagonal blocks, subdiagonal blocks
+///     `−c·e^{Mh}` with `M = [[0, ω],[ω, 0]]`, and the boundary-condition
+///     coupling in the last block column. Parameters (`c = 0.5`, `ωh = 1.2`)
+///     chosen so no row interchange occurs (`c·cosh(ωh) < 1`) while the chained
+///     update ratio `c·(cosh + sinh)(ωh) ≈ 1.66 > 1` — GEPP growth is
+///     exponential in the block count (≈ `4·10⁶` at n = 64).
 pub fn wright(n: usize) -> Mat {
-    assert!(n >= 4 && n % 2 == 0, "wright needs even n >= 4");
+    assert!(n >= 4 && n.is_multiple_of(2), "wright needs even n >= 4");
     let c = 0.5f64;
     let wh = 1.2f64;
     let (cwh, swh) = (wh.cosh(), wh.sinh());
@@ -464,7 +460,7 @@ impl SpecialMatrix {
             SpecialMatrix::Wilkinson => wilkinson(n),
             SpecialMatrix::Foster => foster(n),
             SpecialMatrix::Wright => {
-                let even = if n % 2 == 0 { n } else { n - 1 };
+                let even = if n.is_multiple_of(2) { n } else { n - 1 };
                 let mut a = wright(even.max(4));
                 if a.rows() != n {
                     // Pad with an identity row/column to reach odd n.
@@ -665,7 +661,11 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        for m in [SpecialMatrix::House, SpecialMatrix::Hankel, SpecialMatrix::Demmel] {
+        for m in [
+            SpecialMatrix::House,
+            SpecialMatrix::Hankel,
+            SpecialMatrix::Demmel,
+        ] {
             let a = m.generate(16, 9);
             let b = m.generate(16, 9);
             assert_eq!(a.max_abs_diff(&b), 0.0, "{}", m.name());

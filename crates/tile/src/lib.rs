@@ -16,4 +16,4 @@ pub mod layout;
 pub mod matrix;
 
 pub use layout::Grid;
-pub use matrix::{TiledMatrix, TileRef};
+pub use matrix::{TileRef, TiledMatrix};

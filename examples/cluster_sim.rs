@@ -20,8 +20,12 @@ fn main() {
     let b = Mat::random(n, 1, 4);
     let platform = Platform::dancer();
 
-    println!("simulated Dancer cluster: {} nodes x {} cores, peak {:.0} GFLOP/s",
-        platform.nodes, platform.cores_per_node, platform.peak_gflops());
+    println!(
+        "simulated Dancer cluster: {} nodes x {} cores, peak {:.0} GFLOP/s",
+        platform.nodes,
+        platform.cores_per_node,
+        platform.peak_gflops()
+    );
     println!("N = {n}, nb = {nb}, grid 4x4\n");
     println!(
         "{:<22} {:>10} {:>10} {:>9} {:>10} {:>10}",
@@ -68,7 +72,10 @@ fn main() {
         let json = luqr_runtime::trace::to_chrome_trace(&f.graph, &sim);
         let path = std::env::temp_dir().join("luqr_trace.json");
         std::fs::write(&path, json).expect("write trace");
-        println!("\nGantt trace written to {} (open in chrome://tracing)", path.display());
+        println!(
+            "\nGantt trace written to {} (open in chrome://tracing)",
+            path.display()
+        );
     }
 
     // Figure 1: the dataflow of one elimination step.
@@ -82,6 +89,9 @@ fn main() {
     let dot = f.dot_for_step(1);
     let path = std::env::temp_dir().join("luqr_step1.dot");
     std::fs::write(&path, &dot).expect("write dot");
-    println!("\nFigure-1-style dataflow of step 1 written to {}", path.display());
+    println!(
+        "\nFigure-1-style dataflow of step 1 written to {}",
+        path.display()
+    );
     println!("render with: dot -Tpng {} -o step1.png", path.display());
 }

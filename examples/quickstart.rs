@@ -22,7 +22,15 @@ fn main() {
     let a = Mat::random(n, n, 42);
     let x_true = Mat::random(n, 1, 7);
     let mut b = Mat::zeros(n, 1);
-    gemm(Trans::NoTrans, Trans::NoTrans, 1.0, &a, &x_true, 0.0, &mut b);
+    gemm(
+        Trans::NoTrans,
+        Trans::NoTrans,
+        1.0,
+        &a,
+        &x_true,
+        0.0,
+        &mut b,
+    );
 
     let opts = FactorOptions {
         nb,

@@ -49,16 +49,8 @@ fn main() {
     for m in subset {
         let a = m.generate(n, 1234);
         let (lupp, _) = run(&a, Algorithm::Lupp, nb);
-        let (max_h, max_lu) = run(
-            &a,
-            Algorithm::LuQr(Criterion::Max { alpha: 6000.0 }),
-            nb,
-        );
-        let (mumps_h, mumps_lu) = run(
-            &a,
-            Algorithm::LuQr(Criterion::Mumps { alpha: 2.1 }),
-            nb,
-        );
+        let (max_h, max_lu) = run(&a, Algorithm::LuQr(Criterion::Max { alpha: 6000.0 }), nb);
+        let (mumps_h, mumps_lu) = run(&a, Algorithm::LuQr(Criterion::Mumps { alpha: 2.1 }), nb);
         let (hqr_h, _) = run(&a, Algorithm::Hqr, nb);
         println!(
             "{:<12} {:>12.3e} {:>11.3e} ({:>2.0}%LU) {:>11.3e} ({:>2.0}%LU) {:>14.3e}",

@@ -19,7 +19,15 @@ fn main() {
     let a = Mat::random(n, n, 17);
     let x_true = Mat::random(n, 1, 18);
     let mut b = Mat::zeros(n, 1);
-    gemm(Trans::NoTrans, Trans::NoTrans, 1.0, &a, &x_true, 0.0, &mut b);
+    gemm(
+        Trans::NoTrans,
+        Trans::NoTrans,
+        1.0,
+        &a,
+        &x_true,
+        0.0,
+        &mut b,
+    );
     let platform = Platform::dancer();
 
     // LUPP reference for relative stability.
@@ -51,7 +59,11 @@ fn main() {
         let sim = f.simulate(&platform);
         println!(
             "{:>9} {:>6.0}% {:>14.3} {:>12.1} {:>11.1}%",
-            if alpha.is_infinite() { "inf".to_string() } else { format!("{alpha}") },
+            if alpha.is_infinite() {
+                "inf".to_string()
+            } else {
+                format!("{alpha}")
+            },
             100.0 * f.lu_step_fraction(),
             stability::relative_hpl3(h, lupp),
             sim.gflops_normalized(f.nominal_flops()),

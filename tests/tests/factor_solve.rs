@@ -147,7 +147,10 @@ fn hard_matrix_qr_steps_rescue_stability() {
     let f = factor(&a, &b, &hybrid);
     let x = f.solution();
     let h_hybrid = stability::hpl3(&a, &x, &b);
-    assert!(f.lu_step_fraction() < 1.0, "criterion must fire at least one QR step");
+    assert!(
+        f.lu_step_fraction() < 1.0,
+        "criterion must fire at least one QR step"
+    );
     assert!(h_hybrid < 100.0, "hybrid must stay stable, got {h_hybrid}");
 }
 
@@ -168,10 +171,7 @@ fn augmented_rhs_matches_second_pass_solve() {
         let bc = Mat::from_fn(n, 1, |i, _| b[(i, c)]);
         let (xc, _) = factor_solve(&a, &bc, &opts);
         for i in 0..n {
-            assert!(
-                (x_all[(i, c)] - xc[(i, 0)]).abs() < 1e-9,
-                "rhs {c} row {i}"
-            );
+            assert!((x_all[(i, c)] - xc[(i, 0)]).abs() < 1e-9, "rhs {c} row {i}");
         }
     }
 }

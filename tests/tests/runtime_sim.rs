@@ -42,8 +42,8 @@ fn simulation_invariants_hold_across_algorithms() {
         );
         // Makespan is bounded by all-serial execution plus worst-case
         // fully-serialized communication.
-        let comm_bound = sim.messages as f64
-            * (platform.latency + 8.0 * 8.0 * 8.0 * 64.0 / platform.bandwidth);
+        let comm_bound =
+            sim.messages as f64 * (platform.latency + 8.0 * 8.0 * 8.0 * 64.0 / platform.bandwidth);
         assert!(
             sim.makespan <= sim.serial_seconds + comm_bound + 1e-9,
             "{name}: makespan {} above serial {} + comm {}",
@@ -154,5 +154,8 @@ fn dot_export_of_real_graph_is_wellformed() {
     assert!(dot.starts_with("digraph"));
     assert!(dot.trim_end().ends_with('}'));
     assert!(dot.contains("PANEL(k=0)"));
-    assert!(dot.contains("style=dashed"), "LU branch must render discarded");
+    assert!(
+        dot.contains("style=dashed"),
+        "LU branch must render discarded"
+    );
 }

@@ -1,0 +1,201 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! Implements `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function`, and `Bencher::iter` as a plain wall-clock harness:
+//! each benchmark runs a short warmup, then `sample_size` timed samples, and
+//! reports min / median / mean nanoseconds per iteration. Use with
+//! `harness = false` bench targets.
+//!
+//! Setting `CRITERION_JSON=<path>` additionally appends one JSON record per
+//! benchmark to that file (used to record `BENCH_factor.json` baselines).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct Sampled {
+    pub group: String,
+    pub name: String,
+    pub sample_size: usize,
+    pub min_ns: f64,
+    pub median_ns: f64,
+    pub mean_ns: f64,
+}
+
+/// Top-level harness state (the `c: &mut Criterion` of a bench fn).
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<Sampled>,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            harness: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Ungrouped benchmark (criterion parity).
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(name, f);
+        g.finish();
+        self
+    }
+
+    fn record(&mut self, s: Sampled) {
+        eprintln!(
+            "bench {:<40} min {:>12.0} ns  median {:>12.0} ns  mean {:>12.0} ns  ({} samples)",
+            format!("{}/{}", s.group, s.name),
+            s.min_ns,
+            s.median_ns,
+            s.mean_ns,
+            s.sample_size,
+        );
+        self.results.push(s);
+    }
+
+    /// Write all recorded results as a JSON array to `CRITERION_JSON`, if set.
+    pub fn flush_json(&self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        let mut out = String::from("[\n");
+        for (i, s) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"group\": \"{}\", \"bench\": \"{}\", \"samples\": {}, \"min_ns\": {:.1}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}}}{}\n",
+                s.group,
+                s.name,
+                s.sample_size,
+                s.min_ns,
+                s.median_ns,
+                s.mean_ns,
+                if i + 1 < self.results.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("]\n");
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
+            Ok(()) => eprintln!("bench results written to {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    harness: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // Warmup sample (discarded): page in code and data.
+        let mut bencher = Bencher {
+            elapsed_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                elapsed_ns: 0.0,
+                iters: 0,
+            };
+            f(&mut bencher);
+            if bencher.iters > 0 {
+                samples.push(bencher.elapsed_ns / bencher.iters as f64);
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if samples.is_empty() {
+            samples.push(0.0);
+        }
+        let min_ns = samples[0];
+        let median_ns = samples[samples.len() / 2];
+        let mean_ns = samples.iter().sum::<f64>() / samples.len() as f64;
+        self.harness.record(Sampled {
+            group: self.name.clone(),
+            name: name.to_string(),
+            sample_size: samples.len(),
+            min_ns,
+            median_ns,
+            mean_ns,
+        });
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; `iter` times one closure invocation
+/// per sample (criterion's `iter` batches internally — one invocation per
+/// sample is enough at this workspace's kernel sizes).
+pub struct Bencher {
+    elapsed_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed_ns += start.elapsed().as_nanos() as f64;
+        self.iters += 1;
+        drop(out);
+    }
+}
+
+/// Re-export parity: `std::hint::black_box` under criterion's name.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.flush_json();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].sample_size, 5);
+        assert!(c.results[0].min_ns <= c.results[0].mean_ns);
+    }
+}

@@ -1,0 +1,282 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! Supports the `proptest!` macro (with `#![proptest_config]`), range /
+//! `any` / `Just` / tuple / `prop_map` / `prop_oneof!` strategies, and the
+//! `prop_assert*` macros. Cases are generated from a deterministic per-test
+//! seed; there is **no shrinking** — a failing case panics with the case
+//! index so it can be replayed by rerunning the test.
+
+use rand::{Rng, RngCore, SplitMix64};
+
+/// Number of generated cases per property.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-case generator.
+pub struct TestRng(SplitMix64);
+
+impl TestRng {
+    /// Seeded from the fully qualified test name and the case index, so
+    /// every property sees a reproducible, test-specific stream.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(SplitMix64::new(h ^ ((case as u64) << 32 | case as u64)))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A value generator. Unlike real proptest there is no value tree — just
+/// direct generation.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl Strategy for std::ops::Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.next_u64() % (self.end - self.start) as u64) as usize
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        lo + (rng.next_u64() % (hi - lo + 1) as u64) as usize
+    }
+}
+
+/// Marker returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Arbitrary-value strategy for primitives.
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.random_bool()
+    }
+}
+
+/// Constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between same-typed strategies (built by `prop_oneof!`).
+pub struct OneOf<S>(pub Vec<S>);
+
+impl<S: Strategy> Strategy for OneOf<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let i = (rng.next_u64() % self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf(vec![$($arm),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("property failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!("property failed: {}: {}", stringify!($cond), format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            panic!("property failed: {} != {} ({l:?} vs {r:?})", stringify!($left), stringify!($right));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            panic!(
+                "property failed: {} != {} ({l:?} vs {r:?}): {}",
+                stringify!($left), stringify!($right), format!($($fmt)+)
+            );
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $( $(#[$meta:meta])* fn $name:ident( $($arg:pat in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..cfg.cases {
+                    let mut __rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    let run = move || { $body };
+                    run();
+                }
+            }
+        )*
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::RngCore;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..10, m in 2usize..=4) {
+            prop_assert!((3..10).contains(&n));
+            prop_assert!((2..=4).contains(&m));
+        }
+
+        #[test]
+        fn tuples_and_map_compose(
+            pair in (1usize..5, any::<u64>()).prop_map(|(a, s)| (a * 2, s)),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(pair.0 % 2 == 0);
+            prop_assert!((2..=8).contains(&pair.0), "flag={flag}");
+        }
+
+        #[test]
+        fn oneof_picks_only_given_values(v in prop_oneof![Just(1.0), Just(2.0)]) {
+            prop_assert!(v == 1.0 || v == 2.0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = crate::TestRng::for_case("x", 0).0.next_u64();
+        let b = crate::TestRng::for_case("x", 0).0.next_u64();
+        let c = crate::TestRng::for_case("x", 1).0.next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}
