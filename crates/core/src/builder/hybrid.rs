@@ -1,37 +1,66 @@
 //! The hybrid LU-QR planner (paper Algorithm 1): at every step, a trial LU
 //! of the diagonal domain decides — via the configured robustness criterion
-//! — between a cheap LU step and a stable QR step. Both branches are
-//! inserted into the graph; the losing branch discards itself at run time.
+//! — between a cheap LU step and a stable QR step.
+//!
+//! Two insertion modes share all task-building code:
+//!
+//! * **Batch** ([`StepPlanner::plan_step`]): both branches are inserted
+//!   into the static graph, each gated on the decision datum; the losing
+//!   branch discards itself at run time (the paper's PTG constraint).
+//! * **Streaming** ([`StepPlanner::plan_step_prelude`] /
+//!   [`StepPlanner::plan_step_rest`]): the prelude stops after the PANEL
+//!   task; once it has *executed*, the recorded decision is read back at
+//!   planning time and only the chosen branch is inserted. The branch
+//!   tasks keep their gate (which now trivially passes), so their access
+//!   lists — and therefore the hazard structure among executed tasks —
+//!   are identical to the batch graph's.
 
 use std::sync::Arc;
 use std::sync::OnceLock;
 
-use crate::config::LuVariant;
+use luqr_runtime::TaskId;
+
+use crate::config::{Decision, LuVariant};
 use crate::criteria::Criterion;
 
-use super::{hqr, lu, panel, update, BranchGate, DecCell, Inserter, StepPlanner, TfCell};
+use super::{
+    hqr, lu, panel, update, BranchGate, DecCell, Inserter, PanelCell, StepPlanner, TfCell,
+};
+
+/// Per-step state carried from the prelude to the branch insertion in
+/// streaming mode.
+struct PendingStep {
+    k: usize,
+    dec: DecCell,
+    pan: PanelCell,
+    a2_tf: TfCell,
+    trial_rows: Vec<usize>,
+}
 
 /// The hybrid LU-QR algorithm with its per-step robustness criterion.
 pub struct HybridPlanner {
     criterion: Criterion,
+    /// Streaming-mode state between `plan_step_prelude` and
+    /// `plan_step_rest` (unused in batch mode).
+    pending: Option<PendingStep>,
 }
 
 impl HybridPlanner {
     pub fn new(criterion: Criterion) -> Self {
-        HybridPlanner { criterion }
-    }
-}
-
-impl StepPlanner for HybridPlanner {
-    fn name(&self) -> &'static str {
-        "hybrid-luqr"
+        HybridPlanner {
+            criterion,
+            pending: None,
+        }
     }
 
-    fn plan_step(&self, k: usize, ins: &mut Inserter<'_>) {
+    /// Insert everything up to the decision point: backup, criterion
+    /// collection, the trial-panel task (whose id is returned), and the
+    /// decision-gated Propagate restores.
+    fn insert_prelude(&self, k: usize, ins: &mut Inserter<'_>) -> (TaskId, PendingStep) {
         let variant = ins.opts.lu_variant;
         let trial_rows = panel::trial_rows(ins, k);
         let dec: DecCell = Arc::new(OnceLock::new());
-        let pan: super::PanelCell = Arc::new(OnceLock::new());
+        let pan: PanelCell = Arc::new(OnceLock::new());
 
         // --- Backup the trial panel tiles.
         let backups = panel::insert_backups(ins, k, &trial_rows);
@@ -42,7 +71,7 @@ impl StepPlanner for HybridPlanner {
 
         // --- Panel: trial factorization + criterion decision.
         let a2_tf: TfCell = Arc::new(parking_lot::Mutex::new(None));
-        if variant == LuVariant::A2 {
+        let panel_task = if variant == LuVariant::A2 {
             panel::insert_a2_panel(
                 ins,
                 k,
@@ -52,7 +81,7 @@ impl StepPlanner for HybridPlanner {
                 &a2_tf,
                 &crit_cells,
                 &crit_keys,
-            );
+            )
         } else {
             panel::insert_trial_panel(
                 ins,
@@ -63,23 +92,75 @@ impl StepPlanner for HybridPlanner {
                 &pan,
                 &crit_cells,
                 &crit_keys,
-            );
-        }
+            )
+        };
 
         // --- Propagate: restore the panel from backup on a QR decision.
         panel::insert_propagate(ins, k, &trial_rows, &backups, &dec);
 
-        // --- LU branch (discarded when the decision is QR).
-        let lu_gate = BranchGate::lu(k, &dec);
-        if variant == LuVariant::A2 {
-            insert_lu_step_a2(ins, k, &lu_gate, &a2_tf);
-        } else {
-            lu::insert_lu_step(ins, k, &trial_rows, Some(&lu_gate), &pan);
-        }
+        (
+            panel_task,
+            PendingStep {
+                k,
+                dec,
+                pan,
+                a2_tf,
+                trial_rows,
+            },
+        )
+    }
 
-        // --- QR branch (discarded when the decision is LU).
-        let qr_gate = BranchGate::qr(k, &dec);
-        hqr::insert_qr_step(ins, k, Some(&qr_gate));
+    /// Insert the LU branch of `step` (discarded when the decision is QR).
+    fn insert_lu_branch(&self, ins: &mut Inserter<'_>, step: &PendingStep) {
+        let k = step.k;
+        let lu_gate = BranchGate::lu(k, &step.dec);
+        if ins.opts.lu_variant == LuVariant::A2 {
+            insert_lu_step_a2(ins, k, &lu_gate, &step.a2_tf);
+        } else {
+            lu::insert_lu_step(ins, k, &step.trial_rows, Some(&lu_gate), &step.pan);
+        }
+    }
+
+    /// Insert the QR branch of `step` (discarded when the decision is LU).
+    fn insert_qr_branch(&self, ins: &mut Inserter<'_>, step: &PendingStep) {
+        let qr_gate = BranchGate::qr(step.k, &step.dec);
+        hqr::insert_qr_step(ins, step.k, Some(&qr_gate));
+    }
+}
+
+impl StepPlanner for HybridPlanner {
+    fn name(&self) -> &'static str {
+        "hybrid-luqr"
+    }
+
+    fn plan_step(&self, k: usize, ins: &mut Inserter<'_>) {
+        let (_panel_task, step) = self.insert_prelude(k, ins);
+        self.insert_lu_branch(ins, &step);
+        self.insert_qr_branch(ins, &step);
+    }
+
+    fn plan_step_prelude(&mut self, k: usize, ins: &mut Inserter<'_>) -> Option<TaskId> {
+        let (panel_task, step) = self.insert_prelude(k, ins);
+        self.pending = Some(step);
+        Some(panel_task)
+    }
+
+    fn plan_step_rest(&mut self, k: usize, ins: &mut Inserter<'_>) {
+        let step = self
+            .pending
+            .take()
+            .expect("plan_step_rest without a pending prelude");
+        assert_eq!(step.k, k, "streaming steps planned out of order");
+        // The panel task has executed: consume its decision *now* and
+        // unroll only the surviving branch.
+        let decision = *step
+            .dec
+            .get()
+            .expect("decision task completed without recording a decision");
+        match decision {
+            Decision::Lu => self.insert_lu_branch(ins, &step),
+            Decision::Qr => self.insert_qr_branch(ins, &step),
+        }
     }
 }
 

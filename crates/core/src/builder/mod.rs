@@ -42,6 +42,7 @@ pub mod hybrid;
 pub mod incpiv;
 pub mod lu;
 pub mod panel;
+pub mod stream_source;
 pub mod update;
 
 use std::sync::Arc;
@@ -49,7 +50,7 @@ use std::sync::OnceLock;
 
 use luqr_kernels::qr::TFactor;
 use luqr_kernels::Mat;
-use luqr_runtime::{GraphBuilder, TaskBuilder};
+use luqr_runtime::{GraphBuilder, TaskBuilder, TaskId, TaskSink};
 use luqr_tile::{Grid, TiledMatrix};
 use parking_lot::Mutex;
 
@@ -154,10 +155,11 @@ pub(crate) fn with_sub<R>(
     }
 }
 
-/// Insertion context handed to every planner: the graph under construction
+/// Insertion context handed to every planner: the task sink under
+/// construction — the batch [`GraphBuilder`] or the streaming window —
 /// plus the matrix, distribution, and options it describes.
 pub struct Inserter<'a> {
-    pub(crate) b: GraphBuilder,
+    pub(crate) b: &'a mut (dyn TaskSink + 'a),
     pub(crate) aug: &'a TiledMatrix,
     pub(crate) nt_a: usize,
     pub(crate) grid: Grid,
@@ -193,7 +195,31 @@ pub trait StepPlanner {
     fn name(&self) -> &'static str;
 
     /// Insert all tasks of elimination step `k` into `ins`.
+    ///
+    /// This is the *batch* entry point: for algorithms with a runtime
+    /// branch decision (the hybrid), it inserts **both** branch
+    /// alternatives, each gated on the decision datum.
     fn plan_step(&self, k: usize, ins: &mut Inserter<'_>);
+
+    /// Streaming entry point: insert step `k` up to (and including) its
+    /// decision-producing task, and return that task's id — or insert the
+    /// whole step and return `None` when nothing downstream depends on a
+    /// runtime decision (all baselines).
+    ///
+    /// The streaming driver awaits the returned task, then calls
+    /// [`StepPlanner::plan_step_rest`]; the planner may stash per-step
+    /// state (decision cells, trial metadata) in `&mut self` in between.
+    fn plan_step_prelude(&mut self, k: usize, ins: &mut Inserter<'_>) -> Option<TaskId> {
+        self.plan_step(k, ins);
+        None
+    }
+
+    /// Insert the decision-dependent remainder of step `k`. Only called
+    /// after the task returned by [`StepPlanner::plan_step_prelude`] has
+    /// executed, so the planner can read the recorded decision and insert
+    /// **only the chosen branch** — the streaming runtime's online
+    /// counterpart of the batch path's insert-both-and-discard.
+    fn plan_step_rest(&mut self, _k: usize, _ins: &mut Inserter<'_>) {}
 }
 
 /// Insert the complete factorization of `aug` (an augmented `[A | B]` tiled
@@ -209,15 +235,10 @@ pub fn build_graph(
     let mut b = GraphBuilder::new(grid.nodes());
 
     // Declare every tile with its block-cyclic home.
-    for i in 0..aug.mt() {
-        for j in 0..aug.nt() {
-            let (tm, tn) = aug.tile_dims(i, j);
-            b.declare(keys::tile(i, j), tm * tn * 8, grid.owner(i, j));
-        }
-    }
+    declare_tiles(&mut b, aug, &grid);
 
     let mut ins = Inserter {
-        b,
+        b: &mut b,
         aug,
         nt_a,
         grid,
@@ -228,5 +249,16 @@ pub fn build_graph(
     for k in 0..nt_a {
         planner.plan_step(k, &mut ins);
     }
-    (ins.b.build(), shared)
+    (b.build(), shared)
+}
+
+/// Declare every tile of `aug` with its block-cyclic home node (shared by
+/// the batch builder and the streaming source).
+pub(crate) fn declare_tiles(sink: &mut dyn TaskSink, aug: &TiledMatrix, grid: &Grid) {
+    for i in 0..aug.mt() {
+        for j in 0..aug.nt() {
+            let (tm, tn) = aug.tile_dims(i, j);
+            sink.declare(keys::tile(i, j), tm * tn * 8, grid.owner(i, j));
+        }
+    }
 }

@@ -116,7 +116,8 @@ pub(crate) fn insert_crit_collection(
 
 /// Insert the hybrid's PANEL task (variant A1): trial LU of the diagonal
 /// domain, criterion evaluation against the collected off-trial data, and
-/// the step's decision + record.
+/// the step's decision + record. Returns the panel task's id (the
+/// streaming driver awaits it before unrolling the chosen branch).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn insert_trial_panel(
     ins: &mut Inserter<'_>,
@@ -127,7 +128,7 @@ pub(crate) fn insert_trial_panel(
     pan: &PanelCell,
     crit_cells: &[CritCell],
     crit_keys: &[DataKey],
-) {
+) -> luqr_runtime::TaskId {
     let mt = ins.aug.mt();
     let nbk = ins.aug.tile_cols(k);
     ins.b
@@ -195,13 +196,14 @@ pub(crate) fn insert_trial_panel(
             TaskResult::executed(flops, CostClass::PanelFactor)
                 .with_cores(u32::MAX)
                 .with_latency_events(allreduce_rounds)
-        });
+        })
 }
 
 /// Insert the hybrid's PANELA2 task (paper §II-C1): the trial factors the
 /// diagonal tile by QR, so a rejected trial is already the first kernel of
 /// the QR step. The criterion sees the tile's pre-factorization column
-/// norms and the `R` factor's inverse-norm estimate.
+/// norms and the `R` factor's inverse-norm estimate. Returns the panel
+/// task's id.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn insert_a2_panel(
     ins: &mut Inserter<'_>,
@@ -212,7 +214,7 @@ pub(crate) fn insert_a2_panel(
     a2_tf: &TfCell,
     crit_cells: &[CritCell],
     crit_keys: &[DataKey],
-) {
+) -> luqr_runtime::TaskId {
     let nbk = ins.aug.tile_cols(k);
     let ib = ins.opts.ib;
     let mt = ins.aug.mt();
@@ -275,7 +277,7 @@ pub(crate) fn insert_a2_panel(
             TaskResult::executed(flops, CostClass::PanelFactor)
                 .with_cores(u32::MAX)
                 .with_latency_events(allreduce_rounds)
-        });
+        })
 }
 
 /// Insert the PROP tasks: restore each trial tile from its backup when the

@@ -1,0 +1,94 @@
+//! Adapter exposing a [`StepPlanner`] to the streaming runtime.
+//!
+//! [`PlannerStepSource`] implements [`luqr_runtime::stream::StepSource`]:
+//! the streaming driver pulls elimination steps on demand, and each
+//! planning call is translated into the planner's [`Inserter`] context over
+//! whatever [`TaskSink`] the runtime hands back (the live window). The
+//! hybrid planner returns its PANEL task from the prelude, which the driver
+//! awaits before asking for the decision-dependent remainder — this is the
+//! point where the criterion is consumed *online* and only the chosen
+//! branch is unrolled.
+
+use luqr_runtime::stream::{StepPhase, StepSource};
+use luqr_runtime::TaskSink;
+use luqr_tile::{Grid, TiledMatrix};
+
+use crate::config::FactorOptions;
+
+use super::{declare_tiles, Inserter, SharedState, StepPlanner};
+
+/// A factorization exposed step by step to [`luqr_runtime::stream::execute`].
+pub struct PlannerStepSource<'a> {
+    planner: Box<dyn StepPlanner>,
+    aug: &'a TiledMatrix,
+    nt_a: usize,
+    grid: Grid,
+    opts: &'a FactorOptions,
+    shared: SharedState,
+}
+
+impl<'a> PlannerStepSource<'a> {
+    /// Stream the factorization of `aug` (an augmented `[A | B]` tiled
+    /// matrix with `nt_a` tile columns of `A`) using the planner registered
+    /// for `opts.algorithm`.
+    pub fn new(aug: &'a TiledMatrix, nt_a: usize, opts: &'a FactorOptions) -> Self {
+        PlannerStepSource {
+            planner: crate::planner_for(&opts.algorithm),
+            aug,
+            nt_a,
+            grid: opts.grid,
+            opts,
+            shared: SharedState::default(),
+        }
+    }
+
+    /// Shared state written by the factorization's tasks (criterion
+    /// records, first numerical failure).
+    pub fn shared(&self) -> &SharedState {
+        &self.shared
+    }
+}
+
+/// Build the planner-facing insertion context. A macro rather than a
+/// method: it reads `$src`'s fields directly (the `aug`/`opts` references
+/// are copied out, `grid` is `Copy`, `shared` is cloned), so the caller
+/// keeps `$src.planner` free for a simultaneous mutable borrow.
+macro_rules! inserter {
+    ($src:expr, $sink:expr) => {
+        Inserter {
+            b: $sink,
+            aug: $src.aug,
+            nt_a: $src.nt_a,
+            grid: $src.grid,
+            opts: $src.opts,
+            shared: $src.shared.clone(),
+        }
+    };
+}
+
+impl StepSource for PlannerStepSource<'_> {
+    fn num_steps(&self) -> usize {
+        self.nt_a
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.grid.nodes()
+    }
+
+    fn prepare(&mut self, sink: &mut dyn TaskSink) {
+        declare_tiles(sink, self.aug, &self.grid);
+    }
+
+    fn plan_prelude(&mut self, k: usize, sink: &mut dyn TaskSink) -> StepPhase {
+        let mut ins = inserter!(self, sink);
+        match self.planner.plan_step_prelude(k, &mut ins) {
+            Some(decision_task) => StepPhase::AwaitDecision(decision_task),
+            None => StepPhase::Complete,
+        }
+    }
+
+    fn plan_finish(&mut self, k: usize, sink: &mut dyn TaskSink) {
+        let mut ins = inserter!(self, sink);
+        self.planner.plan_step_rest(k, &mut ins);
+    }
+}

@@ -43,12 +43,14 @@ pub mod solve;
 pub mod stability;
 pub mod trees;
 
+pub use builder::stream_source::PlannerStepSource;
 pub use builder::{Inserter, StepPlanner};
 pub use config::{Algorithm, Decision, FactorOptions, LuVariant, PivotScope, StepRecord};
 pub use criteria::Criterion;
 pub use trees::{TreeConfig, TreeKind};
 
 use luqr_kernels::Mat;
+use luqr_runtime::stream::StreamReport;
 use luqr_runtime::{execute, simulate, ExecReport, Graph, Platform, SimReport};
 use luqr_tile::TiledMatrix;
 
@@ -87,21 +89,7 @@ impl Factorization {
 
     /// Fraction of elimination steps that were LU steps.
     pub fn lu_step_fraction(&self) -> f64 {
-        match &self.algorithm {
-            Algorithm::LuQr(_) => {
-                if self.records.is_empty() {
-                    return 0.0;
-                }
-                let lus = self
-                    .records
-                    .iter()
-                    .filter(|r| r.decision == Decision::Lu)
-                    .count();
-                lus as f64 / self.records.len() as f64
-            }
-            Algorithm::Hqr => 0.0,
-            _ => 1.0,
-        }
+        lu_step_fraction(&self.algorithm, &self.records)
     }
 
     /// The nominal LUPP operation count `2/3 N³` the paper normalizes
@@ -117,11 +105,11 @@ impl Factorization {
         (2.0 / 3.0 * f_lu + 4.0 / 3.0 * (1.0 - f_lu)) * (self.n as f64).powi(3)
     }
 
-    /// Graphviz rendering of the executed graph (see
-    /// [`luqr_runtime::dot`]). Filter to one step with e.g. `"k=3)"`.
+    /// Graphviz rendering of one elimination step of the executed graph
+    /// (see [`luqr_runtime::dot`]); discarded-branch tasks render gray and
+    /// dashed, so the picture shows which branch survived.
     pub fn dot_for_step(&self, k: usize) -> String {
-        let suffix = format!("k={k})");
-        luqr_runtime::dot::to_dot_filtered(&self.graph, |name| name.ends_with(&suffix))
+        luqr_runtime::dot::to_dot_step(&self.graph, k)
     }
 
     /// Simulate on `platform` and render the schedule as Chrome trace-event
@@ -190,6 +178,104 @@ pub fn factor_solve(a: &Mat, rhs: &Mat, opts: &FactorOptions) -> (Mat, Factoriza
     let f = factor(a, rhs, opts);
     let x = f.solution();
     (x, f)
+}
+
+/// A factorization produced by the *streaming* runtime.
+///
+/// Unlike [`Factorization`] there is no retained task graph: task records
+/// were reclaimed as they completed (that bounded memory was the point), so
+/// the platform simulator and DOT export are unavailable. Everything
+/// numerical — the factored matrix, solution, criterion records — is
+/// identical to the batch path, bitwise.
+pub struct StreamFactorization {
+    /// The factored augmented matrix.
+    pub aug: TiledMatrix,
+    /// Streaming-executor statistics (peak live tasks / steps, totals).
+    pub report: StreamReport,
+    /// Per-step criterion decisions (hybrid algorithm only).
+    pub records: Vec<StepRecord>,
+    /// First numerical breakdown, if any.
+    pub error: Option<String>,
+    /// Order of `A`.
+    pub n: usize,
+    /// Right-hand-side columns carried through the factorization.
+    pub nrhs: usize,
+    /// The algorithm that produced this factorization.
+    pub algorithm: Algorithm,
+}
+
+impl StreamFactorization {
+    /// Back-substitute for the solution of `A x = B`.
+    pub fn solution(&self) -> Mat {
+        solve::back_substitute(&self.aug, self.n, self.nrhs)
+    }
+
+    /// Fraction of elimination steps that were LU steps.
+    pub fn lu_step_fraction(&self) -> f64 {
+        lu_step_fraction(&self.algorithm, &self.records)
+    }
+}
+
+/// Fraction of elimination steps that were LU steps: counted from the
+/// hybrid's per-step records; by definition 0 for HQR and 1 for the LU
+/// baselines.
+fn lu_step_fraction(algorithm: &Algorithm, records: &[StepRecord]) -> f64 {
+    match algorithm {
+        Algorithm::LuQr(_) => {
+            if records.is_empty() {
+                return 0.0;
+            }
+            let lus = records
+                .iter()
+                .filter(|r| r.decision == Decision::Lu)
+                .count();
+            lus as f64 / records.len() as f64
+        }
+        Algorithm::Hqr => 0.0,
+        _ => 1.0,
+    }
+}
+
+/// Factor `[A | rhs]` with the **streaming runtime**: the task graph is
+/// unrolled online with at most `window` consecutive elimination steps
+/// materialized, completed steps are retired to reclaim memory, and the
+/// hybrid's LU/QR criterion is consumed at the panel-ready point so only
+/// the chosen branch is ever inserted.
+///
+/// Numerically identical (bitwise) to [`factor`] for every algorithm and
+/// criterion; use it when the full graph would not fit — its memory
+/// high-water mark is `report.peak_live_tasks` task records instead of the
+/// batch path's O(N³/nb³).
+pub fn factor_stream(
+    a: &Mat,
+    rhs: &Mat,
+    opts: &FactorOptions,
+    window: usize,
+) -> StreamFactorization {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "A must be square");
+    assert_eq!(rhs.rows(), n, "rhs row mismatch");
+    assert!(rhs.cols() >= 1, "need at least one rhs column");
+    assert!(opts.nb >= 2, "tile size must be at least 2");
+
+    let tiled = TiledMatrix::from_dense(a, opts.nb);
+    let aug = tiled.augment(rhs);
+    let nt_a = tiled.nt();
+    let mut source = PlannerStepSource::new(&aug, nt_a, opts);
+    let report = luqr_runtime::stream::execute(&mut source, window, opts.threads);
+    let shared = source.shared();
+    let mut records = shared.records.lock().clone();
+    let error = shared.error.lock().clone();
+    records.sort_by_key(|r| r.k);
+    StreamFactorization {
+        aug,
+        report,
+        records,
+        error,
+        n,
+        nrhs: rhs.cols(),
+        algorithm: opts.algorithm.clone(),
+    }
 }
 
 #[cfg(test)]

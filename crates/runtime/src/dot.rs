@@ -9,26 +9,43 @@
 use std::fmt::Write as _;
 
 use crate::graph::Graph;
+use crate::trace::step_index;
 
 /// Render the whole graph as a Graphviz `digraph`.
 pub fn to_dot(graph: &Graph) -> String {
     to_dot_filtered(graph, |_| true)
 }
 
+/// Render only the tasks of elimination step `k` (matched on the `k=NN`
+/// encoded in task names), preserving edges among them.
+pub fn to_dot_step(graph: &Graph, k: usize) -> String {
+    to_dot_filtered(graph, |name| step_index(name) == Some(k))
+}
+
 /// Render the subgraph of tasks whose *name* passes `keep`, preserving edges
 /// among kept tasks.
+///
+/// Discarded-branch tasks — the dead paths a run-time LU/QR decision
+/// rejected — render fully distinct: gray dashed boxes, with their
+/// incident edges dashed too, so the surviving branch reads as the solid
+/// subgraph (exactly the set a streaming run would have materialized).
 pub fn to_dot_filtered(graph: &Graph, keep: impl Fn(&str) -> bool) -> String {
     let mut s = String::new();
     s.push_str("digraph luqr {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
     let kept: Vec<bool> = graph.tasks.iter().map(|t| keep(&t.name)).collect();
+    let discarded: Vec<bool> = graph
+        .tasks
+        .iter()
+        .map(|t| matches!(t.result(), Some(r) if !r.executed))
+        .collect();
     for (i, t) in graph.tasks.iter().enumerate() {
         if !kept[i] {
             continue;
         }
-        let color = task_color(&t.name);
-        let style = match t.result() {
-            Some(r) if !r.executed => ", style=dashed, fontcolor=gray",
-            _ => "",
+        let (color, style) = if discarded[i] {
+            ("gray", ", style=dashed, fontcolor=gray")
+        } else {
+            (task_color(&t.name), "")
         };
         let _ = writeln!(
             s,
@@ -46,7 +63,11 @@ pub fn to_dot_filtered(graph: &Graph, keep: impl Fn(&str) -> bool) -> String {
         }
         for &succ in &t.successors {
             if kept[succ] {
-                let _ = writeln!(s, "  t{i} -> t{succ};");
+                if discarded[i] || discarded[succ] {
+                    let _ = writeln!(s, "  t{i} -> t{succ} [style=dashed, color=gray];");
+                } else {
+                    let _ = writeln!(s, "  t{i} -> t{succ};");
+                }
             }
         }
     }
@@ -119,9 +140,12 @@ mod tests {
     }
 
     #[test]
-    fn discarded_tasks_render_dashed() {
+    fn discarded_tasks_render_gray_dashed_with_dashed_edges() {
         let mut b = GraphBuilder::new(1);
         b.declare(DataKey(0), 8, 0);
+        b.task("GEMM(1,1,k=0)", 0, &[Access::Mut(DataKey(0))], || {
+            TaskResult::executed(1.0, crate::graph::CostClass::Gemm)
+        });
         b.task(
             "TSQRT(1,k=0)",
             0,
@@ -131,7 +155,35 @@ mod tests {
         let g = b.build();
         crate::exec::execute(&g, 1);
         let dot = to_dot(&g);
+        // The discarded branch task: gray dashed box, not its family color.
+        assert!(dot.contains("TSQRT"));
         assert!(dot.contains("style=dashed"));
-        assert!(dot.contains("color=blue"));
+        assert!(dot.contains("color=gray"));
+        assert!(!dot.contains("color=blue"));
+        // Its incoming edge is dashed too; the executed task keeps its color.
+        assert!(dot.contains("t0 -> t1 [style=dashed, color=gray];"));
+        assert!(dot.contains("color=darkgreen"));
+    }
+
+    #[test]
+    fn to_dot_step_filters_by_step_index() {
+        let mut b = GraphBuilder::new(1);
+        b.declare(DataKey(0), 8, 0);
+        b.task(
+            "PANEL(k=3)",
+            0,
+            &[Access::Mut(DataKey(0))],
+            TaskResult::control,
+        );
+        b.task(
+            "PANEL(k=13)",
+            0,
+            &[Access::Mut(DataKey(0))],
+            TaskResult::control,
+        );
+        let g = b.build();
+        let dot = to_dot_step(&g, 3);
+        assert!(dot.contains("PANEL(k=3)"));
+        assert!(!dot.contains("PANEL(k=13)"));
     }
 }

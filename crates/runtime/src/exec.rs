@@ -13,7 +13,35 @@ use std::time::Instant;
 
 use crossbeam::channel;
 
-use crate::graph::{CostClass, Graph, TaskId};
+use crate::graph::{CostClass, Graph, TaskId, TaskResult};
+
+/// Running tally of task outcomes, shared by the batch executor's report
+/// and the streaming window's incremental counters so both runtimes count
+/// executed / discarded tasks and flops identically.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Tally {
+    /// Tasks that ran their kernel (`executed = true`).
+    pub executed: usize,
+    /// Tasks that discarded themselves (unselected branch).
+    pub discarded: usize,
+    /// Total flops reported by executed tasks (excluding Memory
+    /// pseudo-flops, which encode bytes).
+    pub flops: f64,
+}
+
+impl Tally {
+    /// Fold one task result into the tally.
+    pub fn record(&mut self, r: &TaskResult) {
+        if r.executed {
+            self.executed += 1;
+            if r.class != CostClass::Memory {
+                self.flops += r.flops;
+            }
+        } else {
+            self.discarded += 1;
+        }
+    }
+}
 
 /// Summary of one graph execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,26 +133,18 @@ pub fn execute(graph: &Graph, threads: usize) -> ExecReport {
     });
 
     // Collect statistics.
-    let mut executed = 0usize;
-    let mut discarded = 0usize;
-    let mut flops = 0.0f64;
+    let mut tally = Tally::default();
     for t in &graph.tasks {
         match t.result() {
-            Some(r) if r.executed => {
-                executed += 1;
-                if r.class != CostClass::Memory {
-                    flops += r.flops;
-                }
-            }
-            Some(_) => discarded += 1,
+            Some(r) => tally.record(&r),
             None => panic!("task '{}' never ran — cyclic or broken graph", t.name),
         }
     }
     ExecReport {
         wall_seconds: start.elapsed().as_secs_f64(),
-        tasks_executed: executed,
-        tasks_discarded: discarded,
-        total_flops: flops,
+        tasks_executed: tally.executed,
+        tasks_discarded: tally.discarded,
+        total_flops: tally.flops,
     }
 }
 

@@ -151,7 +151,47 @@ impl TaskResult {
     }
 }
 
-type Kernel = Box<dyn FnOnce() -> TaskResult + Send>;
+/// A boxed task body, consumed exactly once when the task executes.
+pub type Kernel = Box<dyn FnOnce() -> TaskResult + Send>;
+
+/// Destination of task insertion: either the batch [`GraphBuilder`] (the
+/// whole factorization is materialized, then executed) or the streaming
+/// window ([`crate::stream::StreamWindow`], tasks execute while later steps
+/// are still being planned). Algorithm planners write against this trait so
+/// the same insertion code drives both runtimes; both implementations infer
+/// dependencies from `accesses` with identical hazard rules, which is what
+/// keeps batch and streaming execution bitwise-identical.
+pub trait TaskSink {
+    /// Number of virtual nodes task placements may reference.
+    fn num_nodes(&self) -> usize;
+
+    /// Declare a datum: its size in bytes (communication costing) and the
+    /// node where it initially resides.
+    fn declare(&mut self, key: DataKey, bytes: usize, home_node: usize);
+
+    /// Insert a task whose dependencies are inferred from `accesses`.
+    fn push_task(
+        &mut self,
+        name: String,
+        node: usize,
+        accesses: &[Access],
+        kernel: Kernel,
+    ) -> TaskId;
+}
+
+impl dyn TaskSink + '_ {
+    /// Start a typed task insertion (the planner-facing surface; see
+    /// [`GraphBuilder::insert`] for the batch equivalent).
+    pub fn insert(&mut self, name: impl Into<String>, node: usize) -> TaskBuilder<'_> {
+        TaskBuilder {
+            sink: self,
+            name: name.into(),
+            node,
+            accesses: Vec::new(),
+            guard: None,
+        }
+    }
+}
 
 /// An incoming data transfer: the datum, the producing task (or `None` for
 /// initial data), the node the data comes from, and its size.
@@ -267,6 +307,11 @@ impl GraphBuilder {
         self.data.insert(key, DataInfo { bytes, home_node });
     }
 
+    /// Number of virtual nodes task placements may reference.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
     /// Number of tasks inserted so far.
     pub fn len(&self) -> usize {
         self.tasks.len()
@@ -284,6 +329,16 @@ impl GraphBuilder {
         node: usize,
         accesses: &[Access],
         kernel: impl FnOnce() -> TaskResult + Send + 'static,
+    ) -> TaskId {
+        self.push_boxed(name.into(), node, accesses, Box::new(kernel))
+    }
+
+    fn push_boxed(
+        &mut self,
+        name: String,
+        node: usize,
+        accesses: &[Access],
+        kernel: Kernel,
     ) -> TaskId {
         assert!(node < self.num_nodes, "task placed on unknown node");
         let id = self.tasks.len();
@@ -344,13 +399,13 @@ impl GraphBuilder {
 
         let num_preds = preds.len();
         let task = Task {
-            name: name.into(),
+            name,
             node,
             successors: Vec::new(),
             num_preds,
             preds_remaining: AtomicUsize::new(num_preds),
             inputs,
-            kernel: Mutex::new(Some(Box::new(kernel))),
+            kernel: Mutex::new(Some(kernel)),
             result: OnceLock::new(),
         };
         self.tasks.push(task);
@@ -366,13 +421,7 @@ impl GraphBuilder {
     /// planners — it removes hand-rolled `&[Access::...]` arrays and
     /// centralizes the dynamic branch-discard mechanism.
     pub fn insert(&mut self, name: impl Into<String>, node: usize) -> TaskBuilder<'_> {
-        TaskBuilder {
-            builder: self,
-            name: name.into(),
-            node,
-            accesses: Vec::new(),
-            guard: None,
-        }
+        (self as &mut dyn TaskSink).insert(name, node)
     }
 
     /// Finalize into an executable [`Graph`].
@@ -390,6 +439,26 @@ impl GraphBuilder {
     }
 }
 
+impl TaskSink for GraphBuilder {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn declare(&mut self, key: DataKey, bytes: usize, home_node: usize) {
+        GraphBuilder::declare(self, key, bytes, home_node);
+    }
+
+    fn push_task(
+        &mut self,
+        name: String,
+        node: usize,
+        accesses: &[Access],
+        kernel: Kernel,
+    ) -> TaskId {
+        self.push_boxed(name, node, accesses, kernel)
+    }
+}
+
 /// Fluent, typed task insertion (created by [`GraphBuilder::insert`]).
 ///
 /// Accesses are recorded in call order; [`TaskBuilder::guard`] implements
@@ -398,7 +467,7 @@ impl GraphBuilder {
 /// predicate at execution time, running its kernel or reporting itself
 /// [`TaskResult::discarded`].
 pub struct TaskBuilder<'b> {
-    builder: &'b mut GraphBuilder,
+    sink: &'b mut dyn TaskSink,
     name: String,
     node: usize,
     accesses: Vec<Access>,
@@ -461,21 +530,22 @@ impl TaskBuilder<'_> {
     /// Insert the task with a raw kernel returning its own [`TaskResult`].
     pub fn spawn(self, kernel: impl FnOnce() -> TaskResult + Send + 'static) -> TaskId {
         let TaskBuilder {
-            builder,
+            sink,
             name,
             node,
             accesses,
             guard,
         } = self;
-        match guard {
-            None => builder.task(name, node, &accesses, kernel),
-            Some(selected) => builder.task(name, node, &accesses, move || {
+        let kernel: Kernel = match guard {
+            None => Box::new(kernel),
+            Some(selected) => Box::new(move || {
                 if !selected() {
                     return TaskResult::discarded();
                 }
                 kernel()
             }),
-        }
+        };
+        sink.push_task(name, node, &accesses, kernel)
     }
 
     /// Insert a compute task with declared cost: the kernel body just does

@@ -16,6 +16,11 @@
 //!   owner-computes placement, per-class kernel efficiencies, NIC-serialized
 //!   messages with latency + bandwidth. This regenerates the paper's
 //!   distributed performance results from a single machine.
+//! * [`stream`] — the windowed *streaming* executor: graph construction
+//!   interleaved with execution, at most `window` consecutive steps
+//!   materialized, completed steps retired, and per-step branch decisions
+//!   consumed online ([`stream::StepSource`]). The batch path builds the
+//!   whole DAG first; the streaming path bounds graph memory by the window.
 //! * [`dot`] — Graphviz export (Figure 1's dataflow, from a live graph).
 
 pub mod dot;
@@ -23,9 +28,14 @@ pub mod exec;
 pub mod graph;
 pub mod platform;
 pub mod sim;
+pub mod stream;
 pub mod trace;
 
-pub use exec::{execute, ExecReport};
-pub use graph::{Access, CostClass, DataKey, Graph, GraphBuilder, TaskBuilder, TaskId, TaskResult};
+pub use exec::{execute, ExecReport, Tally};
+pub use graph::{
+    Access, CostClass, DataKey, Graph, GraphBuilder, Kernel, TaskBuilder, TaskId, TaskResult,
+    TaskSink,
+};
 pub use platform::{Efficiency, Platform};
 pub use sim::{simulate, SimReport};
+pub use stream::{StepPhase, StepSource, StreamReport, StreamWindow};

@@ -1,0 +1,354 @@
+//! Windowed streaming executor: online graph unrolling.
+//!
+//! The batch pipeline ([`crate::graph::GraphBuilder`] → [`crate::exec::execute`])
+//! materializes the *entire* task graph — O(N³) task records for a tiled
+//! factorization, both branches of every hybrid step — before running a
+//! single kernel. This module interleaves the two, the way PaRSEC's
+//! parameterized task graphs unroll lazily:
+//!
+//! * a [`StepSource`] (the algorithm layer) is pulled **one step at a
+//!   time**, and only when fewer than `window` steps are still live;
+//! * tasks execute while later steps are still being planned, scheduled by
+//!   critical-path depth ([`priority`]) so the panel chain stays hot;
+//! * a step's task records are reclaimed as they complete, and the step
+//!   retires when it drains ([`retire`]) — graph memory is bounded by the
+//!   window, not by the factorization;
+//! * a source may split a step at its *decision point*
+//!   ([`StepPhase::AwaitDecision`]): the driver blocks until the decision
+//!   task has executed, then asks the source to plan the remainder — which
+//!   can now consult fresh data and insert **only the chosen branch**
+//!   instead of both branches statically.
+//!
+//! Execution is bitwise-identical to the batch path because the window
+//! infers the same hazards from the same insertion order; dropping a
+//! never-executed branch removes no executed writer and so changes no
+//! per-datum mutation order.
+
+pub mod priority;
+pub mod retire;
+pub mod window;
+
+use std::time::Instant;
+
+use crate::graph::{TaskId, TaskSink};
+
+pub use window::{StepSink, StreamWindow};
+
+/// What a source planned for one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepPhase {
+    /// The step is fully planned.
+    Complete,
+    /// The remainder of the step depends on the runtime outcome of the
+    /// given task (e.g. the hybrid's LU/QR criterion decision): the driver
+    /// must wait for it to complete, then call [`StepSource::plan_finish`].
+    AwaitDecision(TaskId),
+}
+
+/// A factorization algorithm exposed step by step to the streaming driver.
+///
+/// This is the streaming counterpart of driving a batch planner in a loop:
+/// the driver calls `plan_prelude(k, …)` for `k = 0..num_steps()` strictly
+/// in order (insertion order is what hazard inference keys on), awaiting
+/// the decision task and calling `plan_finish` in between when a step asks
+/// for it.
+pub trait StepSource {
+    /// Number of elimination steps.
+    fn num_steps(&self) -> usize;
+
+    /// Virtual nodes referenced by task placements.
+    fn num_nodes(&self) -> usize {
+        1
+    }
+
+    /// Called once before planning; declare data here (no task insertion).
+    fn prepare(&mut self, _sink: &mut dyn TaskSink) {}
+
+    /// Plan step `k` up to (and including) its decision point — or the
+    /// whole step, for algorithms with no runtime decision.
+    fn plan_prelude(&mut self, k: usize, sink: &mut dyn TaskSink) -> StepPhase;
+
+    /// Plan the decision-dependent remainder of step `k` (only called
+    /// after the task named by [`StepPhase::AwaitDecision`] completed).
+    fn plan_finish(&mut self, _k: usize, _sink: &mut dyn TaskSink) {}
+}
+
+/// Summary of one streaming execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamReport {
+    /// Wall-clock seconds, planning and execution interleaved.
+    pub wall_seconds: f64,
+    /// Elimination steps unrolled.
+    pub steps: usize,
+    /// Tasks planned into the window over the whole run.
+    pub tasks_planned: usize,
+    /// Tasks that ran their kernel.
+    pub tasks_executed: usize,
+    /// Tasks that discarded themselves (unselected branch remnants, e.g.
+    /// PROP tasks on an LU decision).
+    pub tasks_discarded: usize,
+    /// Total flops reported by executed tasks (excluding Memory
+    /// pseudo-flops).
+    pub total_flops: f64,
+    /// Highest number of simultaneously materialized task records — the
+    /// window's memory high-water mark. The batch path materializes
+    /// `tasks_planned`-many records (and more: both branches) at once.
+    pub peak_live_tasks: usize,
+    /// Highest number of simultaneously live steps (≤ the window size).
+    pub peak_live_steps: usize,
+    /// Tasks planned per elimination step (for window-bound accounting).
+    pub per_step_tasks: Vec<usize>,
+}
+
+/// Execute `source` with at most `window` consecutive steps materialized,
+/// on `threads` worker threads (both clamped to ≥ 1).
+///
+/// The calling thread plans; workers execute concurrently. Numerical
+/// results are deterministic across `window` and `threads` because the
+/// hazard edges serialize all conflicting accesses in insertion order —
+/// the same guarantee the batch executor gives.
+pub fn execute(source: &mut dyn StepSource, window: usize, threads: usize) -> StreamReport {
+    let window = window.max(1);
+    let threads = threads.max(1);
+    let start = Instant::now();
+    let win = StreamWindow::new(source.num_nodes());
+    let steps = source.num_steps();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let win = &win;
+            scope.spawn(move || win.worker_loop());
+        }
+
+        source.prepare(&mut StepSink::declarations(&win));
+        for k in 0..steps {
+            win.wait_for_capacity(window);
+            win.open_step(k);
+            let mut sink = StepSink::new(&win, k);
+            match source.plan_prelude(k, &mut sink) {
+                StepPhase::Complete => {}
+                StepPhase::AwaitDecision(decision_task) => {
+                    win.wait_for_task(decision_task);
+                    source.plan_finish(k, &mut sink);
+                }
+            }
+            win.close_step(k);
+        }
+        win.finish_planning();
+        win.wait_drained();
+    });
+
+    let (tally, planned, peak_tasks, peak_steps, per_step) = win.stats();
+    StreamReport {
+        wall_seconds: start.elapsed().as_secs_f64(),
+        steps,
+        tasks_planned: planned,
+        tasks_executed: tally.executed,
+        tasks_discarded: tally.discarded,
+        total_flops: tally.flops,
+        peak_live_tasks: peak_tasks,
+        peak_live_steps: peak_steps,
+        per_step_tasks: per_step,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{CostClass, DataKey, TaskResult};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn k(i: u64) -> DataKey {
+        DataKey(i)
+    }
+
+    /// A chain-per-step source: step `s` appends `width` tasks that all
+    /// mutate the same datum, so execution is fully serialized.
+    struct ChainSource {
+        steps: usize,
+        width: usize,
+        log: Arc<parking_lot::Mutex<Vec<usize>>>,
+    }
+
+    impl StepSource for ChainSource {
+        fn num_steps(&self) -> usize {
+            self.steps
+        }
+
+        fn prepare(&mut self, sink: &mut dyn TaskSink) {
+            sink.declare(k(0), 8, 0);
+        }
+
+        fn plan_prelude(&mut self, s: usize, sink: &mut dyn TaskSink) -> StepPhase {
+            for t in 0..self.width {
+                let log = Arc::clone(&self.log);
+                let tag = s * self.width + t;
+                sink.insert(format!("t{tag}"), 0)
+                    .writes(k(0))
+                    .spawn(move || {
+                        log.lock().push(tag);
+                        TaskResult::executed(1.0, CostClass::Gemm)
+                    });
+            }
+            StepPhase::Complete
+        }
+    }
+
+    #[test]
+    fn chain_runs_in_order_across_steps() {
+        for (window, threads) in [(1, 1), (1, 4), (2, 2), (8, 3)] {
+            let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let mut src = ChainSource {
+                steps: 6,
+                width: 5,
+                log: Arc::clone(&log),
+            };
+            let report = execute(&mut src, window, threads);
+            assert_eq!(report.tasks_executed, 30);
+            assert_eq!(report.tasks_planned, 30);
+            assert!(report.peak_live_steps <= window);
+            let expected: Vec<usize> = (0..30).collect();
+            assert_eq!(*log.lock(), expected, "w={window} t={threads}");
+        }
+    }
+
+    #[test]
+    fn window_bounds_live_tasks() {
+        // Independent tasks per step: with window = 1, at most one step's
+        // tasks may ever be materialized.
+        struct WideSource;
+        impl StepSource for WideSource {
+            fn num_steps(&self) -> usize {
+                10
+            }
+            fn prepare(&mut self, sink: &mut dyn TaskSink) {
+                for s in 0..10u64 {
+                    for t in 0..20u64 {
+                        sink.declare(k(s * 100 + t), 8, 0);
+                    }
+                }
+            }
+            fn plan_prelude(&mut self, s: usize, sink: &mut dyn TaskSink) -> StepPhase {
+                for t in 0..20 {
+                    sink.insert(format!("t{s}/{t}"), 0)
+                        .writes(k((s as u64) * 100 + t as u64))
+                        .spawn(|| TaskResult::executed(1.0, CostClass::Gemm));
+                }
+                StepPhase::Complete
+            }
+        }
+        let report = execute(&mut WideSource, 1, 4);
+        assert_eq!(report.tasks_executed, 200);
+        assert_eq!(report.peak_live_steps, 1);
+        assert!(
+            report.peak_live_tasks <= 20,
+            "peak {} exceeds one step's tasks",
+            report.peak_live_tasks
+        );
+        assert_eq!(report.per_step_tasks, vec![20; 10]);
+    }
+
+    #[test]
+    fn await_decision_plans_only_chosen_branch() {
+        // Step 0 writes a runtime value; the source awaits it and plans a
+        // branch depending on what the task computed — the online-decision
+        // protocol of the hybrid planner.
+        struct DecidingSource {
+            decided: Arc<AtomicUsize>,
+            branch_ran: Arc<AtomicUsize>,
+        }
+        impl StepSource for DecidingSource {
+            fn num_steps(&self) -> usize {
+                1
+            }
+            fn prepare(&mut self, sink: &mut dyn TaskSink) {
+                sink.declare(k(0), 8, 0);
+            }
+            fn plan_prelude(&mut self, _s: usize, sink: &mut dyn TaskSink) -> StepPhase {
+                let d = Arc::clone(&self.decided);
+                let id = sink.insert("decide", 0).writes(k(0)).spawn(move || {
+                    d.store(7, Ordering::SeqCst);
+                    TaskResult::control()
+                });
+                StepPhase::AwaitDecision(id)
+            }
+            fn plan_finish(&mut self, _s: usize, sink: &mut dyn TaskSink) {
+                // The decision value is visible *at planning time*.
+                assert_eq!(self.decided.load(Ordering::SeqCst), 7);
+                let b = Arc::clone(&self.branch_ran);
+                sink.insert("branch", 0).writes(k(0)).spawn(move || {
+                    b.store(1, Ordering::SeqCst);
+                    TaskResult::executed(2.0, CostClass::Trsm)
+                });
+            }
+        }
+        let decided = Arc::new(AtomicUsize::new(0));
+        let branch_ran = Arc::new(AtomicUsize::new(0));
+        let mut src = DecidingSource {
+            decided: Arc::clone(&decided),
+            branch_ran: Arc::clone(&branch_ran),
+        };
+        let report = execute(&mut src, 2, 3);
+        assert_eq!(report.tasks_executed, 2);
+        assert_eq!(branch_ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn empty_source_completes() {
+        struct Empty;
+        impl StepSource for Empty {
+            fn num_steps(&self) -> usize {
+                0
+            }
+            fn plan_prelude(&mut self, _: usize, _: &mut dyn TaskSink) -> StepPhase {
+                unreachable!()
+            }
+        }
+        let report = execute(&mut Empty, 4, 2);
+        assert_eq!(report.tasks_planned, 0);
+        assert_eq!(report.peak_live_steps, 0);
+    }
+
+    #[test]
+    fn deterministic_across_windows_and_threads() {
+        // A float reduction whose result depends on execution order: the
+        // hazard chain must force identical arithmetic everywhere.
+        fn run(window: usize, threads: usize) -> f64 {
+            let cell = Arc::new(parking_lot::Mutex::new(1.0f64));
+            struct Reduce {
+                cell: Arc<parking_lot::Mutex<f64>>,
+            }
+            impl StepSource for Reduce {
+                fn num_steps(&self) -> usize {
+                    8
+                }
+                fn prepare(&mut self, sink: &mut dyn TaskSink) {
+                    sink.declare(k(0), 8, 0);
+                }
+                fn plan_prelude(&mut self, s: usize, sink: &mut dyn TaskSink) -> StepPhase {
+                    for t in 0..5usize {
+                        let cell = Arc::clone(&self.cell);
+                        let i = s * 5 + t;
+                        sink.insert(format!("r{i}"), 0).writes(k(0)).spawn(move || {
+                            let mut v = cell.lock();
+                            *v = (*v * 1.0000001).sin() + i as f64 * 1e-3;
+                            TaskResult::control()
+                        });
+                    }
+                    StepPhase::Complete
+                }
+            }
+            let mut src = Reduce {
+                cell: Arc::clone(&cell),
+            };
+            execute(&mut src, window, threads);
+            let v = *cell.lock();
+            v
+        }
+        let base = run(1, 1);
+        for (w, t) in [(1, 4), (3, 2), (8, 8)] {
+            assert_eq!(base.to_bits(), run(w, t).to_bits(), "w={w} t={t}");
+        }
+    }
+}

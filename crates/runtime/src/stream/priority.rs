@@ -1,0 +1,72 @@
+//! Critical-path-depth task priorities and the priority-aware ready queue.
+//!
+//! The streaming window computes, for every inserted task, its longest
+//! dependency chain from the sources (`cp = 1 + max cp(pred)`, over *all*
+//! hazard predecessors, completed ones included). The deepest chain in an
+//! LU/QR factorization is the panel chain — PANEL(k) → column-(k+1) updates
+//! → PANEL(k+1) → … — so popping the deepest ready task first keeps the
+//! panel chain hot and lets the criterion of step k+1 fire as early as its
+//! data allows, instead of draining step k's embarrassingly parallel
+//! trailing updates first.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::TaskId;
+
+/// One entry of the ready queue: a runnable task and its critical-path
+/// depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Ready {
+    /// Critical-path depth (longest chain from any source task).
+    pub cp: u64,
+    /// The runnable task.
+    pub id: TaskId,
+}
+
+impl Ord for Ready {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Deepest first; ties broken toward the earliest-inserted task so
+        // the pop order is deterministic and roughly follows insertion.
+        self.cp.cmp(&other.cp).then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for Ready {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Max-heap of runnable tasks ordered by critical-path depth.
+#[derive(Default)]
+pub(crate) struct ReadyQueue(BinaryHeap<Ready>);
+
+impl ReadyQueue {
+    pub fn push(&mut self, cp: u64, id: TaskId) {
+        self.0.push(Ready { cp, id });
+    }
+
+    /// Pop the deepest ready task.
+    pub fn pop(&mut self) -> Option<Ready> {
+        self.0.pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_deepest_first_then_insertion_order() {
+        let mut q = ReadyQueue::default();
+        q.push(1, 10);
+        q.push(3, 11);
+        q.push(3, 7);
+        q.push(2, 12);
+        let order: Vec<(u64, TaskId)> =
+            std::iter::from_fn(|| q.pop().map(|r| (r.cp, r.id))).collect();
+        assert_eq!(order, vec![(3, 7), (3, 11), (2, 12), (1, 10)]);
+        assert!(q.pop().is_none());
+    }
+}

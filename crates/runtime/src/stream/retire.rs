@@ -1,0 +1,153 @@
+//! Step-granular bookkeeping and retirement for the streaming window.
+//!
+//! The window's memory bound is expressed in *steps*: at most `window`
+//! consecutive elimination steps may be materialized at once. A step is
+//! *live* from `open_step` (the planner starts inserting its tasks) until
+//! it *retires*: fully planned **and** every one of its tasks completed.
+//! Individual task records are reclaimed earlier — at task completion, by
+//! the window itself — so the ledger only tracks per-step outstanding
+//! counts, the live-step population the planner gates on, and the peak
+//! statistics the reports expose.
+
+use std::collections::HashMap;
+
+/// Per-step planning/completion state.
+#[derive(Debug, Default, Clone, Copy)]
+struct StepStat {
+    /// Tasks planned but not yet completed.
+    outstanding: usize,
+    /// Still accepting insertions (between `open_step` and `close_step`).
+    open: bool,
+}
+
+/// Tracks which steps are live and when each retires.
+#[derive(Default)]
+pub(crate) struct StepLedger {
+    steps: HashMap<usize, StepStat>,
+    live_steps: usize,
+    /// Highest concurrent live-step count observed.
+    pub peak_live_steps: usize,
+    /// Tasks planned per step (index = step), for window-bound reporting.
+    pub per_step_planned: Vec<usize>,
+}
+
+impl StepLedger {
+    /// Number of steps currently materialized (open or with outstanding
+    /// tasks).
+    pub fn live_steps(&self) -> usize {
+        self.live_steps
+    }
+
+    /// Begin planning step `k`.
+    pub fn open_step(&mut self, k: usize) {
+        let prev = self.steps.insert(
+            k,
+            StepStat {
+                outstanding: 0,
+                open: true,
+            },
+        );
+        assert!(prev.is_none(), "step {k} opened twice");
+        self.live_steps += 1;
+        self.peak_live_steps = self.peak_live_steps.max(self.live_steps);
+        if self.per_step_planned.len() <= k {
+            self.per_step_planned.resize(k + 1, 0);
+        }
+    }
+
+    /// Record one task planned into step `k`.
+    pub fn on_planned(&mut self, k: usize) {
+        let stat = self
+            .steps
+            .get_mut(&k)
+            .unwrap_or_else(|| panic!("task planned into unopened step {k}"));
+        assert!(stat.open, "task planned into closed step {k}");
+        stat.outstanding += 1;
+        self.per_step_planned[k] += 1;
+    }
+
+    /// Planning of step `k` is finished; the step retires once its
+    /// outstanding tasks drain (possibly right now, e.g. a fully-executed
+    /// step behind a long decision wait). Returns `true` when closing
+    /// retires the step immediately.
+    pub fn close_step(&mut self, k: usize) -> bool {
+        let stat = self
+            .steps
+            .get_mut(&k)
+            .unwrap_or_else(|| panic!("closing unopened step {k}"));
+        stat.open = false;
+        if stat.outstanding == 0 {
+            self.retire(k);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Record one task of step `k` completed. Returns `true` when this
+    /// completion retires the step (capacity opened for the planner).
+    pub fn on_completed(&mut self, k: usize) -> bool {
+        let stat = self
+            .steps
+            .get_mut(&k)
+            .unwrap_or_else(|| panic!("completion in unknown step {k}"));
+        assert!(stat.outstanding > 0, "completion underflow in step {k}");
+        stat.outstanding -= 1;
+        if stat.outstanding == 0 && !stat.open {
+            self.retire(k);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn retire(&mut self, k: usize) {
+        self.steps.remove(&k);
+        self.live_steps -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_retires_when_closed_and_drained() {
+        let mut l = StepLedger::default();
+        l.open_step(0);
+        l.on_planned(0);
+        l.on_planned(0);
+        assert_eq!(l.live_steps(), 1);
+        assert!(!l.on_completed(0)); // one outstanding left, still open
+        l.close_step(0);
+        assert_eq!(l.live_steps(), 1);
+        assert!(l.on_completed(0)); // last completion retires the step
+        assert_eq!(l.live_steps(), 0);
+        assert_eq!(l.per_step_planned, vec![2]);
+    }
+
+    #[test]
+    fn empty_step_retires_at_close() {
+        let mut l = StepLedger::default();
+        l.open_step(3);
+        l.close_step(3);
+        assert_eq!(l.live_steps(), 0);
+        assert_eq!(l.peak_live_steps, 1);
+    }
+
+    #[test]
+    fn peak_tracks_concurrent_steps() {
+        let mut l = StepLedger::default();
+        l.open_step(0);
+        l.on_planned(0);
+        l.close_step(0);
+        l.open_step(1);
+        l.on_planned(1);
+        l.close_step(1);
+        assert_eq!(l.peak_live_steps, 2);
+        l.on_completed(0);
+        l.open_step(2);
+        l.close_step(2);
+        assert_eq!(l.peak_live_steps, 2);
+    }
+}

@@ -1,0 +1,427 @@
+//! The streaming window: a live task graph that grows at the planning edge
+//! and shrinks at the completion edge.
+//!
+//! [`StreamWindow`] accepts task insertions through the same [`TaskSink`]
+//! surface as the batch [`crate::graph::GraphBuilder`] and infers the same
+//! RAW / WAR / WAW hazard edges — with one twist: a dependency on a task
+//! that has *already completed* is vacuous and produces no edge, so the
+//! hazard maps may keep referring to completed (reclaimed) tasks without
+//! pinning their records. A task record is dropped the moment its kernel
+//! finishes; what survives is the per-`DataKey` hazard metadata (task id +
+//! critical-path depth), and completed reader entries are pruned — their
+//! depth folded into a per-key scalar — at every step retirement, so the
+//! metadata stays bounded by the declared data plus the live window, not
+//! by the factorization's O(N³) task count.
+//!
+//! All mutable state sits behind one mutex with two condition variables:
+//! `work_cv` wakes workers when tasks become ready (or at shutdown), and
+//! `plan_cv` wakes the planning thread when capacity opens, an awaited
+//! decision task completes, or the graph drains.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Condvar, Mutex};
+
+use crate::exec::Tally;
+use crate::graph::{Access, DataKey, Kernel, TaskId, TaskResult, TaskSink};
+
+use super::priority::ReadyQueue;
+use super::retire::StepLedger;
+
+/// Hazard-map entry: the task that last touched a datum and its
+/// critical-path depth (kept even after the task completes, so later
+/// insertions still inherit the correct depth).
+#[derive(Debug, Clone, Copy)]
+struct Dep {
+    id: TaskId,
+    cp: u64,
+}
+
+/// Readers of a datum since its last writer: live entries (potential WAR
+/// predecessors) plus the folded critical-path depth of already-completed
+/// readers. Completed entries are pruned at every step retirement, so
+/// reader metadata stays bounded by the declared data plus the live
+/// window — not by the factorization's total task count.
+#[derive(Debug, Default)]
+struct Readers {
+    /// Max critical-path depth over completed (pruned) readers.
+    completed_cp: u64,
+    /// Readers not yet known to have completed.
+    entries: Vec<Dep>,
+}
+
+/// A materialized, not-yet-completed task.
+struct LiveTask {
+    name: String,
+    step: usize,
+    cp: u64,
+    preds_remaining: usize,
+    successors: Vec<TaskId>,
+    kernel: Option<Kernel>,
+}
+
+pub(crate) struct WindowState {
+    next_id: TaskId,
+    live: HashMap<TaskId, LiveTask>,
+    /// Declared data keys. The streaming runtime keeps no byte/home
+    /// metadata — it has no communication model yet (a ROADMAP follow-on);
+    /// the batch [`crate::graph::GraphBuilder`] retains the full record.
+    data: HashSet<DataKey>,
+    last_writer: HashMap<DataKey, Dep>,
+    readers: HashMap<DataKey, Readers>,
+    ready: ReadyQueue,
+    pub(crate) ledger: StepLedger,
+    planning_done: bool,
+    pub(crate) tally: Tally,
+    tasks_planned: usize,
+    peak_live_tasks: usize,
+}
+
+impl WindowState {
+    /// Drop reader entries whose tasks have completed, folding their
+    /// critical-path depth into the per-key scalar. Run at every step
+    /// retirement: without it, reads of data that is never written again
+    /// (decisions, T-factors, finalized panel columns) would accumulate
+    /// hazard metadata proportional to the *total* task count, defeating
+    /// the window's memory bound.
+    fn prune_completed_readers(&mut self) {
+        let live = &self.live;
+        for rs in self.readers.values_mut() {
+            let mut folded = rs.completed_cp;
+            rs.entries.retain(|d| {
+                if live.contains_key(&d.id) {
+                    true
+                } else {
+                    folded = folded.max(d.cp);
+                    false
+                }
+            });
+            rs.completed_cp = folded;
+        }
+    }
+}
+
+/// Shared streaming execution state (window + scheduler queues).
+pub struct StreamWindow {
+    num_nodes: usize,
+    state: Mutex<WindowState>,
+    work_cv: Condvar,
+    plan_cv: Condvar,
+}
+
+/// Sentinel step used while no step is open (declaration phase).
+const NO_STEP: usize = usize::MAX;
+
+impl StreamWindow {
+    pub fn new(num_nodes: usize) -> Self {
+        assert!(num_nodes >= 1);
+        StreamWindow {
+            num_nodes,
+            state: Mutex::new(WindowState {
+                next_id: 0,
+                live: HashMap::new(),
+                data: HashSet::new(),
+                last_writer: HashMap::new(),
+                readers: HashMap::new(),
+                ready: ReadyQueue::default(),
+                ledger: StepLedger::default(),
+                planning_done: false,
+                tally: Tally::default(),
+                tasks_planned: 0,
+                peak_live_tasks: 0,
+            }),
+            work_cv: Condvar::new(),
+            plan_cv: Condvar::new(),
+        }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, WindowState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    // ---- planning side -------------------------------------------------
+
+    /// Block until fewer than `window` steps are live.
+    pub fn wait_for_capacity(&self, window: usize) {
+        let mut st = self.lock();
+        while st.ledger.live_steps() >= window {
+            st = self.plan_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Begin planning step `k`; subsequent insertions are charged to it.
+    pub fn open_step(&self, k: usize) {
+        assert_ne!(k, NO_STEP);
+        self.lock().ledger.open_step(k);
+    }
+
+    /// Planning of step `k` is complete.
+    pub fn close_step(&self, k: usize) {
+        let mut st = self.lock();
+        // Closing may retire an already-drained step.
+        if st.ledger.close_step(k) {
+            st.prune_completed_readers();
+        }
+        drop(st);
+        self.plan_cv.notify_all();
+    }
+
+    /// Block until task `id` has completed (its kernel ran and its record
+    /// was reclaimed). Used by the driver to await a step's decision task.
+    pub fn wait_for_task(&self, id: TaskId) {
+        let mut st = self.lock();
+        assert!(id < st.next_id, "waiting on a task that was never planned");
+        while st.live.contains_key(&id) {
+            st = self.plan_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// No further steps will be planned; workers may exit once drained.
+    pub fn finish_planning(&self) {
+        self.lock().planning_done = true;
+        self.work_cv.notify_all();
+        self.plan_cv.notify_all();
+    }
+
+    /// Block until every planned task has completed.
+    pub fn wait_drained(&self) {
+        let mut st = self.lock();
+        while !st.live.is_empty() {
+            st = self.plan_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Final statistics (call after [`StreamWindow::wait_drained`]).
+    pub(crate) fn stats(&self) -> (Tally, usize, usize, usize, Vec<usize>) {
+        let st = self.lock();
+        (
+            st.tally.clone(),
+            st.tasks_planned,
+            st.peak_live_tasks,
+            st.ledger.peak_live_steps,
+            st.ledger.per_step_planned.clone(),
+        )
+    }
+
+    // ---- insertion (TaskSink via StepSink) -----------------------------
+
+    fn declare(&self, key: DataKey, _bytes: usize, home_node: usize) {
+        assert!(home_node < self.num_nodes);
+        self.lock().data.insert(key);
+    }
+
+    fn insert_task(
+        &self,
+        step: usize,
+        name: String,
+        node: usize,
+        accesses: &[Access],
+        kernel: Kernel,
+    ) -> TaskId {
+        assert!(node < self.num_nodes, "task placed on unknown node");
+        assert_ne!(
+            step, NO_STEP,
+            "tasks may only be inserted into an open step"
+        );
+        let mut st = self.lock();
+        let id = st.next_id;
+        st.next_id += 1;
+
+        // Pass 1: collect hazard predecessors and the critical-path depth
+        // over *all* of them (completed predecessors contribute depth but
+        // no edge). Mirrors GraphBuilder::push_boxed exactly; see the
+        // module docs for why the two stay bitwise-equivalent.
+        let mut preds: Vec<TaskId> = Vec::new();
+        let mut max_pred_cp = 0u64;
+        for acc in accesses {
+            let key = acc.key();
+            assert!(
+                st.data.contains(&key),
+                "access to undeclared data {key:?} by task '{name}'"
+            );
+            if let Some(w) = st.last_writer.get(&key) {
+                max_pred_cp = max_pred_cp.max(w.cp);
+                preds.push(w.id);
+            }
+            if matches!(acc, Access::Mut(_)) {
+                if let Some(rs) = st.readers.get(&key) {
+                    max_pred_cp = max_pred_cp.max(rs.completed_cp);
+                    for r in &rs.entries {
+                        max_pred_cp = max_pred_cp.max(r.cp);
+                        preds.push(r.id);
+                    }
+                }
+            }
+        }
+        let cp = 1 + max_pred_cp;
+
+        // Pass 2: update the hazard maps in access order.
+        for acc in accesses {
+            let key = acc.key();
+            match acc {
+                Access::Read(_) => st
+                    .readers
+                    .entry(key)
+                    .or_default()
+                    .entries
+                    .push(Dep { id, cp }),
+                Access::Control(_) => {}
+                Access::Mut(_) => {
+                    if let Some(rs) = st.readers.get_mut(&key) {
+                        rs.entries.clear();
+                        rs.completed_cp = 0;
+                    }
+                    st.last_writer.insert(key, Dep { id, cp });
+                }
+            }
+        }
+
+        // Only edges to still-live tasks count toward the countdown.
+        preds.sort_unstable();
+        preds.dedup();
+        preds.retain(|p| st.live.contains_key(p));
+        let num_preds = preds.len();
+        for &p in &preds {
+            st.live
+                .get_mut(&p)
+                .expect("retained pred")
+                .successors
+                .push(id);
+        }
+
+        st.live.insert(
+            id,
+            LiveTask {
+                name,
+                step,
+                cp,
+                preds_remaining: num_preds,
+                successors: Vec::new(),
+                kernel: Some(kernel),
+            },
+        );
+        st.tasks_planned += 1;
+        st.ledger.on_planned(step);
+        let live_now = st.live.len();
+        st.peak_live_tasks = st.peak_live_tasks.max(live_now);
+        if num_preds == 0 {
+            st.ready.push(cp, id);
+            drop(st);
+            self.work_cv.notify_one();
+        }
+        id
+    }
+
+    // ---- execution side ------------------------------------------------
+
+    /// Worker loop: pop the deepest ready task, run it outside the lock,
+    /// record the completion. Returns when planning is done and the window
+    /// has drained.
+    pub(crate) fn worker_loop(&self) {
+        loop {
+            let (id, kernel) = {
+                let mut st = self.lock();
+                loop {
+                    if let Some(r) = st.ready.pop() {
+                        let t = st.live.get_mut(&r.id).expect("ready task not live");
+                        let kernel = t
+                            .kernel
+                            .take()
+                            .unwrap_or_else(|| panic!("task '{}' executed twice", t.name));
+                        break (r.id, kernel);
+                    }
+                    if st.planning_done && st.live.is_empty() {
+                        return;
+                    }
+                    st = self.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            let result = kernel();
+            self.complete(id, result);
+        }
+    }
+
+    fn complete(&self, id: TaskId, result: TaskResult) {
+        let mut st = self.lock();
+        let task = st
+            .live
+            .remove(&id)
+            .unwrap_or_else(|| panic!("task {id} completed twice"));
+        st.tally.record(&result);
+        let mut newly_ready = 0usize;
+        for s in task.successors {
+            let succ = st
+                .live
+                .get_mut(&s)
+                .expect("successor completed before predecessor");
+            debug_assert!(succ.preds_remaining >= 1, "dependency underflow");
+            succ.preds_remaining -= 1;
+            if succ.preds_remaining == 0 {
+                let cp = succ.cp;
+                st.ready.push(cp, s);
+                newly_ready += 1;
+            }
+        }
+        if st.ledger.on_completed(task.step) {
+            st.prune_completed_readers();
+        }
+        let drained = st.planning_done && st.live.is_empty();
+        drop(st);
+        // One wake per newly runnable task (workers re-check the queue
+        // under the lock before waiting, so a wake with no waiter is not
+        // lost work); the drain wake must reach *every* worker so they
+        // can exit.
+        for _ in 0..newly_ready {
+            self.work_cv.notify_one();
+        }
+        if drained {
+            self.work_cv.notify_all();
+        }
+        // Capacity may have opened, an awaited decision may have landed, or
+        // the graph may have drained — all planner-side conditions.
+        self.plan_cv.notify_all();
+    }
+}
+
+/// [`TaskSink`] adapter binding insertions to one step of a
+/// [`StreamWindow`]. Created by the streaming driver for each planning
+/// phase; `usize::MAX` (declaration phase) accepts `declare` only.
+pub struct StepSink<'a> {
+    win: &'a StreamWindow,
+    step: usize,
+}
+
+impl<'a> StepSink<'a> {
+    pub fn new(win: &'a StreamWindow, step: usize) -> Self {
+        StepSink { win, step }
+    }
+
+    /// Declaration-phase sink (no step open; task insertion panics).
+    pub fn declarations(win: &'a StreamWindow) -> Self {
+        StepSink { win, step: NO_STEP }
+    }
+}
+
+impl TaskSink for StepSink<'_> {
+    fn num_nodes(&self) -> usize {
+        self.win.num_nodes()
+    }
+
+    fn declare(&mut self, key: DataKey, bytes: usize, home_node: usize) {
+        self.win.declare(key, bytes, home_node);
+    }
+
+    fn push_task(
+        &mut self,
+        name: String,
+        node: usize,
+        accesses: &[Access],
+        kernel: Kernel,
+    ) -> TaskId {
+        self.win
+            .insert_task(self.step, name, node, accesses, kernel)
+    }
+}

@@ -11,9 +11,27 @@ use std::fmt::Write as _;
 use crate::graph::Graph;
 use crate::sim::SimReport;
 
+/// Elimination-step index encoded in a task name (the `k=NN` of
+/// `"GEMM(3,4,k=2)"`). This is the per-task retirement unit of the
+/// streaming runtime, so traces and DOT exports key on it.
+pub fn step_index(name: &str) -> Option<usize> {
+    let start = name.rfind("k=")? + 2;
+    let digits: &str = &name[start..];
+    let end = digits
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(digits.len());
+    if end == 0 {
+        return None;
+    }
+    digits[..end].parse().ok()
+}
+
 /// Render the simulated schedule as Chrome trace-event JSON.
 ///
-/// Times are exported in microseconds. Discarded tasks are omitted.
+/// Times are exported in microseconds. Discarded tasks are omitted. Each
+/// event records its elimination-step index in `args.step` (when the task
+/// name carries one), so step retirement — the streaming window's unit of
+/// memory reclamation — is visible as a column in the trace viewer.
 pub fn to_chrome_trace(graph: &Graph, sim: &SimReport) -> String {
     let mut out = String::from("[\n");
     let mut first = true;
@@ -27,14 +45,19 @@ pub fn to_chrome_trace(graph: &Graph, sim: &SimReport) -> String {
             out.push_str(",\n");
         }
         first = false;
+        let args = match step_index(&task.name) {
+            Some(k) => format!(", \"args\": {{\"step\": {k}}}"),
+            None => String::new(),
+        };
         let _ = write!(
             out,
             "  {{\"name\": \"{}\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \
-             \"pid\": {}, \"tid\": 0, \"cat\": \"task\"}}",
+             \"pid\": {}, \"tid\": 0, \"cat\": \"task\"{}}}",
             task.name.replace('"', "'"),
             sim.starts[i] * 1e6,
             dur_us,
             task.node,
+            args,
         );
     }
     out.push_str("\n]\n");
@@ -65,6 +88,34 @@ mod tests {
         assert!(!json.contains("\"dead\""));
         assert!(json.trim_start().starts_with('['));
         assert!(json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn step_index_parses_task_names() {
+        assert_eq!(step_index("GEMM(3,4,k=2)"), Some(2));
+        assert_eq!(step_index("PANEL(k=13)"), Some(13));
+        assert_eq!(step_index("TSMQR(5,4,6,k=0)"), Some(0));
+        assert_eq!(step_index("no step here"), None);
+        assert_eq!(step_index("k="), None);
+    }
+
+    #[test]
+    fn trace_records_step_index() {
+        let mut b = GraphBuilder::new(1);
+        b.declare(DataKey(0), 64, 0);
+        b.task("PANEL(k=3)", 0, &[Access::Mut(DataKey(0))], || {
+            TaskResult::executed(1e6, CostClass::PanelFactor)
+        });
+        b.task("untagged", 0, &[Access::Mut(DataKey(0))], || {
+            TaskResult::executed(1e6, CostClass::Gemm)
+        });
+        let g = b.build();
+        execute(&g, 1);
+        let sim = simulate(&g, &Platform::dancer_nodes(1));
+        let json = to_chrome_trace(&g, &sim);
+        assert!(json.contains("\"args\": {\"step\": 3}"));
+        // Tasks without a step keep a well-formed event (no args field).
+        assert!(json.contains("\"untagged\""));
     }
 
     #[test]

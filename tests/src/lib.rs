@@ -2,4 +2,35 @@
 //!
 //! The tests live in `tests/tests/` and exercise the full stack — kernels,
 //! tiled storage, runtime, and the factorization drivers — together. This
-//! library target is intentionally empty.
+//! library target holds the fixtures they share.
+
+use luqr_kernels::blas::{gemm, Trans};
+use luqr_kernels::Mat;
+
+/// Random matrix with a dominant diagonal: every algorithm and criterion
+/// factors it without breakdown, which is what parity-style tests need.
+pub fn well_conditioned(n: usize, seed: u64) -> Mat {
+    let mut a = Mat::random(n, n, seed);
+    for i in 0..n {
+        a[(i, i)] += n as f64;
+    }
+    a
+}
+
+/// A dominant-diagonal system `A x = B` with `nrhs` right-hand sides
+/// manufactured from a known random solution.
+pub fn dominant_system(n: usize, seed: u64, nrhs: usize) -> (Mat, Mat) {
+    let a = well_conditioned(n, seed);
+    let x_true = Mat::random(n, nrhs, seed ^ 0x5eed);
+    let mut b = Mat::zeros(n, nrhs);
+    gemm(
+        Trans::NoTrans,
+        Trans::NoTrans,
+        1.0,
+        &a,
+        &x_true,
+        0.0,
+        &mut b,
+    );
+    (a, b)
+}

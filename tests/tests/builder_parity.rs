@@ -8,7 +8,10 @@
 //! factorization is deterministic (hazard-ordered execution), so any change
 //! in task content or insertion order that alters arithmetic shows up here.
 
-use luqr::{factor_solve, stability, Algorithm, Criterion, FactorOptions, LuVariant, PivotScope};
+use luqr::{
+    factor_solve, factor_stream, stability, Algorithm, Criterion, FactorOptions, LuVariant,
+    PivotScope,
+};
 use luqr_kernels::blas::{gemm, Trans};
 use luqr_kernels::Mat;
 use luqr_tile::Grid;
@@ -155,6 +158,45 @@ fn planner_reproduces_pre_refactor_residuals_bitwise() {
     assert!(
         failures.is_empty(),
         "parity broken:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The *streaming* executor must reproduce the same pre-refactor residuals
+/// bitwise, for every `Algorithm × Criterion` configuration and for several
+/// window sizes — the streaming runtime changes when tasks are planned and
+/// which branch is materialized, but may never change the arithmetic.
+#[test]
+fn streaming_reproduces_golden_residuals_bitwise() {
+    let mut failures = Vec::new();
+    for window in [1, 2, 7] {
+        for (label, algorithm, scope, variant, golden_bits) in golden_table() {
+            let (a, b) = fixture();
+            let opts = FactorOptions {
+                nb: 8,
+                ib: 4,
+                threads: 2,
+                grid: Grid::new(2, 2),
+                algorithm,
+                pivot_scope: scope,
+                lu_variant: variant,
+                ..FactorOptions::default()
+            };
+            let f = factor_stream(&a, &b, &opts, window);
+            assert!(f.error.is_none(), "{label}: {:?}", f.error);
+            let x = f.solution();
+            let got = stability::hpl3(&a, &x, &b);
+            if got.to_bits() != golden_bits {
+                failures.push(format!(
+                    "{label} (window {window}): hpl3 {got:.17e} (bits 0x{:016x}) != golden 0x{golden_bits:016x}",
+                    got.to_bits()
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "streaming parity broken:\n{}",
         failures.join("\n")
     );
 }

@@ -1,0 +1,230 @@
+//! Streaming-runtime integration tests: bitwise batch/stream parity across
+//! algorithms, the window memory bound, and explicit 1-/4-thread
+//! invocations so scheduler races surface in CI.
+
+use luqr::{
+    factor, factor_stream, stability, Algorithm, Criterion, FactorOptions, LuVariant, PivotScope,
+};
+use luqr_kernels::Mat;
+use luqr_tile::Grid;
+
+fn system(n: usize, seed: u64) -> (Mat, Mat) {
+    luqr_tests::dominant_system(n, seed, 2)
+}
+
+/// Factor the same system through both runtimes and assert the solutions
+/// are bitwise identical; returns (batch graph size, streaming report).
+fn check_parity(
+    opts: &FactorOptions,
+    window: usize,
+    n: usize,
+    seed: u64,
+) -> (usize, luqr_runtime::StreamReport) {
+    let (a, b) = system(n, seed);
+    let batch = factor(&a, &b, opts);
+    let stream = factor_stream(&a, &b, opts, window);
+    assert_eq!(
+        batch.error,
+        stream.error,
+        "{}: error mismatch",
+        opts.algorithm.name()
+    );
+    let xb = batch.solution();
+    let xs = stream.solution();
+    assert_eq!(
+        xb.max_abs_diff(&xs),
+        0.0,
+        "{} (window {window}): streaming solution differs from batch",
+        opts.algorithm.name()
+    );
+    // Criterion decisions must match step for step.
+    assert_eq!(batch.records.len(), stream.records.len());
+    for (rb, rs) in batch.records.iter().zip(&stream.records) {
+        assert_eq!(rb.k, rs.k);
+        assert_eq!(
+            rb.decision,
+            rs.decision,
+            "{}: decision diverged at step {}",
+            opts.algorithm.name(),
+            rb.k
+        );
+    }
+    assert!(
+        stream.report.peak_live_steps <= window,
+        "{}: {} live steps exceeds window {window}",
+        opts.algorithm.name(),
+        stream.report.peak_live_steps
+    );
+    (batch.graph.len(), stream.report)
+}
+
+#[test]
+fn streaming_matches_batch_for_every_algorithm() {
+    let algorithms = [
+        Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
+        Algorithm::LuQr(Criterion::Sum { alpha: 100.0 }),
+        Algorithm::LuQr(Criterion::Mumps { alpha: 100.0 }),
+        Algorithm::LuQr(Criterion::AlwaysQr),
+        Algorithm::LuQr(Criterion::AlwaysLu),
+        Algorithm::LuQr(Criterion::Random {
+            lu_fraction: 0.5,
+            seed: 7,
+        }),
+        Algorithm::LuNoPiv,
+        Algorithm::LuIncPiv,
+        Algorithm::Lupp,
+        Algorithm::Hqr,
+    ];
+    for algorithm in algorithms {
+        for window in [1, 2, 7] {
+            let opts = FactorOptions {
+                nb: 8,
+                ib: 4,
+                threads: 2,
+                grid: Grid::new(2, 2),
+                algorithm: algorithm.clone(),
+                ..FactorOptions::default()
+            };
+            check_parity(&opts, window, 50, 2014);
+        }
+    }
+}
+
+#[test]
+fn streaming_matches_batch_for_a2_variant_and_tile_scope() {
+    for (scope, variant) in [
+        (PivotScope::DiagonalTile, LuVariant::A1),
+        (PivotScope::DiagonalTile, LuVariant::A2),
+    ] {
+        let opts = FactorOptions {
+            nb: 8,
+            ib: 4,
+            threads: 2,
+            grid: Grid::new(2, 2),
+            algorithm: Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
+            pivot_scope: scope,
+            lu_variant: variant,
+            ..FactorOptions::default()
+        };
+        check_parity(&opts, 2, 50, 2014);
+    }
+}
+
+/// Acceptance criterion: with `window = 2`, a factorization whose full
+/// batch graph holds ≥ 10× more live tasks than the streaming peak, with
+/// bitwise-identical residuals.
+#[test]
+fn window_two_uses_ten_times_fewer_live_tasks_than_batch() {
+    let n = 160;
+    let opts = FactorOptions {
+        nb: 4,
+        ib: 4,
+        threads: 4,
+        algorithm: Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
+        ..FactorOptions::default()
+    };
+    let (a, b) = system(n, 99);
+    let batch = factor(&a, &b, &opts);
+    let stream = factor_stream(&a, &b, &opts, 2);
+
+    // Bitwise-identical residuals.
+    let xb = batch.solution();
+    let xs = stream.solution();
+    let rb = stability::hpl3(&a, &xb, &b);
+    let rs = stability::hpl3(&a, &xs, &b);
+    assert_eq!(rb.to_bits(), rs.to_bits(), "residuals diverged");
+    assert!(rb < 60.0, "residual {rb} is not small");
+
+    // The batch graph materializes every task of every step (both hybrid
+    // branches); the streaming window keeps only un-completed records of at
+    // most 2 consecutive steps.
+    let batch_live = batch.graph.len();
+    let stream_peak = stream.report.peak_live_tasks;
+    assert!(
+        batch_live >= 10 * stream_peak,
+        "batch graph holds {batch_live} tasks, streaming peak {stream_peak}: ratio {:.1} < 10",
+        batch_live as f64 / stream_peak as f64
+    );
+    assert!(stream.report.peak_live_steps <= 2);
+    // Only the chosen branch was unrolled: far fewer tasks planned than the
+    // batch graph's branch-pair construction.
+    assert!(stream.report.tasks_planned < batch_live);
+}
+
+/// Explicit single-thread invocation (deterministic reference schedule).
+#[test]
+fn streaming_single_thread() {
+    let opts = FactorOptions {
+        nb: 8,
+        ib: 4,
+        threads: 1,
+        grid: Grid::new(2, 1),
+        algorithm: Algorithm::LuQr(Criterion::Max { alpha: 5.0 }),
+        ..FactorOptions::default()
+    };
+    check_parity(&opts, 2, 48, 5);
+}
+
+/// Explicit 4-thread invocation (races between workers, the planner, and
+/// step retirement surface here).
+#[test]
+fn streaming_four_threads() {
+    let opts = FactorOptions {
+        nb: 8,
+        ib: 4,
+        threads: 4,
+        grid: Grid::new(2, 1),
+        algorithm: Algorithm::LuQr(Criterion::Max { alpha: 5.0 }),
+        ..FactorOptions::default()
+    };
+    check_parity(&opts, 3, 48, 5);
+}
+
+/// Thread count and window size never change the bits.
+#[test]
+fn streaming_deterministic_across_threads_and_windows() {
+    let (a, b) = system(40, 31);
+    let run = |threads: usize, window: usize| {
+        let opts = FactorOptions {
+            nb: 8,
+            ib: 4,
+            threads,
+            algorithm: Algorithm::LuQr(Criterion::Sum { alpha: 10.0 }),
+            ..FactorOptions::default()
+        };
+        factor_stream(&a, &b, &opts, window).solution()
+    };
+    let reference = run(1, 1);
+    for (threads, window) in [(1, 5), (2, 1), (4, 2), (8, 5)] {
+        assert_eq!(
+            reference.max_abs_diff(&run(threads, window)),
+            0.0,
+            "threads={threads} window={window} changed the result"
+        );
+    }
+}
+
+/// The streaming report's task accounting is self-consistent.
+#[test]
+fn streaming_report_accounting() {
+    let (a, b) = system(48, 12);
+    let opts = FactorOptions {
+        nb: 8,
+        ib: 4,
+        threads: 2,
+        algorithm: Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
+        ..FactorOptions::default()
+    };
+    let f = factor_stream(&a, &b, &opts, 2);
+    let r = &f.report;
+    assert_eq!(r.steps, 6); // 48 / 8
+    assert_eq!(r.tasks_executed + r.tasks_discarded, r.tasks_planned);
+    assert_eq!(r.per_step_tasks.iter().sum::<usize>(), r.tasks_planned);
+    assert!(r.total_flops > 0.0);
+    assert!(r.peak_live_tasks > 0);
+    // On a diagonally dominant matrix every step picks LU — and because
+    // streaming unrolls only the chosen branch, *nothing* is planned that
+    // then discards itself (the batch path discards the whole QR branch).
+    assert_eq!(f.lu_step_fraction(), 1.0);
+    assert_eq!(r.tasks_discarded, 0);
+}
