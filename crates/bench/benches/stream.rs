@@ -6,45 +6,18 @@
 //! graph-memory footprint: the batch graph's total task count vs. the
 //! streaming window's peak live-task count.
 //!
-//! Custom harness (not `criterion_group!`): the JSON baseline needs the
-//! peak-live-task fields next to the timings, which the vendored criterion
-//! shim's fixed record schema cannot carry. Console and JSON output follow
-//! the shim's format, extended with `batch_tasks` / `peak_live_tasks` /
-//! `tasks_planned` where they apply. `CRITERION_JSON=<path>` writes the
-//! baseline (see `BENCH_stream.json`).
+//! Custom harness (`luqr_bench::harness`, not `criterion_group!`): the
+//! JSON baseline needs the peak-live-task fields next to the timings,
+//! which the vendored criterion shim's fixed record schema cannot carry.
+//! Console and JSON output follow the shim's format, extended with
+//! `batch_tasks` / `peak_live_tasks` / `tasks_planned` where they apply.
+//! `CRITERION_JSON=<path>` writes the baseline (see `BENCH_stream.json`).
 
 use std::hint::black_box;
-use std::io::Write as _;
-use std::time::Instant;
 
 use luqr::{factor, factor_stream, Algorithm, Criterion as Crit, FactorOptions};
+use luqr_bench::harness::{sample, write_json, Record};
 use luqr_kernels::Mat;
-
-const SAMPLES: usize = 5;
-
-struct Record {
-    group: String,
-    bench: String,
-    min_ns: f64,
-    median_ns: f64,
-    mean_ns: f64,
-    /// (batch total tasks, streaming peak live tasks, streaming planned).
-    memory: Option<(usize, usize, usize)>,
-}
-
-fn sample(mut f: impl FnMut()) -> (f64, f64, f64) {
-    f(); // warmup
-    let mut ns: Vec<f64> = (0..SAMPLES)
-        .map(|_| {
-            let t0 = Instant::now();
-            f();
-            t0.elapsed().as_nanos() as f64
-        })
-        .collect();
-    ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let mean = ns.iter().sum::<f64>() / ns.len() as f64;
-    (ns[0], ns[ns.len() / 2], mean)
-}
 
 fn main() {
     let mut records: Vec<Record> = Vec::new();
@@ -60,75 +33,58 @@ fn main() {
             ..FactorOptions::default()
         };
         let group = format!("stream-n{n}");
+        let extra = |batch_tasks: usize, peak: usize, planned: usize| {
+            format!(
+                ", \"batch_tasks\": {batch_tasks}, \"peak_live_tasks\": {peak}, \
+                 \"tasks_planned\": {planned}"
+            )
+        };
 
         let batch_tasks = factor(&a, &b, &opts).graph.len();
-        let (min, median, mean) = sample(|| {
+        let (min_ns, median_ns, mean_ns) = sample(|| {
             black_box(factor(&a, &b, &opts));
         });
         records.push(Record {
             group: group.clone(),
             bench: "batch".into(),
-            min_ns: min,
-            median_ns: median,
-            mean_ns: mean,
-            memory: Some((batch_tasks, batch_tasks, batch_tasks)),
+            min_ns,
+            median_ns,
+            mean_ns,
+            extra_json: extra(batch_tasks, batch_tasks, batch_tasks),
         });
 
         for window in [2usize, 4] {
             let report = factor_stream(&a, &b, &opts, window).report;
-            let (min, median, mean) = sample(|| {
+            let (min_ns, median_ns, mean_ns) = sample(|| {
                 black_box(factor_stream(&a, &b, &opts, window));
             });
             records.push(Record {
                 group: group.clone(),
                 bench: format!("stream_w{window}"),
-                min_ns: min,
-                median_ns: median,
-                mean_ns: mean,
-                memory: Some((batch_tasks, report.peak_live_tasks, report.tasks_planned)),
+                min_ns,
+                median_ns,
+                mean_ns,
+                extra_json: extra(batch_tasks, report.peak_live_tasks, report.tasks_planned),
             });
         }
     }
 
     for r in &records {
-        let mem = match r.memory {
-            Some((bt, peak, _)) if r.bench != "batch" => {
-                format!("  peak live {peak} vs batch {bt} tasks")
-            }
-            _ => String::new(),
+        let mem = if r.bench == "batch" {
+            String::new()
+        } else {
+            format!(
+                "  {}",
+                r.extra_json.replace("\", \"", "  ").replace('"', "")
+            )
         };
         eprintln!(
-            "bench {:<28} min {:>12.0} ns  median {:>12.0} ns  mean {:>12.0} ns  ({SAMPLES} samples){mem}",
+            "bench {:<28} min {:>12.0} ns  median {:>12.0} ns  mean {:>12.0} ns{mem}",
             format!("{}/{}", r.group, r.bench),
             r.min_ns,
             r.median_ns,
             r.mean_ns,
         );
     }
-
-    if let Ok(path) = std::env::var("CRITERION_JSON") {
-        let mut out = String::from("[\n");
-        for (i, r) in records.iter().enumerate() {
-            let mem = match r.memory {
-                Some((bt, peak, planned)) => format!(
-                    ", \"batch_tasks\": {bt}, \"peak_live_tasks\": {peak}, \"tasks_planned\": {planned}"
-                ),
-                None => String::new(),
-            };
-            out.push_str(&format!(
-                "  {{\"group\": \"{}\", \"bench\": \"{}\", \"samples\": {SAMPLES}, \"min_ns\": {:.1}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}{mem}}}{}\n",
-                r.group,
-                r.bench,
-                r.min_ns,
-                r.median_ns,
-                r.mean_ns,
-                if i + 1 < records.len() { "," } else { "" },
-            ));
-        }
-        out.push_str("]\n");
-        match std::fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
-            Ok(()) => eprintln!("bench results written to {path}"),
-            Err(e) => eprintln!("failed to write {path}: {e}"),
-        }
-    }
+    write_json(&records);
 }

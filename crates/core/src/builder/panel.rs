@@ -134,6 +134,10 @@ pub(crate) fn insert_trial_panel(
     ins.b
         .declare(keys::pivots(k), mt * 8, ins.grid.diag_owner(k));
     ins.b.declare(keys::decision(k), 8, ins.grid.diag_owner(k));
+    // Cross-node reads of the decision datum are the paper's criterion
+    // broadcast: the distributed window accounts them as DecisionMsgs.
+    ins.b
+        .declare_class(keys::decision(k), luqr_runtime::DataClass::Decision);
     let tiles: Vec<_> = rows.iter().map(|&i| ins.aug.tile(i, k)).collect();
     let rows_total: usize = rows.iter().map(|&i| ins.aug.tile_rows(i)).sum();
     let crit_cells = crit_cells.to_vec();
@@ -220,6 +224,8 @@ pub(crate) fn insert_a2_panel(
     let mt = ins.aug.mt();
     ins.b.declare(keys::pivots(k), 8, ins.grid.diag_owner(k));
     ins.b.declare(keys::decision(k), 8, ins.grid.diag_owner(k));
+    ins.b
+        .declare_class(keys::decision(k), luqr_runtime::DataClass::Decision);
     ins.b
         .declare(keys::tfactor(k, k), ib * nbk * 8, ins.grid.diag_owner(k));
     let tile = ins.aug.tile(k, k);

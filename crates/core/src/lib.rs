@@ -54,6 +54,8 @@ use luqr_runtime::stream::StreamReport;
 use luqr_runtime::{execute, simulate, ExecReport, Graph, Platform, SimReport};
 use luqr_tile::TiledMatrix;
 
+pub use luqr_runtime::{MsgStats, StreamOptions, TraceEvent, WindowPolicy};
+
 /// A completed factorization of an augmented system `[A | B]`.
 pub struct Factorization {
     /// The factored augmented matrix (upper triangle = `U`/`R`; below lives
@@ -214,6 +216,45 @@ impl StreamFactorization {
     pub fn lu_step_fraction(&self) -> f64 {
         lu_step_fraction(&self.algorithm, &self.records)
     }
+
+    /// Chrome trace-event JSON of the recorded execution spans (empty run
+    /// unless the factorization was streamed with
+    /// [`StreamOptions::trace`] on): windowed runs are inspectable in
+    /// `chrome://tracing` like batch runs, with `pid` = virtual node and
+    /// `tid` = worker thread.
+    pub fn chrome_trace(&self) -> String {
+        luqr_runtime::events_to_chrome_trace(&self.report.trace)
+    }
+}
+
+/// A factorization produced by the **distributed** streaming runtime:
+/// per-node sub-windows exchanging data/decision/retirement messages, with
+/// the platform communication model driven online.
+///
+/// Numerics are bitwise-identical to [`factor`] and [`factor_stream`];
+/// `sim` is the virtual-time summary — equal (to fp round-off) to
+/// replaying the equivalent batch graph through
+/// [`Factorization::simulate`] on the same [`Platform`], but computed
+/// without ever materializing that graph.
+pub struct DistStreamFactorization {
+    /// The streamed factorization (matrix, records, streaming report —
+    /// including [`MsgStats`] in `report.msgs`).
+    pub stream: StreamFactorization,
+    /// Online makespan / messages / bytes / utilization summary.
+    pub sim: SimReport,
+}
+
+impl DistStreamFactorization {
+    /// Back-substitute for the solution of `A x = B`.
+    pub fn solution(&self) -> Mat {
+        self.stream.solution()
+    }
+
+    /// Protocol message counters (data transfers, decision broadcasts,
+    /// retirement reports).
+    pub fn msgs(&self) -> MsgStats {
+        self.stream.report.msgs
+    }
 }
 
 /// Fraction of elimination steps that were LU steps: counted from the
@@ -252,6 +293,19 @@ pub fn factor_stream(
     opts: &FactorOptions,
     window: usize,
 ) -> StreamFactorization {
+    factor_stream_with(a, rhs, opts, &StreamOptions::fixed(window, opts.threads))
+}
+
+/// Factor `[A | rhs]` with the streaming runtime under a full
+/// [`StreamOptions`] configuration: window policy (fixed or
+/// [`WindowPolicy::Auto`]), optional online platform simulation, optional
+/// per-task trace recording.
+pub fn factor_stream_with(
+    a: &Mat,
+    rhs: &Mat,
+    opts: &FactorOptions,
+    stream_opts: &StreamOptions,
+) -> StreamFactorization {
     let n = a.rows();
     assert_eq!(a.cols(), n, "A must be square");
     assert_eq!(rhs.rows(), n, "rhs row mismatch");
@@ -262,7 +316,7 @@ pub fn factor_stream(
     let aug = tiled.augment(rhs);
     let nt_a = tiled.nt();
     let mut source = PlannerStepSource::new(&aug, nt_a, opts);
-    let report = luqr_runtime::stream::execute(&mut source, window, opts.threads);
+    let report = luqr_runtime::stream::execute_with(&mut source, stream_opts);
     let shared = source.shared();
     let mut records = shared.records.lock().clone();
     let error = shared.error.lock().clone();
@@ -276,6 +330,41 @@ pub fn factor_stream(
         nrhs: rhs.cols(),
         algorithm: opts.algorithm.clone(),
     }
+}
+
+/// Factor `[A | rhs]` with the **distributed streaming runtime**: the
+/// window is split per virtual node of `opts.grid` (owner-computes, as the
+/// 2D block-cyclic distribution dictates), cross-node dependencies are
+/// satisfied by data/decision/retirement messages, and the `platform`
+/// communication model advances per-node virtual clocks online — so
+/// cluster-shaped runs get both the streaming runtime's bounded graph
+/// memory and the simulator's makespan/message accounting, at any `N`.
+///
+/// The hybrid's LU-vs-QR criterion decision is computed on the panel-owner
+/// node and broadcast (counted in [`MsgStats::decision_msgs`]), as in the
+/// paper. Numerics are bitwise-identical to [`factor`] and
+/// [`factor_stream`] for every algorithm and criterion.
+pub fn factor_stream_distributed(
+    a: &Mat,
+    rhs: &Mat,
+    opts: &FactorOptions,
+    platform: &Platform,
+    window: usize,
+) -> DistStreamFactorization {
+    assert!(
+        opts.grid.nodes() <= platform.nodes,
+        "grid uses {} nodes, platform has {}",
+        opts.grid.nodes(),
+        platform.nodes
+    );
+    let stream_opts = StreamOptions::fixed(window, opts.threads).with_platform(platform.clone());
+    let stream = factor_stream_with(a, rhs, opts, &stream_opts);
+    let sim = stream
+        .report
+        .sim
+        .clone()
+        .expect("virtual time runs whenever a platform is given");
+    DistStreamFactorization { stream, sim }
 }
 
 #[cfg(test)]

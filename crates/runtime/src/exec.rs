@@ -14,6 +14,7 @@ use std::time::Instant;
 use crossbeam::channel;
 
 use crate::graph::{CostClass, Graph, TaskId, TaskResult};
+use crate::trace::{step_index, TraceEvent};
 
 /// Running tally of task outcomes, shared by the batch executor's report
 /// and the streaming window's incremental counters so both runtimes count
@@ -62,6 +63,30 @@ pub struct ExecReport {
 /// or platform simulation. Panics if a kernel is missing (graph already
 /// executed) or if the dependency counts are inconsistent.
 pub fn execute(graph: &Graph, threads: usize) -> ExecReport {
+    execute_inner(graph, threads, None)
+}
+
+/// Execute the graph and additionally record one [`TraceEvent`] per
+/// executed task — real wall-clock spans with the worker that ran each
+/// kernel — mirroring what the streaming runtime records behind
+/// [`crate::stream::StreamOptions::trace`].
+pub fn execute_traced(graph: &Graph, threads: usize) -> (ExecReport, Vec<TraceEvent>) {
+    let events = parking_lot::Mutex::new(Vec::with_capacity(graph.len()));
+    let report = execute_inner(graph, threads, Some(&events));
+    let mut events = events.into_inner();
+    events.sort_by(|a, b| {
+        a.start
+            .partial_cmp(&b.start)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    (report, events)
+}
+
+fn execute_inner(
+    graph: &Graph,
+    threads: usize,
+    events: Option<&parking_lot::Mutex<Vec<TraceEvent>>>,
+) -> ExecReport {
     let threads = threads.max(1);
     let n = graph.len();
     let start = Instant::now();
@@ -87,7 +112,7 @@ pub fn execute(graph: &Graph, threads: usize) -> ExecReport {
     let remaining = AtomicUsize::new(n);
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
+        for worker in 0..threads {
             let rx = rx.clone();
             let tx = tx.clone();
             let remaining = &remaining;
@@ -102,7 +127,20 @@ pub fn execute(graph: &Graph, threads: usize) -> ExecReport {
                         .lock()
                         .take()
                         .unwrap_or_else(|| panic!("task '{}' executed twice", task.name));
+                    let t0 = start.elapsed().as_secs_f64();
                     let result = kernel();
+                    if let Some(events) = events {
+                        if result.executed {
+                            events.lock().push(TraceEvent {
+                                name: task.name.clone(),
+                                node: task.node,
+                                worker,
+                                step: step_index(&task.name),
+                                start: t0,
+                                end: start.elapsed().as_secs_f64(),
+                            });
+                        }
+                    }
                     task.result
                         .set(result)
                         .expect("task result already recorded");

@@ -50,6 +50,32 @@ impl Access {
     }
 }
 
+/// What kind of payload a datum carries, for message classification in the
+/// distributed streaming protocol (see [`crate::comm`]): tiles and factors
+/// are [`DataClass::Payload`]; the hybrid's per-step LU/QR criterion
+/// decision — broadcast from the panel-owner node — is
+/// [`DataClass::Decision`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DataClass {
+    #[default]
+    Payload,
+    Decision,
+}
+
+/// An access paired with the accessed datum's declaration, snapshotted at
+/// task-insertion time. This is what the virtual-time simulator consumes:
+/// it lets the communication model be replayed from the task sequence
+/// alone, identically for a materialized batch graph and for the streaming
+/// window's reclaimed records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostedAccess {
+    pub access: Access,
+    /// Declared size of the datum, bytes.
+    pub bytes: usize,
+    /// Node the datum initially resides on.
+    pub home: usize,
+}
+
 /// Broad kernel classes used by the platform simulator to assign per-class
 /// efficiencies (a GEMM runs near peak; a panel factorization does not).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -169,6 +195,11 @@ pub trait TaskSink {
     /// node where it initially resides.
     fn declare(&mut self, key: DataKey, bytes: usize, home_node: usize);
 
+    /// Classify an already-declared datum (default: every datum is
+    /// [`DataClass::Payload`]). Sinks that do not account messages may
+    /// ignore this.
+    fn declare_class(&mut self, _key: DataKey, _class: DataClass) {}
+
     /// Insert a task whose dependencies are inferred from `accesses`.
     fn push_task(
         &mut self,
@@ -193,16 +224,6 @@ impl dyn TaskSink + '_ {
     }
 }
 
-/// An incoming data transfer: the datum, the producing task (or `None` for
-/// initial data), the node the data comes from, and its size.
-#[derive(Debug, Clone, Copy)]
-pub struct DataInput {
-    pub key: DataKey,
-    pub producer: Option<TaskId>,
-    pub from_node: usize,
-    pub bytes: usize,
-}
-
 /// One node of the task graph.
 pub struct Task {
     /// Human-readable name (trace / DOT export), e.g. `"GEMM(3,4,k=2)"`.
@@ -215,8 +236,10 @@ pub struct Task {
     pub num_preds: usize,
     /// Remaining predecessor count during execution.
     pub(crate) preds_remaining: AtomicUsize,
-    /// Data transfers feeding this task (for communication accounting).
-    pub inputs: Vec<DataInput>,
+    /// The task's declared accesses with datum metadata snapshotted at
+    /// insertion time (what the virtual-time simulator consumes for both
+    /// dependency timing and communication accounting).
+    pub accesses: Vec<CostedAccess>,
     /// The kernel (consumed on execution).
     pub(crate) kernel: Mutex<Option<Kernel>>,
     /// Result recorded by the executor.
@@ -343,7 +366,7 @@ impl GraphBuilder {
         assert!(node < self.num_nodes, "task placed on unknown node");
         let id = self.tasks.len();
         let mut preds: Vec<TaskId> = Vec::new();
-        let mut inputs: Vec<DataInput> = Vec::new();
+        let mut costed: Vec<CostedAccess> = Vec::with_capacity(accesses.len());
 
         for acc in accesses {
             let key = acc.key();
@@ -351,31 +374,17 @@ impl GraphBuilder {
                 .data
                 .get(&key)
                 .unwrap_or_else(|| panic!("access to undeclared data {key:?} by task '{id}'"));
-            // RAW / flow: the value comes from the last writer (or from the
-            // datum's home node if never written). Control accesses order
-            // against the writer but move no data.
-            match self.last_writer.get(&key) {
-                Some(&w) => {
-                    preds.push(w);
-                    if !matches!(acc, Access::Control(_)) {
-                        inputs.push(DataInput {
-                            key,
-                            producer: Some(w),
-                            from_node: self.tasks[w].node,
-                            bytes: info.bytes,
-                        });
-                    }
-                }
-                None => {
-                    if !matches!(acc, Access::Control(_)) {
-                        inputs.push(DataInput {
-                            key,
-                            producer: None,
-                            from_node: info.home_node,
-                            bytes: info.bytes,
-                        });
-                    }
-                }
+            costed.push(CostedAccess {
+                access: *acc,
+                bytes: info.bytes,
+                home: info.home_node,
+            });
+            // RAW / flow and control ordering: wait for the last writer.
+            // Who the data *moves* from is the simulator's business — it
+            // re-derives flow from the access snapshots, skipping
+            // discarded writers.
+            if let Some(&w) = self.last_writer.get(&key) {
+                preds.push(w);
             }
             match acc {
                 Access::Read(_) => {
@@ -404,7 +413,7 @@ impl GraphBuilder {
             successors: Vec::new(),
             num_preds,
             preds_remaining: AtomicUsize::new(num_preds),
-            inputs,
+            accesses: costed,
             kernel: Mutex::new(Some(kernel)),
             result: OnceLock::new(),
         };
@@ -596,7 +605,7 @@ mod tests {
         let g = b.build();
         assert_eq!(g.tasks[w].successors, vec![r]);
         assert_eq!(g.tasks[r].num_preds, 1);
-        assert_eq!(g.tasks[r].inputs[0].producer, Some(w));
+        assert_eq!(g.tasks[r].accesses[0].access, Access::Read(k(0)));
     }
 
     #[test]
@@ -641,15 +650,31 @@ mod tests {
     }
 
     #[test]
-    fn initial_data_comes_from_home_node() {
+    fn access_snapshot_records_declaration() {
         let mut b = GraphBuilder::new(4);
         b.declare(k(7), 1024, 3);
         let t = b.task("t", 1, &[Access::Read(k(7))], noop);
         let g = b.build();
-        let input = g.tasks[t].inputs[0];
-        assert_eq!(input.producer, None);
-        assert_eq!(input.from_node, 3);
-        assert_eq!(input.bytes, 1024);
+        // The simulator fetches never-written data from its declared home
+        // with its declared size — both snapshotted at insertion time.
+        let ca = g.tasks[t].accesses[0];
+        assert_eq!(ca.access, Access::Read(k(7)));
+        assert_eq!(ca.home, 3);
+        assert_eq!(ca.bytes, 1024);
+    }
+
+    #[test]
+    fn access_snapshot_survives_redeclaration() {
+        let mut b = GraphBuilder::new(2);
+        b.declare(k(0), 64, 0);
+        let early = b.task("early", 0, &[Access::Read(k(0))], noop);
+        b.declare(k(0), 128, 1); // redeclare: new size and home
+        let late = b.task("late", 0, &[Access::Read(k(0))], noop);
+        let g = b.build();
+        assert_eq!(g.tasks[early].accesses[0].bytes, 64);
+        assert_eq!(g.tasks[early].accesses[0].home, 0);
+        assert_eq!(g.tasks[late].accesses[0].bytes, 128);
+        assert_eq!(g.tasks[late].accesses[0].home, 1);
     }
 
     #[test]
@@ -671,9 +696,9 @@ mod tests {
         let src = b.task("src", 0, &[Access::Mut(k(0)), Access::Mut(k(1))], noop);
         let mid = b.task("mid", 0, &[Access::Read(k(0)), Access::Read(k(1))], noop);
         let g = b.build();
-        // Two data edges, but only one precedence edge.
+        // Two data accesses, but only one precedence edge.
         assert_eq!(g.tasks[mid].num_preds, 1);
-        assert_eq!(g.tasks[mid].inputs.len(), 2);
+        assert_eq!(g.tasks[mid].accesses.len(), 2);
         assert_eq!(g.tasks[src].successors, vec![mid]);
     }
 
@@ -714,8 +739,18 @@ mod tests {
         let g = b.build();
         assert_eq!(g.tasks[w].successors, vec![r]);
         assert_eq!(g.tasks[r].num_preds, 1);
-        // Control access to untouched k(2) contributes no data input.
-        assert_eq!(g.tasks[r].inputs.len(), 2);
+        // All three accesses are snapshotted, in call order.
+        let accs: Vec<Access> = g.tasks[r].accesses.iter().map(|c| c.access).collect();
+        assert_eq!(
+            accs,
+            vec![
+                Access::Read(k(0)),
+                Access::Read(k(1)),
+                Access::Control(k(2))
+            ]
+        );
+        // The datum declared on node 1 carries its home in the snapshot.
+        assert_eq!(g.tasks[r].accesses[1].home, 1);
     }
 
     #[test]

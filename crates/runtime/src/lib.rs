@@ -21,8 +21,16 @@
 //!   materialized, completed steps retired, and per-step branch decisions
 //!   consumed online ([`stream::StepSource`]). The batch path builds the
 //!   whole DAG first; the streaming path bounds graph memory by the window.
+//! * [`comm`] — the communication model shared by the simulator and the
+//!   *distributed* streaming window: NIC-serialized transfers plus the
+//!   protocol message records (DataMsg / DecisionMsg / RetireMsg).
+//! * [`vtime`] — the online virtual-time engine: the discrete-event model
+//!   consumed one task at a time in insertion order, so a streaming run
+//!   emits the same report as a batch replay without materializing the
+//!   graph.
 //! * [`dot`] — Graphviz export (Figure 1's dataflow, from a live graph).
 
+pub mod comm;
 pub mod dot;
 pub mod exec;
 pub mod graph;
@@ -30,12 +38,16 @@ pub mod platform;
 pub mod sim;
 pub mod stream;
 pub mod trace;
+pub mod vtime;
 
-pub use exec::{execute, ExecReport, Tally};
+pub use comm::{DataMsg, DecisionMsg, Msg, MsgStats, Network, RetireMsg};
+pub use exec::{execute, execute_traced, ExecReport, Tally};
 pub use graph::{
-    Access, CostClass, DataKey, Graph, GraphBuilder, Kernel, TaskBuilder, TaskId, TaskResult,
-    TaskSink,
+    Access, CostClass, CostedAccess, DataClass, DataKey, Graph, GraphBuilder, Kernel, TaskBuilder,
+    TaskId, TaskResult, TaskSink,
 };
 pub use platform::{Efficiency, Platform};
 pub use sim::{simulate, SimReport};
-pub use stream::{StepPhase, StepSource, StreamReport, StreamWindow};
+pub use stream::{StepPhase, StepSource, StreamOptions, StreamReport, StreamWindow, WindowPolicy};
+pub use trace::{events_to_chrome_trace, TraceEvent};
+pub use vtime::VirtualSchedule;

@@ -10,20 +10,38 @@
 //! tasks (the unselected LU/QR branch) take zero time and move zero data —
 //! like PaRSEC's dropped alternatives.
 //!
+//! The replay is a thin driver over [`crate::vtime::VirtualSchedule`]: the
+//! graph's tasks are fed to the online engine in insertion order, which is
+//! exactly what the *streaming* runtime does as its window drains — so a
+//! windowed run's virtual-time report and a batch replay of the equivalent
+//! graph are bitwise identical (the engine's state depends only on the
+//! sequence of executed tasks, and discarded branches contribute nothing).
+//!
+//! **Scheduling policy.** The schedule is an insertion-order list
+//! schedule: task `i` claims cores and network slots strictly after tasks
+//! `0..i` (a valid topological order — hazard edges always point forward).
+//! Earlier versions of this simulator popped a ready-heap ordered by
+//! data-ready time instead; the two policies can differ where an
+//! early-inserted task with late-arriving data contends for a core with a
+//! later-inserted task that is ready sooner. The sequence-driven policy is
+//! what makes an *online* replay possible at all (the streaming window
+//! cannot know about tasks it has not planned yet), and tile
+//! factorizations insert tasks roughly in dependency depth order, so the
+//! performance shapes are unchanged — but absolute makespans are not
+//! comparable with reports produced before this change.
+//!
 //! This is the performance vehicle of the reproduction: the build machine
 //! cannot physically reproduce a 128-core cluster, but the task graph it
 //! executed *numerically* is the same graph the paper's runtime would
 //! schedule, so replaying it against the Dancer platform model recovers the
 //! paper's performance shapes (Figure 2, Table II).
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
-
-use crate::graph::{CostClass, DataKey, Graph, TaskId};
+use crate::graph::Graph;
 use crate::platform::Platform;
+use crate::vtime::VirtualSchedule;
 
 /// Result of simulating a graph on a platform.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// End-to-end simulated time, seconds.
     pub makespan: f64,
@@ -80,279 +98,33 @@ impl SimReport {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Event {
-    time: f64,
-    task: TaskId,
-}
-
-impl Eq for Event {}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Total order: earlier time first, ties by task id (deterministic).
-        self.time
-            .partial_cmp(&other.time)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(self.task.cmp(&other.task))
-    }
-}
-
-/// Mutable transfer bookkeeping shared by the main loop and the
-/// initial-fetch path.
-struct Network {
-    /// Earliest next free egress slot per node.
-    nic_free: Vec<f64>,
-    /// Arrival time of initial data already fetched to a node.
-    initial_cache: HashMap<(DataKey, usize), f64>,
-    messages: u64,
-    bytes: u64,
-}
-
-impl Network {
-    /// Send `bytes` from `from` at `ready` (or later, NIC permitting);
-    /// returns arrival time at the destination.
-    fn send(&mut self, platform: &Platform, from: usize, ready: f64, nbytes: usize) -> f64 {
-        let start = ready.max(self.nic_free[from]);
-        let wire = nbytes as f64 / platform.bandwidth;
-        self.nic_free[from] = start + wire;
-        self.messages += 1;
-        self.bytes += nbytes as u64;
-        start + platform.latency + wire
-    }
-}
-
 /// Simulate an executed graph on `platform`.
 ///
 /// Panics if any task lacks a recorded result (run
 /// [`crate::exec::execute`] first) or is placed on a node outside the
 /// platform.
 pub fn simulate(graph: &Graph, platform: &Platform) -> SimReport {
-    let n = graph.len();
     assert!(
         graph.num_nodes <= platform.nodes,
         "graph uses {} nodes, platform has {}",
         graph.num_nodes,
         platform.nodes
     );
-
-    // Per-task duration, core occupancy, and executed flag.
-    let mut duration = vec![0.0f64; n];
-    let mut task_cores = vec![1usize; n];
-    let mut executed = vec![false; n];
-    let mut total_flops = 0.0f64;
-    for (i, t) in graph.tasks.iter().enumerate() {
+    let mut v = VirtualSchedule::with_spans(platform);
+    for t in &graph.tasks {
         let r = t
             .result()
             .unwrap_or_else(|| panic!("task '{}' has no result; execute first", t.name));
-        executed[i] = r.executed;
-        if r.executed {
-            let c = (r.cores as usize).min(platform.cores_per_node).max(1);
-            task_cores[i] = c;
-            duration[i] = platform.task_seconds(r.flops, r.class) / c as f64
-                + r.latency_events as f64 * platform.latency;
-            if r.class != CostClass::Memory && r.class != CostClass::Control {
-                total_flops += r.flops;
-            }
-        }
+        v.process(t.node, &t.accesses, &r);
     }
-
-    let mut data_ready = vec![0.0f64; n];
-    let mut preds_left: Vec<usize> = graph.tasks.iter().map(|t| t.num_preds).collect();
-    let mut finish = vec![0.0f64; n];
-    let mut starts = vec![0.0f64; n];
-
-    // Core availability per node (min-heap of free times).
-    let mut cores: Vec<BinaryHeap<Reverse<OrderedF64>>> = (0..platform.nodes)
-        .map(|_| {
-            (0..platform.cores_per_node)
-                .map(|_| Reverse(OrderedF64(0.0)))
-                .collect()
-        })
-        .collect();
-    let mut net = Network {
-        nic_free: vec![0.0f64; platform.nodes],
-        initial_cache: HashMap::new(),
-        messages: 0,
-        bytes: 0,
-    };
-    let mut node_busy = vec![0.0f64; platform.nodes];
-
-    // Ready heap ordered by data-ready time.
-    let mut ready: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
-    for t in graph.roots() {
-        let init = initial_input_time(graph, t, platform, &executed, &mut net);
-        ready.push(Reverse(Event {
-            time: init,
-            task: t,
-        }));
-    }
-
-    let mut makespan = 0.0f64;
-    let mut scheduled = 0usize;
-    while let Some(Reverse(ev)) = ready.pop() {
-        let tid = ev.task;
-        let node = graph.tasks[tid].node;
-        // Claim as many cores as the kernel occupies; it starts when the
-        // latest of them frees up.
-        let claim = task_cores[tid];
-        let mut claimed = Vec::with_capacity(claim);
-        for _ in 0..claim {
-            let Reverse(OrderedF64(f)) = cores[node].pop().expect("node has cores");
-            claimed.push(f);
-        }
-        let core_free = claimed.iter().copied().fold(0.0f64, f64::max);
-        let start = ev.time.max(core_free);
-        let end = start + duration[tid];
-        for _ in 0..claim {
-            cores[node].push(Reverse(OrderedF64(end)));
-        }
-        node_busy[node] += duration[tid] * claim as f64;
-        starts[tid] = start;
-        finish[tid] = end;
-        makespan = makespan.max(end);
-        scheduled += 1;
-
-        // One transfer per (produced datum, destination node): compute the
-        // arrival times for all consuming successors up front.
-        let mut arrivals: HashMap<(DataKey, usize), f64> = HashMap::new();
-        if executed[tid] {
-            for &s in &graph.tasks[tid].successors {
-                if !executed[s] || graph.tasks[s].node == node {
-                    continue;
-                }
-                for input in &graph.tasks[s].inputs {
-                    if input.producer == Some(tid) && input.bytes > 0 {
-                        arrivals
-                            .entry((input.key, graph.tasks[s].node))
-                            .or_insert_with(|| net.send(platform, node, end, input.bytes));
-                    }
-                }
-            }
-        }
-
-        // Release successors.
-        for &s in &graph.tasks[tid].successors {
-            let mut arrival = end;
-            if executed[tid] && executed[s] && graph.tasks[s].node != node {
-                for input in &graph.tasks[s].inputs {
-                    if input.producer == Some(tid) && input.bytes > 0 {
-                        if let Some(&t) = arrivals.get(&(input.key, graph.tasks[s].node)) {
-                            arrival = arrival.max(t);
-                        }
-                    }
-                }
-            }
-            data_ready[s] = data_ready[s].max(arrival);
-            preds_left[s] -= 1;
-            if preds_left[s] == 0 {
-                let init = initial_input_time(graph, s, platform, &executed, &mut net);
-                ready.push(Reverse(Event {
-                    time: data_ready[s].max(init),
-                    task: s,
-                }));
-            }
-        }
-    }
-    assert_eq!(
-        scheduled, n,
-        "simulator failed to schedule every task (cycle?)"
-    );
-
-    // Critical path: longest chain of task durations + comm delays,
-    // ignoring resource constraints.
-    let mut cp = vec![0.0f64; n];
-    let mut cp_max = 0.0f64;
-    for tid in 0..n {
-        let end = cp[tid] + duration[tid];
-        cp_max = cp_max.max(end);
-        for &s in &graph.tasks[tid].successors {
-            let mut delay = 0.0f64;
-            if executed[tid] && executed[s] && graph.tasks[s].node != graph.tasks[tid].node {
-                for input in &graph.tasks[s].inputs {
-                    if input.producer == Some(tid) && input.bytes > 0 {
-                        delay = delay.max(platform.transfer_seconds(input.bytes));
-                    }
-                }
-            }
-            cp[s] = cp[s].max(end + delay);
-        }
-    }
-
-    SimReport {
-        makespan,
-        serial_seconds: duration.iter().sum(),
-        critical_path: cp_max,
-        messages: net.messages,
-        bytes: net.bytes,
-        node_busy,
-        total_flops,
-        starts,
-        finishes: finish,
-    }
-}
-
-/// Arrival time of a task's never-written inputs (initial tiles fetched
-/// from their home nodes; each datum fetched at most once per node).
-fn initial_input_time(
-    graph: &Graph,
-    tid: TaskId,
-    platform: &Platform,
-    executed: &[bool],
-    net: &mut Network,
-) -> f64 {
-    if !executed[tid] {
-        return 0.0;
-    }
-    let node = graph.tasks[tid].node;
-    let mut t = 0.0f64;
-    for input in &graph.tasks[tid].inputs {
-        if input.producer.is_none() && input.from_node != node && input.bytes > 0 {
-            let arrival = match net.initial_cache.get(&(input.key, node)) {
-                Some(&a) => a,
-                None => {
-                    let a = net.send(platform, input.from_node, 0.0, input.bytes);
-                    net.initial_cache.insert((input.key, node), a);
-                    a
-                }
-            };
-            t = t.max(arrival);
-        }
-    }
-    t
-}
-
-/// f64 wrapper with a total order (no NaNs by construction).
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct OrderedF64(f64);
-
-impl Eq for OrderedF64 {}
-
-impl PartialOrd for OrderedF64 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for OrderedF64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    }
+    v.report()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::exec::execute;
-    use crate::graph::{Access, DataKey, GraphBuilder, TaskResult};
+    use crate::graph::{Access, CostClass, DataKey, GraphBuilder, TaskResult};
 
     fn k(i: u64) -> DataKey {
         DataKey(i)
@@ -456,6 +228,22 @@ mod tests {
         assert!((r.makespan - 2.0).abs() < 1e-9, "{}", r.makespan);
         assert_eq!(r.messages, 0);
         assert_eq!(r.bytes, 0);
+    }
+
+    #[test]
+    fn zero_latency_is_pure_bandwidth_cost() {
+        let mut b = GraphBuilder::new(2);
+        b.declare(k(0), 500_000_000, 0); // 0.5 s of wire at 1 GB/s
+        b.task("p", 0, &[Access::Mut(k(0))], one_sec_task);
+        b.task("c", 1, &[Access::Read(k(0))], one_sec_task);
+        let g = b.build();
+        execute(&g, 1);
+        let mut p = flat_platform(2, 1);
+        p.latency = 0.0;
+        let r = simulate(&g, &p);
+        // 1s task + 0.5s wire (no latency) + 1s task.
+        assert!((r.makespan - 2.5).abs() < 1e-9, "{}", r.makespan);
+        assert_eq!(r.messages, 1);
     }
 
     #[test]

@@ -19,6 +19,15 @@
 //!   can now consult fresh data and insert **only the chosen branch**
 //!   instead of both branches statically.
 //!
+//! The window is split per virtual node ([`window`]): each node holds the
+//! live records of its owner-computes tasks and the hazard directories of
+//! its homed data; cross-node progress flows through [`crate::comm`]
+//! message records. Passing a [`Platform`] in [`StreamOptions`] drives the
+//! communication model *online*: per-node virtual clocks advance as the
+//! window drains and the run emits a [`SimReport`]-compatible summary —
+//! equal to replaying the equivalent batch graph through
+//! [`crate::sim::simulate`] — without ever materializing that graph.
+//!
 //! Execution is bitwise-identical to the batch path because the window
 //! infers the same hazards from the same insertion order; dropping a
 //! never-executed branch removes no executed writer and so changes no
@@ -30,7 +39,11 @@ pub mod window;
 
 use std::time::Instant;
 
+use crate::comm::MsgStats;
 use crate::graph::{TaskId, TaskSink};
+use crate::platform::Platform;
+use crate::sim::SimReport;
+use crate::trace::TraceEvent;
 
 pub use window::{StepSink, StreamWindow};
 
@@ -73,6 +86,75 @@ pub trait StepSource {
     fn plan_finish(&mut self, _k: usize, _sink: &mut dyn TaskSink) {}
 }
 
+/// How the streaming driver sizes its window of live steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowPolicy {
+    /// A constant number of live steps.
+    Fixed(usize),
+    /// Autotuned: after each step, grow the window (up to `max`) while the
+    /// measured panel-decision wait dominates the step's planning time —
+    /// the panel chain is starved for lookahead — and shrink it (down to
+    /// `min`) when the live-task count approaches `live_task_budget`.
+    /// The chosen window is recorded per step in
+    /// [`StreamReport::per_step_window`].
+    Auto {
+        min: usize,
+        max: usize,
+        /// Live-task memory budget; the window shrinks as the live count
+        /// nears it. `0` disables the memory brake.
+        live_task_budget: usize,
+    },
+}
+
+impl WindowPolicy {
+    /// An autotuned window with default bounds and the given live-task
+    /// memory budget.
+    pub fn auto(live_task_budget: usize) -> Self {
+        WindowPolicy::Auto {
+            min: 1,
+            max: 16,
+            live_task_budget,
+        }
+    }
+}
+
+/// Configuration of one streaming execution.
+#[derive(Debug, Clone)]
+pub struct StreamOptions {
+    pub window: WindowPolicy,
+    /// Worker threads (clamped to ≥ 1).
+    pub threads: usize,
+    /// Drive the communication model online against this platform and
+    /// emit [`StreamReport::sim`].
+    pub platform: Option<Platform>,
+    /// Record per-task `(start, end, worker, step, node)` events
+    /// ([`StreamReport::trace`]) for Chrome-trace export.
+    pub trace: bool,
+}
+
+impl StreamOptions {
+    /// A fixed window with no virtual-time accounting — the plain
+    /// shared-memory streaming configuration.
+    pub fn fixed(window: usize, threads: usize) -> Self {
+        StreamOptions {
+            window: WindowPolicy::Fixed(window),
+            threads,
+            platform: None,
+            trace: false,
+        }
+    }
+
+    pub fn with_platform(mut self, platform: Platform) -> Self {
+        self.platform = Some(platform);
+        self
+    }
+
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+}
+
 /// Summary of one streaming execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamReport {
@@ -84,8 +166,10 @@ pub struct StreamReport {
     pub tasks_planned: usize,
     /// Tasks that ran their kernel.
     pub tasks_executed: usize,
-    /// Tasks that discarded themselves (unselected branch remnants, e.g.
-    /// PROP tasks on an LU decision).
+    /// Tasks that discarded themselves at run time. Streaming plans only
+    /// the chosen hybrid branch, so on healthy runs this is 0; it counts
+    /// data-dependent discards, e.g. kernels that bail out after a panel
+    /// breakdown.
     pub tasks_discarded: usize,
     /// Total flops reported by executed tasks (excluding Memory
     /// pseudo-flops).
@@ -98,6 +182,19 @@ pub struct StreamReport {
     pub peak_live_steps: usize,
     /// Tasks planned per elimination step (for window-bound accounting).
     pub per_step_tasks: Vec<usize>,
+    /// Window size in force when each step was opened.
+    pub per_step_window: Vec<usize>,
+    /// Distributed-protocol message counters (data transfers, decision
+    /// broadcasts, retirement reports).
+    pub msgs: MsgStats,
+    /// Online virtual-time summary (set when [`StreamOptions::platform`]
+    /// was given); equal to `simulate()` on the equivalent batch graph,
+    /// except that per-task spans (`starts`/`finishes`) are left empty —
+    /// recording them would grow with the task count, not the window.
+    pub sim: Option<SimReport>,
+    /// Per-task execution spans (set when [`StreamOptions::trace`] was
+    /// on); render with [`crate::trace::events_to_chrome_trace`].
+    pub trace: Vec<TraceEvent>,
 }
 
 /// Execute `source` with at most `window` consecutive steps materialized,
@@ -108,47 +205,86 @@ pub struct StreamReport {
 /// hazard edges serialize all conflicting accesses in insertion order —
 /// the same guarantee the batch executor gives.
 pub fn execute(source: &mut dyn StepSource, window: usize, threads: usize) -> StreamReport {
-    let window = window.max(1);
-    let threads = threads.max(1);
+    execute_with(source, &StreamOptions::fixed(window, threads))
+}
+
+/// Execute `source` under the full streaming configuration: window policy,
+/// optional online platform simulation, optional trace recording.
+pub fn execute_with(source: &mut dyn StepSource, opts: &StreamOptions) -> StreamReport {
+    let threads = opts.threads.max(1);
     let start = Instant::now();
-    let win = StreamWindow::new(source.num_nodes());
+    let win = StreamWindow::with_options(source.num_nodes(), opts.platform.as_ref(), opts.trace);
     let steps = source.num_steps();
 
+    let (mut window, auto) = match opts.window {
+        WindowPolicy::Fixed(w) => (w.max(1), None),
+        WindowPolicy::Auto {
+            min,
+            max,
+            live_task_budget,
+        } => {
+            let min = min.max(1);
+            (min, Some((min, max.max(min), live_task_budget)))
+        }
+    };
+    let mut per_step_window = Vec::with_capacity(steps);
+
     std::thread::scope(|scope| {
-        for _ in 0..threads {
+        for w in 0..threads {
             let win = &win;
-            scope.spawn(move || win.worker_loop());
+            scope.spawn(move || win.worker_loop(w));
         }
 
         source.prepare(&mut StepSink::declarations(&win));
         for k in 0..steps {
             win.wait_for_capacity(window);
             win.open_step(k);
+            per_step_window.push(window);
+            let step_t0 = Instant::now();
+            let mut decision_wait = 0.0f64;
             let mut sink = StepSink::new(&win, k);
             match source.plan_prelude(k, &mut sink) {
                 StepPhase::Complete => {}
                 StepPhase::AwaitDecision(decision_task) => {
+                    let t0 = Instant::now();
                     win.wait_for_task(decision_task);
+                    decision_wait = t0.elapsed().as_secs_f64();
                     source.plan_finish(k, &mut sink);
                 }
             }
             win.close_step(k);
+            if let Some((min, max, budget)) = auto {
+                // Shrink when live tasks near the memory budget; grow
+                // while the planner mostly sat waiting on the panel
+                // decision (the chain wants more lookahead).
+                let live = win.live_tasks();
+                let elapsed = step_t0.elapsed().as_secs_f64();
+                if budget > 0 && live * 10 >= budget * 8 {
+                    window = window.saturating_sub(1).max(min);
+                } else if decision_wait > 0.5 * elapsed && window < max {
+                    window += 1;
+                }
+            }
         }
         win.finish_planning();
         win.wait_drained();
     });
 
-    let (tally, planned, peak_tasks, peak_steps, per_step) = win.stats();
+    let stats = win.stats();
     StreamReport {
         wall_seconds: start.elapsed().as_secs_f64(),
         steps,
-        tasks_planned: planned,
-        tasks_executed: tally.executed,
-        tasks_discarded: tally.discarded,
-        total_flops: tally.flops,
-        peak_live_tasks: peak_tasks,
-        peak_live_steps: peak_steps,
-        per_step_tasks: per_step,
+        tasks_planned: stats.tasks_planned,
+        tasks_executed: stats.tally.executed,
+        tasks_discarded: stats.tally.discarded,
+        total_flops: stats.tally.flops,
+        peak_live_tasks: stats.peak_live_tasks,
+        peak_live_steps: stats.peak_live_steps,
+        per_step_tasks: stats.per_step_tasks,
+        per_step_window,
+        msgs: stats.msgs,
+        sim: stats.sim,
+        trace: stats.trace,
     }
 }
 
@@ -247,6 +383,7 @@ mod tests {
             report.peak_live_tasks
         );
         assert_eq!(report.per_step_tasks, vec![20; 10]);
+        assert_eq!(report.per_step_window, vec![1; 10]);
     }
 
     #[test]
@@ -350,5 +487,198 @@ mod tests {
         for (w, t) in [(1, 4), (3, 2), (8, 8)] {
             assert_eq!(base.to_bits(), run(w, t).to_bits(), "w={w} t={t}");
         }
+    }
+
+    /// A two-node source: step tasks on node 1 consume a datum produced on
+    /// node 0, so the window must route cross-node releases and count the
+    /// transfers.
+    struct TwoNodeSource;
+    impl StepSource for TwoNodeSource {
+        fn num_steps(&self) -> usize {
+            3
+        }
+        fn num_nodes(&self) -> usize {
+            2
+        }
+        fn prepare(&mut self, sink: &mut dyn TaskSink) {
+            sink.declare(k(0), 100, 0);
+            sink.declare(k(1), 100, 1);
+        }
+        fn plan_prelude(&mut self, s: usize, sink: &mut dyn TaskSink) -> StepPhase {
+            sink.insert(format!("p{s}"), 0)
+                .writes(k(0))
+                .spawn(|| TaskResult::executed(1.0, CostClass::Gemm));
+            // Two consumers on node 1: the version crosses once.
+            for t in 0..2 {
+                sink.insert(format!("c{s}/{t}"), 1)
+                    .reads(k(0))
+                    .writes(k(1))
+                    .spawn(|| TaskResult::executed(1.0, CostClass::Gemm));
+            }
+            StepPhase::Complete
+        }
+    }
+
+    #[test]
+    fn cross_node_flow_counts_one_msg_per_version_and_destination() {
+        let mut src = TwoNodeSource;
+        let report = execute(&mut src, 2, 2);
+        assert_eq!(report.tasks_executed, 9);
+        // One DataMsg per step for k(0) (producer → node 1), regardless
+        // of the two consumers there.
+        assert_eq!(report.msgs.data_msgs, 3);
+        assert_eq!(report.msgs.bytes, 300);
+        assert_eq!(report.msgs.decision_msgs, 0);
+        // Node 1's share of each step drains and is reported.
+        assert_eq!(report.msgs.retire_msgs, 3);
+    }
+
+    #[test]
+    fn single_node_source_moves_no_messages() {
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut src = ChainSource {
+            steps: 4,
+            width: 3,
+            log,
+        };
+        let report = execute(&mut src, 2, 2);
+        assert_eq!(report.msgs.data_msgs, 0);
+        assert_eq!(report.msgs.decision_msgs, 0);
+        assert_eq!(report.msgs.retire_msgs, 0);
+        assert_eq!(report.msgs.bytes, 0);
+    }
+
+    /// A writer that discards itself at run time produces nothing: its
+    /// cross-node consumers fetch the previous *executed* version, and
+    /// the protocol count stays equal to the virtual-time engine's.
+    #[test]
+    fn discarded_writer_reroutes_transfers_to_executed_version() {
+        struct DiscardingSource;
+        impl StepSource for DiscardingSource {
+            fn num_steps(&self) -> usize {
+                1
+            }
+            fn num_nodes(&self) -> usize {
+                2
+            }
+            fn prepare(&mut self, sink: &mut dyn TaskSink) {
+                sink.declare(k(0), 100, 0);
+                sink.declare(k(1), 100, 1);
+            }
+            fn plan_prelude(&mut self, _s: usize, sink: &mut dyn TaskSink) -> StepPhase {
+                use crate::graph::TaskResult;
+                // Executed version of k(0) on node 0.
+                sink.insert("v", 0)
+                    .writes(k(0))
+                    .spawn(|| TaskResult::executed(1.0, CostClass::Gemm));
+                // A later writer of k(0) that discards itself (e.g. a
+                // breakdown path).
+                sink.insert("dead", 0)
+                    .writes(k(0))
+                    .spawn(TaskResult::discarded);
+                // Two consumers on node 1: the payload still comes from
+                // "v", once.
+                for t in 0..2 {
+                    sink.insert(format!("c{t}"), 1)
+                        .reads(k(0))
+                        .writes(k(1))
+                        .spawn(|| TaskResult::executed(1.0, CostClass::Gemm));
+                }
+                StepPhase::Complete
+            }
+        }
+        let platform = crate::platform::Platform::dancer_nodes(2);
+        let opts = StreamOptions::fixed(1, 2).with_platform(platform);
+        let report = execute_with(&mut DiscardingSource, &opts);
+        assert_eq!(report.tasks_discarded, 1);
+        assert_eq!(
+            report.msgs.data_msgs, 1,
+            "one transfer of the executed version, not zero (discard \
+             shadowing) and not two (per-consumer)"
+        );
+        let sim = report.sim.expect("platform given");
+        assert_eq!(sim.messages, report.msgs.payload_msgs());
+        assert_eq!(sim.bytes, report.msgs.bytes);
+    }
+
+    /// Redeclaring a datum updates its home for later insertions, exactly
+    /// like the batch builder's overwrite.
+    #[test]
+    fn redeclared_home_moves_the_fetch_source() {
+        struct Redeclare;
+        impl StepSource for Redeclare {
+            fn num_steps(&self) -> usize {
+                1
+            }
+            fn num_nodes(&self) -> usize {
+                2
+            }
+            fn prepare(&mut self, sink: &mut dyn TaskSink) {
+                sink.declare(k(0), 100, 0);
+                sink.declare(k(0), 100, 1); // overwrite: now homed on node 1
+            }
+            fn plan_prelude(&mut self, _s: usize, sink: &mut dyn TaskSink) -> StepPhase {
+                use crate::graph::TaskResult;
+                // Reader on node 1 = the (re)declared home: no fetch.
+                sink.insert("local", 1)
+                    .reads(k(0))
+                    .spawn(|| TaskResult::executed(1.0, CostClass::Gemm));
+                // Reader on node 0: fetches from node 1.
+                sink.insert("remote", 0)
+                    .reads(k(0))
+                    .spawn(|| TaskResult::executed(1.0, CostClass::Gemm));
+                StepPhase::Complete
+            }
+        }
+        let platform = crate::platform::Platform::dancer_nodes(2);
+        let opts = StreamOptions::fixed(1, 1).with_platform(platform);
+        let report = execute_with(&mut Redeclare, &opts);
+        assert_eq!(report.msgs.data_msgs, 1, "one initial fetch, to node 0");
+        let sim = report.sim.expect("platform given");
+        assert_eq!(sim.messages, 1);
+    }
+
+    #[test]
+    fn auto_window_records_choices_within_bounds() {
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut src = ChainSource {
+            steps: 8,
+            width: 4,
+            log,
+        };
+        let opts = StreamOptions {
+            window: WindowPolicy::Auto {
+                min: 1,
+                max: 4,
+                live_task_budget: 64,
+            },
+            threads: 2,
+            platform: None,
+            trace: false,
+        };
+        let report = execute_with(&mut src, &opts);
+        assert_eq!(report.per_step_window.len(), 8);
+        assert!(report.per_step_window.iter().all(|&w| (1..=4).contains(&w)));
+        assert_eq!(report.tasks_executed, 32);
+    }
+
+    #[test]
+    fn trace_mode_records_every_executed_task() {
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut src = ChainSource {
+            steps: 3,
+            width: 2,
+            log,
+        };
+        let opts = StreamOptions::fixed(2, 2).with_trace();
+        let report = execute_with(&mut src, &opts);
+        assert_eq!(report.trace.len(), 6);
+        for ev in &report.trace {
+            assert!(ev.end >= ev.start);
+            assert_eq!(ev.node, 0);
+            assert!(ev.step.is_some());
+        }
+        let json = crate::trace::events_to_chrome_trace(&report.trace);
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), 6);
     }
 }

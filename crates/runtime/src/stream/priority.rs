@@ -51,6 +51,13 @@ impl ReadyQueue {
     pub fn pop(&mut self) -> Option<Ready> {
         self.0.pop()
     }
+
+    /// The deepest ready task, without removing it. Workers scanning the
+    /// per-node sub-windows compare peeks to pick the globally deepest
+    /// runnable task.
+    pub fn peek(&self) -> Option<&Ready> {
+        self.0.peek()
+    }
 }
 
 #[cfg(test)]

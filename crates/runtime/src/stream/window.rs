@@ -1,46 +1,81 @@
-//! The streaming window: a live task graph that grows at the planning edge
-//! and shrinks at the completion edge.
+//! The streaming window, split into per-node sub-windows: a live task
+//! graph that grows at the planning edge and shrinks at the completion
+//! edge, with cross-node progress flowing through explicit messages.
 //!
 //! [`StreamWindow`] accepts task insertions through the same [`TaskSink`]
 //! surface as the batch [`crate::graph::GraphBuilder`] and infers the same
 //! RAW / WAR / WAW hazard edges — with one twist: a dependency on a task
 //! that has *already completed* is vacuous and produces no edge, so the
-//! hazard maps may keep referring to completed (reclaimed) tasks without
-//! pinning their records. A task record is dropped the moment its kernel
-//! finishes; what survives is the per-`DataKey` hazard metadata (task id +
-//! critical-path depth), and completed reader entries are pruned — their
-//! depth folded into a per-key scalar — at every step retirement, so the
+//! hazard metadata may keep referring to completed (reclaimed) tasks
+//! without pinning their records. A task record is dropped the moment its
+//! kernel finishes; completed reader entries are pruned — their depth
+//! folded into a per-key scalar — at every step retirement, so the
 //! metadata stays bounded by the declared data plus the live window, not
 //! by the factorization's O(N³) task count.
+//!
+//! **Distribution.** Each virtual node owns a [`NodeWindow`]: the live
+//! records and ready queue of the tasks *placed* on it (owner-computes),
+//! plus the hazard directory of the data *homed* on it. A dependency
+//! between tasks on the same node is a direct edge inside that
+//! sub-window; a cross-node dependency is satisfied by a routed message
+//! ([`crate::comm::Msg`]): the producer's completion delivers a
+//! [`crate::comm::DataMsg`] once per destination node (consumers there
+//! share the cached copy — and late consumers of an already-completed
+//! producer trigger the send at insertion), the hybrid's criterion
+//! decision reaches remote branch tasks as a [`crate::comm::DecisionMsg`]
+//! broadcast from the panel-owner node, and a node whose share of a
+//! closed step drains reports it with a [`crate::comm::RetireMsg`] so the
+//! planner can retire the step. Ordering-only dependencies (WAR,
+//! control) release remote successors without payload and are not counted
+//! as messages — matching the platform simulator's cost model, which is
+//! what keeps the online virtual-time report equal to a batch replay.
 //!
 //! All mutable state sits behind one mutex with two condition variables:
 //! `work_cv` wakes workers when tasks become ready (or at shutdown), and
 //! `plan_cv` wakes the planning thread when capacity opens, an awaited
 //! decision task completes, or the graph drains.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
+use crate::comm::{flow_msg, Msg, MsgStats, RetireMsg};
 use crate::exec::Tally;
-use crate::graph::{Access, DataKey, Kernel, TaskId, TaskResult, TaskSink};
+use crate::graph::{
+    Access, CostedAccess, DataClass, DataKey, Kernel, TaskId, TaskResult, TaskSink,
+};
+use crate::platform::Platform;
+use crate::sim::SimReport;
+use crate::trace::TraceEvent;
+use crate::vtime::VirtualSchedule;
 
 use super::priority::ReadyQueue;
 use super::retire::StepLedger;
 
-/// Hazard-map entry: the task that last touched a datum and its
-/// critical-path depth (kept even after the task completes, so later
-/// insertions still inherit the correct depth).
+/// Hazard-map entry for a reader: the task and its critical-path depth
+/// (kept even after the task completes, so later insertions still inherit
+/// the correct depth until the entry is pruned).
 #[derive(Debug, Clone, Copy)]
 struct Dep {
     id: TaskId,
     cp: u64,
 }
 
+/// The last writer of a datum, with everything message routing needs once
+/// the record itself is reclaimed.
+#[derive(Debug, Clone, Copy)]
+struct WriterInfo {
+    id: TaskId,
+    cp: u64,
+    /// Node the writer is placed on (the send source).
+    node: usize,
+    /// `None` while live; `Some(executed)` once completed.
+    done: Option<bool>,
+}
+
 /// Readers of a datum since its last writer: live entries (potential WAR
 /// predecessors) plus the folded critical-path depth of already-completed
-/// readers. Completed entries are pruned at every step retirement, so
-/// reader metadata stays bounded by the declared data plus the live
-/// window — not by the factorization's total task count.
+/// readers.
 #[derive(Debug, Default)]
 struct Readers {
     /// Max critical-path depth over completed (pruned) readers.
@@ -49,31 +84,97 @@ struct Readers {
     entries: Vec<Dep>,
 }
 
+/// The last *executed* version of a datum: where its payload actually
+/// lives, and which nodes already hold a copy. This is what transfers
+/// resolve against — a runtime-discarded writer produces nothing, so its
+/// consumers fetch the previous executed version (or the initial tile),
+/// exactly like the virtual-time engine's scoreboard.
+#[derive(Debug)]
+struct ExecVersion {
+    id: TaskId,
+    node: usize,
+    /// Destination nodes already holding this version.
+    sent: HashSet<usize>,
+}
+
+/// Per-datum directory entry, held by the sub-window of the datum's home
+/// node: declaration metadata, hazard state, and the once-per-destination
+/// transfer cache of the last executed version.
+#[derive(Debug)]
+struct DatumDir {
+    bytes: usize,
+    home: usize,
+    class: DataClass,
+    writer: Option<WriterInfo>,
+    readers: Readers,
+    /// Last executed version (transfer source + cache).
+    exec: Option<ExecVersion>,
+    /// Nodes that fetched the never-written datum from its home.
+    initial_fetched: HashSet<usize>,
+}
+
 /// A materialized, not-yet-completed task.
 struct LiveTask {
     name: String,
     step: usize,
     cp: u64,
     preds_remaining: usize,
-    successors: Vec<TaskId>,
+    /// Successors placed on the same node (direct edges).
+    local_succs: Vec<TaskId>,
+    /// Remote successors released by message: (consumer, consumer node).
+    remote_releases: Vec<(TaskId, usize)>,
+    /// Data transfers owed at completion: (key, destination, bytes,
+    /// class), deduplicated per (key, destination).
+    pending_sends: Vec<(DataKey, usize, usize, DataClass)>,
+    /// Declared accesses with datum metadata (virtual-time input).
+    accesses: Vec<CostedAccess>,
     kernel: Option<Kernel>,
+}
+
+/// One virtual node's share of the window.
+#[derive(Default)]
+struct NodeWindow {
+    live: HashMap<TaskId, LiveTask>,
+    ready: ReadyQueue,
+    directory: HashMap<DataKey, DatumDir>,
+}
+
+/// Online virtual-time state: completed tasks are fed to the engine in
+/// insertion order, so only the id-contiguity buffer (bounded by the live
+/// window span) is ever pending.
+struct VtimeState {
+    engine: VirtualSchedule,
+    pending: BTreeMap<TaskId, (usize, Vec<CostedAccess>, TaskResult)>,
+    next: TaskId,
 }
 
 pub(crate) struct WindowState {
     next_id: TaskId,
-    live: HashMap<TaskId, LiveTask>,
-    /// Declared data keys. The streaming runtime keeps no byte/home
-    /// metadata — it has no communication model yet (a ROADMAP follow-on);
-    /// the batch [`crate::graph::GraphBuilder`] retains the full record.
-    data: HashSet<DataKey>,
-    last_writer: HashMap<DataKey, Dep>,
-    readers: HashMap<DataKey, Readers>,
-    ready: ReadyQueue,
+    nodes: Vec<NodeWindow>,
+    /// Home node of every declared datum (the directory locator).
+    home_of: HashMap<DataKey, usize>,
+    /// Node of every live task (global liveness index).
+    live_nodes: HashMap<TaskId, usize>,
     pub(crate) ledger: StepLedger,
     planning_done: bool,
     pub(crate) tally: Tally,
+    msgs: MsgStats,
     tasks_planned: usize,
     peak_live_tasks: usize,
+    vtime: Option<VtimeState>,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+/// Final statistics of one streaming run.
+pub(crate) struct WindowStats {
+    pub tally: Tally,
+    pub tasks_planned: usize,
+    pub peak_live_tasks: usize,
+    pub peak_live_steps: usize,
+    pub per_step_tasks: Vec<usize>,
+    pub msgs: MsgStats,
+    pub sim: Option<SimReport>,
+    pub trace: Vec<TraceEvent>,
 }
 
 impl WindowState {
@@ -84,28 +185,52 @@ impl WindowState {
     /// hazard metadata proportional to the *total* task count, defeating
     /// the window's memory bound.
     fn prune_completed_readers(&mut self) {
-        let live = &self.live;
-        for rs in self.readers.values_mut() {
-            let mut folded = rs.completed_cp;
-            rs.entries.retain(|d| {
-                if live.contains_key(&d.id) {
-                    true
-                } else {
-                    folded = folded.max(d.cp);
-                    false
-                }
-            });
-            rs.completed_cp = folded;
+        let live = &self.live_nodes;
+        for nw in &mut self.nodes {
+            for dir in nw.directory.values_mut() {
+                let rs = &mut dir.readers;
+                let mut folded = rs.completed_cp;
+                rs.entries.retain(|d| {
+                    if live.contains_key(&d.id) {
+                        true
+                    } else {
+                        folded = folded.max(d.cp);
+                        false
+                    }
+                });
+                rs.completed_cp = folded;
+            }
+        }
+    }
+
+    fn route(&mut self, msg: Msg) {
+        self.msgs.record(&msg);
+    }
+
+    /// Apply ledger feedback from a close/completion: per-node retirement
+    /// reports become [`RetireMsg`]s (the planner lives with node 0, whose
+    /// report is local), and a retired step prunes reader metadata.
+    fn on_step_events(&mut self, reports: &[usize], retired: bool, step: usize) {
+        for &n in reports {
+            if n != 0 {
+                self.route(Msg::Retire(RetireMsg { step, node: n }));
+            }
+        }
+        if retired {
+            self.prune_completed_readers();
         }
     }
 }
 
-/// Shared streaming execution state (window + scheduler queues).
+/// Shared streaming execution state (per-node sub-windows + scheduler
+/// queues + the online communication/virtual-time accounting).
 pub struct StreamWindow {
     num_nodes: usize,
     state: Mutex<WindowState>,
     work_cv: Condvar,
     plan_cv: Condvar,
+    /// Wall-clock epoch for trace timestamps.
+    epoch: Instant,
 }
 
 /// Sentinel step used while no step is open (declaration phase).
@@ -113,24 +238,44 @@ const NO_STEP: usize = usize::MAX;
 
 impl StreamWindow {
     pub fn new(num_nodes: usize) -> Self {
+        StreamWindow::with_options(num_nodes, None, false)
+    }
+
+    /// A window that additionally drives the platform communication model
+    /// online (`platform`) and/or records per-task trace events (`trace`).
+    pub fn with_options(num_nodes: usize, platform: Option<&Platform>, trace: bool) -> Self {
         assert!(num_nodes >= 1);
+        if let Some(p) = platform {
+            assert!(
+                num_nodes <= p.nodes,
+                "window uses {} nodes, platform has {}",
+                num_nodes,
+                p.nodes
+            );
+        }
         StreamWindow {
             num_nodes,
             state: Mutex::new(WindowState {
                 next_id: 0,
-                live: HashMap::new(),
-                data: HashSet::new(),
-                last_writer: HashMap::new(),
-                readers: HashMap::new(),
-                ready: ReadyQueue::default(),
-                ledger: StepLedger::default(),
+                nodes: (0..num_nodes).map(|_| NodeWindow::default()).collect(),
+                home_of: HashMap::new(),
+                live_nodes: HashMap::new(),
+                ledger: StepLedger::new(num_nodes),
                 planning_done: false,
                 tally: Tally::default(),
+                msgs: MsgStats::default(),
                 tasks_planned: 0,
                 peak_live_tasks: 0,
+                vtime: platform.map(|p| VtimeState {
+                    engine: VirtualSchedule::new(p),
+                    pending: BTreeMap::new(),
+                    next: 0,
+                }),
+                trace: trace.then(Vec::<TraceEvent>::new),
             }),
             work_cv: Condvar::new(),
             plan_cv: Condvar::new(),
+            epoch: Instant::now(),
         }
     }
 
@@ -161,10 +306,10 @@ impl StreamWindow {
     /// Planning of step `k` is complete.
     pub fn close_step(&self, k: usize) {
         let mut st = self.lock();
-        // Closing may retire an already-drained step.
-        if st.ledger.close_step(k) {
-            st.prune_completed_readers();
-        }
+        // Closing may report already-drained node shares and retire the
+        // step on the spot.
+        let (reports, retired) = st.ledger.close_step(k);
+        st.on_step_events(&reports, retired, k);
         drop(st);
         self.plan_cv.notify_all();
     }
@@ -174,7 +319,7 @@ impl StreamWindow {
     pub fn wait_for_task(&self, id: TaskId) {
         let mut st = self.lock();
         assert!(id < st.next_id, "waiting on a task that was never planned");
-        while st.live.contains_key(&id) {
+        while st.live_nodes.contains_key(&id) {
             st = self.plan_cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
     }
@@ -189,28 +334,84 @@ impl StreamWindow {
     /// Block until every planned task has completed.
     pub fn wait_drained(&self) {
         let mut st = self.lock();
-        while !st.live.is_empty() {
+        while !st.live_nodes.is_empty() {
             st = self.plan_cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
     }
 
+    /// Live task records right now (the auto-window policy's memory
+    /// signal).
+    pub fn live_tasks(&self) -> usize {
+        self.lock().live_nodes.len()
+    }
+
     /// Final statistics (call after [`StreamWindow::wait_drained`]).
-    pub(crate) fn stats(&self) -> (Tally, usize, usize, usize, Vec<usize>) {
+    pub(crate) fn stats(&self) -> WindowStats {
         let st = self.lock();
-        (
-            st.tally.clone(),
-            st.tasks_planned,
-            st.peak_live_tasks,
-            st.ledger.peak_live_steps,
-            st.ledger.per_step_planned.clone(),
-        )
+        if let Some(v) = &st.vtime {
+            debug_assert!(v.pending.is_empty(), "virtual time lagging the drain");
+        }
+        WindowStats {
+            tally: st.tally.clone(),
+            tasks_planned: st.tasks_planned,
+            peak_live_tasks: st.peak_live_tasks,
+            peak_live_steps: st.ledger.peak_live_steps,
+            per_step_tasks: st.ledger.per_step_planned.clone(),
+            msgs: st.msgs,
+            sim: st.vtime.as_ref().map(|v| v.engine.report()),
+            trace: st.trace.clone().unwrap_or_default(),
+        }
     }
 
     // ---- insertion (TaskSink via StepSink) -----------------------------
 
-    fn declare(&self, key: DataKey, _bytes: usize, home_node: usize) {
+    fn declare(&self, key: DataKey, bytes: usize, home_node: usize) {
         assert!(home_node < self.num_nodes);
-        self.lock().data.insert(key);
+        let mut st = self.lock();
+        match st.home_of.get(&key) {
+            Some(&host) => {
+                // Redeclaration updates the declaration (size *and* home,
+                // mirroring GraphBuilder::declare's overwrite) but keeps
+                // the hazard state. The directory entry itself stays on
+                // the node that first hosted it — `home_of` is an internal
+                // locator; `dir.home` is what access snapshots and
+                // initial-fetch sources read.
+                let dir = st.nodes[host]
+                    .directory
+                    .get_mut(&key)
+                    .expect("declared datum has a directory entry");
+                dir.bytes = bytes;
+                dir.home = home_node;
+            }
+            None => {
+                st.home_of.insert(key, home_node);
+                st.nodes[home_node].directory.insert(
+                    key,
+                    DatumDir {
+                        bytes,
+                        home: home_node,
+                        class: DataClass::Payload,
+                        writer: None,
+                        readers: Readers::default(),
+                        exec: None,
+                        initial_fetched: HashSet::new(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn declare_class(&self, key: DataKey, class: DataClass) {
+        let mut st = self.lock();
+        let home = *st
+            .home_of
+            .get(&key)
+            .unwrap_or_else(|| panic!("classifying undeclared data {key:?}"));
+        st.nodes[home]
+            .directory
+            .get_mut(&key)
+            .expect("declared datum has a directory entry")
+            .class = class;
     }
 
     fn insert_task(
@@ -230,130 +431,321 @@ impl StreamWindow {
         let id = st.next_id;
         st.next_id += 1;
 
-        // Pass 1: collect hazard predecessors and the critical-path depth
-        // over *all* of them (completed predecessors contribute depth but
-        // no edge). Mirrors GraphBuilder::push_boxed exactly; see the
-        // module docs for why the two stay bitwise-equivalent.
+        // Pass 1: consult the per-datum directories (each homed on one
+        // node's sub-window) for hazard predecessors and the critical-path
+        // depth over *all* of them (completed predecessors contribute
+        // depth but no edge). Mirrors GraphBuilder::push_boxed exactly;
+        // see the module docs for why the two stay bitwise-equivalent.
         let mut preds: Vec<TaskId> = Vec::new();
         let mut max_pred_cp = 0u64;
+        let mut costed: Vec<CostedAccess> = Vec::with_capacity(accesses.len());
+        // Data-flow inputs for Read/Mut: (key, declared bytes/class at
+        // this insertion, writer-at-insertion).
+        let mut flows: Vec<(DataKey, usize, DataClass, Option<WriterInfo>)> = Vec::new();
         for acc in accesses {
             let key = acc.key();
-            assert!(
-                st.data.contains(&key),
-                "access to undeclared data {key:?} by task '{name}'"
-            );
-            if let Some(w) = st.last_writer.get(&key) {
+            let home = *st
+                .home_of
+                .get(&key)
+                .unwrap_or_else(|| panic!("access to undeclared data {key:?} by task '{name}'"));
+            let dir = st.nodes[home]
+                .directory
+                .get(&key)
+                .expect("declared datum has a directory entry");
+            costed.push(CostedAccess {
+                access: *acc,
+                bytes: dir.bytes,
+                home: dir.home,
+            });
+            if let Some(w) = dir.writer {
                 max_pred_cp = max_pred_cp.max(w.cp);
                 preds.push(w.id);
             }
+            if !matches!(acc, Access::Control(_)) {
+                flows.push((key, dir.bytes, dir.class, dir.writer));
+            }
             if matches!(acc, Access::Mut(_)) {
-                if let Some(rs) = st.readers.get(&key) {
-                    max_pred_cp = max_pred_cp.max(rs.completed_cp);
-                    for r in &rs.entries {
-                        max_pred_cp = max_pred_cp.max(r.cp);
-                        preds.push(r.id);
-                    }
+                let rs = &dir.readers;
+                max_pred_cp = max_pred_cp.max(rs.completed_cp);
+                for r in &rs.entries {
+                    max_pred_cp = max_pred_cp.max(r.cp);
+                    preds.push(r.id);
                 }
             }
         }
         let cp = 1 + max_pred_cp;
 
-        // Pass 2: update the hazard maps in access order.
+        // Data-flow transfers, resolved against the *pre-insertion*
+        // directory state (a Mut below overwrites the hazard writer).
+        // An input whose hazard writer is still live is *owed*: the
+        // producer may yet execute (it sends at completion) or discard
+        // itself (the consumer then fetches the previous executed
+        // version). Anything else resolves against the last executed
+        // version right away. Every path is cached once per (version,
+        // destination node) — identical to the virtual-time scoreboard.
+        for &(key, bytes, class, writer) in &flows {
+            if bytes == 0 {
+                continue;
+            }
+            match writer {
+                Some(w) if w.done.is_none() => {
+                    // Producer live (completion cannot interleave: the
+                    // lock is held for the whole insertion). Register the
+                    // owed transfer even when producer and consumer share
+                    // a node — a later discard reroutes it to an executed
+                    // version that may live elsewhere.
+                    let pt = st.nodes[w.node]
+                        .live
+                        .get_mut(&w.id)
+                        .expect("undone writer is live");
+                    if !pt
+                        .pending_sends
+                        .iter()
+                        .any(|&(k2, d, _, _)| k2 == key && d == node)
+                    {
+                        pt.pending_sends.push((key, node, bytes, class));
+                    }
+                }
+                _ => self.resolve_transfer(&mut st, key, node, bytes, class),
+            }
+        }
+
+        // Pass 2: update the directories in access order.
         for acc in accesses {
             let key = acc.key();
+            let home = st.home_of[&key];
+            let dir = st.nodes[home]
+                .directory
+                .get_mut(&key)
+                .expect("declared datum has a directory entry");
             match acc {
-                Access::Read(_) => st
-                    .readers
-                    .entry(key)
-                    .or_default()
-                    .entries
-                    .push(Dep { id, cp }),
+                Access::Read(_) => dir.readers.entries.push(Dep { id, cp }),
                 Access::Control(_) => {}
                 Access::Mut(_) => {
-                    if let Some(rs) = st.readers.get_mut(&key) {
-                        rs.entries.clear();
-                        rs.completed_cp = 0;
-                    }
-                    st.last_writer.insert(key, Dep { id, cp });
+                    dir.readers.entries.clear();
+                    dir.readers.completed_cp = 0;
+                    dir.writer = Some(WriterInfo {
+                        id,
+                        cp,
+                        node,
+                        done: None,
+                    });
                 }
             }
         }
 
-        // Only edges to still-live tasks count toward the countdown.
+        // Pass 3: wire precedence. Only edges to still-live tasks count
+        // toward the countdown; same-node edges stay inside the
+        // sub-window, cross-node edges are released by message on the
+        // predecessor's completion.
         preds.sort_unstable();
         preds.dedup();
-        preds.retain(|p| st.live.contains_key(p));
+        preds.retain(|p| st.live_nodes.contains_key(p));
         let num_preds = preds.len();
         for &p in &preds {
-            st.live
-                .get_mut(&p)
-                .expect("retained pred")
-                .successors
-                .push(id);
+            let pnode = st.live_nodes[&p];
+            let pt = st.nodes[pnode].live.get_mut(&p).expect("retained pred");
+            if pnode == node {
+                pt.local_succs.push(id);
+            } else {
+                pt.remote_releases.push((id, node));
+            }
         }
 
-        st.live.insert(
+        st.nodes[node].live.insert(
             id,
             LiveTask {
                 name,
                 step,
                 cp,
                 preds_remaining: num_preds,
-                successors: Vec::new(),
+                local_succs: Vec::new(),
+                remote_releases: Vec::new(),
+                pending_sends: Vec::new(),
+                accesses: costed,
                 kernel: Some(kernel),
             },
         );
+        st.live_nodes.insert(id, node);
         st.tasks_planned += 1;
-        st.ledger.on_planned(step);
-        let live_now = st.live.len();
+        st.ledger.on_planned(step, node);
+        let live_now = st.live_nodes.len();
         st.peak_live_tasks = st.peak_live_tasks.max(live_now);
         if num_preds == 0 {
-            st.ready.push(cp, id);
+            st.nodes[node].ready.push(cp, id);
             drop(st);
             self.work_cv.notify_one();
         }
         id
     }
 
+    /// Move `key`'s payload to `dest`: from its last executed version, or
+    /// from its home node if it was never (successfully) written — in
+    /// either case at most once per (version, destination). No-ops when
+    /// `dest` already holds the payload.
+    fn resolve_transfer(
+        &self,
+        st: &mut WindowState,
+        key: DataKey,
+        dest: usize,
+        bytes: usize,
+        class: DataClass,
+    ) {
+        let host = st.home_of[&key];
+        let dir = st.nodes[host].directory.get_mut(&key).expect("declared");
+        let msg = match &mut dir.exec {
+            Some(v) => {
+                if v.node == dest || !v.sent.insert(dest) {
+                    return;
+                }
+                flow_msg(key, class, Some(v.id), v.node, dest, bytes)
+            }
+            None => {
+                if dir.home == dest || !dir.initial_fetched.insert(dest) {
+                    return;
+                }
+                flow_msg(key, class, None, dir.home, dest, bytes)
+            }
+        };
+        st.route(msg);
+    }
+
     // ---- execution side ------------------------------------------------
 
-    /// Worker loop: pop the deepest ready task, run it outside the lock,
-    /// record the completion. Returns when planning is done and the window
-    /// has drained.
-    pub(crate) fn worker_loop(&self) {
+    /// Worker loop: pop the globally deepest ready task across the
+    /// per-node sub-windows, run it outside the lock, record the
+    /// completion. Returns when planning is done and the window has
+    /// drained.
+    pub(crate) fn worker_loop(&self, worker: usize) {
         loop {
-            let (id, kernel) = {
+            let (id, node, kernel) = {
                 let mut st = self.lock();
-                loop {
-                    if let Some(r) = st.ready.pop() {
-                        let t = st.live.get_mut(&r.id).expect("ready task not live");
+                'wait: loop {
+                    let mut best: Option<(usize, super::priority::Ready)> = None;
+                    for (n, nw) in st.nodes.iter().enumerate() {
+                        if let Some(r) = nw.ready.peek() {
+                            if best.is_none_or(|(_, b)| *r > b) {
+                                best = Some((n, *r));
+                            }
+                        }
+                    }
+                    if let Some((n, _)) = best {
+                        let r = st.nodes[n].ready.pop().expect("peeked entry");
+                        let t = st.nodes[n]
+                            .live
+                            .get_mut(&r.id)
+                            .expect("ready task not live");
                         let kernel = t
                             .kernel
                             .take()
                             .unwrap_or_else(|| panic!("task '{}' executed twice", t.name));
-                        break (r.id, kernel);
+                        break 'wait (r.id, n, kernel);
                     }
-                    if st.planning_done && st.live.is_empty() {
+                    if st.planning_done && st.live_nodes.is_empty() {
                         return;
                     }
                     st = self.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
                 }
             };
+            let t0 = self.epoch.elapsed().as_secs_f64();
             let result = kernel();
-            self.complete(id, result);
+            let t1 = self.epoch.elapsed().as_secs_f64();
+            self.complete(id, node, result, worker, t0, t1);
         }
     }
 
-    fn complete(&self, id: TaskId, result: TaskResult) {
+    fn complete(
+        &self,
+        id: TaskId,
+        node: usize,
+        result: TaskResult,
+        worker: usize,
+        start_s: f64,
+        end_s: f64,
+    ) {
         let mut st = self.lock();
-        let task = st
+        let task = st.nodes[node]
             .live
             .remove(&id)
             .unwrap_or_else(|| panic!("task {id} completed twice"));
+        st.live_nodes.remove(&id);
         st.tally.record(&result);
+
+        if result.executed {
+            if let Some(events) = &mut st.trace {
+                events.push(TraceEvent {
+                    name: task.name.clone(),
+                    node,
+                    worker,
+                    step: Some(task.step),
+                    start: start_s,
+                    end: end_s,
+                });
+            }
+        }
+
+        // Mark written data as done; an executed writer becomes the
+        // datum's current *executed version* (WAW hazards serialize
+        // conflicting writers, so executed completions promote in
+        // insertion order) with a fresh transfer cache.
+        for ca in &task.accesses {
+            if matches!(ca.access, Access::Mut(_)) {
+                let key = ca.access.key();
+                let host = st.home_of[&key];
+                let dir = st.nodes[host].directory.get_mut(&key).expect("declared");
+                if let Some(w) = &mut dir.writer {
+                    if w.id == id {
+                        w.done = Some(result.executed);
+                    }
+                }
+                if result.executed {
+                    dir.exec = Some(ExecVersion {
+                        id,
+                        node,
+                        sent: HashSet::new(),
+                    });
+                }
+            }
+        }
+
+        // Flush the owed transfers: one DataMsg (or DecisionMsg) per
+        // (datum, destination node). A discarded task produced nothing —
+        // its consumers fetch the previous executed version (or the
+        // initial tile) instead, wherever that lives.
+        if result.executed {
+            for &(key, dest, bytes, class) in &task.pending_sends {
+                if dest == node {
+                    continue;
+                }
+                let host = st.home_of[&key];
+                let dir = st.nodes[host].directory.get_mut(&key).expect("declared");
+                let v = dir.exec.as_mut().expect("executed writer was promoted");
+                if v.sent.insert(dest) {
+                    let msg = flow_msg(key, class, Some(id), node, dest, bytes);
+                    st.route(msg);
+                }
+            }
+        } else {
+            for &(key, dest, bytes, class) in &task.pending_sends {
+                self.resolve_transfer(&mut st, key, dest, bytes, class);
+            }
+        }
+
+        // Feed virtual time in insertion order: buffer this completion
+        // and advance the contiguous prefix.
+        if let Some(v) = &mut st.vtime {
+            v.pending.insert(id, (node, task.accesses.clone(), result));
+            while let Some((n, accs, r)) = v.pending.remove(&v.next) {
+                v.engine.process(n, &accs, &r);
+                v.next += 1;
+            }
+        }
+
+        // Release successors: local ones directly, remote ones by
+        // delivery into their node's sub-window.
         let mut newly_ready = 0usize;
-        for s in task.successors {
-            let succ = st
+        let release = |st: &mut WindowState, s: TaskId, snode: usize| {
+            let succ = st.nodes[snode]
                 .live
                 .get_mut(&s)
                 .expect("successor completed before predecessor");
@@ -361,16 +753,26 @@ impl StreamWindow {
             succ.preds_remaining -= 1;
             if succ.preds_remaining == 0 {
                 let cp = succ.cp;
-                st.ready.push(cp, s);
-                newly_ready += 1;
+                st.nodes[snode].ready.push(cp, s);
+                1
+            } else {
+                0
             }
+        };
+        for s in task.local_succs {
+            newly_ready += release(&mut st, s, node);
         }
-        if st.ledger.on_completed(task.step) {
-            st.prune_completed_readers();
+        for (s, snode) in task.remote_releases {
+            newly_ready += release(&mut st, s, snode);
         }
-        let drained = st.planning_done && st.live.is_empty();
+
+        let ev = st.ledger.on_completed(task.step, node);
+        let reports: Vec<usize> = ev.node_drained.into_iter().collect();
+        st.on_step_events(&reports, ev.retired, task.step);
+
+        let drained = st.planning_done && st.live_nodes.is_empty();
         drop(st);
-        // One wake per newly runnable task (workers re-check the queue
+        // One wake per newly runnable task (workers re-check the queues
         // under the lock before waiting, so a wake with no waiter is not
         // lost work); the drain wake must reach *every* worker so they
         // can exit.
@@ -412,6 +814,10 @@ impl TaskSink for StepSink<'_> {
 
     fn declare(&mut self, key: DataKey, bytes: usize, home_node: usize) {
         self.win.declare(key, bytes, home_node);
+    }
+
+    fn declare_class(&mut self, key: DataKey, class: DataClass) {
+        self.win.declare_class(key, class);
     }
 
     fn push_task(

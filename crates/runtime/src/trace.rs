@@ -1,15 +1,38 @@
 //! Execution-trace export in Chrome trace-event JSON.
 //!
-//! [`to_chrome_trace`] renders a simulated schedule ([`crate::sim::SimReport`])
-//! as a `chrome://tracing` / Perfetto-compatible JSON document: one process
-//! per virtual node, one duration event per executed task. This is the
-//! equivalent of the Gantt traces the PaRSEC tooling produces for the
-//! paper's runs.
+//! Two producers feed the same renderer:
+//!
+//! * [`to_chrome_trace`] renders a simulated schedule
+//!   ([`crate::sim::SimReport`]) of a materialized graph — one process per
+//!   virtual node, one duration event per executed task;
+//! * the streaming runtime records [`TraceEvent`]s online (behind
+//!   [`crate::stream::StreamOptions::trace`]) — real wall-clock start/end,
+//!   the worker that ran the task, its elimination step and owner node —
+//!   and [`events_to_chrome_trace`] renders them, so windowed runs are
+//!   inspectable in `chrome://tracing` / Perfetto even though no graph
+//!   survives the run.
 
 use std::fmt::Write as _;
 
 use crate::graph::Graph;
 use crate::sim::SimReport;
+
+/// One executed task, as a renderable trace span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Task name, e.g. `"GEMM(3,4,k=2)"`.
+    pub name: String,
+    /// Owner node (trace process id).
+    pub node: usize,
+    /// Executing worker on that node (trace thread id).
+    pub worker: usize,
+    /// Elimination step, when the task name carries one.
+    pub step: Option<usize>,
+    /// Span start, seconds (simulation time or wall time since run start).
+    pub start: f64,
+    /// Span end, seconds.
+    pub end: f64,
+}
 
 /// Elimination-step index encoded in a task name (the `k=NN` of
 /// `"GEMM(3,4,k=2)"`). This is the per-task retirement unit of the
@@ -26,42 +49,59 @@ pub fn step_index(name: &str) -> Option<usize> {
     digits[..end].parse().ok()
 }
 
-/// Render the simulated schedule as Chrome trace-event JSON.
-///
-/// Times are exported in microseconds. Discarded tasks are omitted. Each
-/// event records its elimination-step index in `args.step` (when the task
-/// name carries one), so step retirement — the streaming window's unit of
-/// memory reclamation — is visible as a column in the trace viewer.
-pub fn to_chrome_trace(graph: &Graph, sim: &SimReport) -> String {
+/// Render trace spans as Chrome trace-event JSON (times exported in
+/// microseconds; `pid` = node, `tid` = worker, `args.step` = elimination
+/// step when known).
+pub fn events_to_chrome_trace(events: &[TraceEvent]) -> String {
     let mut out = String::from("[\n");
     let mut first = true;
-    for (i, task) in graph.tasks.iter().enumerate() {
-        let executed = task.result().map(|r| r.executed).unwrap_or(false);
-        if !executed {
-            continue;
-        }
-        let dur_us = (sim.finishes[i] - sim.starts[i]) * 1e6;
+    for ev in events {
         if !first {
             out.push_str(",\n");
         }
         first = false;
-        let args = match step_index(&task.name) {
+        let args = match ev.step {
             Some(k) => format!(", \"args\": {{\"step\": {k}}}"),
             None => String::new(),
         };
         let _ = write!(
             out,
             "  {{\"name\": \"{}\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \
-             \"pid\": {}, \"tid\": 0, \"cat\": \"task\"{}}}",
-            task.name.replace('"', "'"),
-            sim.starts[i] * 1e6,
-            dur_us,
-            task.node,
+             \"pid\": {}, \"tid\": {}, \"cat\": \"task\"{}}}",
+            ev.name.replace('"', "'"),
+            ev.start * 1e6,
+            (ev.end - ev.start) * 1e6,
+            ev.node,
+            ev.worker,
             args,
         );
     }
     out.push_str("\n]\n");
     out
+}
+
+/// Render a simulated schedule as Chrome trace-event JSON.
+///
+/// Discarded tasks are omitted. Each event records its elimination-step
+/// index in `args.step` (when the task name carries one), so step
+/// retirement — the streaming window's unit of memory reclamation — is
+/// visible as a column in the trace viewer.
+pub fn to_chrome_trace(graph: &Graph, sim: &SimReport) -> String {
+    let events: Vec<TraceEvent> = graph
+        .tasks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.result().map(|r| r.executed).unwrap_or(false))
+        .map(|(i, t)| TraceEvent {
+            name: t.name.clone(),
+            node: t.node,
+            worker: 0,
+            step: step_index(&t.name),
+            start: sim.starts[i],
+            end: sim.finishes[i],
+        })
+        .collect();
+    events_to_chrome_trace(&events)
 }
 
 #[cfg(test)]
@@ -134,5 +174,22 @@ mod tests {
         // Three events, consecutive, with positive durations.
         assert_eq!(json.matches("\"ph\": \"X\"").count(), 3);
         assert!(!json.contains("\"dur\": 0.000,"));
+    }
+
+    #[test]
+    fn raw_events_render_worker_and_node() {
+        let events = vec![TraceEvent {
+            name: "TRSM(2,k=1)".into(),
+            node: 3,
+            worker: 2,
+            step: Some(1),
+            start: 0.5,
+            end: 1.0,
+        }];
+        let json = events_to_chrome_trace(&events);
+        assert!(json.contains("\"pid\": 3"));
+        assert!(json.contains("\"tid\": 2"));
+        assert!(json.contains("\"args\": {\"step\": 1}"));
+        assert!(json.contains("\"ts\": 500000.000"));
     }
 }

@@ -1,0 +1,382 @@
+//! Online virtual-time scheduling: the discrete-event platform model
+//! consumed one task at a time, in insertion order.
+//!
+//! [`VirtualSchedule`] is the engine behind both performance vehicles:
+//!
+//! * [`crate::sim::simulate`] replays a materialized batch graph by feeding
+//!   its tasks in id order;
+//! * the streaming window feeds each task the moment every
+//!   earlier-inserted task has completed, so a windowed run produces the
+//!   same makespan/message accounting **without ever materializing the
+//!   graph** — per-datum scoreboard entries are all that persists.
+//!
+//! Determinism is by construction: the schedule is a *list schedule in
+//! insertion order*. Task `i` claims cores and network slots strictly
+//! after tasks `0..i` (hazard edges always point from lower to higher
+//! ids, so insertion order is a topological order). Because the state
+//! evolution depends only on the sequence of **executed** tasks — their
+//! placements, declared accesses, and recorded results — a batch graph
+//! (where the losing hybrid branch is present but discarded) and a
+//! streaming run (where it was never planned) yield bitwise-identical
+//! reports: discarded tasks contribute no time, no data flow, and no
+//! scoreboard updates.
+//!
+//! The communication model (shared with [`crate::comm`]): data flows from
+//! the last *executed* writer of each datum (or its home node if never
+//! written); a version crosses to a given destination node once, however
+//! many tasks there consume it (tile caching); egress serializes on the
+//! sender's NIC; a transfer costs `latency + bytes/bandwidth`.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::comm::Network;
+use crate::graph::{Access, CostClass, CostedAccess, DataKey, TaskResult};
+use crate::platform::Platform;
+use crate::sim::SimReport;
+
+/// Last executed writer of a datum.
+#[derive(Debug, Clone)]
+struct WriterState {
+    node: usize,
+    finish: f64,
+    /// Critical-path end time (resource-free longest chain).
+    cp: f64,
+    /// Arrival time of this version at each node it was sent to.
+    sent: HashMap<usize, f64>,
+}
+
+/// Per-datum scoreboard: bounded by the declared data, not the task count.
+#[derive(Debug, Clone, Default)]
+struct DatumState {
+    writer: Option<WriterState>,
+    /// Folded max finish over executed readers since the last write.
+    readers_finish: f64,
+    /// Folded max critical-path end over those readers.
+    readers_cp: f64,
+    /// Arrival time of the *initial* (never-written) datum at each node
+    /// that fetched it from its home.
+    initial_sent: HashMap<usize, f64>,
+}
+
+/// The online discrete-event engine. Feed tasks with [`VirtualSchedule::process`]
+/// in insertion order; read the totals back with [`VirtualSchedule::report`].
+pub struct VirtualSchedule {
+    platform: Platform,
+    /// Core availability per node (min-heap of free times).
+    cores: Vec<BinaryHeap<Reverse<OrderedF64>>>,
+    net: Network,
+    data: HashMap<DataKey, DatumState>,
+    node_busy: Vec<f64>,
+    makespan: f64,
+    serial_seconds: f64,
+    cp_max: f64,
+    total_flops: f64,
+    /// Record per-task (start, finish) spans. Off by default: the
+    /// streaming runtime must stay bounded by the window, not the task
+    /// count; the batch replay turns it on so [`SimReport`] spans line up
+    /// with task ids for trace export.
+    record_spans: bool,
+    /// Per-task (start, finish), by processing order; (0, 0) for tasks
+    /// that discarded themselves. Empty unless spans are recorded.
+    starts: Vec<f64>,
+    finishes: Vec<f64>,
+}
+
+impl VirtualSchedule {
+    /// An engine that keeps only the per-datum scoreboard (O(declared
+    /// data) memory, whatever the task count).
+    pub fn new(platform: &Platform) -> Self {
+        VirtualSchedule {
+            cores: (0..platform.nodes)
+                .map(|_| {
+                    (0..platform.cores_per_node)
+                        .map(|_| Reverse(OrderedF64(0.0)))
+                        .collect()
+                })
+                .collect(),
+            net: Network::new(platform.nodes),
+            data: HashMap::new(),
+            node_busy: vec![0.0; platform.nodes],
+            makespan: 0.0,
+            serial_seconds: 0.0,
+            cp_max: 0.0,
+            total_flops: 0.0,
+            record_spans: false,
+            starts: Vec::new(),
+            finishes: Vec::new(),
+            platform: platform.clone(),
+        }
+    }
+
+    /// An engine that additionally records every task's simulated
+    /// (start, finish) span — O(task count) memory; what
+    /// [`crate::sim::simulate`] uses so report spans index by task id.
+    pub fn with_spans(platform: &Platform) -> Self {
+        VirtualSchedule {
+            record_spans: true,
+            ..VirtualSchedule::new(platform)
+        }
+    }
+
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Schedule the next task (insertion order!) and return its simulated
+    /// `(start, finish)`. Discarded tasks take zero time, move zero data,
+    /// and leave the scoreboard untouched.
+    pub fn process(
+        &mut self,
+        node: usize,
+        accesses: &[CostedAccess],
+        result: &TaskResult,
+    ) -> (f64, f64) {
+        assert!(node < self.platform.nodes, "task on unknown node");
+        if !result.executed {
+            if self.record_spans {
+                self.starts.push(0.0);
+                self.finishes.push(0.0);
+            }
+            return (0.0, 0.0);
+        }
+
+        // Pass 1: data-ready time over all accesses, sending cross-node
+        // transfers as needed (cached once per destination node).
+        let mut data_ready = 0.0f64;
+        let mut cp_ready = 0.0f64;
+        for ca in accesses {
+            let key = ca.access.key();
+            let st = self.data.entry(key).or_default();
+            match ca.access {
+                Access::Read(_) | Access::Mut(_) => {
+                    match &mut st.writer {
+                        Some(w) => {
+                            if w.node != node && ca.bytes > 0 {
+                                let arrival = match w.sent.get(&node) {
+                                    Some(&a) => a,
+                                    None => {
+                                        let a = self.net.send(
+                                            &self.platform,
+                                            w.node,
+                                            w.finish,
+                                            ca.bytes,
+                                        );
+                                        w.sent.insert(node, a);
+                                        a
+                                    }
+                                };
+                                data_ready = data_ready.max(arrival);
+                                cp_ready =
+                                    cp_ready.max(w.cp + self.platform.transfer_seconds(ca.bytes));
+                            } else {
+                                data_ready = data_ready.max(w.finish);
+                                cp_ready = cp_ready.max(w.cp);
+                            }
+                        }
+                        None => {
+                            // Initial datum: fetched from its home node,
+                            // at most once per destination.
+                            if ca.home != node && ca.bytes > 0 {
+                                let arrival = match st.initial_sent.get(&node) {
+                                    Some(&a) => a,
+                                    None => {
+                                        let a =
+                                            self.net.send(&self.platform, ca.home, 0.0, ca.bytes);
+                                        st.initial_sent.insert(node, a);
+                                        a
+                                    }
+                                };
+                                data_ready = data_ready.max(arrival);
+                            }
+                        }
+                    }
+                    if matches!(ca.access, Access::Mut(_)) {
+                        // WAR: wait for every executed reader since the
+                        // last write (precedence only, no data).
+                        data_ready = data_ready.max(st.readers_finish);
+                        cp_ready = cp_ready.max(st.readers_cp);
+                    }
+                }
+                Access::Control(_) => {
+                    if let Some(w) = &st.writer {
+                        data_ready = data_ready.max(w.finish);
+                        cp_ready = cp_ready.max(w.cp);
+                    }
+                }
+            }
+        }
+
+        // Claim cores and run.
+        let claim = (result.cores as usize)
+            .min(self.platform.cores_per_node)
+            .max(1);
+        let duration = self.platform.task_seconds(result.flops, result.class) / claim as f64
+            + result.latency_events as f64 * self.platform.latency;
+        let mut core_free = 0.0f64;
+        let mut claimed = Vec::with_capacity(claim);
+        for _ in 0..claim {
+            let Reverse(OrderedF64(f)) = self.cores[node].pop().expect("node has cores");
+            core_free = core_free.max(f);
+            claimed.push(f);
+        }
+        let start = data_ready.max(core_free);
+        let finish = start + duration;
+        for _ in 0..claim {
+            self.cores[node].push(Reverse(OrderedF64(finish)));
+        }
+        self.node_busy[node] += duration * claim as f64;
+        self.serial_seconds += duration;
+        self.makespan = self.makespan.max(finish);
+        let cp_end = cp_ready + duration;
+        self.cp_max = self.cp_max.max(cp_end);
+        if result.class != CostClass::Memory && result.class != CostClass::Control {
+            self.total_flops += result.flops;
+        }
+
+        // Pass 2: update the scoreboard in access order (a Mut after a
+        // Read of the same key clears the reader fold, exactly like the
+        // hazard maps of the graph builder and the streaming window).
+        for ca in accesses {
+            let st = self.data.entry(ca.access.key()).or_default();
+            match ca.access {
+                Access::Read(_) => {
+                    st.readers_finish = st.readers_finish.max(finish);
+                    st.readers_cp = st.readers_cp.max(cp_end);
+                }
+                Access::Control(_) => {}
+                Access::Mut(_) => {
+                    st.readers_finish = 0.0;
+                    st.readers_cp = 0.0;
+                    st.initial_sent.clear();
+                    st.writer = Some(WriterState {
+                        node,
+                        finish,
+                        cp: cp_end,
+                        sent: HashMap::new(),
+                    });
+                }
+            }
+        }
+
+        if self.record_spans {
+            self.starts.push(start);
+            self.finishes.push(finish);
+        }
+        (start, finish)
+    }
+
+    /// Totals so far, as a [`SimReport`]. `starts`/`finishes` are indexed
+    /// by processing order (equal to task id when the whole graph was
+    /// fed) and empty unless the engine was built
+    /// [`VirtualSchedule::with_spans`].
+    pub fn report(&self) -> SimReport {
+        SimReport {
+            makespan: self.makespan,
+            serial_seconds: self.serial_seconds,
+            critical_path: self.cp_max,
+            messages: self.net.messages,
+            bytes: self.net.bytes,
+            node_busy: self.node_busy.clone(),
+            total_flops: self.total_flops,
+            starts: self.starts.clone(),
+            finishes: self.finishes.clone(),
+        }
+    }
+}
+
+/// f64 wrapper with a total order (no NaNs by construction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct OrderedF64(pub f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(nodes: usize, cores: usize) -> Platform {
+        Platform {
+            nodes,
+            cores_per_node: cores,
+            core_gflops: 1.0,
+            latency: 1.0,
+            bandwidth: 1e9,
+            mem_bandwidth: 1e9,
+            efficiency: crate::platform::Efficiency {
+                gemm: 1.0,
+                trsm: 1.0,
+                panel_factor: 1.0,
+                qr_factor: 1.0,
+                qr_apply: 1.0,
+                estimate: 1.0,
+            },
+        }
+    }
+
+    fn acc(a: Access, bytes: usize, home: usize) -> CostedAccess {
+        CostedAccess {
+            access: a,
+            bytes,
+            home,
+        }
+    }
+
+    fn one_sec() -> TaskResult {
+        TaskResult::executed(1e9, CostClass::Gemm)
+    }
+
+    #[test]
+    fn discarded_tasks_leave_no_trace() {
+        let mut v = VirtualSchedule::with_spans(&flat(2, 1));
+        let k = DataKey(0);
+        v.process(0, &[acc(Access::Mut(k), 1000, 0)], &one_sec());
+        // A discarded writer on node 1 neither moves data nor bumps the
+        // scoreboard: the next consumer still reads node 0's version.
+        v.process(1, &[acc(Access::Mut(k), 1000, 0)], &TaskResult::discarded());
+        let (start, _) = v.process(0, &[acc(Access::Read(k), 1000, 0)], &one_sec());
+        assert!((start - 1.0).abs() < 1e-12);
+        let r = v.report();
+        assert_eq!(r.messages, 0);
+        assert_eq!(r.starts, vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn version_sent_once_per_destination() {
+        let mut v = VirtualSchedule::new(&flat(3, 4));
+        let k = DataKey(0);
+        v.process(0, &[acc(Access::Mut(k), 500, 0)], &one_sec());
+        for _ in 0..3 {
+            v.process(1, &[acc(Access::Read(k), 500, 0)], &one_sec());
+        }
+        v.process(2, &[acc(Access::Read(k), 500, 0)], &one_sec());
+        let r = v.report();
+        assert_eq!(r.messages, 2, "one transfer per destination node");
+        assert_eq!(r.bytes, 1000);
+    }
+
+    #[test]
+    fn rewrite_invalidates_the_cache() {
+        let mut v = VirtualSchedule::new(&flat(2, 4));
+        let k = DataKey(0);
+        v.process(0, &[acc(Access::Mut(k), 500, 0)], &one_sec());
+        v.process(1, &[acc(Access::Read(k), 500, 0)], &one_sec());
+        v.process(0, &[acc(Access::Mut(k), 500, 0)], &one_sec());
+        v.process(1, &[acc(Access::Read(k), 500, 0)], &one_sec());
+        assert_eq!(v.report().messages, 2, "each version crosses once");
+    }
+}

@@ -13,27 +13,10 @@
 //! ```
 
 use luqr::{factor, factor_stream, stability, Algorithm, Criterion, FactorOptions};
-use luqr_kernels::blas::{gemm, Trans};
-use luqr_kernels::Mat;
 
-fn system(n: usize) -> (Mat, Mat) {
-    let mut a = Mat::random(n, n, 2014);
-    for i in 0..n {
-        a[(i, i)] += n as f64; // dominant diagonal: mostly LU steps
-    }
-    let x_true = Mat::random(n, 1, 7);
-    let mut b = Mat::zeros(n, 1);
-    gemm(
-        Trans::NoTrans,
-        Trans::NoTrans,
-        1.0,
-        &a,
-        &x_true,
-        0.0,
-        &mut b,
-    );
-    (a, b)
-}
+#[path = "support/mod.rs"]
+mod support;
+use support::dominant_system as system;
 
 fn main() {
     let mut args = std::env::args().skip(1);

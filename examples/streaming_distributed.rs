@@ -1,0 +1,157 @@
+//! Distributed streaming demo: per-node windows composed with the
+//! platform communication model.
+//!
+//! Phase 1 runs a moderate-size hybrid factorization three ways — batch,
+//! single-process streaming, and distributed streaming — and verifies the
+//! solutions are bitwise identical *and* that the distributed run's online
+//! virtual-time report (makespan / messages / bytes, computed while the
+//! window drains) equals a discrete-event replay of the materialized batch
+//! graph. Phase 2 scales up with distributed streaming only: cluster-level
+//! makespan and message accounting at a size where the window's peak is
+//! orders of magnitude below the task count the batch path would have to
+//! materialize.
+//!
+//! ```sh
+//! cargo run --release --example streaming_distributed [N] [nodes] [window]
+//! ```
+//!
+//! `nodes` picks the virtual process grid: 1 → 1x1, 2 → 2x1, 4 → 2x2,
+//! 16 → 4x4 (the paper's Dancer configuration).
+
+use luqr::{
+    factor, factor_stream, factor_stream_distributed, stability, Algorithm, Criterion,
+    FactorOptions,
+};
+use luqr_runtime::Platform;
+use luqr_tile::Grid;
+
+#[path = "support/mod.rs"]
+mod support;
+use support::dominant_system as system;
+
+fn grid_for(nodes: usize) -> Grid {
+    match nodes {
+        1 => Grid::single(),
+        2 => Grid::new(2, 1),
+        4 => Grid::new(2, 2),
+        16 => Grid::new(4, 4),
+        n => {
+            // Fall back to the most square p x q with p*q = n.
+            let mut p = (n as f64).sqrt() as usize;
+            while n % p != 0 {
+                p -= 1;
+            }
+            Grid::new(p, n / p)
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_big: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(480);
+    let nodes: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let window: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    let grid = grid_for(nodes);
+    let platform = Platform::dancer_nodes(grid.nodes());
+    let opts = FactorOptions {
+        nb: 8,
+        ib: 4,
+        grid,
+        algorithm: Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
+        ..FactorOptions::default()
+    };
+
+    // ---- Phase 1: three-way parity + online-sim == batch replay. --------
+    let n_small = (n_big / 2).max(4 * opts.nb);
+    println!(
+        "phase 1: batch vs streaming vs distributed at N = {n_small}, \
+         grid {}x{} ({} nodes), window = {window}",
+        grid.p,
+        grid.q,
+        grid.nodes()
+    );
+    let (a, b) = system(n_small);
+    let batch = factor(&a, &b, &opts);
+    let stream = factor_stream(&a, &b, &opts, window);
+    let dist = factor_stream_distributed(&a, &b, &opts, &platform, window);
+
+    let xb = batch.solution();
+    assert_eq!(
+        xb.max_abs_diff(&stream.solution()),
+        0.0,
+        "single-process streaming must be bitwise-identical to batch"
+    );
+    assert_eq!(
+        xb.max_abs_diff(&dist.solution()),
+        0.0,
+        "distributed streaming must be bitwise-identical to batch"
+    );
+    let replay = batch.simulate(&platform);
+    let rel = |a: f64, b: f64| (a - b).abs() / a.abs().max(b.abs()).max(1e-30);
+    assert!(
+        rel(replay.makespan, dist.sim.makespan) <= 1e-9,
+        "online sim makespan {} != batch replay {}",
+        dist.sim.makespan,
+        replay.makespan
+    );
+    assert_eq!(replay.messages, dist.sim.messages, "message counts differ");
+    assert_eq!(replay.bytes, dist.sim.bytes, "byte counts differ");
+    println!("  solutions bitwise identical across all three runtimes");
+    println!(
+        "  online virtual time == batch replay: makespan {:.4}s, {} msgs, {} bytes",
+        dist.sim.makespan, dist.sim.messages, dist.sim.bytes
+    );
+    let msgs = dist.msgs();
+    println!(
+        "  protocol: {} DataMsg + {} DecisionMsg + {} RetireMsg",
+        msgs.data_msgs, msgs.decision_msgs, msgs.retire_msgs
+    );
+
+    // ---- Phase 2: distributed streaming only at the full size. ----------
+    let (a, b) = system(n_big);
+    let nt = n_big.div_ceil(opts.nb);
+    println!(
+        "\nphase 2: distributed streaming N = {n_big} ({nt} steps), \
+         {} nodes, window = {window}",
+        grid.nodes()
+    );
+    let t0 = std::time::Instant::now();
+    let f = factor_stream_distributed(&a, &b, &opts, &platform, window);
+    let dt = t0.elapsed().as_secs_f64();
+    assert!(f.stream.error.is_none(), "breakdown: {:?}", f.stream.error);
+    let x = f.solution();
+    let hpl3 = stability::hpl3(&a, &x, &b);
+    let r = &f.stream.report;
+    println!(
+        "  {} tasks executed in {dt:.3}s wall; peak live tasks {} \
+         ({:.1}x reclaimed vs {} planned)",
+        r.tasks_executed,
+        r.peak_live_tasks,
+        r.tasks_planned as f64 / r.peak_live_tasks as f64,
+        r.tasks_planned,
+    );
+    println!(
+        "  virtual cluster: makespan {:.4}s, {:.1} GFLOP/s normalized \
+         ({:.0}% of peak), {} messages, {:.1} MB moved",
+        f.sim.makespan,
+        f.sim.gflops_normalized(2.0 / 3.0 * (n_big as f64).powi(3)),
+        100.0 * f.sim.peak_fraction(&platform),
+        f.sim.messages,
+        f.sim.bytes as f64 / 1e6,
+    );
+    println!(
+        "  LU steps: {:.0}% of {}; HPL3 backward error = {hpl3:.3e}",
+        100.0 * f.stream.lu_step_fraction(),
+        f.stream.records.len()
+    );
+
+    // CI smoke bar: the window must keep graph memory an order of
+    // magnitude below the materialized-graph task count.
+    assert!(
+        r.tasks_planned >= 10 * r.peak_live_tasks,
+        "window did not bound live tasks (peak {} of {} planned)",
+        r.peak_live_tasks,
+        r.tasks_planned
+    );
+}

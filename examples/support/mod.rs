@@ -1,0 +1,27 @@
+//! Shared fixture for the streaming examples: a diagonally dominant
+//! system with a known solution (dominance keeps the hybrid on its LU
+//! fast path, so the examples exercise the common case). Pulled in by
+//! `#[path]` from each example — example binaries cannot depend on the
+//! workspace test crate.
+
+use luqr_kernels::blas::{gemm, Trans};
+use luqr_kernels::Mat;
+
+pub fn dominant_system(n: usize) -> (Mat, Mat) {
+    let mut a = Mat::random(n, n, 2014);
+    for i in 0..n {
+        a[(i, i)] += n as f64;
+    }
+    let x_true = Mat::random(n, 1, 7);
+    let mut b = Mat::zeros(n, 1);
+    gemm(
+        Trans::NoTrans,
+        Trans::NoTrans,
+        1.0,
+        &a,
+        &x_true,
+        0.0,
+        &mut b,
+    );
+    (a, b)
+}

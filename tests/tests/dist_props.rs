@@ -1,0 +1,99 @@
+//! Property tests for distributed streaming: for random systems,
+//! criteria, process grids, window sizes, and thread counts, (1) batch,
+//! single-process streaming, and distributed streaming produce bitwise
+//! identical solutions, and (2) the distributed run's online virtual-time
+//! report equals a `simulate()` replay of the equivalent batch graph on
+//! the same platform (makespan/serial/critical-path within 1e-9 relative,
+//! messages and bytes exactly).
+
+use luqr::{factor, factor_stream, factor_stream_distributed, Algorithm, Criterion, FactorOptions};
+use luqr_kernels::Mat;
+use luqr_runtime::Platform;
+use luqr_tests::dominant_system;
+use luqr_tile::Grid;
+use proptest::prelude::*;
+
+fn random_system(n: usize, seed: u64) -> (Mat, Mat) {
+    dominant_system(n, seed, 1)
+}
+
+/// Decode a criterion from two generated primitives (the vendored proptest
+/// shim has no heterogeneous `prop_oneof`).
+fn criterion_from(kind: usize, raw: u64) -> Criterion {
+    let alpha = (raw % 1000) as f64;
+    match kind {
+        0 => Criterion::Max { alpha },
+        1 => Criterion::Sum { alpha },
+        2 => Criterion::Random {
+            lu_fraction: 0.5,
+            seed: raw,
+        },
+        3 => Criterion::AlwaysQr,
+        _ => Criterion::AlwaysLu,
+    }
+}
+
+fn close(a: f64, b: f64) -> bool {
+    a == b || (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1e-30)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn distributed_streaming_is_bitwise_batch_and_sim_exact(
+        seed in any::<u64>(),
+        n in 24usize..56,
+        window_sel in 0usize..3,
+        threads in 1usize..5,
+        crit_kind in 0usize..5,
+        crit_raw in any::<u64>(),
+        grid_sel in 0usize..3,
+    ) {
+        let criterion = criterion_from(crit_kind, crit_raw);
+        let nb = 8;
+        let nt = n.div_ceil(nb);
+        let window = [1, 2, nt][window_sel];
+        let grid = [Grid::single(), Grid::new(2, 1), Grid::new(2, 2)][grid_sel];
+        let platform = Platform::dancer_nodes(grid.nodes());
+        let (a, b) = random_system(n, seed);
+        let opts = FactorOptions {
+            nb,
+            ib: 4,
+            threads,
+            grid,
+            algorithm: Algorithm::LuQr(criterion),
+            ..FactorOptions::default()
+        };
+
+        let batch = factor(&a, &b, &opts);
+        let stream = factor_stream(&a, &b, &opts, window);
+        let dist = factor_stream_distributed(&a, &b, &opts, &platform, window);
+
+        // Identical arithmetic and failure behavior across all three.
+        prop_assert_eq!(&batch.error, &stream.error);
+        prop_assert_eq!(&batch.error, &dist.stream.error);
+        let xb = batch.solution();
+        prop_assert_eq!(xb.max_abs_diff(&stream.solution()), 0.0);
+        prop_assert_eq!(xb.max_abs_diff(&dist.solution()), 0.0);
+        prop_assert_eq!(batch.records.len(), dist.stream.records.len());
+        for (rb, rd) in batch.records.iter().zip(&dist.stream.records) {
+            prop_assert_eq!(rb.decision, rd.decision);
+        }
+
+        // Online virtual time ≡ batch replay.
+        let sim = batch.simulate(&platform);
+        prop_assert!(
+            close(sim.makespan, dist.sim.makespan),
+            "makespan {} vs {}", sim.makespan, dist.sim.makespan
+        );
+        prop_assert!(close(sim.serial_seconds, dist.sim.serial_seconds));
+        prop_assert!(close(sim.critical_path, dist.sim.critical_path));
+        prop_assert_eq!(sim.messages, dist.sim.messages);
+        prop_assert_eq!(sim.bytes, dist.sim.bytes);
+        prop_assert_eq!(dist.msgs().payload_msgs(), dist.sim.messages);
+
+        // Window bound in steps, as in the single-process runtime.
+        prop_assert!(dist.stream.report.peak_live_steps <= window);
+    }
+}

@@ -1,0 +1,297 @@
+//! Distributed-streaming integration tests: bitwise residual parity
+//! between batch, single-process streaming, and distributed streaming for
+//! every algorithm × robustness criterion at node counts {1, 4} and
+//! windows {1, 2, 7} — and equality of the streaming runtime's *online*
+//! virtual-time report with a `simulate()` replay of the equivalent batch
+//! graph on the same platform.
+
+use luqr::{
+    factor, factor_stream, factor_stream_distributed, factor_stream_with, Algorithm, Criterion,
+    FactorOptions, StreamOptions, WindowPolicy,
+};
+use luqr_kernels::Mat;
+use luqr_runtime::{Platform, SimReport};
+use luqr_tile::Grid;
+
+fn system(n: usize, seed: u64) -> (Mat, Mat) {
+    luqr_tests::dominant_system(n, seed, 2)
+}
+
+/// 1e-9 relative-tolerance comparison (the acceptance bar; in practice the
+/// two reports come from the same engine fed the same executed-task
+/// sequence, so they agree bitwise).
+fn close(a: f64, b: f64) -> bool {
+    a == b || (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1e-30)
+}
+
+fn assert_sim_matches(batch_sim: &SimReport, online: &SimReport, what: &str) {
+    assert!(
+        close(batch_sim.makespan, online.makespan),
+        "{what}: makespan {} (batch replay) vs {} (online)",
+        batch_sim.makespan,
+        online.makespan
+    );
+    assert!(
+        close(batch_sim.serial_seconds, online.serial_seconds),
+        "{what}: serial time diverged"
+    );
+    assert!(
+        close(batch_sim.critical_path, online.critical_path),
+        "{what}: critical path diverged"
+    );
+    assert!(
+        close(batch_sim.total_flops, online.total_flops),
+        "{what}: flops diverged"
+    );
+    assert_eq!(batch_sim.messages, online.messages, "{what}: messages");
+    assert_eq!(batch_sim.bytes, online.bytes, "{what}: bytes");
+    assert_eq!(batch_sim.node_busy.len(), online.node_busy.len());
+    for (i, (a, b)) in batch_sim
+        .node_busy
+        .iter()
+        .zip(&online.node_busy)
+        .enumerate()
+    {
+        assert!(close(*a, *b), "{what}: node {i} busy time diverged");
+    }
+}
+
+/// Batch vs single-process streaming vs distributed streaming, one
+/// configuration: bitwise solutions, step-for-step decisions, and the
+/// virtual-time ≡ batch-replay equality.
+fn check_three_way(opts: &FactorOptions, platform: &Platform, window: usize, n: usize, seed: u64) {
+    let what = format!(
+        "{} grid={}x{} window={window}",
+        opts.algorithm.name(),
+        opts.grid.p,
+        opts.grid.q
+    );
+    let (a, b) = system(n, seed);
+    let batch = factor(&a, &b, opts);
+    let stream = factor_stream(&a, &b, opts, window);
+    let dist = factor_stream_distributed(&a, &b, opts, platform, window);
+
+    assert_eq!(batch.error, stream.error, "{what}: error mismatch");
+    assert_eq!(batch.error, dist.stream.error, "{what}: error mismatch");
+
+    let xb = batch.solution();
+    let xs = stream.solution();
+    let xd = dist.solution();
+    assert_eq!(
+        xb.max_abs_diff(&xs),
+        0.0,
+        "{what}: single-process streaming diverged from batch"
+    );
+    assert_eq!(
+        xb.max_abs_diff(&xd),
+        0.0,
+        "{what}: distributed streaming diverged from batch"
+    );
+
+    // Criterion decisions match step for step.
+    assert_eq!(batch.records.len(), dist.stream.records.len());
+    for (rb, rd) in batch.records.iter().zip(&dist.stream.records) {
+        assert_eq!(rb.k, rd.k);
+        assert_eq!(rb.decision, rd.decision, "{what}: step {} decision", rb.k);
+    }
+
+    // The online virtual-time report equals a batch-graph replay.
+    let batch_sim = batch.simulate(platform);
+    assert_sim_matches(&batch_sim, &dist.sim, &what);
+
+    // Protocol payload messages are exactly the simulator's messages:
+    // both count one transfer per (produced version, destination node).
+    let msgs = dist.msgs();
+    assert_eq!(
+        msgs.payload_msgs(),
+        dist.sim.messages,
+        "{what}: protocol DataMsg+DecisionMsg count must equal sim messages \
+         (data {} decision {})",
+        msgs.data_msgs,
+        msgs.decision_msgs
+    );
+
+    // The window bound survives distribution.
+    assert!(dist.stream.report.peak_live_steps <= window, "{what}");
+}
+
+#[test]
+fn distributed_streaming_parity_every_algorithm_and_criterion() {
+    let algorithms = [
+        Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
+        Algorithm::LuQr(Criterion::Sum { alpha: 100.0 }),
+        Algorithm::LuQr(Criterion::Mumps { alpha: 100.0 }),
+        Algorithm::LuQr(Criterion::AlwaysQr),
+        Algorithm::LuQr(Criterion::AlwaysLu),
+        Algorithm::LuQr(Criterion::Random {
+            lu_fraction: 0.5,
+            seed: 7,
+        }),
+        Algorithm::LuNoPiv,
+        Algorithm::LuIncPiv,
+        Algorithm::Lupp,
+        Algorithm::Hqr,
+    ];
+    for algorithm in algorithms {
+        for (grid, nodes) in [(Grid::single(), 1), (Grid::new(2, 2), 4)] {
+            let platform = Platform::dancer_nodes(nodes);
+            for window in [1, 2, 7] {
+                let opts = FactorOptions {
+                    nb: 8,
+                    ib: 4,
+                    threads: 2,
+                    grid,
+                    algorithm: algorithm.clone(),
+                    ..FactorOptions::default()
+                };
+                check_three_way(&opts, &platform, window, 50, 2014);
+            }
+        }
+    }
+}
+
+/// A hybrid run on four nodes communicates, and the decision broadcast is
+/// visible as DecisionMsgs from the panel-owner node.
+#[test]
+fn distributed_hybrid_counts_decision_broadcasts() {
+    let opts = FactorOptions {
+        nb: 8,
+        ib: 4,
+        threads: 2,
+        grid: Grid::new(2, 2),
+        algorithm: Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
+        ..FactorOptions::default()
+    };
+    let (a, b) = system(64, 99);
+    let dist = factor_stream_distributed(&a, &b, &opts, &Platform::dancer_nodes(4), 2);
+    let msgs = dist.msgs();
+    assert!(msgs.data_msgs > 0, "2x2 grid must move tiles");
+    assert!(
+        msgs.decision_msgs > 0,
+        "hybrid steps must broadcast the criterion decision"
+    );
+    assert!(
+        msgs.retire_msgs > 0,
+        "remote nodes must report step retirement"
+    );
+    assert!(dist.sim.makespan > 0.0);
+    assert!(dist.sim.makespan >= dist.sim.critical_path - 1e-12);
+}
+
+/// Distributed streaming on a single-node platform moves zero messages
+/// and zero bytes, through every layer (protocol and virtual time).
+#[test]
+fn single_node_distributed_run_moves_nothing() {
+    let opts = FactorOptions {
+        nb: 8,
+        ib: 4,
+        threads: 2,
+        grid: Grid::single(),
+        algorithm: Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
+        ..FactorOptions::default()
+    };
+    let (a, b) = system(48, 5);
+    let dist = factor_stream_distributed(&a, &b, &opts, &Platform::single_node(8), 3);
+    let msgs = dist.msgs();
+    assert_eq!(msgs.data_msgs, 0);
+    assert_eq!(msgs.decision_msgs, 0);
+    assert_eq!(msgs.retire_msgs, 0);
+    assert_eq!(msgs.bytes, 0);
+    assert_eq!(dist.sim.messages, 0);
+    assert_eq!(dist.sim.bytes, 0);
+}
+
+/// `latency = 0` degenerates the communication model to pure bandwidth
+/// cost: halving the bandwidth exactly doubles the total transfer time
+/// embedded in the makespan difference from the infinite-bandwidth run.
+#[test]
+fn zero_latency_platform_costs_pure_bandwidth() {
+    let opts = FactorOptions {
+        nb: 8,
+        ib: 4,
+        threads: 2,
+        grid: Grid::new(2, 2),
+        algorithm: Algorithm::Hqr,
+        ..FactorOptions::default()
+    };
+    let (a, b) = system(48, 17);
+    let mut p = Platform::dancer_nodes(4);
+    p.latency = 0.0;
+    let dist = factor_stream_distributed(&a, &b, &opts, &p, 2);
+    // Same run replayed from the batch graph must agree even at the
+    // degenerate point.
+    let batch = factor(&a, &b, &opts);
+    let sim = batch.simulate(&p);
+    assert_eq!(sim.messages, dist.sim.messages);
+    assert!(close(sim.makespan, dist.sim.makespan));
+    assert!(dist.sim.bytes > 0);
+}
+
+/// The autotuned window policy keeps bitwise parity and records a window
+/// choice for every step, inside its bounds.
+#[test]
+fn auto_window_keeps_parity_and_records_choices() {
+    let opts = FactorOptions {
+        nb: 8,
+        ib: 4,
+        threads: 4,
+        grid: Grid::new(2, 1),
+        algorithm: Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
+        ..FactorOptions::default()
+    };
+    let (a, b) = system(64, 23);
+    let batch = factor(&a, &b, &opts);
+    let stream_opts = StreamOptions {
+        window: WindowPolicy::Auto {
+            min: 1,
+            max: 6,
+            live_task_budget: 400,
+        },
+        threads: opts.threads,
+        platform: None,
+        trace: false,
+    };
+    let stream = factor_stream_with(&a, &b, &opts, &stream_opts);
+    assert_eq!(batch.solution().max_abs_diff(&stream.solution()), 0.0);
+    assert_eq!(stream.report.per_step_window.len(), stream.report.steps);
+    assert!(stream
+        .report
+        .per_step_window
+        .iter()
+        .all(|&w| (1..=6).contains(&w)));
+}
+
+/// Streaming trace export: behind the flag, every executed task gets a
+/// `(start, end, worker, step, node)` span, renderable as Chrome trace
+/// JSON.
+#[test]
+fn streaming_trace_export_covers_executed_tasks() {
+    let opts = FactorOptions {
+        nb: 8,
+        ib: 4,
+        threads: 2,
+        grid: Grid::new(2, 2),
+        algorithm: Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
+        ..FactorOptions::default()
+    };
+    let (a, b) = system(48, 8);
+    let stream_opts = StreamOptions::fixed(2, 2).with_trace();
+    let f = factor_stream_with(&a, &b, &opts, &stream_opts);
+    assert_eq!(f.report.trace.len(), f.report.tasks_executed);
+    let mut nodes_seen = [false; 4];
+    for ev in &f.report.trace {
+        assert!(ev.end >= ev.start);
+        assert!(ev.step.is_some());
+        nodes_seen[ev.node] = true;
+    }
+    assert!(
+        nodes_seen.iter().all(|&s| s),
+        "2x2 grid must execute on all 4 nodes"
+    );
+    let json = f.chrome_trace();
+    assert!(json.contains("\"args\": {\"step\": 0}"));
+    assert!(json.contains("PANEL(k=0)"));
+    // Untraced runs render an empty (but valid) document.
+    let untraced = factor_stream(&a, &b, &opts, 2);
+    assert_eq!(untraced.chrome_trace().trim(), "[\n\n]");
+}
