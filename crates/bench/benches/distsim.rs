@@ -69,13 +69,17 @@ fn main() {
         });
 
         for window in [2usize, 4] {
-            let probe = factor_stream_distributed(&a, &b, &opts, &platform, window);
+            let probe = factor_stream_distributed(&a, &b, &opts, &platform, window)
+                .expect("grid fits platform");
             assert_eq!(
                 probe.sim.messages, replay.messages,
                 "online sim diverged from batch replay"
             );
             let (min_ns, median_ns, mean_ns) = sample(|| {
-                black_box(factor_stream_distributed(&a, &b, &opts, &platform, window));
+                black_box(
+                    factor_stream_distributed(&a, &b, &opts, &platform, window)
+                        .expect("grid fits platform"),
+                );
             });
             records.push(Record {
                 group: group.clone(),

@@ -1,0 +1,126 @@
+//! Heterogeneous-platform benchmark: speed-aware vs plain block-cyclic
+//! distribution on a mixed cluster, with the uniform-degeneracy guard.
+//!
+//! The platform is the `cluster_hetero` example's mixed cluster (two
+//! 8c @ 8.52 GF nodes, two 4c @ 4.26 GF nodes, hierarchical network). For
+//! each problem size the hybrid factorization runs through distributed
+//! streaming under both tile distributions; the JSON baseline records the
+//! simulated makespans and the weighted-over-plain speedup next to the
+//! wall-clock timings (see `BENCH_hetero.json`). Two invariants are
+//! asserted on every run:
+//!
+//! * the speed-weighted distribution beats plain block-cyclic makespan on
+//!   the mixed cluster (the refactor's payoff), and
+//! * a platform built from identical `NodeSpec`s equals the homogeneous
+//!   constructor's report bitwise (the refactor's safety).
+//!
+//! Custom harness (`luqr_bench::harness`): the vendored criterion shim's
+//! fixed record schema cannot carry the extra fields.
+//! `CRITERION_JSON=<path>` writes the baseline.
+
+use std::hint::black_box;
+
+use luqr::{factor, factor_stream_distributed, Algorithm, Criterion as Crit, FactorOptions};
+use luqr_bench::harness::{sample, write_json, Record};
+use luqr_kernels::Mat;
+use luqr_runtime::{LinkSpec, NodeSpec, Platform, Topology};
+use luqr_tile::Grid;
+
+fn main() {
+    let mut records: Vec<Record> = Vec::new();
+    let platform = Platform::mixed_islands();
+    let window = 4;
+
+    // Uniform-degeneracy guard: explicit equal specs == dancer constructor.
+    {
+        let a = Mat::random(160, 160, 1);
+        let b = Mat::random(160, 1, 2);
+        let opts = FactorOptions {
+            nb: 8,
+            ib: 4,
+            threads: 1,
+            grid: Grid::new(2, 2),
+            algorithm: Algorithm::LuQr(Crit::Max { alpha: 1000.0 }),
+            ..FactorOptions::default()
+        };
+        let f = factor(&a, &b, &opts);
+        let uniform = f.simulate(&Platform::dancer_nodes(4));
+        let explicit = f.simulate(&Platform::heterogeneous(
+            vec![NodeSpec::new(8, 8.52); 4],
+            Topology::Uniform(LinkSpec::new(5e-6, 1.25e9)),
+            12e9,
+        ));
+        assert_eq!(uniform, explicit, "uniform degeneracy broke");
+    }
+
+    for n in [240usize, 320] {
+        let nb = 16;
+        let a = Mat::random(n, n, 1);
+        let b = Mat::random(n, 1, 2);
+        let base = FactorOptions {
+            nb,
+            ib: nb / 2,
+            threads: 1,
+            grid: Grid::new(2, 2),
+            algorithm: Algorithm::LuQr(Crit::Max { alpha: 1000.0 }),
+            ..FactorOptions::default()
+        };
+        let group = format!("hetero-n{n}");
+
+        let mut makespans = Vec::new();
+        for (bench, opts) in [
+            ("block_cyclic", base.clone()),
+            (
+                "speed_weighted",
+                base.clone().with_speed_weights(platform.node_speeds()),
+            ),
+        ] {
+            let probe = factor_stream_distributed(&a, &b, &opts, &platform, window)
+                .expect("grid fits platform");
+            makespans.push(probe.sim.makespan);
+            let (min_ns, median_ns, mean_ns) = sample(|| {
+                black_box(
+                    factor_stream_distributed(&a, &b, &opts, &platform, window)
+                        .expect("grid fits platform"),
+                );
+            });
+            records.push(Record {
+                group: group.clone(),
+                bench: bench.into(),
+                min_ns,
+                median_ns,
+                mean_ns,
+                extra_json: format!(
+                    ", \"sim_makespan_ns\": {:.1}, \"sim_messages\": {}, \
+                     \"peak_live_tasks\": {}",
+                    probe.sim.makespan * 1e9,
+                    probe.sim.messages,
+                    probe.stream.report.peak_live_tasks,
+                ),
+            });
+        }
+        let speedup = makespans[0] / makespans[1];
+        assert!(
+            speedup > 1.0,
+            "weighted distribution must beat plain block-cyclic on the \
+             mixed cluster at N={n} ({:.3e}s vs {:.3e}s)",
+            makespans[1],
+            makespans[0]
+        );
+        let last = records.last_mut().expect("just pushed");
+        last.extra_json
+            .push_str(&format!(", \"weighted_speedup\": {speedup:.4}"));
+    }
+
+    for r in &records {
+        eprintln!(
+            "bench {:<28} min {:>12.0} ns  median {:>12.0} ns  mean {:>12.0} ns{}",
+            format!("{}/{}", r.group, r.bench),
+            r.min_ns,
+            r.median_ns,
+            r.mean_ns,
+            r.extra_json.replace("\", \"", "  ").replace('"', ""),
+        );
+    }
+    write_json(&records);
+}

@@ -35,7 +35,7 @@ impl TfCells {
             ins.b.declare(
                 keys::tfactor(i, self.k),
                 ib * nbk * 8,
-                ins.grid.owner(i, self.k),
+                ins.dist.owner(i, self.k),
             );
             self.cells[i] = Some(Arc::new(parking_lot::Mutex::new(None)));
         }
@@ -55,7 +55,7 @@ pub(crate) fn insert_qr_step(ins: &mut Inserter<'_>, k: usize, gate: Option<&Bra
     let domains: Vec<Vec<usize>> = {
         let mut ordered: Vec<(usize, Vec<usize>)> = Vec::new();
         for i in k..mt {
-            let node = ins.grid.owner(i, k);
+            let node = ins.dist.owner(i, k);
             match ordered.iter_mut().find(|(n, _)| *n == node) {
                 Some((_, rows)) => rows.push(i),
                 None => ordered.push((node, vec![i])),
@@ -95,7 +95,7 @@ fn insert_geqrt(
     let tf = tf_cells.get(ins, row);
     let flops = geqrt_flops(tm, nbk) as f64;
     ins.b
-        .insert(format!("GEQRT({row},k={k})"), ins.grid.owner(row, k))
+        .insert(format!("GEQRT({row},k={k})"), ins.dist.owner(row, k))
         .writes(keys::tile(row, k))
         .writes(keys::tfactor(row, k))
         .gated(gate)
@@ -140,7 +140,7 @@ fn insert_kill(
     ins.b
         .insert(
             format!("{kname}({victim},{eliminator},k={k})"),
-            ins.grid.owner(victim, k),
+            ins.dist.owner(victim, k),
         )
         .writes(keys::tile(eliminator, k))
         .writes(keys::tile(victim, k))
@@ -170,7 +170,7 @@ fn insert_kill(
         ins.b
             .insert(
                 format!("{uname}({victim},{eliminator},{j},k={k})"),
-                ins.grid.owner(victim, j),
+                ins.dist.owner(victim, j),
             )
             .reads(keys::tile(victim, k))
             .reads(keys::tfactor(victim, k))

@@ -39,7 +39,7 @@ impl StepPlanner for IncPivPlanner {
             let pan2 = Arc::clone(&pan);
             let flops = (nbk * nbk * w) as f64;
             ins.b
-                .insert(format!("GESSM(k={k},j={j})"), ins.grid.owner(k, j))
+                .insert(format!("GESSM(k={k},j={j})"), ins.dist.owner(k, j))
                 .reads(keys::pivots(k))
                 .reads(keys::tile(k, k))
                 .writes(keys::tile(k, j))
@@ -58,7 +58,7 @@ impl StepPlanner for IncPivPlanner {
             ins.b.declare(
                 keys::incpiv_l(i, k),
                 (tm * nbk + nbk) * 8,
-                ins.grid.owner(i, k),
+                ins.dist.owner(i, k),
             );
             {
                 let u_t = ins.aug.tile(k, k);
@@ -67,7 +67,7 @@ impl StepPlanner for IncPivPlanner {
                 let shared = ins.shared.clone();
                 let flops = (tm * nbk * nbk) as f64;
                 ins.b
-                    .insert(format!("TSTRF({i},k={k})"), ins.grid.owner(i, k))
+                    .insert(format!("TSTRF({i},k={k})"), ins.dist.owner(i, k))
                     .writes(keys::tile(k, k))
                     .writes(keys::tile(i, k))
                     .writes(keys::incpiv_l(i, k))
@@ -94,7 +94,7 @@ impl StepPlanner for IncPivPlanner {
                 let lc = Arc::clone(&lcell);
                 let flops = 2.0 * (tm * nbk * w) as f64;
                 ins.b
-                    .insert(format!("SSSSM({i},{j},k={k})"), ins.grid.owner(i, j))
+                    .insert(format!("SSSSM({i},{j},k={k})"), ins.dist.owner(i, j))
                     .reads(keys::incpiv_l(i, k))
                     .writes(keys::tile(k, j))
                     .writes(keys::tile(i, j))

@@ -55,7 +55,7 @@ pub(crate) fn insert_lu_step(
     // node.
     let mut swap_groups: Vec<(usize, Vec<(usize, usize)>)> = Vec::new(); // (grid_row, [(row, offset)])
     for (idx, &i) in trial_rows.iter().enumerate().skip(1) {
-        let gr = i % ins.grid.p;
+        let gr = ins.dist.row_group(i);
         let entry = (i, offsets[idx]);
         match swap_groups.iter_mut().find(|(n, _)| *n == gr) {
             Some((_, v)) => v.push(entry),
@@ -69,7 +69,7 @@ pub(crate) fn insert_lu_step(
         let scratch: Arc<parking_lot::Mutex<Option<Mat>>> = Arc::new(parking_lot::Mutex::new(None));
         let scratch_key = keys::swap_scratch(j, k);
         ins.b
-            .declare(scratch_key, nbk * w * 8, ins.grid.owner(k, j));
+            .declare(scratch_key, nbk * w * 8, ins.dist.owner(k, j));
 
         // Snapshot the pivot-block tile.
         {
@@ -77,7 +77,7 @@ pub(crate) fn insert_lu_step(
             let sc = Arc::clone(&scratch);
             let bytes = nbk * w * 8;
             ins.b
-                .insert(format!("SWPINIT({j},k={k})"), ins.grid.owner(k, j))
+                .insert(format!("SWPINIT({j},k={k})"), ins.dist.owner(k, j))
                 .reads(keys::tile(k, j))
                 .writes(scratch_key)
                 .gated(gate)
@@ -89,10 +89,10 @@ pub(crate) fn insert_lu_step(
         // One exchange task per grid row; the first also applies the
         // pivot-block-internal permutation.
         let mut first = true;
-        for (node, rows) in std::iter::once((ins.grid.owner(k, j), Vec::new())).chain(
+        for (node, rows) in std::iter::once((ins.dist.owner(k, j), Vec::new())).chain(
             swap_groups
                 .iter()
-                .map(|(_, v)| (ins.grid.owner(v[0].0, j), v.clone())),
+                .map(|(_, v)| (ins.dist.owner(v[0].0, j), v.clone())),
         ) {
             if rows.is_empty() && !first {
                 continue;
@@ -137,7 +137,7 @@ pub(crate) fn insert_lu_step(
             let pan2 = Arc::clone(pan);
             let flops = (nbk * nbk * w) as f64;
             ins.b
-                .insert(format!("TRSMTOP({j},k={k})"), ins.grid.owner(k, j))
+                .insert(format!("TRSMTOP({j},k={k})"), ins.dist.owner(k, j))
                 .reads(keys::tile(k, k))
                 .writes(keys::tile(k, j))
                 .gated(gate)

@@ -51,7 +51,7 @@ use std::sync::OnceLock;
 use luqr_kernels::qr::TFactor;
 use luqr_kernels::Mat;
 use luqr_runtime::{GraphBuilder, TaskBuilder, TaskId, TaskSink};
-use luqr_tile::{Grid, TiledMatrix};
+use luqr_tile::{Dist, TiledMatrix};
 use parking_lot::Mutex;
 
 use crate::config::{Decision, FactorOptions, StepRecord};
@@ -157,12 +157,15 @@ pub(crate) fn with_sub<R>(
 
 /// Insertion context handed to every planner: the task sink under
 /// construction — the batch [`GraphBuilder`] or the streaming window —
-/// plus the matrix, distribution, and options it describes.
+/// plus the matrix, distribution, and options it describes. All ownership
+/// and panel-domain queries go through `dist`, so a speed-weighted
+/// distribution re-shapes every planner's placement without the planners
+/// knowing.
 pub struct Inserter<'a> {
     pub(crate) b: &'a mut (dyn TaskSink + 'a),
     pub(crate) aug: &'a TiledMatrix,
     pub(crate) nt_a: usize,
-    pub(crate) grid: Grid,
+    pub(crate) dist: Dist,
     pub(crate) opts: &'a FactorOptions,
     pub(crate) shared: SharedState,
 }
@@ -231,17 +234,17 @@ pub fn build_graph(
     opts: &FactorOptions,
 ) -> (luqr_runtime::Graph, SharedState) {
     let shared = SharedState::default();
-    let grid = opts.grid;
-    let mut b = GraphBuilder::new(grid.nodes());
+    let dist = opts.tile_dist();
+    let mut b = GraphBuilder::new(dist.nodes());
 
-    // Declare every tile with its block-cyclic home.
-    declare_tiles(&mut b, aug, &grid);
+    // Declare every tile with its (possibly weighted) block-cyclic home.
+    declare_tiles(&mut b, aug, &dist);
 
     let mut ins = Inserter {
         b: &mut b,
         aug,
         nt_a,
-        grid,
+        dist,
         opts,
         shared: shared.clone(),
     };
@@ -252,13 +255,13 @@ pub fn build_graph(
     (b.build(), shared)
 }
 
-/// Declare every tile of `aug` with its block-cyclic home node (shared by
-/// the batch builder and the streaming source).
-pub(crate) fn declare_tiles(sink: &mut dyn TaskSink, aug: &TiledMatrix, grid: &Grid) {
+/// Declare every tile of `aug` with its distribution-assigned home node
+/// (shared by the batch builder and the streaming source).
+pub(crate) fn declare_tiles(sink: &mut dyn TaskSink, aug: &TiledMatrix, dist: &Dist) {
     for i in 0..aug.mt() {
         for j in 0..aug.nt() {
             let (tm, tn) = aug.tile_dims(i, j);
-            sink.declare(keys::tile(i, j), tm * tn * 8, grid.owner(i, j));
+            sink.declare(keys::tile(i, j), tm * tn * 8, dist.owner(i, j));
         }
     }
 }

@@ -25,7 +25,7 @@ pub(crate) fn trial_rows(ins: &Inserter<'_>, k: usize) -> Vec<usize> {
     let mt = ins.aug.mt();
     match (ins.opts.lu_variant, ins.opts.pivot_scope) {
         (LuVariant::A2, _) => vec![k],
-        (_, PivotScope::DiagonalDomain) => ins.grid.diagonal_domain_rows(k, mt),
+        (_, PivotScope::DiagonalDomain) => ins.dist.diagonal_domain_rows(k, mt),
         (_, PivotScope::DiagonalTile) => vec![k],
     }
 }
@@ -38,11 +38,11 @@ pub(crate) fn insert_backups(ins: &mut Inserter<'_>, k: usize, rows: &[usize]) -
         let cell: BackupCell = Arc::new(parking_lot::Mutex::new(None));
         let bytes = ins.tile_bytes(i, k);
         ins.b
-            .declare(keys::backup(i, k), bytes, ins.grid.owner(i, k));
+            .declare(keys::backup(i, k), bytes, ins.dist.owner(i, k));
         let tile = ins.aug.tile(i, k);
         let c = Arc::clone(&cell);
         ins.b
-            .insert(format!("BACKUP({i},k={k})"), ins.grid.owner(i, k))
+            .insert(format!("BACKUP({i},k={k})"), ins.dist.owner(i, k))
             .reads(keys::tile(i, k))
             .writes(keys::backup(i, k))
             .spawn_memory(bytes, move || {
@@ -71,7 +71,7 @@ pub(crate) fn insert_crit_collection(
         if rows.contains(&i) {
             continue;
         }
-        let node = ins.grid.owner(i, k);
+        let node = ins.dist.owner(i, k);
         match groups.iter_mut().find(|(n, _)| *n == node) {
             Some((_, v)) => v.push(i),
             None => groups.push((node, vec![i])),
@@ -132,8 +132,8 @@ pub(crate) fn insert_trial_panel(
     let mt = ins.aug.mt();
     let nbk = ins.aug.tile_cols(k);
     ins.b
-        .declare(keys::pivots(k), mt * 8, ins.grid.diag_owner(k));
-    ins.b.declare(keys::decision(k), 8, ins.grid.diag_owner(k));
+        .declare(keys::pivots(k), mt * 8, ins.dist.diag_owner(k));
+    ins.b.declare(keys::decision(k), 8, ins.dist.diag_owner(k));
     // Cross-node reads of the decision datum are the paper's criterion
     // broadcast: the distributed window accounts them as DecisionMsgs.
     ins.b
@@ -146,9 +146,9 @@ pub(crate) fn insert_trial_panel(
     let shared = ins.shared.clone();
     let criterion = criterion.clone();
     let flops = getrf_flops(rows_total, nbk) as f64 + 2.0 * (nbk * nbk) as f64;
-    let allreduce_rounds = (ins.grid.panel_node_count(k, mt) as f64).log2().ceil() as u32;
+    let allreduce_rounds = (ins.dist.panel_node_count(k, mt) as f64).log2().ceil() as u32;
     ins.b
-        .insert(format!("PANEL(k={k})"), ins.grid.diag_owner(k))
+        .insert(format!("PANEL(k={k})"), ins.dist.diag_owner(k))
         .writes_each(rows.iter().map(|&i| keys::tile(i, k)))
         .reads_each(crit_keys.iter().copied())
         .writes(keys::pivots(k))
@@ -222,12 +222,12 @@ pub(crate) fn insert_a2_panel(
     let nbk = ins.aug.tile_cols(k);
     let ib = ins.opts.ib;
     let mt = ins.aug.mt();
-    ins.b.declare(keys::pivots(k), 8, ins.grid.diag_owner(k));
-    ins.b.declare(keys::decision(k), 8, ins.grid.diag_owner(k));
+    ins.b.declare(keys::pivots(k), 8, ins.dist.diag_owner(k));
+    ins.b.declare(keys::decision(k), 8, ins.dist.diag_owner(k));
     ins.b
         .declare_class(keys::decision(k), luqr_runtime::DataClass::Decision);
     ins.b
-        .declare(keys::tfactor(k, k), ib * nbk * 8, ins.grid.diag_owner(k));
+        .declare(keys::tfactor(k, k), ib * nbk * 8, ins.dist.diag_owner(k));
     let tile = ins.aug.tile(k, k);
     let dec2 = Arc::clone(dec);
     let pan2 = Arc::clone(pan);
@@ -236,9 +236,9 @@ pub(crate) fn insert_a2_panel(
     let shared = ins.shared.clone();
     let criterion = criterion.clone();
     let flops = geqrt_flops(ins.aug.tile_rows(k), nbk) as f64 + 2.0 * (nbk * nbk) as f64;
-    let allreduce_rounds = (ins.grid.panel_node_count(k, mt) as f64).log2().ceil() as u32;
+    let allreduce_rounds = (ins.dist.panel_node_count(k, mt) as f64).log2().ceil() as u32;
     ins.b
-        .insert(format!("PANELA2(k={k})"), ins.grid.diag_owner(k))
+        .insert(format!("PANELA2(k={k})"), ins.dist.diag_owner(k))
         .writes(keys::tile(k, k))
         .writes(keys::tfactor(k, k))
         .reads_each(crit_keys.iter().copied())
@@ -302,7 +302,7 @@ pub(crate) fn insert_propagate(
         let dec2 = Arc::clone(dec);
         let bytes = ins.tile_bytes(i, k);
         ins.b
-            .insert(format!("PROP({i},k={k})"), ins.grid.owner(i, k))
+            .insert(format!("PROP({i},k={k})"), ins.dist.owner(i, k))
             .reads(keys::decision(k))
             .reads(keys::backup(i, k))
             .writes(keys::tile(i, k))
@@ -333,7 +333,7 @@ pub(crate) fn insert_simple_panel(
     let mt = ins.aug.mt();
     let nbk = ins.aug.tile_cols(k);
     ins.b
-        .declare(keys::pivots(k), mt * 8, ins.grid.diag_owner(k));
+        .declare(keys::pivots(k), mt * 8, ins.dist.diag_owner(k));
     let tiles: Vec<_> = rows.iter().map(|&i| ins.aug.tile(i, k)).collect();
     let rows_total: usize = rows.iter().map(|&i| ins.aug.tile_rows(i)).sum();
     let heights: Vec<usize> = rows.iter().map(|&i| ins.aug.tile_rows(i)).collect();
@@ -352,14 +352,14 @@ pub(crate) fn insert_simple_panel(
     };
     let flops = getrf_flops(rows_total, nbk) as f64;
     let (panel_cores, latency_events) = if full_panel {
-        let p_nodes = ins.grid.panel_node_count(k, mt);
+        let p_nodes = ins.dist.panel_node_count(k, mt);
         let rounds = (p_nodes as f64).log2().ceil().max(0.0) as u32;
         (u32::MAX, nbk as u32 * rounds)
     } else {
         (1, 0)
     };
     ins.b
-        .insert(format!("{name}(k={k})"), ins.grid.diag_owner(k))
+        .insert(format!("{name}(k={k})"), ins.dist.diag_owner(k))
         .writes_each(rows.iter().map(|&i| keys::tile(i, k)))
         .writes(keys::pivots(k))
         .controls_each(barrier)
@@ -392,14 +392,14 @@ pub(crate) fn insert_simple_panel(
 pub(crate) fn insert_incpiv_diag(ins: &mut Inserter<'_>, k: usize, pan: &PanelCell) {
     let nbk = ins.aug.tile_cols(k);
     ins.b
-        .declare(keys::pivots(k), nbk * 8, ins.grid.diag_owner(k));
+        .declare(keys::pivots(k), nbk * 8, ins.dist.diag_owner(k));
     let tile = ins.aug.tile(k, k);
     let pan2 = Arc::clone(pan);
     let shared = ins.shared.clone();
     let (tm, _) = ins.aug.tile_dims(k, k);
     let flops = getrf_flops(tm, nbk) as f64;
     ins.b
-        .insert(format!("GETRF(k={k})"), ins.grid.diag_owner(k))
+        .insert(format!("GETRF(k={k})"), ins.dist.diag_owner(k))
         .writes(keys::tile(k, k))
         .writes(keys::pivots(k))
         .spawn_costed(flops, CostClass::PanelFactor, move || {

@@ -20,7 +20,7 @@
 
 use luqr_runtime::stream::{StepPhase, StepSource};
 use luqr_runtime::TaskSink;
-use luqr_tile::{Grid, TiledMatrix};
+use luqr_tile::{Dist, TiledMatrix};
 
 use crate::config::FactorOptions;
 
@@ -31,7 +31,7 @@ pub struct PlannerStepSource<'a> {
     planner: Box<dyn StepPlanner>,
     aug: &'a TiledMatrix,
     nt_a: usize,
-    grid: Grid,
+    dist: Dist,
     opts: &'a FactorOptions,
     shared: SharedState,
 }
@@ -45,7 +45,7 @@ impl<'a> PlannerStepSource<'a> {
             planner: crate::planner_for(&opts.algorithm),
             aug,
             nt_a,
-            grid: opts.grid,
+            dist: opts.tile_dist(),
             opts,
             shared: SharedState::default(),
         }
@@ -60,15 +60,15 @@ impl<'a> PlannerStepSource<'a> {
 
 /// Build the planner-facing insertion context. A macro rather than a
 /// method: it reads `$src`'s fields directly (the `aug`/`opts` references
-/// are copied out, `grid` is `Copy`, `shared` is cloned), so the caller
-/// keeps `$src.planner` free for a simultaneous mutable borrow.
+/// are copied out, `dist` and `shared` are cloned), so the caller keeps
+/// `$src.planner` free for a simultaneous mutable borrow.
 macro_rules! inserter {
     ($src:expr, $sink:expr) => {
         Inserter {
             b: $sink,
             aug: $src.aug,
             nt_a: $src.nt_a,
-            grid: $src.grid,
+            dist: $src.dist.clone(),
             opts: $src.opts,
             shared: $src.shared.clone(),
         }
@@ -81,11 +81,11 @@ impl StepSource for PlannerStepSource<'_> {
     }
 
     fn num_nodes(&self) -> usize {
-        self.grid.nodes()
+        self.dist.nodes()
     }
 
     fn prepare(&mut self, sink: &mut dyn TaskSink) {
-        declare_tiles(sink, self.aug, &self.grid);
+        declare_tiles(sink, self.aug, &self.dist);
     }
 
     fn plan_prelude(&mut self, k: usize, sink: &mut dyn TaskSink) -> StepPhase {

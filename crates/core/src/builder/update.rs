@@ -30,7 +30,7 @@ pub(crate) fn insert_trsm_eliminate(
     let a_kk = ins.aug.tile(k, k);
     let flops = (tm * nbk * nbk) as f64;
     ins.b
-        .insert(format!("TRSM({i},k={k})"), ins.grid.owner(i, k))
+        .insert(format!("TRSM({i},k={k})"), ins.dist.owner(i, k))
         .reads(keys::tile(k, k))
         .writes(keys::tile(i, k))
         .gated(gate)
@@ -66,7 +66,7 @@ pub(crate) fn insert_gemm_update(
     let a_ij = ins.aug.tile(i, j);
     let flops = 2.0 * (tm * w * nbk) as f64;
     ins.b
-        .insert(format!("GEMM({i},{j},k={k})"), ins.grid.owner(i, j))
+        .insert(format!("GEMM({i},{j},k={k})"), ins.dist.owner(i, j))
         .reads(keys::tile(i, k))
         .reads(keys::tile(k, j))
         .writes(keys::tile(i, j))
@@ -109,7 +109,7 @@ pub(crate) fn insert_qt_apply(
     let kref = tm.min(nbk);
     let flops = ((4 * tm - 2 * kref) * kref * w) as f64;
     ins.b
-        .insert(name, ins.grid.owner(row, j))
+        .insert(name, ins.dist.owner(row, j))
         .reads(keys::tile(row, k))
         .reads(keys::tfactor(row, k))
         .writes(keys::tile(row, j))

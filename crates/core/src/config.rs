@@ -1,6 +1,6 @@
 //! Configuration types for the factorization drivers.
 
-use luqr_tile::Grid;
+use luqr_tile::{Dist, Grid};
 
 use crate::criteria::Criterion;
 use crate::trees::TreeConfig;
@@ -66,6 +66,19 @@ pub enum LuVariant {
     A2,
 }
 
+/// How tiles map onto the process grid.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum DistPolicy {
+    /// Plain 2D block-cyclic: tile `(i, j)` → node `(i mod p, j mod q)`.
+    #[default]
+    BlockCyclic,
+    /// Speed-aware weighted block-cyclic: one speed per grid rank (use
+    /// [`luqr_runtime::Platform::node_speeds`] for a platform-derived
+    /// vector); faster nodes own proportionally more tiles. See
+    /// [`luqr_tile::Dist::speed_weighted`].
+    SpeedWeighted(Vec<f64>),
+}
+
 /// Options for a factorization run.
 #[derive(Debug, Clone)]
 pub struct FactorOptions {
@@ -75,6 +88,9 @@ pub struct FactorOptions {
     pub ib: usize,
     /// Virtual process grid (2D block-cyclic distribution).
     pub grid: Grid,
+    /// Tile-ownership policy over that grid (plain or speed-weighted
+    /// block-cyclic).
+    pub dist: DistPolicy,
     /// The algorithm to run.
     pub algorithm: Algorithm,
     /// Reduction trees for QR steps.
@@ -93,6 +109,7 @@ impl Default for FactorOptions {
             nb: 80,
             ib: 16,
             grid: Grid::single(),
+            dist: DistPolicy::BlockCyclic,
             algorithm: Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
             trees: TreeConfig::default(),
             threads: available_threads(),
@@ -112,6 +129,31 @@ impl FactorOptions {
     pub fn with_grid(mut self, g: Grid) -> Self {
         self.grid = g;
         self
+    }
+
+    pub fn with_dist(mut self, d: DistPolicy) -> Self {
+        self.dist = d;
+        self
+    }
+
+    /// Speed-aware weighted distribution from per-node speeds (one entry
+    /// per grid rank).
+    pub fn with_speed_weights(mut self, speeds: Vec<f64>) -> Self {
+        self.dist = DistPolicy::SpeedWeighted(speeds);
+        self
+    }
+
+    /// The concrete tile-ownership map these options describe.
+    ///
+    /// Panics if a [`DistPolicy::SpeedWeighted`] speed vector is shorter
+    /// than the grid's rank count (surplus entries — a platform with more
+    /// nodes than the grid — are ignored, since grid rank `r` runs on
+    /// platform node `r`).
+    pub fn tile_dist(&self) -> Dist {
+        match &self.dist {
+            DistPolicy::BlockCyclic => Dist::block_cyclic(self.grid),
+            DistPolicy::SpeedWeighted(speeds) => Dist::speed_weighted(self.grid, speeds),
+        }
     }
 
     pub fn with_nb(mut self, nb: usize) -> Self {
@@ -169,6 +211,14 @@ mod tests {
         let o = FactorOptions::default();
         assert!(o.nb >= 1 && o.ib >= 1 && o.threads >= 1);
         assert_eq!(o.pivot_scope, PivotScope::DiagonalDomain);
+    }
+
+    #[test]
+    fn tile_dist_defaults_to_block_cyclic() {
+        let o = FactorOptions::default().with_grid(Grid::new(2, 2));
+        assert_eq!(o.tile_dist(), Dist::block_cyclic(Grid::new(2, 2)));
+        let w = o.with_speed_weights(vec![2.0, 2.0, 1.0, 1.0]);
+        assert!(w.tile_dist().ownership_fraction(0, 100, 100) > 0.25);
     }
 
     #[test]

@@ -45,16 +45,59 @@ pub mod trees;
 
 pub use builder::stream_source::PlannerStepSource;
 pub use builder::{Inserter, StepPlanner};
-pub use config::{Algorithm, Decision, FactorOptions, LuVariant, PivotScope, StepRecord};
+pub use config::{
+    Algorithm, Decision, DistPolicy, FactorOptions, LuVariant, PivotScope, StepRecord,
+};
 pub use criteria::Criterion;
 pub use trees::{TreeConfig, TreeKind};
 
 use luqr_kernels::Mat;
 use luqr_runtime::stream::StreamReport;
 use luqr_runtime::{execute, simulate, ExecReport, Graph, Platform, SimReport};
-use luqr_tile::TiledMatrix;
+use luqr_tile::{Grid, TiledMatrix};
 
-pub use luqr_runtime::{MsgStats, StreamOptions, TraceEvent, WindowPolicy};
+pub use luqr_runtime::{
+    LinkSpec, MsgStats, NodeSpec, StreamOptions, Topology, TraceEvent, WindowPolicy,
+};
+
+/// A process grid that does not fit its platform — the typed form of what
+/// used to surface as a downstream core-heap index panic. Produced by
+/// [`validate_grid_platform`] and the distributed entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridPlatformError {
+    /// Grid rows.
+    pub p: usize,
+    /// Grid columns.
+    pub q: usize,
+    /// Nodes the platform actually has.
+    pub platform_nodes: usize,
+}
+
+impl std::fmt::Display for GridPlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "process grid {}x{} needs {} node(s) but the platform has {}",
+            self.p,
+            self.q,
+            self.p * self.q,
+            self.platform_nodes
+        )
+    }
+}
+
+impl std::error::Error for GridPlatformError {}
+
+/// Check that `platform` can host every rank of `grid`.
+pub fn validate_grid_platform(grid: &Grid, platform: &Platform) -> Result<(), GridPlatformError> {
+    platform
+        .require_nodes(grid.nodes())
+        .map_err(|e| GridPlatformError {
+            p: grid.p,
+            q: grid.q,
+            platform_nodes: e.available,
+        })
+}
 
 /// A completed factorization of an augmented system `[A | B]`.
 pub struct Factorization {
@@ -115,10 +158,12 @@ impl Factorization {
     }
 
     /// Simulate on `platform` and render the schedule as Chrome trace-event
-    /// JSON (open in `chrome://tracing` or Perfetto).
+    /// JSON (open in `chrome://tracing` or Perfetto). Node lanes are named
+    /// by their [`NodeSpec`] — `node1 (4c @ 8 GF)` — so heterogeneous
+    /// schedules read at a glance.
     pub fn chrome_trace(&self, platform: &Platform) -> String {
         let sim = self.simulate(platform);
-        luqr_runtime::trace::to_chrome_trace(&self.graph, &sim)
+        luqr_runtime::trace::to_chrome_trace_on(&self.graph, &sim, platform)
     }
 }
 
@@ -224,6 +269,12 @@ impl StreamFactorization {
     /// `tid` = worker thread.
     pub fn chrome_trace(&self) -> String {
         luqr_runtime::events_to_chrome_trace(&self.report.trace)
+    }
+
+    /// [`StreamFactorization::chrome_trace`] with node lanes named by the
+    /// platform's [`NodeSpec`]s.
+    pub fn chrome_trace_on(&self, platform: &Platform) -> String {
+        luqr_runtime::trace::events_to_chrome_trace_on(&self.report.trace, Some(platform))
     }
 }
 
@@ -350,13 +401,8 @@ pub fn factor_stream_distributed(
     opts: &FactorOptions,
     platform: &Platform,
     window: usize,
-) -> DistStreamFactorization {
-    assert!(
-        opts.grid.nodes() <= platform.nodes,
-        "grid uses {} nodes, platform has {}",
-        opts.grid.nodes(),
-        platform.nodes
-    );
+) -> Result<DistStreamFactorization, GridPlatformError> {
+    validate_grid_platform(&opts.grid, platform)?;
     let stream_opts = StreamOptions::fixed(window, opts.threads).with_platform(platform.clone());
     let stream = factor_stream_with(a, rhs, opts, &stream_opts);
     let sim = stream
@@ -364,7 +410,7 @@ pub fn factor_stream_distributed(
         .sim
         .clone()
         .expect("virtual time runs whenever a platform is given");
-    DistStreamFactorization { stream, sim }
+    Ok(DistStreamFactorization { stream, sim })
 }
 
 #[cfg(test)]

@@ -126,9 +126,11 @@ impl MsgStats {
 
 /// Sender-side network state: one egress NIC per node, serialized.
 ///
-/// Wire time is `bytes / bandwidth`; a message arrives `latency` after its
-/// wire time completes. Messages from one node queue on that node's NIC in
-/// the order they are issued.
+/// Wire time is `bytes / bandwidth` of the `(from, to)` link; a message
+/// arrives that link's `latency` after its wire time completes. Messages
+/// from one node queue on that node's NIC in the order they are issued,
+/// whatever their destinations — egress is the shared resource, the links
+/// themselves are not.
 #[derive(Debug, Clone)]
 pub struct Network {
     /// Earliest next free egress slot per node.
@@ -148,15 +150,25 @@ impl Network {
         }
     }
 
-    /// Send `nbytes` from `from` at `ready` (or later, NIC permitting);
-    /// returns the arrival time at the destination.
-    pub fn send(&mut self, platform: &Platform, from: usize, ready: f64, nbytes: usize) -> f64 {
+    /// Send `nbytes` from `from` to `to` at `ready` (or later, NIC
+    /// permitting); returns the arrival time at the destination. The cost
+    /// comes from the platform's `(from, to)` link, so hierarchical and
+    /// per-link topologies charge what that pair actually pays.
+    pub fn send(
+        &mut self,
+        platform: &Platform,
+        from: usize,
+        to: usize,
+        ready: f64,
+        nbytes: usize,
+    ) -> f64 {
+        let link = platform.link(from, to);
         let start = ready.max(self.nic_free[from]);
-        let wire = nbytes as f64 / platform.bandwidth;
+        let wire = nbytes as f64 / link.bandwidth;
         self.nic_free[from] = start + wire;
         self.messages += 1;
         self.bytes += nbytes as u64;
-        start + platform.latency + wire
+        start + link.latency + wire
     }
 }
 
@@ -164,21 +176,19 @@ impl Network {
 mod tests {
     use super::*;
 
+    use crate::platform::{LinkSpec, Topology};
+
     fn platform(latency: f64, bandwidth: f64) -> Platform {
-        Platform {
-            nodes: 4,
-            cores_per_node: 1,
-            latency,
-            bandwidth,
-            ..Platform::dancer()
-        }
+        Platform::dancer_nodes(4)
+            .with_latency(latency)
+            .with_bandwidth(bandwidth)
     }
 
     #[test]
     fn send_charges_latency_plus_wire() {
         let p = platform(0.5, 100.0);
         let mut net = Network::new(4);
-        let arrival = net.send(&p, 0, 1.0, 200);
+        let arrival = net.send(&p, 0, 1, 1.0, 200);
         // start 1.0 + latency 0.5 + wire 2.0
         assert!((arrival - 3.5).abs() < 1e-12);
         assert_eq!(net.messages, 1);
@@ -189,10 +199,10 @@ mod tests {
     fn zero_latency_degenerates_to_pure_bandwidth() {
         let p = platform(0.0, 1000.0);
         let mut net = Network::new(4);
-        let a1 = net.send(&p, 0, 0.0, 500);
+        let a1 = net.send(&p, 0, 1, 0.0, 500);
         assert!((a1 - 0.5).abs() < 1e-12, "arrival must be bytes/bandwidth");
         // Second message queues behind the first on the same NIC.
-        let a2 = net.send(&p, 0, 0.0, 500);
+        let a2 = net.send(&p, 0, 2, 0.0, 500);
         assert!((a2 - 1.0).abs() < 1e-12);
     }
 
@@ -200,12 +210,28 @@ mod tests {
     fn nic_serializes_same_sender_but_not_distinct_senders() {
         let p = platform(0.0, 100.0);
         let mut net = Network::new(4);
-        let a = net.send(&p, 0, 0.0, 100); // wire 1s
-        let b = net.send(&p, 0, 0.0, 100); // queues
-        let c = net.send(&p, 1, 0.0, 100); // different NIC: no queueing
+        let a = net.send(&p, 0, 2, 0.0, 100); // wire 1s
+        let b = net.send(&p, 0, 3, 0.0, 100); // queues on node 0's NIC
+        let c = net.send(&p, 1, 2, 0.0, 100); // different NIC: no queueing
         assert!((a - 1.0).abs() < 1e-12);
         assert!((b - 2.0).abs() < 1e-12);
         assert!((c - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hierarchical_links_charge_by_island() {
+        // Islands of 2: {0,1} and {2,3}; fast intra, slow inter.
+        let p = Platform::dancer_nodes(4).with_topology(Topology::Hierarchical {
+            intra: LinkSpec::new(0.0, 1000.0),
+            inter: LinkSpec::new(1.0, 100.0),
+            nodes_per_group: 2,
+        });
+        let mut net = Network::new(4);
+        let intra = net.send(&p, 0, 1, 0.0, 1000); // wire 1s, no latency
+        assert!((intra - 1.0).abs() < 1e-12);
+        let mut net = Network::new(4);
+        let inter = net.send(&p, 0, 2, 0.0, 1000); // wire 10s + 1s latency
+        assert!((inter - 11.0).abs() < 1e-12);
     }
 
     #[test]

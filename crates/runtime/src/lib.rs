@@ -46,7 +46,7 @@ pub use graph::{
     Access, CostClass, CostedAccess, DataClass, DataKey, Graph, GraphBuilder, Kernel, TaskBuilder,
     TaskId, TaskResult, TaskSink,
 };
-pub use platform::{Efficiency, Platform};
+pub use platform::{Efficiency, LinkSpec, NodeCountMismatch, NodeSpec, Platform, Topology};
 pub use sim::{simulate, SimReport};
 pub use stream::{StepPhase, StepSource, StreamOptions, StreamReport, StreamWindow, WindowPolicy};
 pub use trace::{events_to_chrome_trace, TraceEvent};

@@ -88,13 +88,34 @@ impl SimReport {
         self.gflops() / platform.peak_gflops()
     }
 
-    /// Average node utilization over the makespan.
+    /// Average utilization over the makespan, across every core of the
+    /// platform (heterogeneous platforms weight each node by its own core
+    /// count).
     pub fn avg_utilization(&self, platform: &Platform) -> f64 {
         if self.makespan <= 0.0 {
             return 0.0;
         }
         let busy: f64 = self.node_busy.iter().sum();
-        busy / (self.makespan * (platform.nodes * platform.cores_per_node) as f64)
+        busy / (self.makespan * platform.total_cores() as f64)
+    }
+
+    /// Per-node utilization over the makespan: `busy / (makespan × cores)`
+    /// for each node, using that node's own core count. On a well-balanced
+    /// heterogeneous run these are roughly equal; a slow node pinned near
+    /// 1.0 while fast nodes idle is the signature of a speed-blind tile
+    /// distribution.
+    pub fn node_utilization(&self, platform: &Platform) -> Vec<f64> {
+        self.node_busy
+            .iter()
+            .enumerate()
+            .map(|(n, &busy)| {
+                if self.makespan <= 0.0 {
+                    0.0
+                } else {
+                    busy / (self.makespan * platform.node(n).cores as f64)
+                }
+            })
+            .collect()
     }
 }
 
@@ -104,12 +125,12 @@ impl SimReport {
 /// [`crate::exec::execute`] first) or is placed on a node outside the
 /// platform.
 pub fn simulate(graph: &Graph, platform: &Platform) -> SimReport {
-    assert!(
-        graph.num_nodes <= platform.nodes,
-        "graph uses {} nodes, platform has {}",
-        graph.num_nodes,
-        platform.nodes
-    );
+    if let Err(e) = platform.require_nodes(graph.num_nodes) {
+        panic!(
+            "cannot simulate: {e} (graph placements reference {} nodes)",
+            graph.num_nodes
+        );
+    }
     let mut v = VirtualSchedule::with_spans(platform);
     for t in &graph.tasks {
         let r = t
@@ -130,23 +151,19 @@ mod tests {
         DataKey(i)
     }
 
+    use crate::platform::{Efficiency, LinkSpec, NodeSpec, Topology};
+
     fn flat_platform(nodes: usize, cores: usize) -> Platform {
-        Platform {
+        Platform::uniform(
             nodes,
-            cores_per_node: cores,
-            core_gflops: 1.0, // 1 GFLOP/s, efficiency 1 below
-            latency: 1.0,
-            bandwidth: 1e9,
-            mem_bandwidth: 1e9,
-            efficiency: crate::platform::Efficiency {
-                gemm: 1.0,
-                trsm: 1.0,
-                panel_factor: 1.0,
-                qr_factor: 1.0,
-                qr_apply: 1.0,
-                estimate: 1.0,
+            NodeSpec {
+                cores,
+                core_gflops: 1.0, // 1 GFLOP/s at flat efficiency
+                efficiency: Efficiency::flat(),
             },
-        }
+            LinkSpec::new(1.0, 1e9),
+            1e9,
+        )
     }
 
     /// 1 GFLOP at 1 GFLOP/s = 1 second per task.
@@ -238,8 +255,7 @@ mod tests {
         b.task("c", 1, &[Access::Read(k(0))], one_sec_task);
         let g = b.build();
         execute(&g, 1);
-        let mut p = flat_platform(2, 1);
-        p.latency = 0.0;
+        let p = flat_platform(2, 1).with_latency(0.0);
         let r = simulate(&g, &p);
         // 1s task + 0.5s wire (no latency) + 1s task.
         assert!((r.makespan - 2.5).abs() < 1e-9, "{}", r.makespan);
@@ -326,6 +342,43 @@ mod tests {
         assert!(r.makespan <= r.serial_seconds + 1e-9);
         // With 2 cores the two middle tasks overlap: 3 s per diamond.
         assert!((r.makespan - 18.0).abs() < 1e-9, "{}", r.makespan);
+    }
+
+    #[test]
+    fn heterogeneous_platform_stretches_slow_node_tasks() {
+        // The same two independent unit tasks, one per node; node 1 runs
+        // at a quarter speed, so it alone sets the makespan and its
+        // utilization stays at 1.0 while the fast node idles.
+        let mut b = GraphBuilder::new(2);
+        b.declare(k(0), 0, 0);
+        b.declare(k(1), 0, 1);
+        b.task("fast", 0, &[Access::Mut(k(0))], one_sec_task);
+        b.task("slow", 1, &[Access::Mut(k(1))], one_sec_task);
+        let g = b.build();
+        execute(&g, 1);
+        let p = Platform::heterogeneous(
+            vec![
+                NodeSpec {
+                    cores: 1,
+                    core_gflops: 1.0,
+                    efficiency: Efficiency::flat(),
+                },
+                NodeSpec {
+                    cores: 1,
+                    core_gflops: 0.25,
+                    efficiency: Efficiency::flat(),
+                },
+            ],
+            Topology::Uniform(LinkSpec::new(1.0, 1e9)),
+            1e9,
+        );
+        let r = simulate(&g, &p);
+        assert!((r.makespan - 4.0).abs() < 1e-9, "{}", r.makespan);
+        let util = r.node_utilization(&p);
+        assert!((util[0] - 0.25).abs() < 1e-9, "{util:?}");
+        assert!((util[1] - 1.0).abs() < 1e-9, "{util:?}");
+        // Aggregate utilization averages over the platform's cores.
+        assert!((r.avg_utilization(&p) - 0.625).abs() < 1e-9);
     }
 
     #[test]

@@ -26,7 +26,10 @@
 //! communication model *online*: per-node virtual clocks advance as the
 //! window drains and the run emits a [`SimReport`]-compatible summary —
 //! equal to replaying the equivalent batch graph through
-//! [`crate::sim::simulate`] — without ever materializing that graph.
+//! [`crate::sim::simulate`] — without ever materializing that graph. The
+//! platform may be heterogeneous: each task is costed at its owner node's
+//! [`crate::platform::NodeSpec`] speed and width, and transfers on the
+//! actual `(src, dst)` link of the platform's topology.
 //!
 //! Execution is bitwise-identical to the batch path because the window
 //! infers the same hazards from the same insertion order; dropping a

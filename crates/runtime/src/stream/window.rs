@@ -246,12 +246,9 @@ impl StreamWindow {
     pub fn with_options(num_nodes: usize, platform: Option<&Platform>, trace: bool) -> Self {
         assert!(num_nodes >= 1);
         if let Some(p) = platform {
-            assert!(
-                num_nodes <= p.nodes,
-                "window uses {} nodes, platform has {}",
-                num_nodes,
-                p.nodes
-            );
+            if let Err(e) = p.require_nodes(num_nodes) {
+                panic!("cannot stream against this platform: {e}");
+            }
         }
         StreamWindow {
             num_nodes,
@@ -664,7 +661,7 @@ impl StreamWindow {
         end_s: f64,
     ) {
         let mut st = self.lock();
-        let task = st.nodes[node]
+        let mut task = st.nodes[node]
             .live
             .remove(&id)
             .unwrap_or_else(|| panic!("task {id} completed twice"));
@@ -734,7 +731,10 @@ impl StreamWindow {
         // Feed virtual time in insertion order: buffer this completion
         // and advance the contiguous prefix.
         if let Some(v) = &mut st.vtime {
-            v.pending.insert(id, (node, task.accesses.clone(), result));
+            // Move the accesses out — the record is being reclaimed and
+            // nothing below reads them.
+            v.pending
+                .insert(id, (node, std::mem::take(&mut task.accesses), result));
             while let Some((n, accs, r)) = v.pending.remove(&v.next) {
                 v.engine.process(n, &accs, &r);
                 v.next += 1;

@@ -15,6 +15,7 @@
 use std::fmt::Write as _;
 
 use crate::graph::Graph;
+use crate::platform::Platform;
 use crate::sim::SimReport;
 
 /// One executed task, as a renderable trace span.
@@ -53,8 +54,30 @@ pub fn step_index(name: &str) -> Option<usize> {
 /// microseconds; `pid` = node, `tid` = worker, `args.step` = elimination
 /// step when known).
 pub fn events_to_chrome_trace(events: &[TraceEvent]) -> String {
+    events_to_chrome_trace_on(events, None)
+}
+
+/// Like [`events_to_chrome_trace`], but when a [`Platform`] is given each
+/// node lane is named by its spec — `node1 (4c @ 8 GF)` — via
+/// `process_name` metadata events, so heterogeneous traces read at a
+/// glance in `chrome://tracing` / Perfetto.
+pub fn events_to_chrome_trace_on(events: &[TraceEvent], platform: Option<&Platform>) -> String {
     let mut out = String::from("[\n");
     let mut first = true;
+    if let Some(p) = platform {
+        for (n, spec) in p.specs.iter().enumerate() {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "  {{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {n}, \
+                 \"args\": {{\"name\": \"node{n} ({})\"}}}}",
+                spec.label(),
+            );
+        }
+    }
     for ev in events {
         if !first {
             out.push_str(",\n");
@@ -87,7 +110,16 @@ pub fn events_to_chrome_trace(events: &[TraceEvent]) -> String {
 /// retirement — the streaming window's unit of memory reclamation — is
 /// visible as a column in the trace viewer.
 pub fn to_chrome_trace(graph: &Graph, sim: &SimReport) -> String {
-    let events: Vec<TraceEvent> = graph
+    events_to_chrome_trace(&sim_events(graph, sim))
+}
+
+/// [`to_chrome_trace`] with node lanes named by the platform's specs.
+pub fn to_chrome_trace_on(graph: &Graph, sim: &SimReport, platform: &Platform) -> String {
+    events_to_chrome_trace_on(&sim_events(graph, sim), Some(platform))
+}
+
+fn sim_events(graph: &Graph, sim: &SimReport) -> Vec<TraceEvent> {
+    graph
         .tasks
         .iter()
         .enumerate()
@@ -100,8 +132,7 @@ pub fn to_chrome_trace(graph: &Graph, sim: &SimReport) -> String {
             start: sim.starts[i],
             end: sim.finishes[i],
         })
-        .collect();
-    events_to_chrome_trace(&events)
+        .collect()
 }
 
 #[cfg(test)]
@@ -174,6 +205,31 @@ mod tests {
         // Three events, consecutive, with positive durations.
         assert_eq!(json.matches("\"ph\": \"X\"").count(), 3);
         assert!(!json.contains("\"dur\": 0.000,"));
+    }
+
+    #[test]
+    fn platform_lanes_are_named_by_node_spec() {
+        use crate::platform::{LinkSpec, NodeSpec, Topology};
+        let p = crate::platform::Platform::heterogeneous(
+            vec![NodeSpec::new(8, 8.52), NodeSpec::new(4, 8.0)],
+            Topology::Uniform(LinkSpec::new(5e-6, 1.25e9)),
+            12e9,
+        );
+        let events = vec![TraceEvent {
+            name: "GEMM(1,1,k=0)".into(),
+            node: 1,
+            worker: 0,
+            step: Some(0),
+            start: 0.0,
+            end: 1.0,
+        }];
+        let json = events_to_chrome_trace_on(&events, Some(&p));
+        assert!(json.contains("\"name\": \"node0 (8c @ 8.52 GF)\""));
+        assert!(json.contains("\"name\": \"node1 (4c @ 8 GF)\""));
+        assert_eq!(json.matches("\"ph\": \"M\"").count(), 2);
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), 1);
+        // The metadata-free renderer stays byte-stable.
+        assert!(!events_to_chrome_trace(&events).contains("process_name"));
     }
 
     #[test]

@@ -63,6 +63,9 @@ struct DatumState {
 /// in insertion order; read the totals back with [`VirtualSchedule::report`].
 pub struct VirtualSchedule {
     platform: Platform,
+    /// Cached [`Platform::sync_latency`] — constant per platform, and a
+    /// full link scan on `Matrix` topologies, so not recomputed per task.
+    sync_latency: f64,
     /// Core availability per node (min-heap of free times).
     cores: Vec<BinaryHeap<Reverse<OrderedF64>>>,
     net: Network,
@@ -88,16 +91,14 @@ impl VirtualSchedule {
     /// data) memory, whatever the task count).
     pub fn new(platform: &Platform) -> Self {
         VirtualSchedule {
-            cores: (0..platform.nodes)
-                .map(|_| {
-                    (0..platform.cores_per_node)
-                        .map(|_| Reverse(OrderedF64(0.0)))
-                        .collect()
-                })
+            cores: platform
+                .specs
+                .iter()
+                .map(|spec| (0..spec.cores).map(|_| Reverse(OrderedF64(0.0))).collect())
                 .collect(),
-            net: Network::new(platform.nodes),
+            net: Network::new(platform.nodes()),
             data: HashMap::new(),
-            node_busy: vec![0.0; platform.nodes],
+            node_busy: vec![0.0; platform.nodes()],
             makespan: 0.0,
             serial_seconds: 0.0,
             cp_max: 0.0,
@@ -105,6 +106,7 @@ impl VirtualSchedule {
             record_spans: false,
             starts: Vec::new(),
             finishes: Vec::new(),
+            sync_latency: platform.sync_latency(),
             platform: platform.clone(),
         }
     }
@@ -132,7 +134,7 @@ impl VirtualSchedule {
         accesses: &[CostedAccess],
         result: &TaskResult,
     ) -> (f64, f64) {
-        assert!(node < self.platform.nodes, "task on unknown node");
+        assert!(node < self.platform.nodes(), "task on unknown node");
         if !result.executed {
             if self.record_spans {
                 self.starts.push(0.0);
@@ -159,6 +161,7 @@ impl VirtualSchedule {
                                         let a = self.net.send(
                                             &self.platform,
                                             w.node,
+                                            node,
                                             w.finish,
                                             ca.bytes,
                                         );
@@ -167,8 +170,9 @@ impl VirtualSchedule {
                                     }
                                 };
                                 data_ready = data_ready.max(arrival);
-                                cp_ready =
-                                    cp_ready.max(w.cp + self.platform.transfer_seconds(ca.bytes));
+                                cp_ready = cp_ready.max(
+                                    w.cp + self.platform.transfer_seconds(w.node, node, ca.bytes),
+                                );
                             } else {
                                 data_ready = data_ready.max(w.finish);
                                 cp_ready = cp_ready.max(w.cp);
@@ -181,8 +185,13 @@ impl VirtualSchedule {
                                 let arrival = match st.initial_sent.get(&node) {
                                     Some(&a) => a,
                                     None => {
-                                        let a =
-                                            self.net.send(&self.platform, ca.home, 0.0, ca.bytes);
+                                        let a = self.net.send(
+                                            &self.platform,
+                                            ca.home,
+                                            node,
+                                            0.0,
+                                            ca.bytes,
+                                        );
                                         st.initial_sent.insert(node, a);
                                         a
                                     }
@@ -207,18 +216,16 @@ impl VirtualSchedule {
             }
         }
 
-        // Claim cores and run.
+        // Claim cores and run, at this node's speed and width.
         let claim = (result.cores as usize)
-            .min(self.platform.cores_per_node)
+            .min(self.platform.node(node).cores)
             .max(1);
-        let duration = self.platform.task_seconds(result.flops, result.class) / claim as f64
-            + result.latency_events as f64 * self.platform.latency;
+        let duration = self.platform.task_seconds(node, result.flops, result.class) / claim as f64
+            + result.latency_events as f64 * self.sync_latency;
         let mut core_free = 0.0f64;
-        let mut claimed = Vec::with_capacity(claim);
         for _ in 0..claim {
             let Reverse(OrderedF64(f)) = self.cores[node].pop().expect("node has cores");
             core_free = core_free.max(f);
-            claimed.push(f);
         }
         let start = data_ready.max(core_free);
         let finish = start + duration;
@@ -309,23 +316,19 @@ impl Ord for OrderedF64 {
 mod tests {
     use super::*;
 
+    use crate::platform::{Efficiency, LinkSpec, NodeSpec, Topology};
+
     fn flat(nodes: usize, cores: usize) -> Platform {
-        Platform {
+        Platform::uniform(
             nodes,
-            cores_per_node: cores,
-            core_gflops: 1.0,
-            latency: 1.0,
-            bandwidth: 1e9,
-            mem_bandwidth: 1e9,
-            efficiency: crate::platform::Efficiency {
-                gemm: 1.0,
-                trsm: 1.0,
-                panel_factor: 1.0,
-                qr_factor: 1.0,
-                qr_apply: 1.0,
-                estimate: 1.0,
+            NodeSpec {
+                cores,
+                core_gflops: 1.0,
+                efficiency: Efficiency::flat(),
             },
-        }
+            LinkSpec::new(1.0, 1e9),
+            1e9,
+        )
     }
 
     fn acc(a: Access, bytes: usize, home: usize) -> CostedAccess {
@@ -367,6 +370,92 @@ mod tests {
         let r = v.report();
         assert_eq!(r.messages, 2, "one transfer per destination node");
         assert_eq!(r.bytes, 1000);
+    }
+
+    #[test]
+    fn per_node_speeds_shape_durations() {
+        // Node 0 at 2 GFLOP/s, node 1 at 0.5 GFLOP/s: the same 1-GFLOP
+        // task runs 4x longer on the slow node, and the busy accounting
+        // keeps the ratio.
+        let specs = vec![
+            NodeSpec {
+                cores: 1,
+                core_gflops: 2.0,
+                efficiency: Efficiency::flat(),
+            },
+            NodeSpec {
+                cores: 1,
+                core_gflops: 0.5,
+                efficiency: Efficiency::flat(),
+            },
+        ];
+        let p = Platform::heterogeneous(
+            specs,
+            Topology::Uniform(LinkSpec::new(0.0, f64::INFINITY)),
+            1e9,
+        );
+        let mut v = VirtualSchedule::new(&p);
+        let ka = DataKey(0);
+        let kb = DataKey(1);
+        let (_, f0) = v.process(0, &[acc(Access::Mut(ka), 0, 0)], &one_sec());
+        let (_, f1) = v.process(1, &[acc(Access::Mut(kb), 0, 1)], &one_sec());
+        assert!((f0 - 0.5).abs() < 1e-12, "fast node: {f0}");
+        assert!((f1 - 2.0).abs() < 1e-12, "slow node: {f1}");
+        let r = v.report();
+        assert!((r.node_busy[1] / r.node_busy[0] - 4.0).abs() < 1e-12);
+        assert!((r.makespan - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_node_core_counts_bound_the_claim() {
+        // A whole-node kernel claims 4 cores on the wide node but only 1
+        // on the narrow one.
+        let specs = vec![
+            NodeSpec {
+                cores: 4,
+                core_gflops: 1.0,
+                efficiency: Efficiency::flat(),
+            },
+            NodeSpec {
+                cores: 1,
+                core_gflops: 1.0,
+                efficiency: Efficiency::flat(),
+            },
+        ];
+        let p = Platform::heterogeneous(
+            specs,
+            Topology::Uniform(LinkSpec::new(0.0, f64::INFINITY)),
+            1e9,
+        );
+        let mut v = VirtualSchedule::new(&p);
+        let whole_node = TaskResult::executed(1e9, CostClass::Gemm).with_cores(u32::MAX);
+        let (_, f0) = v.process(0, &[acc(Access::Mut(DataKey(0)), 0, 0)], &whole_node);
+        let (_, f1) = v.process(1, &[acc(Access::Mut(DataKey(1)), 0, 1)], &whole_node);
+        assert!((f0 - 0.25).abs() < 1e-12, "4-way kernel: {f0}");
+        assert!((f1 - 1.0).abs() < 1e-12, "clamped to 1 core: {f1}");
+    }
+
+    #[test]
+    fn hierarchical_links_shape_arrivals() {
+        // Four 1-core nodes in islands of 2; moving a datum inside the
+        // island is cheap, across islands slow.
+        let mut p = flat(4, 1);
+        p = p.with_topology(Topology::Hierarchical {
+            intra: LinkSpec::new(0.0, 1e9),
+            inter: LinkSpec::new(10.0, 1e9),
+            nodes_per_group: 2,
+        });
+        let k = DataKey(0);
+        // Intra-island consumer starts right after the 1 s producer.
+        let mut v = VirtualSchedule::new(&p);
+        v.process(0, &[acc(Access::Mut(k), 8, 0)], &one_sec());
+        let (s_intra, _) = v.process(1, &[acc(Access::Read(k), 8, 0)], &one_sec());
+        assert!(s_intra < 1.1, "intra-island start {s_intra}");
+        // Inter-island consumer waits out the 10 s link latency.
+        let mut v = VirtualSchedule::new(&p);
+        v.process(0, &[acc(Access::Mut(k), 8, 0)], &one_sec());
+        let (s_inter, _) = v.process(2, &[acc(Access::Read(k), 8, 0)], &one_sec());
+        assert!(s_inter >= 11.0, "inter-island start {s_inter}");
     }
 
     #[test]

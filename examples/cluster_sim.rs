@@ -22,8 +22,8 @@ fn main() {
 
     println!(
         "simulated Dancer cluster: {} nodes x {} cores, peak {:.0} GFLOP/s",
-        platform.nodes,
-        platform.cores_per_node,
+        platform.nodes(),
+        platform.node(0).cores,
         platform.peak_gflops()
     );
     println!("N = {n}, nb = {nb}, grid 4x4\n");
@@ -68,8 +68,7 @@ fn main() {
             ..FactorOptions::default()
         };
         let f = factor(&a, &b, &opts);
-        let sim = f.simulate(&platform);
-        let json = luqr_runtime::trace::to_chrome_trace(&f.graph, &sim);
+        let json = f.chrome_trace(&platform);
         let path = std::env::temp_dir().join("luqr_trace.json");
         std::fs::write(&path, json).expect("write trace");
         println!(

@@ -74,7 +74,8 @@ fn main() {
     let (a, b) = system(n_small);
     let batch = factor(&a, &b, &opts);
     let stream = factor_stream(&a, &b, &opts, window);
-    let dist = factor_stream_distributed(&a, &b, &opts, &platform, window);
+    let dist =
+        factor_stream_distributed(&a, &b, &opts, &platform, window).expect("grid fits platform");
 
     let xb = batch.solution();
     assert_eq!(
@@ -117,7 +118,8 @@ fn main() {
         grid.nodes()
     );
     let t0 = std::time::Instant::now();
-    let f = factor_stream_distributed(&a, &b, &opts, &platform, window);
+    let f =
+        factor_stream_distributed(&a, &b, &opts, &platform, window).expect("grid fits platform");
     let dt = t0.elapsed().as_secs_f64();
     assert!(f.stream.error.is_none(), "breakdown: {:?}", f.stream.error);
     let x = f.solution();

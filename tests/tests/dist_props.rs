@@ -5,10 +5,17 @@
 //! report equals a `simulate()` replay of the equivalent batch graph on
 //! the same platform (makespan/serial/critical-path within 1e-9 relative,
 //! messages and bytes exactly).
+//!
+//! Plus the heterogeneous-platform degeneracy pin: a [`Platform`] built as
+//! an explicit list of identical `NodeSpec`s under a `Uniform` topology is
+//! **bitwise** interchangeable with the homogeneous constructors — same
+//! `SimReport` (every field, spans included) from both the batch replay
+//! and the online distributed run. This is what guarantees the
+//! heterogeneity refactor changed nothing in the uniform case.
 
 use luqr::{factor, factor_stream, factor_stream_distributed, Algorithm, Criterion, FactorOptions};
 use luqr_kernels::Mat;
-use luqr_runtime::Platform;
+use luqr_runtime::{LinkSpec, NodeSpec, Platform, Topology};
 use luqr_tests::dominant_system;
 use luqr_tile::Grid;
 use proptest::prelude::*;
@@ -68,7 +75,7 @@ proptest! {
 
         let batch = factor(&a, &b, &opts);
         let stream = factor_stream(&a, &b, &opts, window);
-        let dist = factor_stream_distributed(&a, &b, &opts, &platform, window);
+        let dist = factor_stream_distributed(&a, &b, &opts, &platform, window).expect("grid fits platform");
 
         // Identical arithmetic and failure behavior across all three.
         prop_assert_eq!(&batch.error, &stream.error);
@@ -95,5 +102,51 @@ proptest! {
 
         // Window bound in steps, as in the single-process runtime.
         prop_assert!(dist.stream.report.peak_live_steps <= window);
+    }
+
+    /// Degeneracy pin: an explicitly heterogeneous platform whose specs
+    /// are all equal (and whose topology is `Uniform`) is bitwise
+    /// indistinguishable from the homogeneous constructor — the whole
+    /// `SimReport` (makespan, messages, bytes, spans, busy vector) is
+    /// `==` for both the batch replay and the online distributed run.
+    #[test]
+    fn identical_nodespecs_reproduce_the_homogeneous_path_bitwise(
+        seed in any::<u64>(),
+        n in 24usize..48,
+        crit_kind in 0usize..5,
+        crit_raw in any::<u64>(),
+        grid_sel in 0usize..3,
+    ) {
+        let grid = [Grid::single(), Grid::new(2, 1), Grid::new(2, 2)][grid_sel];
+        let uniform = Platform::dancer_nodes(grid.nodes());
+        let hetero = Platform::heterogeneous(
+            vec![NodeSpec::new(8, 8.52); grid.nodes()],
+            Topology::Uniform(LinkSpec::new(5e-6, 1.25e9)),
+            12e9,
+        );
+        prop_assert_eq!(&uniform, &hetero, "constructors must agree field for field");
+
+        let (a, b) = random_system(n, seed);
+        let opts = FactorOptions {
+            nb: 8,
+            ib: 4,
+            threads: 2,
+            grid,
+            algorithm: Algorithm::LuQr(criterion_from(crit_kind, crit_raw)),
+            ..FactorOptions::default()
+        };
+        let batch = factor(&a, &b, &opts);
+        let sim_u = batch.simulate(&uniform);
+        let sim_h = batch.simulate(&hetero);
+        prop_assert_eq!(&sim_u, &sim_h, "batch replay diverged");
+
+        let dist_u = factor_stream_distributed(&a, &b, &opts, &uniform, 2)
+            .expect("grid fits platform");
+        let dist_h = factor_stream_distributed(&a, &b, &opts, &hetero, 2)
+            .expect("grid fits platform");
+        prop_assert_eq!(&dist_u.sim, &dist_h.sim, "online virtual time diverged");
+        prop_assert_eq!(
+            dist_u.solution().max_abs_diff(&dist_h.solution()), 0.0
+        );
     }
 }

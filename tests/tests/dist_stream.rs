@@ -69,7 +69,8 @@ fn check_three_way(opts: &FactorOptions, platform: &Platform, window: usize, n: 
     let (a, b) = system(n, seed);
     let batch = factor(&a, &b, opts);
     let stream = factor_stream(&a, &b, opts, window);
-    let dist = factor_stream_distributed(&a, &b, opts, platform, window);
+    let dist =
+        factor_stream_distributed(&a, &b, opts, platform, window).expect("grid fits platform");
 
     assert_eq!(batch.error, stream.error, "{what}: error mismatch");
     assert_eq!(batch.error, dist.stream.error, "{what}: error mismatch");
@@ -150,6 +151,64 @@ fn distributed_streaming_parity_every_algorithm_and_criterion() {
     }
 }
 
+/// A grid bigger than the platform is a typed error from the entry point,
+/// not a downstream index panic.
+#[test]
+fn oversized_grid_is_a_typed_error() {
+    let opts = FactorOptions {
+        nb: 8,
+        ib: 4,
+        grid: Grid::new(4, 4),
+        algorithm: Algorithm::Hqr,
+        ..FactorOptions::default()
+    };
+    let (a, b) = system(32, 1);
+    let err = match factor_stream_distributed(&a, &b, &opts, &Platform::dancer_nodes(4), 2) {
+        Err(e) => e,
+        Ok(_) => panic!("16-rank grid cannot fit a 4-node platform"),
+    };
+    assert_eq!(
+        err,
+        luqr::GridPlatformError {
+            p: 4,
+            q: 4,
+            platform_nodes: 4
+        }
+    );
+    assert!(err.to_string().contains("4x4"));
+    assert!(err.to_string().contains("16"));
+    assert_eq!(
+        luqr::validate_grid_platform(&Grid::new(2, 2), &Platform::dancer_nodes(4)),
+        Ok(())
+    );
+}
+
+/// The speed-weighted distribution keeps the three-runtime bitwise parity
+/// and the online-sim ≡ batch-replay equality on a genuinely mixed
+/// cluster (two fast nodes, two slow, hierarchical network).
+#[test]
+fn weighted_distribution_keeps_parity_on_a_mixed_cluster() {
+    let platform = Platform::mixed_islands();
+    for algorithm in [
+        Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
+        Algorithm::Hqr,
+        Algorithm::Lupp,
+    ] {
+        let opts = FactorOptions {
+            nb: 8,
+            ib: 4,
+            threads: 2,
+            grid: Grid::new(2, 2),
+            algorithm,
+            ..FactorOptions::default()
+        }
+        .with_speed_weights(platform.node_speeds());
+        for window in [1, 3] {
+            check_three_way(&opts, &platform, window, 50, 77);
+        }
+    }
+}
+
 /// A hybrid run on four nodes communicates, and the decision broadcast is
 /// visible as DecisionMsgs from the panel-owner node.
 #[test]
@@ -163,7 +222,8 @@ fn distributed_hybrid_counts_decision_broadcasts() {
         ..FactorOptions::default()
     };
     let (a, b) = system(64, 99);
-    let dist = factor_stream_distributed(&a, &b, &opts, &Platform::dancer_nodes(4), 2);
+    let dist = factor_stream_distributed(&a, &b, &opts, &Platform::dancer_nodes(4), 2)
+        .expect("grid fits platform");
     let msgs = dist.msgs();
     assert!(msgs.data_msgs > 0, "2x2 grid must move tiles");
     assert!(
@@ -191,7 +251,8 @@ fn single_node_distributed_run_moves_nothing() {
         ..FactorOptions::default()
     };
     let (a, b) = system(48, 5);
-    let dist = factor_stream_distributed(&a, &b, &opts, &Platform::single_node(8), 3);
+    let dist = factor_stream_distributed(&a, &b, &opts, &Platform::single_node(8), 3)
+        .expect("grid fits platform");
     let msgs = dist.msgs();
     assert_eq!(msgs.data_msgs, 0);
     assert_eq!(msgs.decision_msgs, 0);
@@ -215,9 +276,8 @@ fn zero_latency_platform_costs_pure_bandwidth() {
         ..FactorOptions::default()
     };
     let (a, b) = system(48, 17);
-    let mut p = Platform::dancer_nodes(4);
-    p.latency = 0.0;
-    let dist = factor_stream_distributed(&a, &b, &opts, &p, 2);
+    let p = Platform::dancer_nodes(4).with_latency(0.0);
+    let dist = factor_stream_distributed(&a, &b, &opts, &p, 2).expect("grid fits platform");
     // Same run replayed from the batch graph must agree even at the
     // degenerate point.
     let batch = factor(&a, &b, &opts);

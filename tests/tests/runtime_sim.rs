@@ -42,8 +42,9 @@ fn simulation_invariants_hold_across_algorithms() {
         );
         // Makespan is bounded by all-serial execution plus worst-case
         // fully-serialized communication.
+        let link = platform.uniform_link();
         let comm_bound =
-            sim.messages as f64 * (platform.latency + 8.0 * 8.0 * 8.0 * 64.0 / platform.bandwidth);
+            sim.messages as f64 * (link.latency + 8.0 * 8.0 * 8.0 * 64.0 / link.bandwidth);
         assert!(
             sim.makespan <= sim.serial_seconds + comm_bound + 1e-9,
             "{name}: makespan {} above serial {} + comm {}",
