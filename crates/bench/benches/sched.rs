@@ -1,0 +1,117 @@
+//! Scheduling-policy benchmark: all four [`SchedPolicy`] ready-selection
+//! policies on a homogeneous cluster and on the mixed hierarchical
+//! cluster with a contended backbone.
+//!
+//! One hybrid factorization per platform is executed once; its graph is
+//! then replayed through the policy-driven virtual-time engine
+//! (`simulate_with`) under each policy. The JSON baseline records, next to
+//! the replay wall-clock timings, each policy's simulated makespan and its
+//! speedup over FIFO — the quantity `examples/sched_compare.rs` asserts.
+//! Two invariants are checked on every run:
+//!
+//! * FIFO through the policy engine equals the plain insertion-order
+//!   `simulate()` **bitwise** (the subsystem's safety bar), and
+//! * on the contended mixed cluster, the best of locality/EFT beats FIFO
+//!   by ≥ 5% (the subsystem's payoff bar).
+//!
+//! Custom harness (`luqr_bench::harness`): the vendored criterion shim's
+//! fixed record schema cannot carry the extra fields.
+//! `CRITERION_JSON=<path>` writes the baseline (see `BENCH_sched.json`).
+//! Pass `--test` (as `cargo bench --bench sched -- --test` does in CI) to
+//! run a reduced problem size that still exercises both invariants.
+
+use std::hint::black_box;
+
+use luqr::{factor, Algorithm, Criterion as Crit, FactorOptions, SchedPolicy, SimOptions};
+use luqr_bench::harness::{sample, write_json, Record};
+use luqr_kernels::Mat;
+use luqr_runtime::Platform;
+use luqr_tile::Grid;
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let n: usize = if test_mode { 160 } else { 320 };
+    let nb = if test_mode { 8 } else { 16 };
+    let mut records: Vec<Record> = Vec::new();
+
+    let platforms = [
+        ("homogeneous", Platform::dancer_nodes(4)),
+        (
+            "mixed_contended",
+            Platform::mixed_islands().with_backbone(1.25e9),
+        ),
+    ];
+    for (plat, platform) in platforms {
+        let a = Mat::random(n, n, 1);
+        let b = Mat::random(n, 1, 2);
+        let opts = FactorOptions {
+            nb,
+            ib: nb / 2,
+            threads: 1,
+            grid: Grid::new(2, 2),
+            algorithm: Algorithm::LuQr(Crit::Max { alpha: 1000.0 }),
+            ..FactorOptions::default()
+        };
+        let f = factor(&a, &b, &opts);
+        let reference = f.simulate(&platform);
+        let group = format!("sched-{plat}-n{n}");
+
+        let mut makespans = Vec::new();
+        for policy in SchedPolicy::all() {
+            let sim_opts = SimOptions::with_scheduler(policy);
+            let probe = f.simulate_with(&platform, &sim_opts);
+            if policy == SchedPolicy::Fifo {
+                assert_eq!(
+                    probe, reference,
+                    "fifo must pin the insertion-order engine bitwise"
+                );
+            }
+            makespans.push((policy, probe.makespan));
+            let (min_ns, median_ns, mean_ns) = sample(|| {
+                black_box(f.simulate_with(&platform, &sim_opts));
+            });
+            records.push(Record {
+                group: group.clone(),
+                bench: policy.name().replace('-', "_"),
+                min_ns,
+                median_ns,
+                mean_ns,
+                extra_json: format!(
+                    ", \"sim_makespan_ns\": {:.1}, \"sim_messages\": {}, \
+                     \"speedup_vs_fifo\": {:.4}",
+                    probe.makespan * 1e9,
+                    probe.messages,
+                    makespans[0].1 / probe.makespan,
+                ),
+            });
+        }
+        if plat == "mixed_contended" {
+            let of = |want: SchedPolicy| {
+                makespans
+                    .iter()
+                    .find(|(p, _)| *p == want)
+                    .expect("every policy was swept")
+                    .1
+            };
+            let fifo = of(SchedPolicy::Fifo);
+            let best = of(SchedPolicy::LocalityAware).min(of(SchedPolicy::Eft));
+            assert!(
+                best <= 0.95 * fifo,
+                "locality/eft must beat fifo by >= 5% on the contended mixed \
+                 cluster ({best:.3e}s vs {fifo:.3e}s)"
+            );
+        }
+    }
+
+    for r in &records {
+        eprintln!(
+            "bench {:<34} min {:>10.0} ns  median {:>10.0} ns  mean {:>10.0} ns{}",
+            format!("{}/{}", r.group, r.bench),
+            r.min_ns,
+            r.median_ns,
+            r.mean_ns,
+            r.extra_json.replace("\", \"", "  ").replace('"', ""),
+        );
+    }
+    write_json(&records);
+}

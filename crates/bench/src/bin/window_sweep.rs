@@ -67,10 +67,9 @@ fn main() {
         for (label, window) in policies {
             let stream_opts = StreamOptions {
                 window,
-                threads: 1,
-                platform: Some(platform.clone()),
-                trace: false,
-            };
+                ..StreamOptions::fixed(1, 1)
+            }
+            .with_platform(platform.clone());
             let t0 = std::time::Instant::now();
             let f = factor_stream_with(&a, &b, &opts, &stream_opts);
             let wall = t0.elapsed().as_secs_f64();

@@ -77,6 +77,14 @@ pub enum DistPolicy {
     /// vector); faster nodes own proportionally more tiles. See
     /// [`luqr_tile::Dist::speed_weighted`].
     SpeedWeighted(Vec<f64>),
+    /// Criterion-aware recalibrated weighting: per-rank *observed*
+    /// effective speeds from a first run's simulation report
+    /// ([`luqr_runtime::SimReport::observed_node_speeds`]), so the weights
+    /// reflect the kernel-class mix the run actually executed (a QR-heavy
+    /// hybrid run weights by QR throughput, not GEMM). Build via
+    /// [`FactorOptions::calibrated_from`]; resolved through
+    /// [`luqr_tile::Dist::calibrated`].
+    Calibrated(Vec<f64>),
 }
 
 /// Options for a factorization run.
@@ -143,6 +151,20 @@ impl FactorOptions {
         self
     }
 
+    /// Criterion-aware recalibration: weight the distribution by the
+    /// effective per-node speeds *observed* in `report` (a first run on
+    /// `platform` — batch replay or online distributed stream), instead of
+    /// the platform's nominal GEMM throughput. See
+    /// [`DistPolicy::Calibrated`].
+    pub fn calibrated_from(
+        mut self,
+        report: &luqr_runtime::SimReport,
+        platform: &luqr_runtime::Platform,
+    ) -> Self {
+        self.dist = DistPolicy::Calibrated(report.observed_node_speeds(platform));
+        self
+    }
+
     /// The concrete tile-ownership map these options describe.
     ///
     /// Panics if a [`DistPolicy::SpeedWeighted`] speed vector is shorter
@@ -153,6 +175,7 @@ impl FactorOptions {
         match &self.dist {
             DistPolicy::BlockCyclic => Dist::block_cyclic(self.grid),
             DistPolicy::SpeedWeighted(speeds) => Dist::speed_weighted(self.grid, speeds),
+            DistPolicy::Calibrated(observed) => Dist::calibrated(self.grid, observed),
         }
     }
 

@@ -53,11 +53,12 @@ pub use trees::{TreeConfig, TreeKind};
 
 use luqr_kernels::Mat;
 use luqr_runtime::stream::StreamReport;
-use luqr_runtime::{execute, simulate, ExecReport, Graph, Platform, SimReport};
+use luqr_runtime::{execute, simulate, simulate_with, ExecReport, Graph, Platform, SimReport};
 use luqr_tile::{Grid, TiledMatrix};
 
 pub use luqr_runtime::{
-    LinkSpec, MsgStats, NodeSpec, StreamOptions, Topology, TraceEvent, WindowPolicy,
+    LinkSpec, MsgStats, NodeSpec, SchedPolicy, SimOptions, StreamOptions, Topology, TraceEvent,
+    WindowPolicy,
 };
 
 /// A process grid that does not fit its platform — the typed form of what
@@ -127,9 +128,17 @@ impl Factorization {
         solve::back_substitute(&self.aug, self.n, self.nrhs)
     }
 
-    /// Replay the executed task graph on a virtual platform.
+    /// Replay the executed task graph on a virtual platform (insertion-
+    /// order schedule — [`SchedPolicy::Fifo`]).
     pub fn simulate(&self, platform: &Platform) -> SimReport {
         simulate(&self.graph, platform)
+    }
+
+    /// Replay the executed task graph under a scheduling policy
+    /// ([`SimOptions::scheduler`]): same numerics, same data flow, a
+    /// policy-chosen timeline. See [`luqr_runtime::sched`].
+    pub fn simulate_with(&self, platform: &Platform, opts: &SimOptions) -> SimReport {
+        simulate_with(&self.graph, platform, opts)
     }
 
     /// Fraction of elimination steps that were LU steps.
@@ -164,6 +173,14 @@ impl Factorization {
     pub fn chrome_trace(&self, platform: &Platform) -> String {
         let sim = self.simulate(platform);
         luqr_runtime::trace::to_chrome_trace_on(&self.graph, &sim, platform)
+    }
+
+    /// [`Factorization::chrome_trace`] under a scheduling policy, with
+    /// every node lane labelled by it — `node1 (4c @ 8 GF) [eft]` — so a
+    /// trace says which schedule it shows.
+    pub fn chrome_trace_sched(&self, platform: &Platform, opts: &SimOptions) -> String {
+        let sim = self.simulate_with(platform, opts);
+        luqr_runtime::trace::to_chrome_trace_sched(&self.graph, &sim, platform, opts.scheduler)
     }
 }
 
@@ -272,9 +289,14 @@ impl StreamFactorization {
     }
 
     /// [`StreamFactorization::chrome_trace`] with node lanes named by the
-    /// platform's [`NodeSpec`]s.
+    /// platform's [`NodeSpec`]s and stamped with the run's virtual-time
+    /// scheduling policy.
     pub fn chrome_trace_on(&self, platform: &Platform) -> String {
-        luqr_runtime::trace::events_to_chrome_trace_on(&self.report.trace, Some(platform))
+        luqr_runtime::trace::events_to_chrome_trace_sched(
+            &self.report.trace,
+            Some(platform),
+            Some(self.report.scheduler),
+        )
     }
 }
 
@@ -402,8 +424,25 @@ pub fn factor_stream_distributed(
     platform: &Platform,
     window: usize,
 ) -> Result<DistStreamFactorization, GridPlatformError> {
+    factor_stream_distributed_with(a, rhs, opts, platform, window, SchedPolicy::Fifo)
+}
+
+/// [`factor_stream_distributed`] under an explicit virtual-time scheduling
+/// policy ([`SchedPolicy`]): the online engine orders completed tasks by
+/// the policy instead of insertion order. Numerics are unchanged — the
+/// policy only shapes the simulated timeline ([`SimReport`]).
+pub fn factor_stream_distributed_with(
+    a: &Mat,
+    rhs: &Mat,
+    opts: &FactorOptions,
+    platform: &Platform,
+    window: usize,
+    scheduler: SchedPolicy,
+) -> Result<DistStreamFactorization, GridPlatformError> {
     validate_grid_platform(&opts.grid, platform)?;
-    let stream_opts = StreamOptions::fixed(window, opts.threads).with_platform(platform.clone());
+    let stream_opts = StreamOptions::fixed(window, opts.threads)
+        .with_platform(platform.clone())
+        .with_scheduler(scheduler);
     let stream = factor_stream_with(a, rhs, opts, &stream_opts);
     let sim = stream
         .report

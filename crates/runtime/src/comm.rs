@@ -124,17 +124,24 @@ impl MsgStats {
     }
 }
 
-/// Sender-side network state: one egress NIC per node, serialized.
+/// Sender-side network state: one egress NIC per node, serialized, plus
+/// the (optional) shared inter-island trunk.
 ///
 /// Wire time is `bytes / bandwidth` of the `(from, to)` link; a message
 /// arrives that link's `latency` after its wire time completes. Messages
 /// from one node queue on that node's NIC in the order they are issued,
 /// whatever their destinations — egress is the shared resource, the links
-/// themselves are not.
+/// themselves are not. When the platform's hierarchical topology declares
+/// a finite `backbone`, inter-island messages additionally serialize on
+/// one shared trunk (finite bisection bandwidth): the transfer starts when
+/// NIC *and* trunk are free and its wire time is paced by the slower of
+/// the link and the trunk.
 #[derive(Debug, Clone)]
 pub struct Network {
     /// Earliest next free egress slot per node.
     nic_free: Vec<f64>,
+    /// Earliest next free slot on the shared inter-island trunk.
+    trunk_free: f64,
     /// Payload messages sent.
     pub messages: u64,
     /// Payload bytes moved.
@@ -145,15 +152,25 @@ impl Network {
     pub fn new(nodes: usize) -> Self {
         Network {
             nic_free: vec![0.0; nodes],
+            trunk_free: 0.0,
             messages: 0,
             bytes: 0,
         }
     }
 
-    /// Send `nbytes` from `from` to `to` at `ready` (or later, NIC
-    /// permitting); returns the arrival time at the destination. The cost
-    /// comes from the platform's `(from, to)` link, so hierarchical and
-    /// per-link topologies charge what that pair actually pays.
+    /// Earliest time `node`'s egress NIC is free — what lookahead
+    /// scheduling policies use to estimate un-issued transfers without
+    /// mutating the queue.
+    pub fn egress_free(&self, node: usize) -> f64 {
+        self.nic_free[node]
+    }
+
+    /// Send `nbytes` from `from` to `to` at `ready` (or later, NIC and
+    /// trunk permitting); returns the arrival time at the destination. The
+    /// cost comes from the platform's `(from, to)` link, so hierarchical
+    /// and per-link topologies charge what that pair actually pays; a
+    /// finite hierarchical backbone serializes inter-island messages on
+    /// the shared trunk.
     pub fn send(
         &mut self,
         platform: &Platform,
@@ -163,12 +180,23 @@ impl Network {
         nbytes: usize,
     ) -> f64 {
         let link = platform.link(from, to);
-        let start = ready.max(self.nic_free[from]);
-        let wire = nbytes as f64 / link.bandwidth;
-        self.nic_free[from] = start + wire;
         self.messages += 1;
         self.bytes += nbytes as u64;
-        start + link.latency + wire
+        match platform.topology.shared_trunk(from, to) {
+            None => {
+                let start = ready.max(self.nic_free[from]);
+                let wire = nbytes as f64 / link.bandwidth;
+                self.nic_free[from] = start + wire;
+                start + link.latency + wire
+            }
+            Some(trunk_bw) => {
+                let start = ready.max(self.nic_free[from]).max(self.trunk_free);
+                let wire = nbytes as f64 / link.bandwidth.min(trunk_bw);
+                self.nic_free[from] = start + wire;
+                self.trunk_free = start + wire;
+                start + link.latency + wire
+            }
+        }
     }
 }
 
@@ -221,17 +249,83 @@ mod tests {
     #[test]
     fn hierarchical_links_charge_by_island() {
         // Islands of 2: {0,1} and {2,3}; fast intra, slow inter.
-        let p = Platform::dancer_nodes(4).with_topology(Topology::Hierarchical {
-            intra: LinkSpec::new(0.0, 1000.0),
-            inter: LinkSpec::new(1.0, 100.0),
-            nodes_per_group: 2,
-        });
+        let p = Platform::dancer_nodes(4).with_topology(Topology::hierarchical(
+            LinkSpec::new(0.0, 1000.0),
+            LinkSpec::new(1.0, 100.0),
+            2,
+        ));
         let mut net = Network::new(4);
         let intra = net.send(&p, 0, 1, 0.0, 1000); // wire 1s, no latency
         assert!((intra - 1.0).abs() < 1e-12);
         let mut net = Network::new(4);
         let inter = net.send(&p, 0, 2, 0.0, 1000); // wire 10s + 1s latency
         assert!((inter - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finite_backbone_serializes_inter_island_senders() {
+        // Two senders on distinct NICs (nodes 0 and 1) each push 1 s of
+        // wire across the islands. Uncontended, the transfers overlap;
+        // with a shared trunk at the same bandwidth, the second queues.
+        let hier = |backbone: Option<Platform>| {
+            backbone.unwrap_or_else(|| {
+                Platform::dancer_nodes(4).with_topology(Topology::hierarchical(
+                    LinkSpec::new(0.0, 1000.0),
+                    LinkSpec::new(0.0, 100.0),
+                    2,
+                ))
+            })
+        };
+        let p = hier(None);
+        let mut net = Network::new(4);
+        let a = net.send(&p, 0, 2, 0.0, 100);
+        let b = net.send(&p, 1, 3, 0.0, 100);
+        assert!((a - 1.0).abs() < 1e-12);
+        assert!((b - 1.0).abs() < 1e-12, "uncontended transfers overlap");
+
+        let p = hier(None).with_backbone(100.0);
+        let mut net = Network::new(4);
+        let a = net.send(&p, 0, 2, 0.0, 100);
+        let b = net.send(&p, 1, 3, 0.0, 100);
+        assert!((a - 1.0).abs() < 1e-12);
+        assert!((b - 2.0).abs() < 1e-12, "trunk must serialize: {b}");
+    }
+
+    #[test]
+    fn backbone_spares_intra_island_traffic() {
+        // The trunk only paces *inter*-island messages: an intra-island
+        // send neither waits for the trunk nor occupies it.
+        let p = Platform::dancer_nodes(4)
+            .with_topology(Topology::hierarchical(
+                LinkSpec::new(0.0, 1000.0),
+                LinkSpec::new(0.0, 100.0),
+                2,
+            ))
+            .with_backbone(100.0);
+        let mut net = Network::new(4);
+        let inter = net.send(&p, 0, 2, 0.0, 100); // occupies the trunk 1 s
+        let intra = net.send(&p, 1, 0, 0.0, 100); // distinct NIC, no trunk
+        assert!((inter - 1.0).abs() < 1e-12);
+        assert!(
+            (intra - 0.1).abs() < 1e-12,
+            "intra send must not queue: {intra}"
+        );
+    }
+
+    #[test]
+    fn backbone_slower_than_link_paces_the_wire() {
+        // Trunk at a tenth of the inter link: the wire time stretches to
+        // the trunk's pace even for a single message.
+        let p = Platform::dancer_nodes(4)
+            .with_topology(Topology::hierarchical(
+                LinkSpec::new(0.0, 1000.0),
+                LinkSpec::new(0.0, 1000.0),
+                2,
+            ))
+            .with_backbone(100.0);
+        let mut net = Network::new(4);
+        let a = net.send(&p, 0, 3, 0.0, 100);
+        assert!((a - 1.0).abs() < 1e-12, "wire must run at trunk pace: {a}");
     }
 
     #[test]

@@ -98,6 +98,43 @@ pub enum CostClass {
     Control,
 }
 
+impl CostClass {
+    /// Number of cost classes (array-indexed per-class accounting).
+    pub const COUNT: usize = 8;
+
+    /// Every class, in [`CostClass::index`] order.
+    pub const ALL: [CostClass; CostClass::COUNT] = [
+        CostClass::Gemm,
+        CostClass::Trsm,
+        CostClass::PanelFactor,
+        CostClass::QrFactor,
+        CostClass::QrApply,
+        CostClass::Estimate,
+        CostClass::Memory,
+        CostClass::Control,
+    ];
+
+    /// Dense index of this class (for `[f64; CostClass::COUNT]` tables).
+    pub fn index(self) -> usize {
+        match self {
+            CostClass::Gemm => 0,
+            CostClass::Trsm => 1,
+            CostClass::PanelFactor => 2,
+            CostClass::QrFactor => 3,
+            CostClass::QrApply => 4,
+            CostClass::Estimate => 5,
+            CostClass::Memory => 6,
+            CostClass::Control => 7,
+        }
+    }
+
+    /// Whether the class performs floating-point work (`flops` is real
+    /// arithmetic, not bytes or bookkeeping).
+    pub fn is_compute(self) -> bool {
+        !matches!(self, CostClass::Memory | CostClass::Control)
+    }
+}
+
 /// What a task actually did when it ran.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskResult {

@@ -25,9 +25,12 @@
 //!   *distributed* streaming window: NIC-serialized transfers plus the
 //!   protocol message records (DataMsg / DecisionMsg / RetireMsg).
 //! * [`vtime`] — the online virtual-time engine: the discrete-event model
-//!   consumed one task at a time in insertion order, so a streaming run
-//!   emits the same report as a batch replay without materializing the
-//!   graph.
+//!   consumed one task at a time, so a streaming run emits the same report
+//!   as a batch replay without materializing the graph.
+//! * [`sched`] — pluggable ready-task selection over that engine: FIFO
+//!   (insertion order, the bitwise-pinned default), critical-path,
+//!   locality-aware, and HEFT-style earliest-finish-time policies, shared
+//!   by the batch simulator, the host executor, and both streaming paths.
 //! * [`dot`] — Graphviz export (Figure 1's dataflow, from a live graph).
 
 pub mod comm;
@@ -35,19 +38,21 @@ pub mod dot;
 pub mod exec;
 pub mod graph;
 pub mod platform;
+pub mod sched;
 pub mod sim;
 pub mod stream;
 pub mod trace;
 pub mod vtime;
 
 pub use comm::{DataMsg, DecisionMsg, Msg, MsgStats, Network, RetireMsg};
-pub use exec::{execute, execute_traced, ExecReport, Tally};
+pub use exec::{execute, execute_scheduled, execute_traced, ExecReport, Tally};
 pub use graph::{
     Access, CostClass, CostedAccess, DataClass, DataKey, Graph, GraphBuilder, Kernel, TaskBuilder,
     TaskId, TaskResult, TaskSink,
 };
 pub use platform::{Efficiency, LinkSpec, NodeCountMismatch, NodeSpec, Platform, Topology};
-pub use sim::{simulate, SimReport};
+pub use sched::{SchedEngine, SchedPolicy, Scheduler};
+pub use sim::{simulate, simulate_with, SimOptions, SimReport};
 pub use stream::{StepPhase, StepSource, StreamOptions, StreamReport, StreamWindow, WindowPolicy};
 pub use trace::{events_to_chrome_trace, TraceEvent};
 pub use vtime::VirtualSchedule;

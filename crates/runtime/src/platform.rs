@@ -100,6 +100,13 @@ pub enum Topology {
         intra: LinkSpec,
         inter: LinkSpec,
         nodes_per_group: usize,
+        /// Shared inter-island trunk capacity, bytes per second. `None`
+        /// models an uncontended backbone (every inter-island pair gets the
+        /// full `inter` link); `Some(bw)` serializes all inter-island
+        /// transfers on one trunk of finite bisection bandwidth, the way a
+        /// single top-of-fabric switch would (see
+        /// [`crate::comm::Network::send`]).
+        backbone: Option<f64>,
     },
     /// Full per-link matrix, indexed `links[src][dst]`.
     Matrix(Vec<Vec<LinkSpec>>),
@@ -119,6 +126,7 @@ impl Topology {
                 intra,
                 inter,
                 nodes_per_group,
+                ..
             } => {
                 if src / nodes_per_group == dst / nodes_per_group {
                     *intra
@@ -127,6 +135,32 @@ impl Topology {
                 }
             }
             Topology::Matrix(links) => links[src][dst],
+        }
+    }
+
+    /// Islands-of-`nodes_per_group` topology with an uncontended backbone
+    /// (the common case; set `backbone` explicitly — or via
+    /// [`Platform::with_backbone`] — for a finite shared trunk).
+    pub fn hierarchical(intra: LinkSpec, inter: LinkSpec, nodes_per_group: usize) -> Self {
+        Topology::Hierarchical {
+            intra,
+            inter,
+            nodes_per_group,
+            backbone: None,
+        }
+    }
+
+    /// The shared-trunk capacity charged to a `src → dst` transfer: the
+    /// hierarchical backbone bandwidth when the pair crosses islands and a
+    /// finite backbone is configured, `None` otherwise (uncontended).
+    pub fn shared_trunk(&self, src: usize, dst: usize) -> Option<f64> {
+        match self {
+            Topology::Hierarchical {
+                nodes_per_group,
+                backbone: Some(bw),
+                ..
+            } if src / nodes_per_group != dst / nodes_per_group => Some(*bw),
+            _ => None,
         }
     }
 
@@ -304,11 +338,7 @@ impl Platform {
                 NodeSpec::new(4, 4.26),
                 NodeSpec::new(4, 4.26),
             ],
-            Topology::Hierarchical {
-                intra: LinkSpec::new(2e-6, 2.5e9),
-                inter: LinkSpec::new(1e-5, 1.25e9),
-                nodes_per_group: 2,
-            },
+            Topology::hierarchical(LinkSpec::new(2e-6, 2.5e9), LinkSpec::new(1e-5, 1.25e9), 2),
             12e9,
         )
     }
@@ -429,6 +459,22 @@ impl Platform {
         self.topology = topology;
         self
     }
+
+    /// Give a [`Topology::Hierarchical`] platform a finite shared backbone:
+    /// all inter-island transfers serialize on one trunk of `bandwidth`
+    /// bytes per second. Panics on non-hierarchical topologies (a flat
+    /// fabric has no trunk to contend on) or a non-positive bandwidth.
+    pub fn with_backbone(mut self, bandwidth: f64) -> Self {
+        assert!(
+            bandwidth > 0.0 && bandwidth.is_finite(),
+            "backbone needs a positive, finite bandwidth (got {bandwidth})"
+        );
+        match &mut self.topology {
+            Topology::Hierarchical { backbone, .. } => *backbone = Some(bandwidth),
+            t => panic!("with_backbone() on a non-hierarchical topology: {t:?}"),
+        }
+        self
+    }
 }
 
 /// Construction-time topology checks shared by [`Platform::heterogeneous`]
@@ -467,10 +513,17 @@ fn validate_topology(nodes: usize, topology: &Topology) {
             intra,
             inter,
             nodes_per_group,
+            backbone,
         } => {
             assert!(*nodes_per_group >= 1, "groups need at least one node");
             check_link(intra, "the intra-group");
             check_link(inter, "the inter-group");
+            if let Some(bw) = backbone {
+                assert!(
+                    *bw > 0.0 && bw.is_finite(),
+                    "backbone needs a positive, finite bandwidth (got {bw})"
+                );
+            }
         }
         Topology::Uniform(l) => check_link(l, "the uniform"),
     }
@@ -538,11 +591,7 @@ mod tests {
     fn hierarchical_topology_picks_links_by_group() {
         let intra = LinkSpec::new(1e-6, 10e9);
         let inter = LinkSpec::new(1e-5, 1e9);
-        let t = Topology::Hierarchical {
-            intra,
-            inter,
-            nodes_per_group: 2,
-        };
+        let t = Topology::hierarchical(intra, inter, 2);
         assert_eq!(t.link(0, 1), intra, "same island");
         assert_eq!(t.link(2, 3), intra, "same island");
         assert_eq!(t.link(1, 2), inter, "across islands");
@@ -599,11 +648,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "groups need at least one node")]
     fn with_topology_rejects_empty_groups() {
-        let _ = Platform::dancer_nodes(4).with_topology(Topology::Hierarchical {
-            intra: LinkSpec::new(0.0, 1e9),
-            inter: LinkSpec::new(0.0, 1e9),
-            nodes_per_group: 0,
-        });
+        let _ = Platform::dancer_nodes(4).with_topology(Topology::hierarchical(
+            LinkSpec::new(0.0, 1e9),
+            LinkSpec::new(0.0, 1e9),
+            0,
+        ));
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Earliest-finish-time selection: HEFT's processor-selection rule,
+//! restricted to the one choice this runtime leaves open.
+//!
+//! Classic HEFT picks, for the highest-ranked task, the processor that
+//! finishes it earliest. Here placement is fixed by the data distribution
+//! (owner computes — moving a task would move its tile), so the EFT rule
+//! flips: among the *ready* tasks, run the one whose estimated finish —
+//! data-ready time over the link model ⊔ earliest free cores, plus the
+//! per-node duration from `task_seconds` — comes first
+//! ([`crate::vtime::VirtualSchedule::estimate`]). The effect is gap
+//! backfilling: where an insertion-order list schedule parks a core behind
+//! a task whose remote input is still on the wire, EFT runs whatever can
+//! actually finish, and the transfer completes behind useful work.
+//!
+//! Estimates are exact for cached arrivals and already-claimed cores, and
+//! optimistic for un-issued transfers (current NIC backlog, uncontended
+//! trunk) — the standard list-scheduling compromise. Ties break to the
+//! deeper chain, then the earlier insertion, for determinism.
+
+use super::{ReadyTask, SchedView, Scheduler};
+
+/// Earliest-estimated-finish-first ready selection.
+#[derive(Default)]
+pub struct Eft {
+    ready: Vec<ReadyTask>,
+}
+
+impl Scheduler for Eft {
+    fn name(&self) -> &'static str {
+        "eft"
+    }
+
+    fn push(&mut self, task: ReadyTask) {
+        self.ready.push(task);
+    }
+
+    fn pop(&mut self, view: &SchedView<'_>) -> Option<ReadyTask> {
+        // Scored at pop time: every scheduled task moves clocks and
+        // caches, so finish estimates go stale immediately.
+        super::take_best_scored(&mut self.ready, |t| view.estimated_finish(t))
+    }
+
+    fn len(&self) -> usize {
+        self.ready.len()
+    }
+}

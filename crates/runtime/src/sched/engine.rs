@@ -1,0 +1,536 @@
+//! The policy-driven virtual-time engine: hazard inference + ready-set
+//! management wrapped around [`VirtualSchedule`]'s per-task costing.
+//!
+//! [`SchedEngine`] accepts tasks in **insertion order** (the order hazard
+//! inference keys on — the same contract as [`crate::graph::GraphBuilder`]
+//! and the streaming window), buffers them, and lets its [`Scheduler`]
+//! decide the order in which buffered-and-ready tasks claim cores and
+//! network slots. Any pop order the ready set permits is a topological
+//! order of the hazard DAG, so the underlying scoreboard stays consistent;
+//! the policy only chooses *which* valid list schedule the run gets.
+//!
+//! Two operating modes share the code path:
+//!
+//! * **batch** (`simulate_with`): every task is submitted, then
+//!   [`SchedEngine::drain`] schedules the whole graph with full lookahead;
+//! * **online** (the streaming window): a bounded `lookahead` caps how many
+//!   submitted-but-unscheduled task records may accumulate — the window's
+//!   memory bound extends to the scheduler — and the engine schedules just
+//!   enough to stay under it, keeping the rest available for choice. The
+//!   buffered prefix is dependency-closed (all lower ids are submitted),
+//!   so the ready set is never empty while anything is buffered.
+//!
+//! Hazard metadata is bounded by the declared data plus the buffer: reader
+//! entries referencing already-scheduled tasks are pruned (their depth
+//! folded into a per-key scalar) the same way the streaming window prunes
+//! completed readers.
+
+use std::collections::HashMap;
+
+use super::{ReadyTask, SchedPolicy, Scheduler};
+use crate::graph::{Access, CostedAccess, DataKey, TaskId, TaskResult};
+use crate::platform::Platform;
+use crate::sim::SimReport;
+use crate::vtime::VirtualSchedule;
+
+/// A submitted task awaiting its turn in the virtual schedule.
+pub(crate) struct Buffered {
+    node: usize,
+    accesses: Vec<CostedAccess>,
+    result: TaskResult,
+    preds_remaining: usize,
+    succs: Vec<TaskId>,
+    depth: u64,
+}
+
+/// A hazard-map entry: a task and its critical-path depth (kept usable
+/// after the task is scheduled, so later insertions still inherit depth).
+#[derive(Debug, Clone, Copy)]
+struct Dep {
+    id: TaskId,
+    depth: u64,
+}
+
+/// Readers of a datum since its last writer: live entries (potential WAR
+/// predecessors) plus the folded depth of pruned, already-scheduled ones.
+struct Readers {
+    folded_depth: u64,
+    entries: Vec<Dep>,
+    /// Next entry count at which to attempt a prune. Doubles whenever a
+    /// prune removes nothing (full-lookahead batch mode, where every
+    /// reader is still buffered and unprunable), keeping pushes amortized
+    /// O(1) instead of rescanning an unshrinkable list on every Read.
+    prune_at: usize,
+}
+
+impl Default for Readers {
+    fn default() -> Self {
+        Readers {
+            folded_depth: 0,
+            entries: Vec::new(),
+            prune_at: READER_PRUNE_LEN,
+        }
+    }
+}
+
+/// Prune reader lists beyond this length (amortized O(1) per insertion).
+const READER_PRUNE_LEN: usize = 32;
+
+/// Read-only view of the engine at selection time, handed to
+/// [`Scheduler::pop`] so dynamic policies can score ready tasks against
+/// the current core/network state.
+pub struct SchedView<'a> {
+    vt: &'a VirtualSchedule,
+    tasks: &'a HashMap<TaskId, Buffered>,
+}
+
+impl<'a> SchedView<'a> {
+    pub(crate) fn new(vt: &'a VirtualSchedule, tasks: &'a HashMap<TaskId, Buffered>) -> Self {
+        SchedView { vt, tasks }
+    }
+
+    /// Input bytes the task would still have to move to its node if it ran
+    /// now (0 = fully local / cached; discarded tasks move nothing).
+    pub fn missing_input_bytes(&self, task: &ReadyTask) -> u64 {
+        let b = &self.tasks[&task.id];
+        if !b.result.executed {
+            return 0;
+        }
+        self.vt.missing_input_bytes(b.node, &b.accesses)
+    }
+
+    /// Estimated finish time of running the task now (HEFT's EFT oracle:
+    /// data-ready over the link model ⊔ cores-free, plus the per-node
+    /// duration). Discarded tasks finish "immediately" at 0.0.
+    pub fn estimated_finish(&self, task: &ReadyTask) -> f64 {
+        let b = &self.tasks[&task.id];
+        self.vt.estimate(b.node, &b.accesses, &b.result).1
+    }
+}
+
+/// The policy-driven engine (see the module docs).
+pub struct SchedEngine {
+    vt: VirtualSchedule,
+    policy: Box<dyn Scheduler>,
+    policy_kind: SchedPolicy,
+    /// Max submitted-but-unscheduled tasks held for choice; `usize::MAX`
+    /// means full lookahead (batch mode).
+    lookahead: usize,
+    /// Schedule at submit time, skipping dependency bookkeeping entirely.
+    /// On by default for [`SchedPolicy::Fifo`]: submission order *is* its
+    /// pop order, so buffering buys nothing and the hazard maps are dead
+    /// weight on the hottest path (the streaming window feeds the engine
+    /// under its lock).
+    eager: bool,
+    next_id: TaskId,
+    buffered: HashMap<TaskId, Buffered>,
+    last_writer: HashMap<DataKey, Dep>,
+    readers: HashMap<DataKey, Readers>,
+    /// Per-task spans indexed by id (empty unless span recording is on).
+    record_spans: bool,
+    starts: Vec<f64>,
+    finishes: Vec<f64>,
+}
+
+impl SchedEngine {
+    /// An engine with full lookahead and no span recording (what the
+    /// streaming window further bounds via
+    /// [`SchedEngine::with_lookahead`]).
+    pub fn new(platform: &Platform, policy: SchedPolicy) -> Self {
+        SchedEngine {
+            vt: VirtualSchedule::new(platform),
+            policy: policy.scheduler(),
+            policy_kind: policy,
+            eager: policy == SchedPolicy::Fifo,
+            lookahead: usize::MAX,
+            next_id: 0,
+            buffered: HashMap::new(),
+            last_writer: HashMap::new(),
+            readers: HashMap::new(),
+            record_spans: false,
+            starts: Vec::new(),
+            finishes: Vec::new(),
+        }
+    }
+
+    /// An engine that records every task's `(start, finish)` span, indexed
+    /// by submission id — what `simulate_with` uses so report spans line
+    /// up with task ids whatever order the policy chose.
+    pub fn with_spans(platform: &Platform, policy: SchedPolicy) -> Self {
+        SchedEngine {
+            record_spans: true,
+            ..SchedEngine::new(platform, policy)
+        }
+    }
+
+    /// Bound the scheduling buffer: once more than `lookahead` tasks are
+    /// submitted and unscheduled, the engine schedules down to the bound.
+    /// This is the streaming window's memory guarantee extended to the
+    /// scheduler — and the policy's online decision horizon.
+    pub fn with_lookahead(mut self, lookahead: usize) -> Self {
+        self.lookahead = lookahead.max(1);
+        self
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> SchedPolicy {
+        self.policy_kind
+    }
+
+    /// Disable the FIFO eager fast path and force the generic
+    /// buffer-and-select machinery even for [`SchedPolicy::Fifo`]. The two
+    /// paths are bitwise equivalent (that is the parity the property tests
+    /// pin by calling this); the forced form exists *for* those tests and
+    /// costs the full hazard bookkeeping.
+    pub fn with_forced_buffering(mut self) -> Self {
+        self.eager = false;
+        self
+    }
+
+    /// Submit the next task **in insertion order**. Hazard dependencies on
+    /// earlier submissions are inferred from `accesses` exactly like
+    /// [`crate::graph::GraphBuilder`]; the task is scheduled whenever the
+    /// policy selects it (possibly immediately, if the lookahead bound is
+    /// hit).
+    pub fn submit(&mut self, node: usize, accesses: &[CostedAccess], result: TaskResult) -> TaskId {
+        let id = self.next_id;
+        self.next_id += 1;
+
+        if self.eager {
+            // FIFO: submission order is the schedule; cost the task now
+            // and keep no records at all (in particular, no clone of the
+            // access list — this path runs under the streaming lock).
+            let (start, finish) = self.vt.process(node, accesses, &result);
+            self.record_span(id, start, finish);
+            return id;
+        }
+
+        // Pass 1: hazard predecessors and critical-path depth over the
+        // pre-insertion maps (RAW/WAW/control via the last writer; WAR via
+        // the readers since that write).
+        let mut preds: Vec<TaskId> = Vec::new();
+        let mut max_depth = 0u64;
+        for ca in accesses {
+            let key = ca.access.key();
+            if let Some(w) = self.last_writer.get(&key) {
+                preds.push(w.id);
+                max_depth = max_depth.max(w.depth);
+            }
+            if matches!(ca.access, Access::Mut(_)) {
+                if let Some(rs) = self.readers.get(&key) {
+                    max_depth = max_depth.max(rs.folded_depth);
+                    for r in &rs.entries {
+                        preds.push(r.id);
+                        max_depth = max_depth.max(r.depth);
+                    }
+                }
+            }
+        }
+        let depth = 1 + max_depth;
+
+        // Pass 2: update the hazard maps in access order (a Mut after a
+        // Read of the same key clears the reader fold, like the builder).
+        for ca in accesses {
+            let key = ca.access.key();
+            match ca.access {
+                Access::Read(_) => {
+                    let rs = self.readers.entry(key).or_default();
+                    if rs.entries.len() >= rs.prune_at {
+                        let buffered = &self.buffered;
+                        let mut folded = rs.folded_depth;
+                        rs.entries.retain(|d| {
+                            if buffered.contains_key(&d.id) {
+                                true
+                            } else {
+                                folded = folded.max(d.depth);
+                                false
+                            }
+                        });
+                        rs.folded_depth = folded;
+                        rs.prune_at = (rs.entries.len() * 2).max(READER_PRUNE_LEN);
+                    }
+                    rs.entries.push(Dep { id, depth });
+                }
+                Access::Control(_) => {}
+                Access::Mut(_) => {
+                    let rs = self.readers.entry(key).or_default();
+                    rs.entries.clear();
+                    rs.folded_depth = 0;
+                    rs.prune_at = READER_PRUNE_LEN;
+                    self.last_writer.insert(key, Dep { id, depth });
+                }
+            }
+        }
+
+        // Pass 3: wire the countdown. Dependencies on already-scheduled
+        // tasks are vacuous (their effect is in the scoreboard).
+        preds.sort_unstable();
+        preds.dedup();
+        preds.retain(|&p| p != id && self.buffered.contains_key(&p));
+        let num_preds = preds.len();
+        for &p in &preds {
+            self.buffered
+                .get_mut(&p)
+                .expect("retained predecessor is buffered")
+                .succs
+                .push(id);
+        }
+        self.buffered.insert(
+            id,
+            Buffered {
+                node,
+                accesses: accesses.to_vec(),
+                result,
+                preds_remaining: num_preds,
+                succs: Vec::new(),
+                depth,
+            },
+        );
+        if num_preds == 0 {
+            self.policy.push(ReadyTask { id, node, depth });
+        }
+        while self.buffered.len() > self.lookahead && self.step() {}
+        id
+    }
+
+    /// Schedule one policy-selected ready task; `false` when nothing is
+    /// ready (i.e. the buffer is empty — the buffered prefix is
+    /// dependency-closed).
+    fn step(&mut self) -> bool {
+        let view = SchedView::new(&self.vt, &self.buffered);
+        let Some(next) = self.policy.pop(&view) else {
+            return false;
+        };
+        let task = self
+            .buffered
+            .remove(&next.id)
+            .expect("ready task is buffered");
+        let (start, finish) = self.vt.process(task.node, &task.accesses, &task.result);
+        self.record_span(next.id, start, finish);
+        for s in task.succs {
+            let b = self
+                .buffered
+                .get_mut(&s)
+                .expect("successor of a buffered task is buffered");
+            debug_assert!(b.preds_remaining >= 1, "dependency underflow");
+            b.preds_remaining -= 1;
+            if b.preds_remaining == 0 {
+                self.policy.push(ReadyTask {
+                    id: s,
+                    node: b.node,
+                    depth: b.depth,
+                });
+            }
+        }
+        true
+    }
+
+    fn record_span(&mut self, id: TaskId, start: f64, finish: f64) {
+        if self.record_spans {
+            if self.starts.len() <= id {
+                self.starts.resize(id + 1, 0.0);
+                self.finishes.resize(id + 1, 0.0);
+            }
+            self.starts[id] = start;
+            self.finishes[id] = finish;
+        }
+    }
+
+    /// Schedule everything still buffered.
+    pub fn drain(&mut self) {
+        while self.step() {}
+        debug_assert!(self.buffered.is_empty(), "ready set dried up early");
+    }
+
+    /// Totals so far, as a [`SimReport`] with spans indexed by submission
+    /// id (empty unless built [`SchedEngine::with_spans`]). Call after
+    /// [`SchedEngine::drain`].
+    pub fn report(&self) -> SimReport {
+        debug_assert!(self.buffered.is_empty(), "report() before drain()");
+        let mut r = self.vt.report();
+        if self.record_spans {
+            let mut starts = self.starts.clone();
+            let mut finishes = self.finishes.clone();
+            starts.resize(self.next_id, 0.0);
+            finishes.resize(self.next_id, 0.0);
+            r.starts = starts;
+            r.finishes = finishes;
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Access, CostClass, DataKey};
+    use crate::platform::{Efficiency, LinkSpec, NodeSpec};
+    use crate::sched::SchedPolicy;
+
+    fn flat(nodes: usize, cores: usize) -> Platform {
+        Platform::uniform(
+            nodes,
+            NodeSpec {
+                cores,
+                core_gflops: 1.0,
+                efficiency: Efficiency::flat(),
+            },
+            LinkSpec::new(1.0, 1e9),
+            1e9,
+        )
+    }
+
+    fn acc(a: Access, bytes: usize, home: usize) -> CostedAccess {
+        CostedAccess {
+            access: a,
+            bytes,
+            home,
+        }
+    }
+
+    fn secs(s: f64) -> TaskResult {
+        TaskResult::executed(s * 1e9, CostClass::Gemm)
+    }
+
+    /// A chain and an independent task, submitted chain-first: Fifo keeps
+    /// insertion order; every policy yields the same totals for this
+    /// contention-free graph.
+    #[test]
+    fn fifo_equals_raw_engine_bitwise() {
+        let p = flat(2, 2);
+        let k = |i| DataKey(i);
+        let tasks: Vec<(usize, Vec<CostedAccess>, TaskResult)> = vec![
+            (0, vec![acc(Access::Mut(k(0)), 100, 0)], secs(1.0)),
+            (0, vec![acc(Access::Mut(k(0)), 100, 0)], secs(2.0)),
+            (1, vec![acc(Access::Read(k(0)), 100, 0)], secs(1.0)),
+            (1, vec![acc(Access::Mut(k(1)), 50, 1)], secs(0.5)),
+            (
+                0,
+                vec![acc(Access::Mut(k(0)), 100, 0)],
+                TaskResult::discarded(),
+            ),
+            (0, vec![acc(Access::Read(k(1)), 50, 1)], secs(1.0)),
+        ];
+        let mut raw = VirtualSchedule::with_spans(&p);
+        for (node, accs, r) in &tasks {
+            raw.process(*node, accs, r);
+        }
+        // Both the eager fast path and the forced generic buffer-and-
+        // select machinery must match the raw engine bitwise.
+        for forced in [false, true] {
+            let mut eng = SchedEngine::with_spans(&p, SchedPolicy::Fifo);
+            if forced {
+                eng = eng.with_forced_buffering();
+            }
+            for (node, accs, r) in &tasks {
+                eng.submit(*node, accs, *r);
+            }
+            eng.drain();
+            assert_eq!(raw.report(), eng.report(), "forced buffering: {forced}");
+        }
+    }
+
+    /// Lookahead-bounded online submission must match the full-lookahead
+    /// batch drain for Fifo (both are insertion order).
+    #[test]
+    fn fifo_is_lookahead_invariant() {
+        let p = flat(2, 1);
+        let k = DataKey(7);
+        let run = |lookahead: usize, forced: bool| {
+            let mut eng = SchedEngine::with_spans(&p, SchedPolicy::Fifo).with_lookahead(lookahead);
+            if forced {
+                eng = eng.with_forced_buffering();
+            }
+            for i in 0..20usize {
+                eng.submit(i % 2, &[acc(Access::Mut(k), 64, 0)], secs(0.25));
+            }
+            eng.drain();
+            eng.report()
+        };
+        let full = run(usize::MAX, true);
+        assert_eq!(full, run(1, true));
+        assert_eq!(full, run(3, true));
+        assert_eq!(full, run(usize::MAX, false), "eager fast path diverged");
+    }
+
+    /// An insertion-order schedule strands a core behind a late-data task;
+    /// EFT and locality backfill the gap. Node 1's first-inserted consumer
+    /// waits for a slow remote transfer while its second task is purely
+    /// local — policy reordering must recover the idle second.
+    #[test]
+    fn eft_and_locality_backfill_transfer_stalls() {
+        let p = flat(2, 1).with_latency(2.0);
+        let ka = DataKey(0);
+        let kb = DataKey(1);
+        let makespan = |policy: SchedPolicy| {
+            let mut eng = SchedEngine::new(&p, policy);
+            // Producer on node 0; consumer placed on node 1 (inserted
+            // first), plus an independent node-1-local task (inserted
+            // second).
+            eng.submit(0, &[acc(Access::Mut(ka), 1000, 0)], secs(1.0));
+            eng.submit(1, &[acc(Access::Read(ka), 1000, 0)], secs(1.0));
+            eng.submit(1, &[acc(Access::Mut(kb), 0, 1)], secs(1.0));
+            eng.drain();
+            eng.report().makespan
+        };
+        // Fifo: consumer claims node 1's core first, starts after the
+        // 1 s producer + 2 s latency (+1 µs wire) => local task runs 4..5.
+        let fifo = makespan(SchedPolicy::Fifo);
+        assert!((fifo - 5.0).abs() < 1e-3, "{fifo}");
+        for policy in [SchedPolicy::LocalityAware, SchedPolicy::Eft] {
+            let m = makespan(policy);
+            assert!(
+                (m - 4.0).abs() < 1e-3,
+                "{} must backfill the stall: {m}",
+                policy.name()
+            );
+        }
+    }
+
+    /// Scheduling permutes the timeline, never the data flow: message and
+    /// byte totals are policy-invariant (each version crosses once per
+    /// destination, whatever the order).
+    #[test]
+    fn transfer_totals_are_policy_invariant() {
+        let p = flat(3, 2);
+        let mk = |policy: SchedPolicy| {
+            let mut eng = SchedEngine::new(&p, policy);
+            for i in 0..4u64 {
+                eng.submit(0, &[acc(Access::Mut(DataKey(i)), 100, 0)], secs(0.5));
+            }
+            for i in 0..4u64 {
+                eng.submit(
+                    (1 + (i as usize) % 2) % 3,
+                    &[acc(Access::Read(DataKey(i)), 100, 0)],
+                    secs(0.25),
+                );
+            }
+            eng.drain();
+            let r = eng.report();
+            (r.messages, r.bytes, r.serial_seconds)
+        };
+        let base = mk(SchedPolicy::Fifo);
+        for policy in SchedPolicy::all() {
+            assert_eq!(mk(policy), base, "{}", policy.name());
+        }
+    }
+
+    /// The critical-path policy prefers the deeper chain over shallow
+    /// independent work when both are ready.
+    #[test]
+    fn critical_path_prefers_the_deep_chain() {
+        let p = flat(1, 1);
+        let chain = DataKey(0);
+        let mut eng = SchedEngine::with_spans(&p, SchedPolicy::CriticalPath);
+        // Two-task chain (depths 1, 2) then a shallow independent task
+        // (depth 1, later id).
+        eng.submit(0, &[acc(Access::Mut(chain), 8, 0)], secs(1.0));
+        eng.submit(0, &[acc(Access::Mut(chain), 8, 0)], secs(1.0));
+        eng.submit(0, &[acc(Access::Mut(DataKey(1)), 8, 0)], secs(1.0));
+        eng.drain();
+        let r = eng.report();
+        // Chain head first (only ready task of depth 1 wins by id), then
+        // its depth-2 successor outranks the shallow task.
+        assert_eq!(r.starts, vec![0.0, 1.0, 2.0]);
+    }
+}

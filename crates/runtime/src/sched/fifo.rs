@@ -1,0 +1,61 @@
+//! Insertion-order selection: the policy that pins history.
+//!
+//! Hazard edges always point from lower to higher submission ids, so the
+//! smallest ready id is always the smallest *unscheduled* id — popping it
+//! replays insertion order exactly, claim for claim, transfer for
+//! transfer. `sched_props.rs` pins this bitwise against a raw
+//! [`crate::vtime::VirtualSchedule`] feed, which is what lets the
+//! committed `BENCH_distsim.json` / `BENCH_hetero.json` makespans survive
+//! the subsystem refactor unchanged.
+
+use std::collections::BTreeMap;
+
+use super::{ReadyTask, SchedView, Scheduler};
+use crate::graph::TaskId;
+
+/// Smallest-submission-id-first ready selection.
+#[derive(Default)]
+pub struct Fifo {
+    ready: BTreeMap<TaskId, ReadyTask>,
+}
+
+impl Scheduler for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn push(&mut self, task: ReadyTask) {
+        self.ready.insert(task.id, task);
+    }
+
+    fn pop(&mut self, _view: &SchedView<'_>) -> Option<ReadyTask> {
+        self.ready.pop_first().map(|(_, t)| t)
+    }
+
+    fn len(&self) -> usize {
+        self.ready.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_id_order_regardless_of_push_order() {
+        let mut f = Fifo::default();
+        for id in [5usize, 1, 9, 3] {
+            f.push(ReadyTask {
+                id,
+                node: 0,
+                depth: 1,
+            });
+        }
+        let view_tasks = std::collections::HashMap::new();
+        let platform = crate::platform::Platform::single_node(1);
+        let vt = crate::vtime::VirtualSchedule::new(&platform);
+        let view = SchedView::new(&vt, &view_tasks);
+        let order: Vec<TaskId> = std::iter::from_fn(|| f.pop(&view).map(|t| t.id)).collect();
+        assert_eq!(order, vec![1, 3, 5, 9]);
+    }
+}

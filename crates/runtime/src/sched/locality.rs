@@ -1,0 +1,46 @@
+//! Locality-aware selection: run what is already resident.
+//!
+//! Each ready task is scored by the input bytes its owner node is still
+//! missing — the transfer volume that scheduling it *now* would have to
+//! wait for ([`crate::vtime::VirtualSchedule::missing_input_bytes`]).
+//! Tasks whose inputs are local (produced on the node, cached there by an
+//! earlier consumer, or homed there) run first, so cores stay busy while
+//! the network works on the rest — the StarPU/PaRSEC data-reuse queue
+//! discipline, applied to the virtual timeline.
+//!
+//! Note what this policy cannot change: the *number* of transfers. A
+//! version crosses to a destination once however the schedule is permuted
+//! (property-tested), so the win is purely overlap — stalls hide behind
+//! resident work.
+//!
+//! Ties (equal missing bytes, which includes the all-local common case)
+//! fall back to deepest-chain-first, then earliest insertion, keeping the
+//! panel chain hot and the order deterministic.
+
+use super::{ReadyTask, SchedView, Scheduler};
+
+/// Fewest-missing-input-bytes-first ready selection.
+#[derive(Default)]
+pub struct LocalityAware {
+    ready: Vec<ReadyTask>,
+}
+
+impl Scheduler for LocalityAware {
+    fn name(&self) -> &'static str {
+        "locality"
+    }
+
+    fn push(&mut self, task: ReadyTask) {
+        self.ready.push(task);
+    }
+
+    fn pop(&mut self, view: &SchedView<'_>) -> Option<ReadyTask> {
+        // Scored at pop time: residency changes with every scheduled task,
+        // so a static push-time key would go stale.
+        super::take_best_scored(&mut self.ready, |t| view.missing_input_bytes(t))
+    }
+
+    fn len(&self) -> usize {
+        self.ready.len()
+    }
+}

@@ -17,18 +17,17 @@
 //! graph are bitwise identical (the engine's state depends only on the
 //! sequence of executed tasks, and discarded branches contribute nothing).
 //!
-//! **Scheduling policy.** The schedule is an insertion-order list
+//! **Scheduling policy.** [`simulate`] produces an insertion-order list
 //! schedule: task `i` claims cores and network slots strictly after tasks
-//! `0..i` (a valid topological order — hazard edges always point forward).
-//! Earlier versions of this simulator popped a ready-heap ordered by
-//! data-ready time instead; the two policies can differ where an
-//! early-inserted task with late-arriving data contends for a core with a
-//! later-inserted task that is ready sooner. The sequence-driven policy is
-//! what makes an *online* replay possible at all (the streaming window
-//! cannot know about tasks it has not planned yet), and tile
-//! factorizations insert tasks roughly in dependency depth order, so the
-//! performance shapes are unchanged — but absolute makespans are not
-//! comparable with reports produced before this change.
+//! `0..i` (a valid topological order — hazard edges always point
+//! forward). That order is one policy among several: [`simulate_with`]
+//! routes the replay through the pluggable scheduler subsystem
+//! ([`crate::sched`]), where a [`crate::sched::Scheduler`] picks which
+//! *ready* task advances the virtual clock next — FIFO (pinning this
+//! function bitwise), critical-path, locality-aware, or HEFT-style
+//! earliest finish time. Scheduling never changes the factorization or
+//! the data flow (messages/bytes are policy-invariant); it only chooses
+//! which valid list schedule the platform model costs.
 //!
 //! This is the performance vehicle of the reproduction: the build machine
 //! cannot physically reproduce a 128-core cluster, but the task graph it
@@ -36,9 +35,25 @@
 //! schedule, so replaying it against the Dancer platform model recovers the
 //! paper's performance shapes (Figure 2, Table II).
 
-use crate::graph::Graph;
+use crate::graph::{CostClass, Graph};
 use crate::platform::Platform;
+use crate::sched::{SchedEngine, SchedPolicy};
 use crate::vtime::VirtualSchedule;
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimOptions {
+    /// Ready-task selection policy for the virtual-time schedule (see
+    /// [`crate::sched`]). [`SchedPolicy::Fifo`] reproduces [`simulate`]
+    /// bitwise.
+    pub scheduler: SchedPolicy,
+}
+
+impl SimOptions {
+    pub fn with_scheduler(scheduler: SchedPolicy) -> Self {
+        SimOptions { scheduler }
+    }
+}
 
 /// Result of simulating a graph on a platform.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +70,13 @@ pub struct SimReport {
     pub bytes: u64,
     /// Per-node busy seconds.
     pub node_busy: Vec<f64>,
+    /// Per-node, per-cost-class busy seconds (duration × cores claimed),
+    /// indexed `[node][CostClass::index()]` — the observation the
+    /// criterion-aware weight recalibration keys on.
+    pub node_class_seconds: Vec<[f64; CostClass::COUNT]>,
+    /// Per-node, per-cost-class executed flops (Memory entries carry the
+    /// moved bytes, as everywhere in the cost model).
+    pub node_class_flops: Vec<[f64; CostClass::COUNT]>,
     /// Total executed flops (Memory/Control excluded).
     pub total_flops: f64,
     /// Per-task start times (simulation seconds, by task id).
@@ -99,6 +121,36 @@ impl SimReport {
         busy / (self.makespan * platform.total_cores() as f64)
     }
 
+    /// Observed effective speed of every node on *this run's* kernel mix:
+    /// executed compute flops over per-core busy seconds, scaled by the
+    /// node's core count (GFLOP/s). Where the platform's
+    /// [`Platform::node_speeds`] keys on GEMM throughput alone, this folds
+    /// in whatever classes the run actually executed — a QR-heavy hybrid
+    /// run weights nodes by their QR throughput. Nodes that executed no
+    /// compute work report `0.0` (callers substitute a floor; see
+    /// `luqr_tile::Dist::calibrated`).
+    pub fn observed_node_speeds(&self, platform: &Platform) -> Vec<f64> {
+        self.node_class_seconds
+            .iter()
+            .zip(&self.node_class_flops)
+            .enumerate()
+            .map(|(n, (secs, flops))| {
+                let (mut f, mut s) = (0.0f64, 0.0f64);
+                for class in CostClass::ALL {
+                    if class.is_compute() {
+                        f += flops[class.index()];
+                        s += secs[class.index()];
+                    }
+                }
+                if s > 0.0 {
+                    platform.node(n).cores as f64 * f / s / 1e9
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
     /// Per-node utilization over the makespan: `busy / (makespan × cores)`
     /// for each node, using that node's own core count. On a well-balanced
     /// heterogeneous run these are roughly equal; a slow node pinned near
@@ -119,7 +171,9 @@ impl SimReport {
     }
 }
 
-/// Simulate an executed graph on `platform`.
+/// Simulate an executed graph on `platform` under the insertion-order
+/// (FIFO) schedule — the policy-free reference path that
+/// [`SchedPolicy::Fifo`] pins bitwise (see `sched_props.rs`).
 ///
 /// Panics if any task lacks a recorded result (run
 /// [`crate::exec::execute`] first) or is placed on a node outside the
@@ -139,6 +193,28 @@ pub fn simulate(graph: &Graph, platform: &Platform) -> SimReport {
         v.process(t.node, &t.accesses, &r);
     }
     v.report()
+}
+
+/// Simulate an executed graph under a scheduling policy: the whole graph
+/// is submitted to the policy-driven engine ([`SchedEngine`], full
+/// lookahead) and drained in the order the policy selects. Report spans
+/// stay indexed by task id whatever order that is.
+pub fn simulate_with(graph: &Graph, platform: &Platform, opts: &SimOptions) -> SimReport {
+    if let Err(e) = platform.require_nodes(graph.num_nodes) {
+        panic!(
+            "cannot simulate: {e} (graph placements reference {} nodes)",
+            graph.num_nodes
+        );
+    }
+    let mut eng = SchedEngine::with_spans(platform, opts.scheduler);
+    for t in &graph.tasks {
+        let r = t
+            .result()
+            .unwrap_or_else(|| panic!("task '{}' has no result; execute first", t.name));
+        eng.submit(t.node, &t.accesses, r);
+    }
+    eng.drain();
+    eng.report()
 }
 
 #[cfg(test)]
@@ -379,6 +455,124 @@ mod tests {
         assert!((util[1] - 1.0).abs() < 1e-9, "{util:?}");
         // Aggregate utilization averages over the platform's cores.
         assert!((r.avg_utilization(&p) - 0.625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulate_with_fifo_matches_simulate_bitwise() {
+        let mut b = GraphBuilder::new(2);
+        b.declare(k(0), 1000, 0);
+        b.declare(k(1), 500, 1);
+        b.task("p", 0, &[Access::Mut(k(0))], one_sec_task);
+        b.task(
+            "q",
+            1,
+            &[Access::Read(k(0)), Access::Mut(k(1))],
+            one_sec_task,
+        );
+        b.task("dead", 0, &[Access::Mut(k(0))], TaskResult::discarded);
+        b.task("r", 0, &[Access::Read(k(1))], one_sec_task);
+        let g = b.build();
+        execute(&g, 2);
+        let p = flat_platform(2, 2);
+        assert_eq!(
+            simulate(&g, &p),
+            simulate_with(&g, &p, &SimOptions::default())
+        );
+    }
+
+    #[test]
+    fn observed_node_speeds_reflect_the_class_mix() {
+        // Node 0 runs GEMM at full efficiency, node 1 runs QR applies at
+        // a tenth: the observed speeds must report the achieved — not the
+        // nominal — throughput of each.
+        use crate::platform::Efficiency;
+        let eff = Efficiency {
+            qr_apply: 0.1,
+            ..Efficiency::flat()
+        };
+        let p = Platform::heterogeneous(
+            vec![
+                NodeSpec {
+                    cores: 2,
+                    core_gflops: 1.0,
+                    efficiency: Efficiency::flat(),
+                },
+                NodeSpec {
+                    cores: 2,
+                    core_gflops: 1.0,
+                    efficiency: eff,
+                },
+            ],
+            Topology::Uniform(LinkSpec::new(0.0, 1e9)),
+            1e9,
+        );
+        let mut b = GraphBuilder::new(2);
+        b.declare(k(0), 0, 0);
+        b.declare(k(1), 0, 1);
+        b.task("gemm", 0, &[Access::Mut(k(0))], || {
+            TaskResult::executed(1e9, CostClass::Gemm)
+        });
+        b.task("qr", 1, &[Access::Mut(k(1))], || {
+            TaskResult::executed(1e9, CostClass::QrApply)
+        });
+        let g = b.build();
+        execute(&g, 1);
+        let r = simulate(&g, &p);
+        let speeds = r.observed_node_speeds(&p);
+        // Node 0: 1 GFLOP in 1 s on one core × 2 cores = 2 GFLOP/s.
+        assert!((speeds[0] - 2.0).abs() < 1e-9, "{speeds:?}");
+        // Node 1: 1 GFLOP in 10 s on one core × 2 cores = 0.2 GFLOP/s.
+        assert!((speeds[1] - 0.2).abs() < 1e-9, "{speeds:?}");
+        // An idle third node would report 0.0 — covered by the per-class
+        // tables being all zero here for unused classes.
+        assert_eq!(r.node_class_flops[0][CostClass::QrApply.index()], 0.0);
+    }
+
+    #[test]
+    fn backbone_contention_stretches_makespan() {
+        // Two producers on the fast island each feed a consumer on the
+        // slow island; the transfers are the only serialization. With the
+        // backbone an uncontended pair of links, they overlap; as a shared
+        // trunk at the same bandwidth, one waits for the other and the
+        // makespan stretches by the wire time.
+        let build = || {
+            let mut b = GraphBuilder::new(4);
+            b.declare(k(0), 100_000_000, 0); // 0.1 s of wire at 1 GB/s
+            b.declare(k(1), 100_000_000, 1);
+            b.task("p0", 0, &[Access::Mut(k(0))], one_sec_task);
+            b.task("p1", 1, &[Access::Mut(k(1))], one_sec_task);
+            b.task("c0", 2, &[Access::Read(k(0))], one_sec_task);
+            b.task("c1", 3, &[Access::Read(k(1))], one_sec_task);
+            let g = b.build();
+            execute(&g, 1);
+            g
+        };
+        let hier = Platform::uniform(
+            4,
+            NodeSpec {
+                cores: 1,
+                core_gflops: 1.0,
+                efficiency: Efficiency::flat(),
+            },
+            LinkSpec::new(0.0, 1e9),
+            1e9,
+        )
+        .with_topology(Topology::hierarchical(
+            LinkSpec::new(0.0, 1e9),
+            LinkSpec::new(0.0, 1e9),
+            2,
+        ));
+        let free = simulate(&build(), &hier);
+        let contended = simulate(&build(), &hier.clone().with_backbone(1e9));
+        // Uncontended: 1 s produce + 0.1 s wire + 1 s consume.
+        assert!((free.makespan - 2.1).abs() < 1e-9, "{}", free.makespan);
+        // Shared trunk: the second transfer queues 0.1 s behind the first.
+        assert!(
+            (contended.makespan - 2.2).abs() < 1e-9,
+            "trunk contention must stretch the makespan: {}",
+            contended.makespan
+        );
+        assert_eq!(free.messages, contended.messages);
     }
 
     #[test]

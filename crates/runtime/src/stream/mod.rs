@@ -45,6 +45,7 @@ use std::time::Instant;
 use crate::comm::MsgStats;
 use crate::graph::{TaskId, TaskSink};
 use crate::platform::Platform;
+use crate::sched::SchedPolicy;
 use crate::sim::SimReport;
 use crate::trace::TraceEvent;
 
@@ -133,6 +134,12 @@ pub struct StreamOptions {
     /// Record per-task `(start, end, worker, step, node)` events
     /// ([`StreamReport::trace`]) for Chrome-trace export.
     pub trace: bool,
+    /// Ready-task selection policy for the *online* virtual-time schedule
+    /// (no effect unless [`StreamOptions::platform`] is set; the host-side
+    /// workers always pop by critical-path depth, which keeps numerics
+    /// independent of the platform model). [`SchedPolicy::Fifo`]
+    /// reproduces the pre-subsystem reports bitwise.
+    pub scheduler: SchedPolicy,
 }
 
 impl StreamOptions {
@@ -144,6 +151,7 @@ impl StreamOptions {
             threads,
             platform: None,
             trace: false,
+            scheduler: SchedPolicy::Fifo,
         }
     }
 
@@ -154,6 +162,11 @@ impl StreamOptions {
 
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    pub fn with_scheduler(mut self, scheduler: SchedPolicy) -> Self {
+        self.scheduler = scheduler;
         self
     }
 }
@@ -198,6 +211,9 @@ pub struct StreamReport {
     /// Per-task execution spans (set when [`StreamOptions::trace`] was
     /// on); render with [`crate::trace::events_to_chrome_trace`].
     pub trace: Vec<TraceEvent>,
+    /// The virtual-time scheduling policy this run was configured with
+    /// (trace exports label their lanes with it).
+    pub scheduler: SchedPolicy,
 }
 
 /// Execute `source` with at most `window` consecutive steps materialized,
@@ -216,7 +232,12 @@ pub fn execute(source: &mut dyn StepSource, window: usize, threads: usize) -> St
 pub fn execute_with(source: &mut dyn StepSource, opts: &StreamOptions) -> StreamReport {
     let threads = opts.threads.max(1);
     let start = Instant::now();
-    let win = StreamWindow::with_options(source.num_nodes(), opts.platform.as_ref(), opts.trace);
+    let win = StreamWindow::with_options(
+        source.num_nodes(),
+        opts.platform.as_ref(),
+        opts.trace,
+        opts.scheduler,
+    );
     let steps = source.num_steps();
 
     let (mut window, auto) = match opts.window {
@@ -288,6 +309,7 @@ pub fn execute_with(source: &mut dyn StepSource, opts: &StreamOptions) -> Stream
         msgs: stats.msgs,
         sim: stats.sim,
         trace: stats.trace,
+        scheduler: opts.scheduler,
     }
 }
 
@@ -655,9 +677,7 @@ mod tests {
                 max: 4,
                 live_task_budget: 64,
             },
-            threads: 2,
-            platform: None,
-            trace: false,
+            ..StreamOptions::fixed(1, 2)
         };
         let report = execute_with(&mut src, &opts);
         assert_eq!(report.per_step_window.len(), 8);

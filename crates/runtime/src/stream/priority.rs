@@ -1,79 +1,12 @@
-//! Critical-path-depth task priorities and the priority-aware ready queue.
+//! Critical-path-depth task priorities for the streaming window's
+//! host-side workers.
 //!
-//! The streaming window computes, for every inserted task, its longest
-//! dependency chain from the sources (`cp = 1 + max cp(pred)`, over *all*
-//! hazard predecessors, completed ones included). The deepest chain in an
-//! LU/QR factorization is the panel chain — PANEL(k) → column-(k+1) updates
-//! → PANEL(k+1) → … — so popping the deepest ready task first keeps the
-//! panel chain hot and lets the criterion of step k+1 fire as early as its
-//! data allows, instead of draining step k's embarrassingly parallel
-//! trailing updates first.
+//! The implementation moved to [`crate::sched::critical_path`] when the
+//! scheduler subsystem generalized it: the same depth metric and the same
+//! max-heap now drive both the batch virtual-time schedule (as the
+//! [`crate::sched::CriticalPath`] policy) and the streaming workers' pop
+//! order, which is what keeps the two runtimes' notion of "deepest ready
+//! task" identical. This module re-exports the queue under its historical
+//! home so the window code reads unchanged.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-use crate::graph::TaskId;
-
-/// One entry of the ready queue: a runnable task and its critical-path
-/// depth.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct Ready {
-    /// Critical-path depth (longest chain from any source task).
-    pub cp: u64,
-    /// The runnable task.
-    pub id: TaskId,
-}
-
-impl Ord for Ready {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Deepest first; ties broken toward the earliest-inserted task so
-        // the pop order is deterministic and roughly follows insertion.
-        self.cp.cmp(&other.cp).then_with(|| other.id.cmp(&self.id))
-    }
-}
-
-impl PartialOrd for Ready {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// Max-heap of runnable tasks ordered by critical-path depth.
-#[derive(Default)]
-pub(crate) struct ReadyQueue(BinaryHeap<Ready>);
-
-impl ReadyQueue {
-    pub fn push(&mut self, cp: u64, id: TaskId) {
-        self.0.push(Ready { cp, id });
-    }
-
-    /// Pop the deepest ready task.
-    pub fn pop(&mut self) -> Option<Ready> {
-        self.0.pop()
-    }
-
-    /// The deepest ready task, without removing it. Workers scanning the
-    /// per-node sub-windows compare peeks to pick the globally deepest
-    /// runnable task.
-    pub fn peek(&self) -> Option<&Ready> {
-        self.0.peek()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn pops_deepest_first_then_insertion_order() {
-        let mut q = ReadyQueue::default();
-        q.push(1, 10);
-        q.push(3, 11);
-        q.push(3, 7);
-        q.push(2, 12);
-        let order: Vec<(u64, TaskId)> =
-            std::iter::from_fn(|| q.pop().map(|r| (r.cp, r.id))).collect();
-        assert_eq!(order, vec![(3, 7), (3, 11), (2, 12), (1, 10)]);
-        assert!(q.pop().is_none());
-    }
-}
+pub use crate::sched::{Ready, ReadyQueue};

@@ -45,12 +45,20 @@ use crate::graph::{
     Access, CostedAccess, DataClass, DataKey, Kernel, TaskId, TaskResult, TaskSink,
 };
 use crate::platform::Platform;
+use crate::sched::{SchedEngine, SchedPolicy};
 use crate::sim::SimReport;
 use crate::trace::TraceEvent;
-use crate::vtime::VirtualSchedule;
 
 use super::priority::ReadyQueue;
 use super::retire::StepLedger;
+
+/// Scheduling lookahead of the online virtual-time engine: how many
+/// completed-but-unscheduled task records the policy may hold for choice.
+/// Bounded so streaming memory stays O(window + declared data), not
+/// O(task count); at this horizon the policy sees roughly a trailing
+/// update's worth of candidates. FIFO is lookahead-invariant (pinned in
+/// `sched_props.rs`), so the default policy is unaffected.
+const VTIME_LOOKAHEAD: usize = 256;
 
 /// Hazard-map entry for a reader: the task and its critical-path depth
 /// (kept even after the task completes, so later insertions still inherit
@@ -139,11 +147,13 @@ struct NodeWindow {
     directory: HashMap<DataKey, DatumDir>,
 }
 
-/// Online virtual-time state: completed tasks are fed to the engine in
-/// insertion order, so only the id-contiguity buffer (bounded by the live
-/// window span) is ever pending.
+/// Online virtual-time state: completed tasks are *submitted* to the
+/// policy-driven engine in insertion order (hazard inference keys on it),
+/// so only the id-contiguity buffer (bounded by the live window span) is
+/// ever pending here; the engine itself buffers at most
+/// [`VTIME_LOOKAHEAD`] submitted records for the policy to choose among.
 struct VtimeState {
-    engine: VirtualSchedule,
+    engine: SchedEngine,
     pending: BTreeMap<TaskId, (usize, Vec<CostedAccess>, TaskResult)>,
     next: TaskId,
 }
@@ -238,12 +248,18 @@ const NO_STEP: usize = usize::MAX;
 
 impl StreamWindow {
     pub fn new(num_nodes: usize) -> Self {
-        StreamWindow::with_options(num_nodes, None, false)
+        StreamWindow::with_options(num_nodes, None, false, SchedPolicy::Fifo)
     }
 
     /// A window that additionally drives the platform communication model
-    /// online (`platform`) and/or records per-task trace events (`trace`).
-    pub fn with_options(num_nodes: usize, platform: Option<&Platform>, trace: bool) -> Self {
+    /// online (`platform`, virtual time scheduled by `scheduler`) and/or
+    /// records per-task trace events (`trace`).
+    pub fn with_options(
+        num_nodes: usize,
+        platform: Option<&Platform>,
+        trace: bool,
+        scheduler: SchedPolicy,
+    ) -> Self {
         assert!(num_nodes >= 1);
         if let Some(p) = platform {
             if let Err(e) = p.require_nodes(num_nodes) {
@@ -264,7 +280,7 @@ impl StreamWindow {
                 tasks_planned: 0,
                 peak_live_tasks: 0,
                 vtime: platform.map(|p| VtimeState {
-                    engine: VirtualSchedule::new(p),
+                    engine: SchedEngine::new(p, scheduler).with_lookahead(VTIME_LOOKAHEAD),
                     pending: BTreeMap::new(),
                     next: 0,
                 }),
@@ -344,9 +360,12 @@ impl StreamWindow {
 
     /// Final statistics (call after [`StreamWindow::wait_drained`]).
     pub(crate) fn stats(&self) -> WindowStats {
-        let st = self.lock();
-        if let Some(v) = &st.vtime {
+        let mut st = self.lock();
+        if let Some(v) = &mut st.vtime {
             debug_assert!(v.pending.is_empty(), "virtual time lagging the drain");
+            // Schedule whatever the lookahead bound left for the policy to
+            // choose among — the run is over, so the choice set is final.
+            v.engine.drain();
         }
         WindowStats {
             tally: st.tally.clone(),
@@ -569,7 +588,7 @@ impl StreamWindow {
         let live_now = st.live_nodes.len();
         st.peak_live_tasks = st.peak_live_tasks.max(live_now);
         if num_preds == 0 {
-            st.nodes[node].ready.push(cp, id);
+            st.nodes[node].ready.push(cp, id, node);
             drop(st);
             self.work_cv.notify_one();
         }
@@ -729,14 +748,15 @@ impl StreamWindow {
         }
 
         // Feed virtual time in insertion order: buffer this completion
-        // and advance the contiguous prefix.
+        // and submit the contiguous prefix (the policy engine schedules
+        // at its own pace within its lookahead bound).
         if let Some(v) = &mut st.vtime {
             // Move the accesses out — the record is being reclaimed and
             // nothing below reads them.
             v.pending
                 .insert(id, (node, std::mem::take(&mut task.accesses), result));
             while let Some((n, accs, r)) = v.pending.remove(&v.next) {
-                v.engine.process(n, &accs, &r);
+                v.engine.submit(n, &accs, r);
                 v.next += 1;
             }
         }
@@ -753,7 +773,7 @@ impl StreamWindow {
             succ.preds_remaining -= 1;
             if succ.preds_remaining == 0 {
                 let cp = succ.cp;
-                st.nodes[snode].ready.push(cp, s);
+                st.nodes[snode].ready.push(cp, s, snode);
                 1
             } else {
                 0

@@ -16,6 +16,7 @@ use std::fmt::Write as _;
 
 use crate::graph::Graph;
 use crate::platform::Platform;
+use crate::sched::SchedPolicy;
 use crate::sim::SimReport;
 
 /// One executed task, as a renderable trace span.
@@ -62,9 +63,23 @@ pub fn events_to_chrome_trace(events: &[TraceEvent]) -> String {
 /// `process_name` metadata events, so heterogeneous traces read at a
 /// glance in `chrome://tracing` / Perfetto.
 pub fn events_to_chrome_trace_on(events: &[TraceEvent], platform: Option<&Platform>) -> String {
+    events_to_chrome_trace_sched(events, platform, None)
+}
+
+/// Like [`events_to_chrome_trace_on`], additionally stamping the active
+/// scheduler policy into each lane's `process_name` metadata —
+/// `node1 (4c @ 8 GF) [eft]` — so a trace says *which schedule* it shows.
+pub fn events_to_chrome_trace_sched(
+    events: &[TraceEvent],
+    platform: Option<&Platform>,
+    policy: Option<SchedPolicy>,
+) -> String {
     let mut out = String::from("[\n");
     let mut first = true;
     if let Some(p) = platform {
+        let tag = policy
+            .map(|s| format!(" [{}]", s.name()))
+            .unwrap_or_default();
         for (n, spec) in p.specs.iter().enumerate() {
             if !first {
                 out.push_str(",\n");
@@ -73,7 +88,7 @@ pub fn events_to_chrome_trace_on(events: &[TraceEvent], platform: Option<&Platfo
             let _ = write!(
                 out,
                 "  {{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {n}, \
-                 \"args\": {{\"name\": \"node{n} ({})\"}}}}",
+                 \"args\": {{\"name\": \"node{n} ({}){tag}\"}}}}",
                 spec.label(),
             );
         }
@@ -116,6 +131,18 @@ pub fn to_chrome_trace(graph: &Graph, sim: &SimReport) -> String {
 /// [`to_chrome_trace`] with node lanes named by the platform's specs.
 pub fn to_chrome_trace_on(graph: &Graph, sim: &SimReport, platform: &Platform) -> String {
     events_to_chrome_trace_on(&sim_events(graph, sim), Some(platform))
+}
+
+/// [`to_chrome_trace_on`] with lanes additionally stamped with the
+/// scheduling policy that produced `sim` (pass the policy you simulated
+/// with — the report does not carry it).
+pub fn to_chrome_trace_sched(
+    graph: &Graph,
+    sim: &SimReport,
+    platform: &Platform,
+    policy: SchedPolicy,
+) -> String {
+    events_to_chrome_trace_sched(&sim_events(graph, sim), Some(platform), Some(policy))
 }
 
 fn sim_events(graph: &Graph, sim: &SimReport) -> Vec<TraceEvent> {

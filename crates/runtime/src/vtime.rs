@@ -1,19 +1,24 @@
 //! Online virtual-time scheduling: the discrete-event platform model
-//! consumed one task at a time, in insertion order.
+//! consumed one task at a time.
 //!
-//! [`VirtualSchedule`] is the engine behind both performance vehicles:
+//! [`VirtualSchedule`] is the costing core behind both performance
+//! vehicles:
 //!
 //! * [`crate::sim::simulate`] replays a materialized batch graph by feeding
-//!   its tasks in id order;
-//! * the streaming window feeds each task the moment every
-//!   earlier-inserted task has completed, so a windowed run produces the
-//!   same makespan/message accounting **without ever materializing the
+//!   its tasks in id order ([`crate::sim::simulate_with`] feeds them in
+//!   whatever order a [`crate::sched::Scheduler`] policy selects — any
+//!   topological order of the hazard DAG keeps the scoreboard consistent);
+//! * the streaming window submits each task to the policy engine
+//!   ([`crate::sched::SchedEngine`]) the moment every earlier-inserted
+//!   task has completed, so a windowed run produces the same
+//!   makespan/message accounting **without ever materializing the
 //!   graph** — per-datum scoreboard entries are all that persists.
 //!
 //! Determinism is by construction: the schedule is a *list schedule in
-//! insertion order*. Task `i` claims cores and network slots strictly
-//! after tasks `0..i` (hazard edges always point from lower to higher
-//! ids, so insertion order is a topological order). Because the state
+//! processing order*. Each processed task claims cores and network slots
+//! strictly after every task processed before it; callers must feed a
+//! topological order of the hazard DAG (insertion order is one — hazard
+//! edges always point from lower to higher ids). Because the state
 //! evolution depends only on the sequence of **executed** tasks — their
 //! placements, declared accesses, and recorded results — a batch graph
 //! (where the losing hybrid branch is present but discarded) and a
@@ -71,6 +76,11 @@ pub struct VirtualSchedule {
     net: Network,
     data: HashMap<DataKey, DatumState>,
     node_busy: Vec<f64>,
+    /// Per-node, per-cost-class busy seconds (duration × cores claimed) —
+    /// the observation the criterion-aware weight recalibration keys on.
+    node_class_seconds: Vec<[f64; CostClass::COUNT]>,
+    /// Per-node, per-cost-class executed flops (Memory entries carry bytes).
+    node_class_flops: Vec<[f64; CostClass::COUNT]>,
     makespan: f64,
     serial_seconds: f64,
     cp_max: f64,
@@ -99,6 +109,8 @@ impl VirtualSchedule {
             net: Network::new(platform.nodes()),
             data: HashMap::new(),
             node_busy: vec![0.0; platform.nodes()],
+            node_class_seconds: vec![[0.0; CostClass::COUNT]; platform.nodes()],
+            node_class_flops: vec![[0.0; CostClass::COUNT]; platform.nodes()],
             makespan: 0.0,
             serial_seconds: 0.0,
             cp_max: 0.0,
@@ -125,9 +137,10 @@ impl VirtualSchedule {
         &self.platform
     }
 
-    /// Schedule the next task (insertion order!) and return its simulated
-    /// `(start, finish)`. Discarded tasks take zero time, move zero data,
-    /// and leave the scoreboard untouched.
+    /// Schedule the next task (callers feed a topological order of the
+    /// hazard DAG — insertion order, or a [`crate::sched`] policy's pick)
+    /// and return its simulated `(start, finish)`. Discarded tasks take
+    /// zero time, move zero data, and leave the scoreboard untouched.
     pub fn process(
         &mut self,
         node: usize,
@@ -233,6 +246,8 @@ impl VirtualSchedule {
             self.cores[node].push(Reverse(OrderedF64(finish)));
         }
         self.node_busy[node] += duration * claim as f64;
+        self.node_class_seconds[node][result.class.index()] += duration * claim as f64;
+        self.node_class_flops[node][result.class.index()] += result.flops;
         self.serial_seconds += duration;
         self.makespan = self.makespan.max(finish);
         let cp_end = cp_ready + duration;
@@ -285,10 +300,142 @@ impl VirtualSchedule {
             messages: self.net.messages,
             bytes: self.net.bytes,
             node_busy: self.node_busy.clone(),
+            node_class_seconds: self.node_class_seconds.clone(),
+            node_class_flops: self.node_class_flops.clone(),
             total_flops: self.total_flops,
             starts: self.starts.clone(),
             finishes: self.finishes.clone(),
         }
+    }
+
+    // ---- read-only queries for scheduling policies ---------------------
+    //
+    // The policy layer ([`crate::sched`]) selects among *ready* tasks by
+    // inspecting the engine state these expose. None of them mutate: an
+    // estimate must not issue transfers or claim cores, or the winning
+    // task's real `process` call would be double-charged.
+
+    /// Earliest time `claim` cores of `node` are simultaneously free.
+    pub fn cores_free_at(&self, node: usize, claim: usize) -> f64 {
+        let claim = claim.min(self.platform.node(node).cores).max(1);
+        if claim == 1 {
+            // The overwhelmingly common case (single-core kernels): the
+            // heap top is the answer — no allocation, no sort. This sits
+            // on EFT's per-candidate scoring path.
+            let Reverse(OrderedF64(f)) = self.cores[node].peek().expect("node has cores");
+            return *f;
+        }
+        let mut frees: Vec<f64> = self.cores[node]
+            .iter()
+            .map(|Reverse(OrderedF64(f))| *f)
+            .collect();
+        frees.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        frees[claim - 1]
+    }
+
+    /// Input bytes of `accesses` whose current version is not yet resident
+    /// on `node` — the transfer volume scheduling this task there right now
+    /// would trigger. Zero means every input is local or already cached.
+    pub fn missing_input_bytes(&self, node: usize, accesses: &[CostedAccess]) -> u64 {
+        let mut missing = 0u64;
+        for ca in accesses {
+            if ca.bytes == 0 || matches!(ca.access, Access::Control(_)) {
+                continue;
+            }
+            match self.data.get(&ca.access.key()) {
+                Some(DatumState {
+                    writer: Some(w), ..
+                }) => {
+                    if w.node != node && !w.sent.contains_key(&node) {
+                        missing += ca.bytes as u64;
+                    }
+                }
+                Some(st) => {
+                    if ca.home != node && !st.initial_sent.contains_key(&node) {
+                        missing += ca.bytes as u64;
+                    }
+                }
+                None => {
+                    if ca.home != node {
+                        missing += ca.bytes as u64;
+                    }
+                }
+            }
+        }
+        missing
+    }
+
+    /// Estimated `(start, finish)` of running this task on `node` *now*,
+    /// mirroring [`VirtualSchedule::process`]'s timing without mutating
+    /// anything: cached arrivals are exact, un-issued transfers are
+    /// estimated from the sender's current NIC backlog, and core
+    /// availability comes from the node's heap. This is the HEFT-style
+    /// earliest-finish-time oracle of the [`crate::sched::Eft`] policy.
+    pub fn estimate(
+        &self,
+        node: usize,
+        accesses: &[CostedAccess],
+        result: &TaskResult,
+    ) -> (f64, f64) {
+        if !result.executed {
+            return (0.0, 0.0);
+        }
+        let mut data_ready = 0.0f64;
+        for ca in accesses {
+            let key = ca.access.key();
+            let st = self.data.get(&key);
+            match ca.access {
+                Access::Read(_) | Access::Mut(_) => {
+                    match st.and_then(|s| s.writer.as_ref()) {
+                        Some(w) => {
+                            if w.node != node && ca.bytes > 0 {
+                                let arrival = match w.sent.get(&node) {
+                                    Some(&a) => a,
+                                    None => {
+                                        w.finish.max(self.net.egress_free(w.node))
+                                            + self.platform.transfer_seconds(w.node, node, ca.bytes)
+                                    }
+                                };
+                                data_ready = data_ready.max(arrival);
+                            } else {
+                                data_ready = data_ready.max(w.finish);
+                            }
+                        }
+                        None => {
+                            if ca.home != node && ca.bytes > 0 {
+                                let arrival = match st.and_then(|s| s.initial_sent.get(&node)) {
+                                    Some(&a) => a,
+                                    None => {
+                                        self.net.egress_free(ca.home)
+                                            + self
+                                                .platform
+                                                .transfer_seconds(ca.home, node, ca.bytes)
+                                    }
+                                };
+                                data_ready = data_ready.max(arrival);
+                            }
+                        }
+                    }
+                    if matches!(ca.access, Access::Mut(_)) {
+                        if let Some(s) = st {
+                            data_ready = data_ready.max(s.readers_finish);
+                        }
+                    }
+                }
+                Access::Control(_) => {
+                    if let Some(w) = st.and_then(|s| s.writer.as_ref()) {
+                        data_ready = data_ready.max(w.finish);
+                    }
+                }
+            }
+        }
+        let claim = (result.cores as usize)
+            .min(self.platform.node(node).cores)
+            .max(1);
+        let duration = self.platform.task_seconds(node, result.flops, result.class) / claim as f64
+            + result.latency_events as f64 * self.sync_latency;
+        let start = data_ready.max(self.cores_free_at(node, claim));
+        (start, start + duration)
     }
 }
 
@@ -440,11 +587,11 @@ mod tests {
         // Four 1-core nodes in islands of 2; moving a datum inside the
         // island is cheap, across islands slow.
         let mut p = flat(4, 1);
-        p = p.with_topology(Topology::Hierarchical {
-            intra: LinkSpec::new(0.0, 1e9),
-            inter: LinkSpec::new(10.0, 1e9),
-            nodes_per_group: 2,
-        });
+        p = p.with_topology(Topology::hierarchical(
+            LinkSpec::new(0.0, 1e9),
+            LinkSpec::new(10.0, 1e9),
+            2,
+        ));
         let k = DataKey(0);
         // Intra-island consumer starts right after the 1 s producer.
         let mut v = VirtualSchedule::new(&p);

@@ -19,6 +19,8 @@
 //! unweighted pattern is the identity, which makes [`Dist::block_cyclic`]
 //! bit-for-bit the classic `(i mod p, j mod q)` map.
 
+use luqr_runtime::{Platform, SimReport};
+
 /// Virtual `p x q` process grid with 2D block-cyclic tile ownership.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Grid {
@@ -192,6 +194,44 @@ impl Dist {
             .map(|c| (0..grid.p).map(|r| speeds[r * grid.q + c]).sum())
             .collect();
         Dist::weighted(grid, &row_weights, &col_weights)
+    }
+
+    /// Weighted block-cyclic from *observed* per-node speeds — the
+    /// criterion-aware recalibration constructor. Non-positive entries
+    /// (nodes that executed no compute work in the observation run) are
+    /// floored to the smallest positive speed so every node keeps a place
+    /// in the pattern; an all-non-positive vector degenerates to
+    /// [`Dist::block_cyclic`] (nothing was observed, nothing to rebalance).
+    pub fn calibrated(grid: Grid, observed_speeds: &[f64]) -> Self {
+        assert!(
+            observed_speeds.len() >= grid.nodes(),
+            "need one observed speed per grid rank: got {} for {} ranks",
+            observed_speeds.len(),
+            grid.nodes()
+        );
+        let floor = observed_speeds
+            .iter()
+            .filter(|&&s| s.is_finite() && s > 0.0)
+            .fold(f64::INFINITY, |m, &s| m.min(s));
+        if !floor.is_finite() {
+            return Dist::block_cyclic(grid);
+        }
+        let speeds: Vec<f64> = observed_speeds
+            .iter()
+            .map(|&s| if s.is_finite() && s > 0.0 { s } else { floor })
+            .collect();
+        Dist::speed_weighted(grid, &speeds)
+    }
+
+    /// Rebuild the speed weights from a first run's [`SimReport`]: each
+    /// node is weighted by the effective GFLOP/s it achieved on the kernel
+    /// mix it *actually executed*
+    /// ([`SimReport::observed_node_speeds`]), not by its nominal GEMM
+    /// throughput. On a QR-heavy hybrid run this shifts tiles toward the
+    /// nodes whose QR kernels run well — the ROADMAP's criterion-aware
+    /// weight recalibration.
+    pub fn calibrated_from(grid: Grid, report: &SimReport, platform: &Platform) -> Self {
+        Dist::calibrated(grid, &report.observed_node_speeds(platform))
     }
 
     /// The underlying process grid.
@@ -460,6 +500,24 @@ mod tests {
             // Count matches the distinct-groups definition.
             assert_eq!(d.panel_node_count(k, mt), domains.len());
         }
+    }
+
+    #[test]
+    fn calibrated_floors_idle_nodes_and_tracks_observations() {
+        let g = Grid::new(2, 1);
+        // Observed 3:1 — same pattern as explicit weighting.
+        let d = Dist::calibrated(g, &[3.0, 1.0]);
+        assert_eq!(d, Dist::weighted(g, &[3.0, 1.0], &[1.0]));
+        // An idle node (0.0 observed) is floored to the smallest positive
+        // speed, not dropped from the pattern — with a single observation
+        // that degenerates to an even split.
+        let d = Dist::calibrated(g, &[5.0, 0.0]);
+        assert_eq!(d, Dist::block_cyclic(g));
+        // A NaN observation gets the same floor treatment.
+        let d = Dist::calibrated(g, &[4.0, f64::NAN]);
+        assert_eq!(d, Dist::weighted(g, &[4.0, 4.0], &[1.0]));
+        // Nothing observed at all: fall back to plain block-cyclic.
+        assert_eq!(Dist::calibrated(g, &[0.0, 0.0]), Dist::block_cyclic(g));
     }
 
     #[test]

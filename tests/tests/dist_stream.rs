@@ -307,9 +307,7 @@ fn auto_window_keeps_parity_and_records_choices() {
             max: 6,
             live_task_budget: 400,
         },
-        threads: opts.threads,
-        platform: None,
-        trace: false,
+        ..StreamOptions::fixed(1, opts.threads)
     };
     let stream = factor_stream_with(&a, &b, &opts, &stream_opts);
     assert_eq!(batch.solution().max_abs_diff(&stream.solution()), 0.0);

@@ -1,0 +1,164 @@
+//! Property tests for the scheduler subsystem.
+//!
+//! Two invariants hold for random systems, algorithms, criteria, and
+//! grids:
+//!
+//! 1. **FIFO pins history.** `simulate_with(SchedPolicy::Fifo)` — through
+//!    the policy engine, via both its eager fast path and its forced
+//!    generic buffer-and-select machinery — produces a `SimReport`
+//!    **bitwise equal** to the pre-refactor insertion-order engine
+//!    (`simulate()`, a raw `VirtualSchedule` feed). This is what
+//!    guarantees the committed BENCH baselines survived the subsystem.
+//! 2. **Scheduling never changes the factorization.** Every policy, on
+//!    both the batch replay and the online distributed-streaming engine,
+//!    leaves numerics bitwise identical (solutions, per-step decisions,
+//!    failure behavior) and moves exactly the same data (messages, bytes,
+//!    serial seconds, per-node-per-class observations) — only the
+//!    timeline may differ, and even then never below the critical path.
+//!
+//! The algorithm space is the full menu: all five hybrid criteria plus
+//! Random, and the four baselines — 10 algorithm/criterion combos — on
+//! 1-node and 4-node grids.
+
+use luqr::{
+    factor, factor_stream_distributed, factor_stream_distributed_with, Algorithm, Criterion,
+    FactorOptions, SchedPolicy, SimOptions,
+};
+use luqr_runtime::{Platform, SchedEngine};
+use luqr_tests::dominant_system;
+use luqr_tile::Grid;
+use proptest::prelude::*;
+
+fn random_system(n: usize, seed: u64) -> (luqr_kernels::Mat, luqr_kernels::Mat) {
+    dominant_system(n, seed, 1)
+}
+
+/// Float accumulations (serial seconds, flop totals) are summed in
+/// processing order, so across policies they agree to round-off, not
+/// bitwise — unlike the integer message/byte counters, which are exact.
+fn close(a: f64, b: f64) -> bool {
+    a == b || (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1e-30)
+}
+
+/// The 10 algorithm/criterion combos (6 hybrid criteria + 4 baselines).
+fn algorithm_from(sel: usize, raw: u64) -> Algorithm {
+    let alpha = (raw % 1000) as f64;
+    match sel {
+        0 => Algorithm::LuQr(Criterion::Max { alpha }),
+        1 => Algorithm::LuQr(Criterion::Sum { alpha }),
+        2 => Algorithm::LuQr(Criterion::Mumps { alpha }),
+        3 => Algorithm::LuQr(Criterion::Random {
+            lu_fraction: 0.5,
+            seed: raw,
+        }),
+        4 => Algorithm::LuQr(Criterion::AlwaysQr),
+        5 => Algorithm::LuQr(Criterion::AlwaysLu),
+        6 => Algorithm::LuNoPiv,
+        7 => Algorithm::LuIncPiv,
+        8 => Algorithm::Lupp,
+        _ => Algorithm::Hqr,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn fifo_is_bitwise_the_pre_refactor_engine(
+        seed in any::<u64>(),
+        n in 24usize..56,
+        algo_sel in 0usize..10,
+        algo_raw in any::<u64>(),
+        grid_sel in 0usize..2,
+    ) {
+        let grid = [Grid::single(), Grid::new(2, 2)][grid_sel];
+        let platform = Platform::dancer_nodes(grid.nodes());
+        let (a, b) = random_system(n, seed);
+        let opts = FactorOptions {
+            nb: 8,
+            ib: 4,
+            threads: 2,
+            grid,
+            algorithm: algorithm_from(algo_sel, algo_raw),
+            ..FactorOptions::default()
+        };
+        let f = factor(&a, &b, &opts);
+
+        // The pre-refactor engine: a raw insertion-order VirtualSchedule
+        // feed (what simulate() still is).
+        let reference = f.simulate(&platform);
+
+        // The policy engine's FIFO — eager fast path.
+        let fifo = f.simulate_with(&platform, &SimOptions::default());
+        prop_assert_eq!(&reference, &fifo, "eager fifo diverged");
+
+        // ... and its generic buffer-and-select machinery, forced.
+        let mut eng = SchedEngine::with_spans(&platform, SchedPolicy::Fifo)
+            .with_forced_buffering();
+        for t in &f.graph.tasks {
+            let r = t.result().expect("executed graph");
+            eng.submit(t.node, &t.accesses, r);
+        }
+        eng.drain();
+        prop_assert_eq!(&reference, &eng.report(), "buffered fifo diverged");
+
+        // The online engine (distributed streaming, Fifo) agrees too.
+        let dist = factor_stream_distributed(&a, &b, &opts, &platform, 2)
+            .expect("grid fits platform");
+        prop_assert_eq!(reference.makespan.to_bits(), dist.sim.makespan.to_bits());
+        prop_assert_eq!(reference.messages, dist.sim.messages);
+    }
+
+    #[test]
+    fn every_policy_preserves_numerics_and_data_flow(
+        seed in any::<u64>(),
+        n in 24usize..48,
+        algo_sel in 0usize..10,
+        algo_raw in any::<u64>(),
+        grid_sel in 0usize..2,
+    ) {
+        let grid = [Grid::single(), Grid::new(2, 2)][grid_sel];
+        let platform = Platform::dancer_nodes(grid.nodes());
+        let (a, b) = random_system(n, seed);
+        let opts = FactorOptions {
+            nb: 8,
+            ib: 4,
+            threads: 2,
+            grid,
+            algorithm: algorithm_from(algo_sel, algo_raw),
+            ..FactorOptions::default()
+        };
+        let batch = factor(&a, &b, &opts);
+        let x_ref = batch.solution();
+        let fifo = batch.simulate(&platform);
+
+        for policy in SchedPolicy::all() {
+            // Batch replay: timeline may move, data flow may not.
+            let sim = batch.simulate_with(&platform, &SimOptions::with_scheduler(policy));
+            prop_assert_eq!(sim.messages, fifo.messages, "{}", policy.name());
+            prop_assert_eq!(sim.bytes, fifo.bytes);
+            prop_assert!(close(sim.serial_seconds, fifo.serial_seconds));
+            prop_assert!(close(sim.total_flops, fifo.total_flops));
+            for (sa, sb) in sim.node_class_seconds.iter().zip(&fifo.node_class_seconds) {
+                for (x, y) in sa.iter().zip(sb) {
+                    prop_assert!(close(*x, *y), "per-class seconds moved");
+                }
+            }
+            prop_assert!(sim.makespan >= sim.critical_path - 1e-12);
+
+            // Online distributed streaming under the policy: numerics
+            // bitwise, failure behavior and decisions identical.
+            let dist = factor_stream_distributed_with(&a, &b, &opts, &platform, 2, policy)
+                .expect("grid fits platform");
+            prop_assert_eq!(&batch.error, &dist.stream.error, "{}", policy.name());
+            prop_assert_eq!(x_ref.max_abs_diff(&dist.solution()), 0.0, "{}", policy.name());
+            prop_assert_eq!(batch.records.len(), dist.stream.records.len());
+            for (rb, rd) in batch.records.iter().zip(&dist.stream.records) {
+                prop_assert_eq!(rb.decision, rd.decision);
+            }
+            prop_assert_eq!(dist.sim.messages, fifo.messages);
+            prop_assert_eq!(dist.sim.bytes, fifo.bytes);
+            prop_assert_eq!(dist.msgs().payload_msgs(), dist.sim.messages);
+        }
+    }
+}
