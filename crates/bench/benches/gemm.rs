@@ -1,0 +1,112 @@
+//! GEMM microkernel benchmark: the packed register-tiled path of
+//! `luqr_kernels::gemm_kernel` against the scalar reference it replaced
+//! (`gemm_reference`), at the tile sizes the factorization drivers actually
+//! run (nb = 48) and at panel/matrix sizes large enough to stress every
+//! cache-blocking level.
+//!
+//! The JSON baseline (`BENCH_gemm.json`, refreshed via
+//! `CRITERION_JSON=BENCH_gemm.json cargo bench -p luqr-bench --bench gemm`)
+//! records, next to the wall-clock timings, the achieved GFLOP/s and its
+//! fraction of the platform model's per-core peak (`Platform::dancer()`
+//! advertises 8.52 effective GFLOP/s per core — the measured numbers are
+//! what `Dist::calibrated` timings should be interpreted against, see the
+//! README "Kernel performance" section).
+//!
+//! Custom harness (`luqr_bench::harness`), same scheme as `sched.rs`:
+//! pass `--test` (as CI does) to run a reduced size sweep. In both modes
+//! the run asserts the subsystem's payoff bar: the packed path must beat
+//! the reference by ≥ 2x at n = 256.
+
+use std::hint::black_box;
+
+use luqr_bench::harness::{sample, write_json, Record};
+use luqr_kernels::blas::{gemm, gemm_reference, Trans};
+use luqr_kernels::Mat;
+use luqr_runtime::Platform;
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let sizes: &[usize] = if test_mode {
+        &[48, 256]
+    } else {
+        &[48, 96, 256, 480]
+    };
+    let core_gflops = Platform::dancer().node(0).core_gflops;
+    let mut records: Vec<Record> = Vec::new();
+    let mut speedup_at_256 = None;
+
+    for &n in sizes {
+        let a = Mat::random(n, n, 1);
+        let b = Mat::random(n, n, 2);
+        let c0 = Mat::random(n, n, 3);
+        let flops = 2.0 * (n as f64).powi(3);
+        let group = format!("gemm-n{n}");
+
+        let mut c = c0.clone();
+        let (min_b, med_b, mean_b) = sample(|| {
+            gemm(
+                Trans::NoTrans,
+                Trans::NoTrans,
+                1.0,
+                black_box(&a),
+                black_box(&b),
+                0.0,
+                black_box(&mut c),
+            );
+        });
+        let mut c = c0.clone();
+        let (min_r, med_r, mean_r) = sample(|| {
+            gemm_reference(
+                Trans::NoTrans,
+                Trans::NoTrans,
+                1.0,
+                black_box(&a),
+                black_box(&b),
+                0.0,
+                black_box(&mut c),
+            );
+        });
+
+        let speedup = med_r / med_b;
+        if n == 256 {
+            speedup_at_256 = Some(speedup);
+        }
+        for (bench, (min_ns, median_ns, mean_ns)) in [
+            ("packed", (min_b, med_b, mean_b)),
+            ("reference", (min_r, med_r, mean_r)),
+        ] {
+            let gflops = flops / median_ns;
+            records.push(Record {
+                group: group.clone(),
+                bench: bench.to_string(),
+                min_ns,
+                median_ns,
+                mean_ns,
+                extra_json: format!(
+                    ", \"gflops\": {gflops:.2}, \"core_gflops_model\": {core_gflops:.2}, \
+                     \"frac_of_model_core\": {:.2}, \"speedup_vs_reference\": {:.2}",
+                    gflops / core_gflops,
+                    if bench == "packed" { speedup } else { 1.0 },
+                ),
+            });
+        }
+    }
+
+    for r in &records {
+        eprintln!(
+            "bench {:<22} min {:>11.0} ns  median {:>11.0} ns  mean {:>11.0} ns{}",
+            format!("{}/{}", r.group, r.bench),
+            r.min_ns,
+            r.median_ns,
+            r.mean_ns,
+            r.extra_json.replace("\", \"", "  ").replace('"', ""),
+        );
+    }
+
+    let speedup = speedup_at_256.expect("size sweep always includes 256");
+    assert!(
+        speedup >= 2.0,
+        "packed GEMM must beat the reference by >= 2x at n=256, got {speedup:.2}x"
+    );
+    write_json(&records);
+}

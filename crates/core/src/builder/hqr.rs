@@ -11,6 +11,7 @@ use luqr_runtime::CostClass;
 use crate::keys;
 use crate::trees::{elimination_list, ElimOp};
 
+use super::tname;
 use super::{with_sub, BranchGate, Gated, Inserter, StepPlanner, TfCell};
 
 /// Lazily declared per-row T-factor cells for one QR step.
@@ -95,7 +96,7 @@ fn insert_geqrt(
     let tf = tf_cells.get(ins, row);
     let flops = geqrt_flops(tm, nbk) as f64;
     ins.b
-        .insert(format!("GEQRT({row},k={k})"), ins.dist.owner(row, k))
+        .insert(tname!("GEQRT(", row, ",k=", k, ")"), ins.dist.owner(row, k))
         .writes(keys::tile(row, k))
         .writes(keys::tfactor(row, k))
         .gated(gate)
@@ -106,7 +107,15 @@ fn insert_geqrt(
         });
     for j in ins.trailing(k) {
         let tf = tf_cells.get(ins, row);
-        super::update::insert_qt_apply(ins, k, row, j, format!("UNMQR({row},{j},k={k})"), tf, gate);
+        super::update::insert_qt_apply(
+            ins,
+            k,
+            row,
+            j,
+            tname!("UNMQR(", row, ",", j, ",k=", k, ")"),
+            tf,
+            gate,
+        );
     }
 }
 
@@ -139,7 +148,7 @@ fn insert_kill(
     };
     ins.b
         .insert(
-            format!("{kname}({victim},{eliminator},k={k})"),
+            tname!(kname, "(", victim, ",", eliminator, ",k=", k, ")"),
             ins.dist.owner(victim, k),
         )
         .writes(keys::tile(eliminator, k))
@@ -169,7 +178,7 @@ fn insert_kill(
         };
         ins.b
             .insert(
-                format!("{uname}({victim},{eliminator},{j},k={k})"),
+                tname!(uname, "(", victim, ",", eliminator, ",", j, ",k=", k, ")"),
                 ins.dist.owner(victim, j),
             )
             .reads(keys::tile(victim, k))
@@ -179,14 +188,22 @@ fn insert_kill(
             .gated(gate)
             .spawn_costed(flops, CostClass::QrApply, move || {
                 let vsg = v_src.lock();
-                let vview = vsg.sub(0, 0, vm, nbk);
+                // Borrow the reflector tile in place when it already has the
+                // needed shape (all but ragged-edge tiles).
+                let copy;
+                let vview = if vsg.dims() == (vm, nbk) {
+                    &*vsg
+                } else {
+                    copy = vsg.sub(0, 0, vm, nbk);
+                    &copy
+                };
                 let tfg = tf.lock();
                 let tfr = tfg.as_ref().expect("missing T factor");
                 let mut tg = top.lock();
                 let mut bg = bot.lock();
                 with_sub(&mut tg, nbk, w, |a| {
                     with_sub(&mut bg, vm, w, |b2| {
-                        tpmqrt(Trans::Trans, l, &vview, tfr, a, b2)
+                        tpmqrt(Trans::Trans, l, vview, tfr, a, b2)
                     })
                 });
             });

@@ -23,6 +23,7 @@ use luqr_runtime::TaskId;
 use crate::config::{Decision, LuVariant};
 use crate::criteria::Criterion;
 
+use super::tname;
 use super::{
     hqr, lu, panel, update, BranchGate, DecCell, Inserter, PanelCell, StepPlanner, TfCell,
 };
@@ -175,7 +176,7 @@ fn insert_lu_step_a2(ins: &mut Inserter<'_>, k: usize, gate: &BranchGate, a2_tf:
             k,
             k,
             j,
-            format!("ORMQR({j},k={k})"),
+            tname!("ORMQR(", j, ",k=", k, ")"),
             Arc::clone(a2_tf),
             Some(gate),
         );

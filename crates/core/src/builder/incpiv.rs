@@ -11,6 +11,7 @@ use luqr_runtime::CostClass;
 
 use crate::keys;
 
+use super::tname;
 use super::{panel, with_sub, Inserter, PanelCell, StepPlanner};
 
 /// Output of one TSTRF: the L-factor block and its pairwise pivot record,
@@ -39,16 +40,24 @@ impl StepPlanner for IncPivPlanner {
             let pan2 = Arc::clone(&pan);
             let flops = (nbk * nbk * w) as f64;
             ins.b
-                .insert(format!("GESSM(k={k},j={j})"), ins.dist.owner(k, j))
+                .insert(tname!("GESSM(k=", k, ",j=", j, ")"), ins.dist.owner(k, j))
                 .reads(keys::pivots(k))
                 .reads(keys::tile(k, k))
                 .writes(keys::tile(k, j))
                 .spawn_costed(flops, CostClass::Trsm, move || {
                     let pf = pan2.get().expect("diag LU missing");
                     let lu = lu_t.lock();
-                    let lu_sq = lu.sub(0, 0, nbk.min(lu.rows()), nbk);
+                    // GESSM reads only the unit-lower part of the LU tile;
+                    // square diagonal tiles are borrowed in place.
+                    let copy;
+                    let lu_sq = if lu.dims() == (nbk, nbk) {
+                        &*lu
+                    } else {
+                        copy = lu.sub(0, 0, nbk.min(lu.rows()), nbk);
+                        &copy
+                    };
                     let mut cg = c.lock();
-                    with_sub(&mut cg, lu_sq.rows(), w, |top| gessm(&lu_sq, &pf.ipiv, top));
+                    with_sub(&mut cg, lu_sq.rows(), w, |top| gessm(lu_sq, &pf.ipiv, top));
                 });
         }
         // Pairwise elimination chain down the panel.
@@ -67,7 +76,7 @@ impl StepPlanner for IncPivPlanner {
                 let shared = ins.shared.clone();
                 let flops = (tm * nbk * nbk) as f64;
                 ins.b
-                    .insert(format!("TSTRF({i},k={k})"), ins.dist.owner(i, k))
+                    .insert(tname!("TSTRF(", i, ",k=", k, ")"), ins.dist.owner(i, k))
                     .writes(keys::tile(k, k))
                     .writes(keys::tile(i, k))
                     .writes(keys::incpiv_l(i, k))
@@ -94,7 +103,10 @@ impl StepPlanner for IncPivPlanner {
                 let lc = Arc::clone(&lcell);
                 let flops = 2.0 * (tm * nbk * w) as f64;
                 ins.b
-                    .insert(format!("SSSSM({i},{j},k={k})"), ins.dist.owner(i, j))
+                    .insert(
+                        tname!("SSSSM(", i, ",", j, ",k=", k, ")"),
+                        ins.dist.owner(i, j),
+                    )
                     .reads(keys::incpiv_l(i, k))
                     .writes(keys::tile(k, j))
                     .writes(keys::tile(i, j))

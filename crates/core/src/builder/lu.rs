@@ -9,8 +9,9 @@ use luqr_kernels::Mat;
 use luqr_runtime::{CostClass, TaskResult};
 
 use crate::keys;
-use crate::panel::{apply_swap_group, swap_permutation};
+use crate::panel::apply_swap_plan;
 
+use super::tname;
 use super::{panel, update, BranchGate, Gated, Inserter, PanelCell, StepPlanner};
 
 /// Insert the Apply/Eliminate/Update tasks of an LU step whose panel has
@@ -77,7 +78,7 @@ pub(crate) fn insert_lu_step(
             let sc = Arc::clone(&scratch);
             let bytes = nbk * w * 8;
             ins.b
-                .insert(format!("SWPINIT({j},k={k})"), ins.dist.owner(k, j))
+                .insert(tname!("SWPINIT(", j, ",k=", k, ")"), ins.dist.owner(k, j))
                 .reads(keys::tile(k, j))
                 .writes(scratch_key)
                 .gated(gate)
@@ -106,9 +107,13 @@ pub(crate) fn insert_lu_step(
                 .iter()
                 .map(|&(i, off)| (off, ins.aug.tile(i, j)))
                 .collect();
+            let spans: Vec<(usize, usize)> = rows
+                .iter()
+                .map(|&(i, off)| (off, ins.aug.tile_rows(i)))
+                .collect();
             let bytes = nbk * w * 8;
             ins.b
-                .insert(format!("PIVSWP(n{node},{j},k={k})"), node)
+                .insert(tname!("PIVSWP(n", node, ",", j, ",k=", k, ")"), node)
                 .reads(keys::pivots(k))
                 .reads(scratch_key)
                 .writes(keys::tile(k, j))
@@ -118,14 +123,14 @@ pub(crate) fn insert_lu_step(
                     let Some(pf) = pan2.get() else {
                         return TaskResult::discarded();
                     };
-                    let src = swap_permutation(&pf.ipiv, total_rows);
+                    let plan = pf.swap_plan(total_rows, nbk, &spans);
                     let sg = sc.lock();
                     let orig = sg.as_ref().expect("missing swap snapshot");
                     let mut tg = top.lock();
                     let mut guards: Vec<_> = tiles.iter().map(|(o, t)| (*o, t.lock())).collect();
                     let mut refs: Vec<(usize, &mut Mat)> =
                         guards.iter_mut().map(|(o, g)| (*o, &mut **g)).collect();
-                    apply_swap_group(&src, orig, &mut tg, &mut refs, handles_top);
+                    apply_swap_plan(&plan, orig, &mut tg, &mut refs, handles_top);
                     TaskResult::memory(bytes)
                 });
         }
@@ -137,7 +142,7 @@ pub(crate) fn insert_lu_step(
             let pan2 = Arc::clone(pan);
             let flops = (nbk * nbk * w) as f64;
             ins.b
-                .insert(format!("TRSMTOP({j},k={k})"), ins.dist.owner(k, j))
+                .insert(tname!("TRSMTOP(", j, ",k=", k, ")"), ins.dist.owner(k, j))
                 .reads(keys::tile(k, k))
                 .writes(keys::tile(k, j))
                 .gated(gate)
@@ -146,7 +151,16 @@ pub(crate) fn insert_lu_step(
                         return TaskResult::discarded();
                     }
                     let lg = l11.lock();
-                    let l_top = lg.sub(0, 0, nbk.min(lg.rows()), nbk.min(lg.cols()));
+                    // The solve reads only the strictly-lower triangle (unit
+                    // diagonal), so a square diagonal tile can be borrowed
+                    // in place; only ragged-edge tiles need the copy.
+                    let copy;
+                    let l_top = if lg.dims() == (nbk, nbk) {
+                        &*lg
+                    } else {
+                        copy = lg.sub(0, 0, nbk.min(lg.rows()), nbk.min(lg.cols()));
+                        &copy
+                    };
                     let mut tg = top.lock();
                     trsm(
                         Side::Left,
@@ -154,7 +168,7 @@ pub(crate) fn insert_lu_step(
                         Trans::NoTrans,
                         Diag::Unit,
                         1.0,
-                        &l_top,
+                        l_top,
                         &mut tg,
                     );
                     TaskResult::executed(flops, CostClass::Trsm)

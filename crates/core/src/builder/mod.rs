@@ -59,6 +59,49 @@ use crate::criteria::DomainCritData;
 use crate::keys;
 use crate::panel::PanelFactorization;
 
+/// Fast task-name assembly: the builders mint one small `String` per task,
+/// and `format!`'s formatting machinery is a measurable slice of
+/// graph-construction time on fine-grained graphs. `tname!` concatenates
+/// literal segments and indices with plain pushes instead.
+macro_rules! tname {
+    ($($seg:expr),+ $(,)?) => {{
+        let mut s = String::with_capacity(24);
+        $(crate::builder::NameSeg::push_to(&$seg, &mut s);)+
+        s
+    }};
+}
+pub(crate) use tname;
+
+/// One segment of a task name (see [`tname!`]).
+pub(crate) trait NameSeg {
+    fn push_to(&self, s: &mut String);
+}
+
+impl NameSeg for &str {
+    #[inline]
+    fn push_to(&self, s: &mut String) {
+        s.push_str(self);
+    }
+}
+
+impl NameSeg for usize {
+    #[inline]
+    fn push_to(&self, s: &mut String) {
+        let mut buf = [0u8; 20];
+        let mut i = buf.len();
+        let mut v = *self;
+        loop {
+            i -= 1;
+            buf[i] = b'0' + (v % 10) as u8;
+            v /= 10;
+            if v == 0 {
+                break;
+            }
+        }
+        s.push_str(std::str::from_utf8(&buf[i..]).unwrap());
+    }
+}
+
 /// Shared state written by tasks and read back by the driver.
 #[derive(Clone, Default)]
 pub struct SharedState {

@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use luqr_kernels::flops::{geqrt_flops, getrf_flops};
-use luqr_kernels::lu::getf2_continue;
+use luqr_kernels::lu::getrf_continue;
 use luqr_kernels::qr::geqrt;
 use luqr_kernels::Mat;
 use luqr_runtime::{CostClass, DataKey, TaskResult};
@@ -14,8 +14,9 @@ use luqr_runtime::{CostClass, DataKey, TaskResult};
 use crate::config::{Decision, LuVariant, PivotScope, StepRecord};
 use crate::criteria::{decide, Criterion, DomainCritData, PanelCritData};
 use crate::keys;
-use crate::panel::{factor_diagonal_domain, stack, unstack, PanelFactorization};
+use crate::panel::{factor_diagonal_domain, with_stacked, PanelFactorization};
 
+use super::tname;
 use super::{BackupCell, CritCell, DecCell, Inserter, PanelCell, TfCell};
 
 /// The rows participating in the hybrid's trial LU factorization at step
@@ -42,7 +43,7 @@ pub(crate) fn insert_backups(ins: &mut Inserter<'_>, k: usize, rows: &[usize]) -
         let tile = ins.aug.tile(i, k);
         let c = Arc::clone(&cell);
         ins.b
-            .insert(format!("BACKUP({i},k={k})"), ins.dist.owner(i, k))
+            .insert(tname!("BACKUP(", i, ",k=", k, ")"), ins.dist.owner(i, k))
             .reads(keys::tile(i, k))
             .writes(keys::backup(i, k))
             .spawn_memory(bytes, move || {
@@ -99,7 +100,7 @@ pub(crate) fn insert_crit_collection(
                 .sum();
             let c = Arc::clone(&cell);
             ins.b
-                .insert(format!("CRIT(d={gidx},k={k})"), *node)
+                .insert(tname!("CRIT(d=", gidx, ",k=", k, ")"), *node)
                 .reads_each(rows.iter().map(|&i| keys::tile(i, k)))
                 .writes(key)
                 .spawn_costed(2.0 * area as f64, CostClass::Estimate, move || {
@@ -148,7 +149,7 @@ pub(crate) fn insert_trial_panel(
     let flops = getrf_flops(rows_total, nbk) as f64 + 2.0 * (nbk * nbk) as f64;
     let allreduce_rounds = (ins.dist.panel_node_count(k, mt) as f64).log2().ceil() as u32;
     ins.b
-        .insert(format!("PANEL(k={k})"), ins.dist.diag_owner(k))
+        .insert(tname!("PANEL(k=", k, ")"), ins.dist.diag_owner(k))
         .writes_each(rows.iter().map(|&i| keys::tile(i, k)))
         .reads_each(crit_keys.iter().copied())
         .writes(keys::pivots(k))
@@ -275,11 +276,7 @@ pub(crate) fn insert_a2_panel(
                 panel_norm,
             });
             let _ = dec2.set(outcome.decision);
-            let _ = pan2.set(PanelFactorization {
-                ipiv: Vec::new(),
-                crit,
-                heights: vec![g.rows()],
-            });
+            let _ = pan2.set(PanelFactorization::new(Vec::new(), crit, vec![g.rows()]));
             TaskResult::executed(flops, CostClass::PanelFactor)
                 .with_cores(u32::MAX)
                 .with_latency_events(allreduce_rounds)
@@ -302,7 +299,7 @@ pub(crate) fn insert_propagate(
         let dec2 = Arc::clone(dec);
         let bytes = ins.tile_bytes(i, k);
         ins.b
-            .insert(format!("PROP({i},k={k})"), ins.dist.owner(i, k))
+            .insert(tname!("PROP(", i, ",k=", k, ")"), ins.dist.owner(i, k))
             .reads(keys::decision(k))
             .reads(keys::backup(i, k))
             .writes(keys::tile(i, k))
@@ -359,25 +356,22 @@ pub(crate) fn insert_simple_panel(
         (1, 0)
     };
     ins.b
-        .insert(format!("{name}(k={k})"), ins.dist.diag_owner(k))
+        .insert(tname!(name, "(k=", k, ")"), ins.dist.diag_owner(k))
         .writes_each(rows.iter().map(|&i| keys::tile(i, k)))
         .writes(keys::pivots(k))
         .controls_each(barrier)
         .spawn(move || {
             let mut guards: Vec<_> = tiles.iter().map(|t| t.lock()).collect();
-            let refs: Vec<&Mat> = guards.iter().map(|g| &**g).collect();
-            let mut s = stack(&refs);
-            let (ipiv, info) = getf2_continue(&mut s);
+            let mut refs_mut: Vec<&mut Mat> = guards.iter_mut().map(|g| &mut **g).collect();
+            let (ipiv, info) = with_stacked(&mut refs_mut, getrf_continue);
             if let Some(step) = info {
                 shared.fail(format!("zero pivot at step {k} (panel column {step})"));
             }
-            let mut refs_mut: Vec<&mut Mat> = guards.iter_mut().map(|g| &mut **g).collect();
-            unstack(&s, &heights, &mut refs_mut);
-            let _ = pan2.set(PanelFactorization {
+            let _ = pan2.set(PanelFactorization::new(
                 ipiv,
-                crit: PanelCritData::default(),
+                PanelCritData::default(),
                 heights,
-            });
+            ));
             // A full-panel LUPP factorization spans the grid column: every
             // pivot search is an all-reduce over its p nodes (the latency
             // the paper blames for LUPP's poor distributed performance).
@@ -399,20 +393,20 @@ pub(crate) fn insert_incpiv_diag(ins: &mut Inserter<'_>, k: usize, pan: &PanelCe
     let (tm, _) = ins.aug.tile_dims(k, k);
     let flops = getrf_flops(tm, nbk) as f64;
     ins.b
-        .insert(format!("GETRF(k={k})"), ins.dist.diag_owner(k))
+        .insert(tname!("GETRF(k=", k, ")"), ins.dist.diag_owner(k))
         .writes(keys::tile(k, k))
         .writes(keys::pivots(k))
         .spawn_costed(flops, CostClass::PanelFactor, move || {
             let mut t = tile.lock();
-            let (ipiv, info) = getf2_continue(&mut t);
+            let (ipiv, info) = getrf_continue(&mut t);
             if let Some(step) = info {
                 shared.fail(format!("zero pivot at step {k} (column {step})"));
             }
             let heights = vec![t.rows()];
-            let _ = pan2.set(PanelFactorization {
+            let _ = pan2.set(PanelFactorization::new(
                 ipiv,
-                crit: PanelCritData::default(),
+                PanelCritData::default(),
                 heights,
-            });
+            ));
         });
 }

@@ -14,6 +14,7 @@ use luqr_runtime::CostClass;
 
 use crate::keys;
 
+use super::tname;
 use super::{BranchGate, Gated, Inserter, TfCell};
 
 /// Insert the Eliminate task `A_ik <- A_ik U_kk^{-1}` (TRSM against the
@@ -30,13 +31,22 @@ pub(crate) fn insert_trsm_eliminate(
     let a_kk = ins.aug.tile(k, k);
     let flops = (tm * nbk * nbk) as f64;
     ins.b
-        .insert(format!("TRSM({i},k={k})"), ins.dist.owner(i, k))
+        .insert(tname!("TRSM(", i, ",k=", k, ")"), ins.dist.owner(i, k))
         .reads(keys::tile(k, k))
         .writes(keys::tile(i, k))
         .gated(gate)
         .spawn_costed(flops, CostClass::Trsm, move || {
             let kk = a_kk.lock();
-            let u = kk.sub(0, 0, nbk, nbk); // upper triangle = U_kk (or R)
+            // Upper triangle of the diagonal tile = U_kk (or R). Diagonal
+            // tiles are square except at the ragged edge, so the common
+            // case borrows in place instead of copying 18KB per task.
+            let copy;
+            let u = if kk.dims() == (nbk, nbk) {
+                &*kk
+            } else {
+                copy = kk.sub(0, 0, nbk, nbk);
+                &copy
+            };
             let mut ik = a_ik.lock();
             trsm(
                 Side::Right,
@@ -44,7 +54,7 @@ pub(crate) fn insert_trsm_eliminate(
                 Trans::NoTrans,
                 Diag::NonUnit,
                 1.0,
-                &u,
+                u,
                 &mut ik,
             );
         });
@@ -66,7 +76,10 @@ pub(crate) fn insert_gemm_update(
     let a_ij = ins.aug.tile(i, j);
     let flops = 2.0 * (tm * w * nbk) as f64;
     ins.b
-        .insert(format!("GEMM({i},{j},k={k})"), ins.dist.owner(i, j))
+        .insert(
+            tname!("GEMM(", i, ",", j, ",k=", k, ")"),
+            ins.dist.owner(i, j),
+        )
         .reads(keys::tile(i, k))
         .reads(keys::tile(k, j))
         .writes(keys::tile(i, j))
@@ -74,14 +87,23 @@ pub(crate) fn insert_gemm_update(
         .spawn_costed(flops, CostClass::Gemm, move || {
             let ik = a_ik.lock();
             let kj = a_kj.lock();
-            let kj_top = kj.sub(0, 0, nbk, kj.cols());
+            // Only the top nbk rows of A_kj participate; borrow the tile in
+            // place when it already has exactly that many rows (every tile
+            // except the ragged bottom edge) instead of copying it.
+            let copy;
+            let kj_top = if kj.rows() == nbk {
+                &*kj
+            } else {
+                copy = kj.sub(0, 0, nbk, kj.cols());
+                &copy
+            };
             let mut ij = a_ij.lock();
             luqr_kernels::blas::gemm(
                 Trans::NoTrans,
                 Trans::NoTrans,
                 -1.0,
                 &ik,
-                &kj_top,
+                kj_top,
                 1.0,
                 &mut ij,
             );

@@ -215,10 +215,12 @@ pub fn factor(a: &Mat, rhs: &Mat, opts: &FactorOptions) -> Factorization {
     assert_eq!(rhs.rows(), n, "rhs row mismatch");
     assert!(rhs.cols() >= 1, "need at least one rhs column");
     assert!(opts.nb >= 2, "tile size must be at least 2");
+    // Give the packed-GEMM engine the same worker budget as the executor so
+    // large trailing updates can split across threads deterministically.
+    luqr_kernels::gemm_kernel::set_kernel_threads(opts.threads.max(1));
 
-    let tiled = TiledMatrix::from_dense(a, opts.nb);
-    let aug = tiled.augment(rhs);
-    let nt_a = tiled.nt();
+    let aug = TiledMatrix::from_dense_augmented(a, rhs, opts.nb);
+    let nt_a = aug.nt() - rhs.cols().div_ceil(opts.nb);
     let (graph, shared) = builder::build_graph(&aug, nt_a, opts);
     let exec = execute(&graph, opts.threads);
     let records = shared.records.lock().clone();
@@ -384,10 +386,12 @@ pub fn factor_stream_with(
     assert_eq!(rhs.rows(), n, "rhs row mismatch");
     assert!(rhs.cols() >= 1, "need at least one rhs column");
     assert!(opts.nb >= 2, "tile size must be at least 2");
+    // Give the packed-GEMM engine the same worker budget as the executor so
+    // large trailing updates can split across threads deterministically.
+    luqr_kernels::gemm_kernel::set_kernel_threads(opts.threads.max(1));
 
-    let tiled = TiledMatrix::from_dense(a, opts.nb);
-    let aug = tiled.augment(rhs);
-    let nt_a = tiled.nt();
+    let aug = TiledMatrix::from_dense_augmented(a, rhs, opts.nb);
+    let nt_a = aug.nt() - rhs.cols().div_ceil(opts.nb);
     let mut source = PlannerStepSource::new(&aug, nt_a, opts);
     let report = luqr_runtime::stream::execute_with(&mut source, stream_opts);
     let shared = source.shared();

@@ -12,15 +12,23 @@
 //! These are plain matrix functions: the graph layer locks the tiles and
 //! calls in here from task kernels.
 
-use luqr_kernels::blas::{gemm, trsm, Diag, Side, Trans, UpLo};
+use luqr_kernels::blas::{abs_sum_max, gemm, trsm, Diag, Side, Trans, UpLo};
 use luqr_kernels::lu::{getrf, laswp, KernelError};
 use luqr_kernels::norm_est::invnorm_est_lu;
 use luqr_kernels::Mat;
 
 use crate::criteria::PanelCritData;
 
+thread_local! {
+    /// Reused stacked-domain scratch for [`factor_diagonal_domain`].
+    static PANEL_SCRATCH: std::cell::RefCell<Mat> = std::cell::RefCell::new(Mat::zeros(1, 1));
+}
+
+/// Cached swap plan keyed by the tile spans it was built for.
+type CachedSwapPlan = std::sync::OnceLock<(Vec<(usize, usize)>, std::sync::Arc<SwapPlan>)>;
+
 /// Output of a diagonal-domain trial factorization.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PanelFactorization {
     /// Row interchanges over the stacked domain (LAPACK convention).
     pub ipiv: Vec<usize>,
@@ -28,6 +36,71 @@ pub struct PanelFactorization {
     pub crit: PanelCritData,
     /// Row count of each domain tile (for re-stacking columns later).
     pub heights: Vec<usize>,
+    /// Net permutation of `ipiv` over the stacked panel, computed once on
+    /// first use (every swap task of the step shares it).
+    swap_src: std::sync::OnceLock<Vec<usize>>,
+    /// Swap plan for one group's tile spans, cached across the step's
+    /// trailing-column swap tasks (which all share the same spans).
+    swap_plan: CachedSwapPlan,
+}
+
+impl PanelFactorization {
+    /// Construct from the factorization outputs.
+    pub fn new(ipiv: Vec<usize>, crit: PanelCritData, heights: Vec<usize>) -> Self {
+        PanelFactorization {
+            ipiv,
+            crit,
+            heights,
+            swap_src: std::sync::OnceLock::new(),
+            swap_plan: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The net permutation over a stacked panel of `m` rows (see
+    /// [`swap_permutation`]), cached across this step's swap tasks.
+    pub fn swap_src(&self, m: usize) -> &[usize] {
+        let src = self
+            .swap_src
+            .get_or_init(|| swap_permutation(&self.ipiv, m));
+        debug_assert_eq!(src.len(), m);
+        src
+    }
+
+    /// The [`SwapPlan`] for a group covering `spans` of an `m`-row stacked
+    /// panel with a `steps`-row pivot block, cached across this step's
+    /// trailing-column swap tasks. A single cache slot suffices because the
+    /// single-node executors drive one group per step; a different group
+    /// (multi-node runs) falls back to building its plan on the spot.
+    pub fn swap_plan(
+        &self,
+        m: usize,
+        steps: usize,
+        spans: &[(usize, usize)],
+    ) -> std::sync::Arc<SwapPlan> {
+        let src = self.swap_src(m);
+        if spans.is_empty() {
+            // Top-internal-only groups carry no tiles; their plan is O(steps)
+            // to gather and not worth a cache slot.
+            return std::sync::Arc::new(SwapPlan::build(src, steps, spans));
+        }
+        if let Some((cached_spans, plan)) = self.swap_plan.get() {
+            if cached_spans == spans {
+                return std::sync::Arc::clone(plan);
+            }
+            return std::sync::Arc::new(SwapPlan::build(src, steps, spans));
+        }
+        let plan = std::sync::Arc::new(SwapPlan::build(src, steps, spans));
+        let _ = self
+            .swap_plan
+            .set((spans.to_vec(), std::sync::Arc::clone(&plan)));
+        plan
+    }
+}
+
+impl Clone for PanelFactorization {
+    fn clone(&self) -> Self {
+        PanelFactorization::new(self.ipiv.clone(), self.crit.clone(), self.heights.clone())
+    }
 }
 
 /// Stack tiles vertically into one matrix.
@@ -44,12 +117,29 @@ pub fn stack(tiles: &[&Mat]) -> Mat {
     s
 }
 
+/// Stack `tiles` into the reused thread-local scratch, run `f` on the
+/// stacked matrix, then scatter the result back into the tiles. Avoids the
+/// per-call allocation (and redundant zero fill) of [`stack`] on hot paths.
+pub fn with_stacked<R>(tiles: &mut [&mut Mat], f: impl FnOnce(&mut Mat) -> R) -> R {
+    let heights: Vec<usize> = tiles.iter().map(|t| t.rows()).collect();
+    PANEL_SCRATCH.with(|cell| {
+        let mut s = cell.borrow_mut();
+        s.reset_stacked(&tiles.iter().map(|t| &**t).collect::<Vec<_>>());
+        let r = f(&mut s);
+        unstack(&s, &heights, tiles);
+        r
+    })
+}
+
 /// Scatter a stacked matrix back into tiles of the given heights.
 pub fn unstack(s: &Mat, heights: &[usize], tiles: &mut [&mut Mat]) {
     assert_eq!(heights.len(), tiles.len());
     let mut row = 0;
     for (t, &h) in tiles.iter_mut().zip(heights) {
-        **t = s.sub(row, 0, h, t.cols());
+        assert_eq!(t.rows(), h, "unstack: tile height mismatch");
+        for j in 0..t.cols() {
+            t.col_mut(j).copy_from_slice(&s.col(j)[row..row + h]);
+        }
         row += h;
     }
 }
@@ -69,44 +159,55 @@ pub fn factor_diagonal_domain(
     let width = tiles[0].cols();
     let heights: Vec<usize> = tiles.iter().map(|t| t.rows()).collect();
 
-    // Pre-factorization criterion data.
-    let mut crit = PanelCritData {
-        local_col_max: vec![0.0; width],
-        ..Default::default()
-    };
-    for (idx, t) in tiles.iter().enumerate() {
+    // Factor the stack (in a reused thread-local scratch: domain stacks are
+    // large enough that a fresh allocation per panel cycles pages through
+    // the allocator).
+    PANEL_SCRATCH.with(|cell| {
+        let mut s = cell.borrow_mut();
+        s.reset_stacked(&tiles.iter().map(|t| &**t).collect::<Vec<_>>());
+
+        // Pre-factorization criterion data, in one fused pass over the
+        // still-warm stacked copy (per-column max |a_ij| over the whole
+        // panel, and the one-norm of each below-diagonal tile).
+        let mut crit = PanelCritData {
+            local_col_max: vec![0.0; width],
+            ..Default::default()
+        };
+        let mut tile_norm1 = vec![0.0f64; tiles.len()];
         for j in 0..width {
-            crit.local_col_max[j] = crit.local_col_max[j].max(t.col_max_abs_from(j, 0));
+            let col = s.col(j);
+            let mut cmax = 0.0f64;
+            let mut row = 0;
+            for (ti, &h) in heights.iter().enumerate() {
+                let (sum, max) = abs_sum_max(&col[row..row + h]);
+                cmax = cmax.max(max);
+                tile_norm1[ti] = tile_norm1[ti].max(sum);
+                row += h;
+            }
+            crit.local_col_max[j] = cmax;
         }
-        if idx > 0 {
-            let n1 = t.norm_one();
+        for &n1 in &tile_norm1[1..] {
             crit.below_diag_max_norm1 = crit.below_diag_max_norm1.max(n1);
             crit.below_diag_sum_norm1 += n1;
         }
-    }
 
-    // Factor the stack.
-    let mut s = stack(&tiles.iter().map(|t| &**t).collect::<Vec<_>>());
-    let ipiv = match getrf(&mut s) {
-        Ok(p) => p,
-        Err(e) => return Err((e, crit)),
-    };
+        let ipiv = match getrf(&mut s) {
+            Ok(p) => p,
+            Err(e) => return Err((e, crit)),
+        };
 
-    // Post-factorization criterion data.
-    let steps = s.rows().min(width);
-    crit.pivot_abs = (0..steps).map(|j| s[(j, j)].abs()).collect();
-    let top = s.sub(0, 0, width.min(s.rows()), width);
-    if top.rows() == width {
-        let identity: Vec<usize> = (0..width).collect();
-        let est = invnorm_est_lu(&top, &identity, est_iters);
-        crit.inv_norm_recip = if est > 0.0 { 1.0 / est } else { 0.0 };
-    }
+        // Post-factorization criterion data.
+        let steps = s.rows().min(width);
+        crit.pivot_abs = (0..steps).map(|j| s[(j, j)].abs()).collect();
+        let top = s.sub(0, 0, width.min(s.rows()), width);
+        if top.rows() == width {
+            let identity: Vec<usize> = (0..width).collect();
+            let est = invnorm_est_lu(&top, &identity, est_iters);
+            crit.inv_norm_recip = if est > 0.0 { 1.0 / est } else { 0.0 };
+        }
 
-    unstack(&s, &heights, tiles);
-    Ok(PanelFactorization {
-        ipiv,
-        crit,
-        heights,
+        unstack(&s, &heights, tiles);
+        Ok(PanelFactorization::new(ipiv, crit, heights))
     })
 }
 
@@ -195,54 +296,124 @@ pub fn apply_swap_group(
     handles_top_internal: bool,
 ) {
     let steps = top_original.rows();
-    let w = top_original.cols();
-    // Top positions fed by this group's rows (snapshot first: those rows
-    // may themselves receive pivot-block content below).
-    let mut feeds: Vec<(usize, Vec<f64>)> = Vec::new();
-    for (c, &s) in src.iter().enumerate().take(steps) {
-        if s >= steps {
-            if let Some((t, r)) = locate(tiles, s) {
-                let row: Vec<f64> = (0..w).map(|j| tiles[t].1[(r, j)]).collect();
-                feeds.push((c, row));
-            }
-        }
-    }
-    // This group's rows receiving pivot-block content.
-    for (off, tile) in tiles.iter_mut() {
-        for r in 0..tile.rows() {
-            let pos = *off + r;
-            if pos < steps {
-                continue; // the pivot block itself is handled via `top`
-            }
-            let s = src[pos];
-            if s != pos {
-                debug_assert!(s < steps, "below-block row sourced outside the pivot block");
-                for j in 0..w {
-                    tile[(r, j)] = top_original[(s, j)];
+    let spans: Vec<(usize, usize)> = tiles.iter().map(|(off, t)| (*off, t.rows())).collect();
+    let plan = SwapPlan::build(src, steps, &spans);
+    apply_swap_plan(&plan, top_original, top, tiles, handles_top_internal);
+}
+
+/// The row bookkeeping of one group's [`apply_swap_group`] call, gathered
+/// once and reusable across every trailing column of the same step (the
+/// plan depends only on the net permutation, the pivot-block height, and
+/// the group's tile spans — not on the column being swapped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapPlan {
+    /// Top positions fed by this group's rows: (dest position, tile, row).
+    feeds: Vec<(usize, usize, usize)>,
+    /// This group's rows receiving pivot-block content: (tile, row, source).
+    recvs: Vec<(usize, usize, usize)>,
+    /// Pivot-block-internal moves (applied only by the diagonal's group).
+    internal: Vec<(usize, usize)>,
+}
+
+impl SwapPlan {
+    /// Gather the plan for a group whose tiles cover the stack rows given
+    /// by `spans` (`(offset, rows)` per tile, in tile order).
+    pub fn build(src: &[usize], steps: usize, spans: &[(usize, usize)]) -> SwapPlan {
+        let mut feeds: Vec<(usize, usize, usize)> = Vec::new();
+        for (c, &s) in src.iter().enumerate().take(steps) {
+            if s >= steps {
+                if let Some((t, r)) = locate(spans, s) {
+                    feeds.push((c, t, r));
                 }
             }
         }
-    }
-    for (c, row) in feeds {
-        for (j, v) in row.into_iter().enumerate() {
-            top[(c, j)] = v;
+        let mut recvs: Vec<(usize, usize, usize)> = Vec::new();
+        for (t, &(off, rows)) in spans.iter().enumerate() {
+            for r in 0..rows {
+                let pos = off + r;
+                if pos < steps {
+                    continue; // the pivot block itself is handled via `top`
+                }
+                let s = src[pos];
+                if s != pos {
+                    debug_assert!(s < steps, "below-block row sourced outside the pivot block");
+                    recvs.push((t, r, s));
+                }
+            }
         }
-    }
-    if handles_top_internal {
+        let mut internal: Vec<(usize, usize)> = Vec::new();
         for (c, &s) in src.iter().enumerate().take(steps) {
             if s < steps && s != c {
-                for j in 0..w {
-                    top[(c, j)] = top_original[(s, j)];
-                }
+                internal.push((c, s));
+            }
+        }
+        SwapPlan {
+            feeds,
+            recvs,
+            internal,
+        }
+    }
+}
+
+/// Execute a gathered [`SwapPlan`] column by column, so every transfer is
+/// slice-indexed within contiguous column-major columns.
+///
+/// Feed values are read before any receive writes into the same column, so
+/// rows that both feed the pivot block and receive from it are handled
+/// exactly as if snapshotted up front.
+pub fn apply_swap_plan(
+    plan: &SwapPlan,
+    top_original: &Mat,
+    top: &mut Mat,
+    tiles: &mut [(usize, &mut Mat)],
+    handles_top_internal: bool,
+) {
+    let w = top_original.cols();
+    let SwapPlan {
+        feeds,
+        recvs,
+        internal,
+    } = plan;
+    // Column slices are hoisted out of the row loops (feeds and recvs are
+    // grouped by tile by construction, so the runs of equal `t` below
+    // slice each tile's column once).
+    let mut feed_vals = vec![0.0f64; feeds.len()];
+    for j in 0..w {
+        let mut i = 0;
+        while i < feeds.len() {
+            let t = feeds[i].1;
+            let col = tiles[t].1.col(j);
+            while i < feeds.len() && feeds[i].1 == t {
+                feed_vals[i] = col[feeds[i].2];
+                i += 1;
+            }
+        }
+        let src_col = top_original.col(j);
+        let mut i = 0;
+        while i < recvs.len() {
+            let t = recvs[i].0;
+            let col = tiles[t].1.col_mut(j);
+            while i < recvs.len() && recvs[i].0 == t {
+                col[recvs[i].1] = src_col[recvs[i].2];
+                i += 1;
+            }
+        }
+        let top_col = top.col_mut(j);
+        for (&v, &(c, _, _)) in feed_vals.iter().zip(feeds) {
+            top_col[c] = v;
+        }
+        if handles_top_internal {
+            for &(c, s) in internal {
+                top_col[c] = src_col[s];
             }
         }
     }
 }
 
-fn locate(tiles: &[(usize, &mut Mat)], pos: usize) -> Option<(usize, usize)> {
-    for (t, (off, tile)) in tiles.iter().enumerate() {
-        if pos >= *off && pos < *off + tile.rows() {
-            return Some((t, pos - *off));
+fn locate(spans: &[(usize, usize)], pos: usize) -> Option<(usize, usize)> {
+    for (t, &(off, rows)) in spans.iter().enumerate() {
+        if pos >= off && pos < off + rows {
+            return Some((t, pos - off));
         }
     }
     None

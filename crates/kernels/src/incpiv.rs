@@ -10,7 +10,7 @@
 //! stability degrades as the number of tiles grows — which is exactly the
 //! behaviour the paper's Figure 2 exhibits and this reproduction must retain.
 
-use crate::blas::{trsm, Diag, Side, Trans, UpLo};
+use crate::blas::{axpy, trsm, Diag, Side, Trans, UpLo};
 use crate::flops::{add_flops, Attribution, KernelClass};
 use crate::lu::{laswp, KernelError};
 use crate::mat::Mat;
@@ -80,15 +80,13 @@ pub fn tstrf(u: &mut Mat, a: &mut Mat, l: &mut Mat) -> Result<Vec<PairPivot>, Ke
             l[(i, j)] = mult;
             a[(i, j)] = 0.0;
         }
+        // Column-sliced axpy form: a(:, c) += (-ujc) * l(:, j). Each update
+        // is the same multiply/subtract as the 2-D indexed loop it replaces
+        // (x + (-u)*l ≡ x - l*u bitwise), but contiguous and vectorizable.
         for c in j + 1..n {
             let ujc = u[(j, c)];
             if ujc != 0.0 {
-                for i in 0..m {
-                    let lij = l[(i, j)];
-                    if lij != 0.0 {
-                        a[(i, c)] -= lij * ujc;
-                    }
-                }
+                axpy(-ujc, l.col(j), a.col_mut(c));
             }
         }
         flops += (2 * m * (n - j)) as u64;
@@ -114,16 +112,12 @@ pub fn ssssm(l: &Mat, pivots: &[PairPivot], b_top: &mut Mat, b_bot: &mut Mat) {
                 std::mem::swap(&mut b_top[(j, c)], &mut b_bot[(*i, c)]);
             }
         }
-        // Eliminate: bottom rows -= L(:, j) * top row j.
+        // Eliminate: bottom rows -= L(:, j) * top row j (column-sliced axpy;
+        // same arithmetic as the elementwise loop, vectorizable).
         for c in 0..w {
             let t = b_top[(j, c)];
             if t != 0.0 {
-                for i in 0..m {
-                    let lij = l[(i, j)];
-                    if lij != 0.0 {
-                        b_bot[(i, c)] -= lij * t;
-                    }
-                }
+                axpy(-t, l.col(j), b_bot.col_mut(c));
             }
         }
         flops += (2 * m * w) as u64;

@@ -26,6 +26,7 @@
 
 pub mod blas;
 pub mod flops;
+pub mod gemm_kernel;
 pub mod incpiv;
 pub mod lu;
 pub mod mat;

@@ -1,9 +1,9 @@
 //! LU factorization kernels.
 //!
-//! * [`getrf`] — LU with partial pivoting on an m×n panel (recursive,
-//!   PLASMA-style: the paper factors the *diagonal domain* with the
-//!   multi-threaded recursive-LU kernel of PLASMA; we provide the same
-//!   recursive algorithm, sequential).
+//! * [`getrf`] — blocked LU with partial pivoting on an m×n panel
+//!   (right-looking, `IB`-wide block columns, Schur updates through the
+//!   packed GEMM engine). Plays the role of the PLASMA recursive panel
+//!   kernel the paper uses for the diagonal-domain factorization.
 //! * [`getrf_nopiv`] — LU without pivoting (fails on an exactly-zero pivot).
 //! * [`laswp`] — apply row interchanges.
 //! * [`getrs`] — solve with an LU factorization, and [`getrs_right`] for
@@ -13,7 +13,7 @@
 //! Pivot conventions follow LAPACK: `ipiv[k] = p` means rows `k` and `p`
 //! (0-based) were swapped at step `k`.
 
-use crate::blas::{gemm, iamax, trsm, Diag, Side, Trans, UpLo};
+use crate::blas::{axpy, gemm, iamax, trsm, Diag, Side, Trans, UpLo};
 use crate::flops::{add_flops, getrf_flops, KernelClass};
 use crate::mat::Mat;
 
@@ -86,15 +86,13 @@ pub fn getf2(a: &mut Mat) -> Result<Vec<usize>, KernelError> {
         for i in k + 1..m {
             a[(i, k)] *= inv;
         }
-        // Rank-1 update of the trailing block.
+        // Rank-1 update of the trailing block, as contiguous-slice axpys
+        // (bitwise-identical to the indexed loop, but vectorizable).
         for j in k + 1..n {
             let ukj = a[(k, j)];
             if ukj != 0.0 {
-                // a[k+1.., j] -= a[k+1.., k] * ukj — split borrows via raw cols.
                 let (ck, cj) = a.two_cols_mut(k, j);
-                for i in k + 1..m {
-                    cj[i] -= ck[i] * ukj;
-                }
+                axpy(-ukj, &ck[k + 1..], &mut cj[k + 1..]);
             }
         }
     }
@@ -134,9 +132,7 @@ pub fn getf2_continue(a: &mut Mat) -> (Vec<usize>, Option<usize>) {
             let ukj = a[(k, j)];
             if ukj != 0.0 {
                 let (ck, cj) = a.two_cols_mut(k, j);
-                for i in k + 1..m {
-                    cj[i] -= ck[i] * ukj;
-                }
+                axpy(-ukj, &ck[k + 1..], &mut cj[k + 1..]);
             }
         }
     }
@@ -144,88 +140,172 @@ pub fn getf2_continue(a: &mut Mat) -> (Vec<usize>, Option<usize>) {
     (ipiv, first_zero)
 }
 
-/// Recursive LU with partial pivoting (dgetrf, recursive variant).
+/// Blocked LU with partial pivoting (dgetrf, right-looking variant).
 ///
-/// This mirrors the PLASMA recursive panel kernel the paper uses for the
-/// diagonal-domain factorization: split the columns in half, factor the left
-/// half recursively, apply pivots + TRSM to the right half, update, factor
-/// the right half recursively, and merge pivots.
+/// Plays the role of the PLASMA multi-threaded recursive panel kernel the
+/// paper uses for the diagonal-domain factorization (sequential here):
+/// factor `IB`-wide block columns in place with [`getf2`]-style pivoting,
+/// then push the deferred trailing update through the packed GEMM engine.
+/// Everything happens inside `a`'s own buffer — the only copy is the
+/// `IB x (n-IB)` `U12` strip the Schur update needs aliasing-free.
 pub fn getrf(a: &mut Mat) -> Result<Vec<usize>, KernelError> {
-    // All inner TRSM/GEMM work is part of the GETRF kernel for accounting.
-    let _attr = crate::flops::Attribution::new(KernelClass::Getrf);
     let (m, n) = a.dims();
     let steps = m.min(n);
     if steps == 0 {
         return Ok(vec![]);
     }
-    if n <= 16 {
-        return getf2(a);
+    const IB: usize = 8;
+    let mut ipiv = Vec::with_capacity(steps);
+    let mut u12 = Vec::new();
+    let mut k0 = 0;
+    while k0 < steps {
+        let w = IB.min(steps - k0);
+        getf2_in_place(a, k0, w, &mut ipiv)?;
+        block_trailing_update(a, k0, w, &mut u12);
+        k0 += w;
     }
-    let n1 = (steps / 2).max(1);
-
-    // Factor left block column A(:, 0..n1).
-    let mut left = a.sub(0, 0, m, n1);
-    let mut ipiv = getf2_or_recurse(&mut left)?;
-    a.set_sub(0, 0, &left);
-
-    // Apply interchanges to the right block and solve for U12.
-    let mut right = a.sub(0, n1, m, n - n1);
-    laswp(&mut right, &ipiv, 0, n1);
-    {
-        let l11 = a.sub(0, 0, n1, n1);
-        let mut u12 = right.sub(0, 0, n1, n - n1);
-        trsm(
-            Side::Left,
-            UpLo::Lower,
-            Trans::NoTrans,
-            Diag::Unit,
-            1.0,
-            &l11,
-            &mut u12,
-        );
-        right.set_sub(0, 0, &u12);
-    }
-    // Trailing update A22 -= L21 * U12.
-    if m > n1 {
-        let l21 = a.sub(n1, 0, m - n1, n1);
-        let u12 = right.sub(0, 0, n1, n - n1);
-        let mut a22 = right.sub(n1, 0, m - n1, n - n1);
-        gemm(
-            Trans::NoTrans,
-            Trans::NoTrans,
-            -1.0,
-            &l21,
-            &u12,
-            1.0,
-            &mut a22,
-        );
-        right.set_sub(n1, 0, &a22);
-
-        // Factor the trailing block column recursively.
-        let mut a22 = right.sub(n1, 0, m - n1, n - n1);
-        let ipiv2 = getf2_or_recurse(&mut a22)?;
-        right.set_sub(n1, 0, &a22);
-        a.set_sub(0, n1, &right);
-
-        // Apply the second set of interchanges to L21 (left block, rows n1..).
-        let mut l_panel = a.sub(0, 0, m, n1);
-        for (k, &p) in ipiv2.iter().enumerate() {
-            swap_rows(&mut l_panel, n1 + k, n1 + p, 0, n1);
-        }
-        a.set_sub(0, 0, &l_panel);
-
-        ipiv.extend(ipiv2.iter().map(|&p| p + n1));
-    } else {
-        a.set_sub(0, n1, &right);
-    }
+    add_flops(KernelClass::Getrf, getrf_flops(m, n));
     Ok(ipiv)
 }
 
-fn getf2_or_recurse(a: &mut Mat) -> Result<Vec<usize>, KernelError> {
-    if a.cols() <= 16 {
-        getf2(a)
-    } else {
-        getrf(a)
+/// Blocked LU with partial pivoting that *continues* past zero pivots
+/// (LAPACK `info` convention): same blocked structure as [`getrf`], but a
+/// zero-pivot column is recorded and skipped (no division, no update with
+/// that column) instead of aborting. Returns the pivots and the first
+/// zero-pivot step, if any. All entries stay finite; when a zero pivot was
+/// reported the factors are unusable and the caller is expected to fail
+/// the run.
+pub fn getrf_continue(a: &mut Mat) -> (Vec<usize>, Option<usize>) {
+    let (m, n) = a.dims();
+    let steps = m.min(n);
+    const IB: usize = 8;
+    let mut ipiv = Vec::with_capacity(steps);
+    let mut first_zero = None;
+    let mut u12 = Vec::new();
+    let mut k0 = 0;
+    while k0 < steps {
+        let w = IB.min(steps - k0);
+        getf2_in_place_continue(a, k0, w, &mut ipiv, &mut first_zero);
+        block_trailing_update(a, k0, w, &mut u12);
+        k0 += w;
+    }
+    add_flops(KernelClass::Getrf, getrf_flops(m, n));
+    (ipiv, first_zero)
+}
+
+/// Deferred right-of-block update shared by the blocked factorizations:
+/// `U12 <- L11⁻¹ U12`, then `A22 -= L21 · U12`, all inside `a`'s buffer
+/// (only the `w x nr` `U12` strip is staged into `u12`, aliasing-free).
+fn block_trailing_update(a: &mut Mat, k0: usize, w: usize, u12: &mut Vec<f64>) {
+    let (m, n) = a.dims();
+    let nr = n - k0 - w; // trailing columns right of the block
+    if nr == 0 {
+        return;
+    }
+    // U12 <- L11^{-1} U12 (unit-lower forward substitution on the
+    // block rows of every trailing column).
+    for j in k0 + w..n {
+        for p in 0..w {
+            let kp = k0 + p;
+            let (lcol, x) = a.two_cols_mut(kp, j);
+            let xp = x[kp];
+            if xp != 0.0 {
+                axpy(-xp, &lcol[kp + 1..k0 + w], &mut x[kp + 1..k0 + w]);
+            }
+        }
+    }
+    // Deferred Schur update A22 -= L21 * U12, in place: stage the
+    // U12 strip (it shares columns with A22), then split the
+    // buffer at the block/trailing column boundary so L21 (left)
+    // and A22 (right) borrow disjointly.
+    let mr = m - k0 - w; // trailing rows below the block
+    if mr > 0 {
+        let lda = m;
+        u12.clear();
+        u12.reserve(w * nr);
+        for j in k0 + w..n {
+            u12.extend_from_slice(&a.col(j)[k0..k0 + w]);
+        }
+        let (left, right) = a.as_mut_slice().split_at_mut((k0 + w) * lda);
+        let l21 = &left[k0 * lda + k0 + w..];
+        let c22 = &mut right[k0 + w..];
+        crate::gemm_kernel::gemm_strided(mr, nr, w, -1.0, l21, 1, lda, u12, 1, w, c22, lda);
+    }
+}
+
+/// One unblocked partially-pivoted elimination pass over block column
+/// `k0..k0+w`, in place: pivot rows swap across the *full* width of `a`
+/// (deferred-update convention — columns right of the block are updated by
+/// the caller's TRSM/GEMM), rank-1 updates stay inside the block. Pivots
+/// are appended to `ipiv` in absolute row indices. Flops are accounted by
+/// the caller's closed-form total.
+fn getf2_in_place(
+    a: &mut Mat,
+    k0: usize,
+    w: usize,
+    ipiv: &mut Vec<usize>,
+) -> Result<(), KernelError> {
+    let n = a.cols();
+    for kk in 0..w {
+        let k = k0 + kk;
+        let rel = iamax(&a.col(k)[k..]);
+        let p = k + rel;
+        ipiv.push(p);
+        let pivot = a[(p, k)];
+        if pivot == 0.0 || !pivot.is_finite() {
+            return Err(KernelError::ZeroPivot(k));
+        }
+        swap_rows(a, k, p, 0, n);
+        let inv = 1.0 / a[(k, k)];
+        for v in &mut a.col_mut(k)[k + 1..] {
+            *v *= inv;
+        }
+        for j in k + 1..k0 + w {
+            let ukj = a[(k, j)];
+            if ukj != 0.0 {
+                let (ck, cj) = a.two_cols_mut(k, j);
+                axpy(-ukj, &ck[k + 1..], &mut cj[k + 1..]);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// [`getf2_in_place`] with LAPACK `info` semantics: a zero (or non-finite)
+/// pivot records the step in `first_zero` and skips that column's division
+/// and in-block update instead of aborting.
+fn getf2_in_place_continue(
+    a: &mut Mat,
+    k0: usize,
+    w: usize,
+    ipiv: &mut Vec<usize>,
+    first_zero: &mut Option<usize>,
+) {
+    let n = a.cols();
+    for kk in 0..w {
+        let k = k0 + kk;
+        let rel = iamax(&a.col(k)[k..]);
+        let p = k + rel;
+        ipiv.push(p);
+        swap_rows(a, k, p, 0, n);
+        let pivot = a[(k, k)];
+        if pivot == 0.0 || !pivot.is_finite() {
+            if first_zero.is_none() {
+                *first_zero = Some(k);
+            }
+            continue; // LAPACK: skip the division, record info.
+        }
+        let inv = 1.0 / pivot;
+        for v in &mut a.col_mut(k)[k + 1..] {
+            *v *= inv;
+        }
+        for j in k + 1..k0 + w {
+            let ukj = a[(k, j)];
+            if ukj != 0.0 {
+                let (ck, cj) = a.two_cols_mut(k, j);
+                axpy(-ukj, &ck[k + 1..], &mut cj[k + 1..]);
+            }
+        }
     }
 }
 
@@ -248,9 +328,7 @@ pub fn getrf_nopiv(a: &mut Mat) -> Result<(), KernelError> {
             let ukj = a[(k, j)];
             if ukj != 0.0 {
                 let (ck, cj) = a.two_cols_mut(k, j);
-                for i in k + 1..m {
-                    cj[i] -= ck[i] * ukj;
-                }
+                axpy(-ukj, &ck[k + 1..], &mut cj[k + 1..]);
             }
         }
     }

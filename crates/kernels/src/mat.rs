@@ -149,6 +149,37 @@ impl Mat {
         self.data.fill(v);
     }
 
+    /// Reshape in place to `m x n`, zero-filled, reusing the allocation
+    /// (capacity grows monotonically; scratch buffers stay warm across
+    /// calls instead of cycling through the allocator).
+    pub fn reset_zeroed(&mut self, m: usize, n: usize) {
+        self.m = m;
+        self.n = n;
+        self.data.clear();
+        self.data.resize(m * n, 0.0);
+    }
+
+    /// Reshape in place to the vertical stack of `parts` (which must share
+    /// a column count), reusing the allocation. Every entry is written by
+    /// the copy, so no zero fill is needed.
+    pub fn reset_stacked(&mut self, parts: &[&Mat]) {
+        let n = parts[0].n;
+        let m: usize = parts.iter().map(|p| p.m).sum();
+        debug_assert!(
+            parts.iter().all(|p| p.n == n),
+            "reset_stacked: ragged widths"
+        );
+        self.m = m;
+        self.n = n;
+        self.data.clear();
+        self.data.reserve(m * n);
+        for j in 0..n {
+            for p in parts {
+                self.data.extend_from_slice(p.col(j));
+            }
+        }
+    }
+
     /// Copy the full contents of `src` (same dims required).
     pub fn copy_from(&mut self, src: &Mat) {
         assert_eq!(self.dims(), src.dims(), "copy_from dimension mismatch");
@@ -161,7 +192,15 @@ impl Mat {
             i0 + rows <= self.m && j0 + cols <= self.n,
             "sub out of range"
         );
-        Mat::from_fn(rows, cols, |i, j| self[(i0 + i, j0 + j)])
+        let mut data = Vec::with_capacity(rows * cols);
+        for j in 0..cols {
+            data.extend_from_slice(&self.col(j0 + j)[i0..i0 + rows]);
+        }
+        Mat {
+            m: rows,
+            n: cols,
+            data,
+        }
     }
 
     /// Write `block` into `self` at offset `(i0, j0)`.

@@ -19,6 +19,7 @@
 
 use crate::blas::{axpy, dot, nrm2, scal, trmv, Diag, Trans, UpLo};
 use crate::flops::{add_flops, Attribution, KernelClass};
+use crate::gemm_kernel::gemm_strided;
 use crate::mat::Mat;
 
 /// Triangular block-reflector factors produced by [`geqrt`] / [`tpqrt`].
@@ -192,6 +193,13 @@ fn larft(v: &Mat, taus: &[f64], t: &mut Mat) {
 ///
 /// `v` is m×k unit lower trapezoidal (reflectors in its strictly-lower part
 /// plus implicit unit diagonal), `t` is the k×k upper-triangular factor.
+///
+/// LAPACK DLARFB shape: with `V = [V1; V2]` (`V1` k×k unit lower triangular,
+/// `V2` the (m−k)×k rectangle), compute `W = V1ᵀ C1 + V2ᵀ C2`, `W = op(T) W`,
+/// then `C1 -= V1 W`, `C2 -= V2 W`. The `V2` products carry ~all the flops
+/// and run on the packed GEMM microkernel; the `V1` triangles stay per-column
+/// trmv-style so only the strictly-lower part of `v` is ever read (the upper
+/// triangle holds `R` when called from [`geqrt`]).
 fn larfb_left(trans: Trans, v: &Mat, t: &Mat, c: &mut Mat) {
     let (m, k) = v.dims();
     let n = c.cols();
@@ -200,33 +208,65 @@ fn larfb_left(trans: Trans, v: &Mat, t: &Mat, c: &mut Mat) {
     if k == 0 || n == 0 {
         return;
     }
-    // W = V^T C, exploiting the unit lower trapezoidal structure.
+    let v1 = v.sub(0, 0, k, k); // unit lower; upper part is ignored by trmv
+    let ldv = m;
+    let ldc = m;
+
+    // W = V1^T C1.
     let mut w = Mat::zeros(k, n);
-    let mut flops = 0u64;
     for col in 0..n {
-        for i in 0..k {
-            let mut s = c[(i, col)];
-            s += dot(&v.col(i)[i + 1..m], &c.col(col)[i + 1..m]);
-            w[(i, col)] = s;
-            flops += 2 * (m - i) as u64;
-        }
+        w.col_mut(col).copy_from_slice(&c.col(col)[..k]);
+        trmv(UpLo::Lower, Trans::Trans, Diag::Unit, &v1, w.col_mut(col));
+    }
+    // W += V2^T C2.
+    if m > k {
+        gemm_strided(
+            k,
+            n,
+            m - k,
+            1.0,
+            &v.as_slice()[k..],
+            ldv,
+            1,
+            &c.as_slice()[k..],
+            1,
+            ldc,
+            w.as_mut_slice(),
+            k,
+        );
     }
     // W = op(T) W.
     for col in 0..n {
         trmv(UpLo::Upper, trans, Diag::NonUnit, t, w.col_mut(col));
     }
-    // C -= V W.
+    // C1 -= V1 W.
+    let mut tmp = vec![0.0f64; k];
     for col in 0..n {
-        for i in 0..k {
-            let wic = w[(i, col)];
-            if wic != 0.0 {
-                c[(i, col)] -= wic;
-                axpy(-wic, &v.col(i)[i + 1..m], &mut c.col_mut(col)[i + 1..m]);
-                flops += 2 * (m - i) as u64;
-            }
-        }
+        tmp.copy_from_slice(w.col(col));
+        trmv(UpLo::Lower, Trans::NoTrans, Diag::Unit, &v1, &mut tmp);
+        axpy(-1.0, &tmp, &mut c.col_mut(col)[..k]);
     }
-    add_flops(KernelClass::Other, flops);
+    // C2 -= V2 W.
+    if m > k {
+        gemm_strided(
+            m - k,
+            n,
+            k,
+            -1.0,
+            &v.as_slice()[k..],
+            1,
+            ldv,
+            w.as_slice(),
+            1,
+            k,
+            &mut c.as_mut_slice()[k..],
+            ldc,
+        );
+    }
+    // Closed-form count matching the elementwise kernel this replaces:
+    // 2(m − i) per (reflector i, column) for each of the two V passes.
+    let per_col: u64 = (0..k).map(|i| 2 * (m - i) as u64).sum();
+    add_flops(KernelClass::Other, 2 * per_col * n as u64);
 }
 
 /// Blocked QR factorization of a tile (LAPACK DGEQRT).
@@ -405,6 +445,63 @@ fn tprfb_left(trans: Trans, l: usize, v: &Mat, t: &Mat, a: &mut Mat, b: &mut Mat
     if k == 0 || w == 0 {
         return;
     }
+
+    // TS case (l == 0): V2 is a full m×k rectangle, so both V2 products are
+    // plain GEMMs — route them through the packed microkernel. This is the
+    // inner engine of TSMQR, the trailing-update kernel of every QR
+    // elimination step.
+    if l == 0 {
+        let ldv = m;
+        let ldb = m;
+        // W = A + V2^T B.
+        let mut wk = a.clone();
+        gemm_strided(
+            k,
+            w,
+            m,
+            1.0,
+            v.as_slice(),
+            ldv,
+            1,
+            b.as_slice(),
+            1,
+            ldb,
+            wk.as_mut_slice(),
+            k,
+        );
+        // W = op(T) W.
+        for c in 0..w {
+            trmv(UpLo::Upper, trans, Diag::NonUnit, t, wk.col_mut(c));
+        }
+        // A -= W.
+        for (av, wv) in a.as_mut_slice().iter_mut().zip(wk.as_slice()) {
+            *av -= wv;
+        }
+        // B -= V2 W.
+        gemm_strided(
+            m,
+            w,
+            k,
+            -1.0,
+            v.as_slice(),
+            1,
+            ldv,
+            wk.as_slice(),
+            1,
+            k,
+            b.as_mut_slice(),
+            ldb,
+        );
+        // Same closed form as the elementwise version (p = m for every
+        // reflector when l = 0, two V passes).
+        add_flops(KernelClass::Other, 4 * (m * k * w) as u64);
+        return;
+    }
+
+    // Pentagonal case (TT kernels, l > 0): keep the structure-exploiting
+    // per-column loops — the triangular V2 makes these O(k² w) and the
+    // cheapness of TT relative to TS is load-bearing for the paper's
+    // reduction-tree analysis (see `tt_kernel_costs_less_than_ts`).
     let mut flops = 0u64;
     // W = A + V2^T B.
     let mut wk = Mat::zeros(k, w);

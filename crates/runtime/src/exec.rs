@@ -235,6 +235,64 @@ fn execute_inner(
         t.preds_remaining.store(t.num_preds, Ordering::Relaxed);
     }
 
+    // Single-worker fast path: run the same FIFO discipline inline on the
+    // calling thread. The ready order — and therefore every task
+    // interleaving — is identical to the one-worker channel loop below;
+    // only the thread spawn and channel traffic disappear, which is a
+    // measurable slice of wall time on fine-grained graphs.
+    if threads == 1 {
+        let mut queue: std::collections::VecDeque<TaskId> = graph.roots().into();
+        let mut tally = Tally::default();
+        while let Some(tid) = queue.pop_front() {
+            let task = &graph.tasks[tid];
+            let kernel = task
+                .kernel
+                .lock()
+                .take()
+                .unwrap_or_else(|| panic!("task '{}' executed twice", task.name));
+            let t0 = events.map(|_| start.elapsed().as_secs_f64());
+            let result = kernel();
+            if let Some(events) = events {
+                if result.executed {
+                    events.lock().push(TraceEvent {
+                        name: task.name.clone(),
+                        node: task.node,
+                        worker: 0,
+                        step: step_index(&task.name),
+                        start: t0.unwrap(),
+                        end: start.elapsed().as_secs_f64(),
+                    });
+                }
+            }
+            tally.record(&result);
+            task.result
+                .set(result)
+                .expect("task result already recorded");
+            for &s in &task.successors {
+                let prev = graph.tasks[s]
+                    .preds_remaining
+                    .fetch_sub(1, Ordering::AcqRel);
+                debug_assert!(prev >= 1, "dependency underflow");
+                if prev == 1 {
+                    queue.push_back(s);
+                }
+            }
+        }
+        for t in &graph.tasks {
+            assert!(
+                t.result().is_some(),
+                "task '{}' never ran — cyclic or broken graph",
+                t.name
+            );
+        }
+        return ExecReport {
+            wall_seconds: start.elapsed().as_secs_f64(),
+            tasks_executed: tally.executed,
+            tasks_discarded: tally.discarded,
+            total_flops: tally.flops,
+        };
+    }
+
     let (tx, rx) = channel::unbounded::<TaskId>();
     for root in graph.roots() {
         tx.send(root).expect("queue closed");

@@ -16,6 +16,7 @@
 //! the Propagate-selected dead paths of Figure 1.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::AtomicUsize;
 use std::sync::OnceLock;
 
@@ -28,6 +29,36 @@ pub type TaskId = usize;
 /// a decision cell...). The algorithm layer chooses the encoding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DataKey(pub u64);
+
+/// Multiply-shift hasher for the builder's [`DataKey`]-indexed maps: keys
+/// are already well-packed 64-bit words, so a single Fibonacci multiply
+/// spreads them plenty — and graph construction does a handful of map
+/// operations per access, which makes the default SipHash a measurable
+/// slice of build time on large graphs.
+#[derive(Default)]
+pub struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, k: u64) {
+        self.0 = k.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Hash-map state for [`DataKey`]-indexed maps.
+pub type KeyHashBuilder = BuildHasherDefault<KeyHasher>;
 
 /// How a task touches a datum.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -255,7 +286,9 @@ impl dyn TaskSink + '_ {
             sink: self,
             name: name.into(),
             node,
-            accesses: Vec::new(),
+            // Typical tasks declare a handful of accesses; start with room
+            // for them so the builder chain doesn't reallocate.
+            accesses: Vec::with_capacity(8),
             guard: None,
         }
     }
@@ -343,9 +376,9 @@ struct DataInfo {
 pub struct GraphBuilder {
     num_nodes: usize,
     tasks: Vec<Task>,
-    data: HashMap<DataKey, DataInfo>,
-    last_writer: HashMap<DataKey, TaskId>,
-    readers: HashMap<DataKey, Vec<TaskId>>,
+    data: HashMap<DataKey, DataInfo, KeyHashBuilder>,
+    last_writer: HashMap<DataKey, TaskId, KeyHashBuilder>,
+    readers: HashMap<DataKey, Vec<TaskId>, KeyHashBuilder>,
 }
 
 impl GraphBuilder {
@@ -354,9 +387,9 @@ impl GraphBuilder {
         GraphBuilder {
             num_nodes,
             tasks: Vec::new(),
-            data: HashMap::new(),
-            last_writer: HashMap::new(),
-            readers: HashMap::new(),
+            data: HashMap::default(),
+            last_writer: HashMap::default(),
+            readers: HashMap::default(),
         }
     }
 
@@ -402,7 +435,7 @@ impl GraphBuilder {
     ) -> TaskId {
         assert!(node < self.num_nodes, "task placed on unknown node");
         let id = self.tasks.len();
-        let mut preds: Vec<TaskId> = Vec::new();
+        let mut preds: Vec<TaskId> = Vec::with_capacity(accesses.len());
         let mut costed: Vec<CostedAccess> = Vec::with_capacity(accesses.len());
 
         for acc in accesses {

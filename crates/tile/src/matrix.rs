@@ -95,20 +95,64 @@ impl TiledMatrix {
     /// Build from a dense matrix (uniform tiling).
     pub fn from_dense(a: &Mat, nb: usize) -> Self {
         let (m, n) = a.dims();
-        let t = TiledMatrix::zeros(m, n, nb);
-        t.fill_from_dense(a);
-        t
+        Self::build(m, nb, uniform_starts(n, nb), |i0, j0, tm, tn| {
+            a.sub(i0, j0, tm, tn)
+        })
     }
 
-    fn fill_from_dense(&self, a: &Mat) {
-        assert_eq!(a.dims(), (self.m, self.n));
-        for i in 0..self.mt {
-            for j in 0..self.nt() {
-                let (tm, tn) = self.tile_dims(i, j);
-                let block = a.sub(i * self.nb, self.col_starts[j], tm, tn);
-                *self.tile(i, j).lock() = block;
+    /// Build tiles directly from a per-tile constructor, with no
+    /// intermediate zero fill: `f(row0, col0, tm, tn)` produces the tile
+    /// whose top-left global element is `(row0, col0)`.
+    fn build(
+        m: usize,
+        nb: usize,
+        col_starts: Vec<usize>,
+        mut f: impl FnMut(usize, usize, usize, usize) -> Mat,
+    ) -> Self {
+        assert!(nb >= 1, "tile size must be positive");
+        assert!(m >= 1, "matrix dimensions must be positive");
+        let n = *col_starts.last().unwrap();
+        let mt = m.div_ceil(nb);
+        let nt = col_starts.len() - 1;
+        let mut tiles = Vec::with_capacity(mt * nt);
+        for j in 0..nt {
+            let tn = col_starts[j + 1] - col_starts[j];
+            for i in 0..mt {
+                let tm = Self::row_dim(i, mt, m, nb);
+                let t = f(i * nb, col_starts[j], tm, tn);
+                debug_assert_eq!(t.dims(), (tm, tn));
+                tiles.push(Arc::new(Mutex::new(t)));
             }
         }
+        TiledMatrix {
+            m,
+            n,
+            nb,
+            mt,
+            col_starts,
+            tiles,
+        }
+    }
+
+    /// Build the augmented tiling `[A | rhs]` straight from the dense
+    /// inputs — one copy per tile, against `from_dense(..).augment(..)`'s
+    /// zero-fill plus tile-clone round trip.
+    pub fn from_dense_augmented(a: &Mat, rhs: &Mat, nb: usize) -> Self {
+        let (m, n) = a.dims();
+        assert_eq!(rhs.rows(), m, "rhs row mismatch");
+        let mut col_starts = uniform_starts(n, nb);
+        let mut c = n;
+        while c < n + rhs.cols() {
+            c = (c + nb).min(n + rhs.cols());
+            col_starts.push(c);
+        }
+        Self::build(m, nb, col_starts, |i0, j0, tm, tn| {
+            if j0 < n {
+                a.sub(i0, j0, tm, tn)
+            } else {
+                rhs.sub(i0, j0 - n, tm, tn)
+            }
+        })
     }
 
     /// Build elementwise from a function of global `(row, col)` (uniform

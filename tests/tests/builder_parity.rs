@@ -1,12 +1,25 @@
-//! Golden parity test for the `StepPlanner` refactor of the graph builder.
+//! Golden parity tests for the graph builder and the streaming executor.
 //!
 //! Each configuration below was run through the **pre-refactor monolithic**
 //! `crates/core/src/builder.rs` (seed commit, first buildable state) on
 //! fixed-seed matrices, and the HPL3 backward error of the computed solution
-//! was recorded to full `f64` precision (`to_bits`). The refactored
-//! `StepPlanner` path must reproduce every residual **bitwise**: the
-//! factorization is deterministic (hazard-ordered execution), so any change
-//! in task content or insertion order that alters arithmetic shows up here.
+//! was recorded to full `f64` precision (`to_bits`).
+//!
+//! Two different parity contracts apply:
+//!
+//! * **Decision/schedule parity is exact.** Within one build, the batch
+//!   planner and the streaming executor (at every window size) must produce
+//!   **bitwise identical** solutions: streaming changes when tasks are
+//!   planned, never what they compute.
+//! * **Kernel numerics follow the backward-error model.** The register-tiled
+//!   GEMM / blocked TRSM / compact-WY update kernels reorder floating-point
+//!   summations relative to the seed's naive loops (and may contract
+//!   multiply-adds via FMA), so the golden residuals are no longer pinned
+//!   bitwise. They are compared under the componentwise model documented in
+//!   `luqr_tests` ([`luqr_tests::hpl3_within_model`]): both residuals must
+//!   lie within [`luqr_tests::HPL3_DRIFT_FACTOR`] of each other. The bit
+//!   patterns are still printed on every run so the table can be re-pinned
+//!   if the golden record is ever re-captured.
 
 use luqr::{
     factor_solve, factor_stream, stability, Algorithm, Criterion, FactorOptions, LuVariant,
@@ -14,6 +27,7 @@ use luqr::{
 };
 use luqr_kernels::blas::{gemm, Trans};
 use luqr_kernels::Mat;
+use luqr_tests::hpl3_within_model;
 use luqr_tile::Grid;
 
 /// Random + dominant diagonal: every algorithm factors this without breakdown.
@@ -139,18 +153,19 @@ fn golden_table() -> Vec<(&'static str, Algorithm, PivotScope, LuVariant, u64)> 
 }
 
 #[test]
-fn planner_reproduces_pre_refactor_residuals_bitwise() {
+fn planner_matches_pre_refactor_residuals_under_error_model() {
     let mut failures = Vec::new();
     for (label, algorithm, scope, variant, golden_bits) in golden_table() {
         let got = residual(algorithm, scope, variant);
-        // Printed by the capture run; compared thereafter.
+        let golden = f64::from_bits(golden_bits);
+        // Printed on every run so the table can be re-pinned from the output.
         println!(
-            "(\"{label}\", 0x{:016x}), // hpl3 = {got:.6e}",
+            "(\"{label}\", 0x{:016x}), // hpl3 = {got:.6e} (golden {golden:.6e})",
             got.to_bits()
         );
-        if got.to_bits() != golden_bits {
+        if !hpl3_within_model(got, golden) {
             failures.push(format!(
-                "{label}: hpl3 {got:.17e} (bits 0x{:016x}) != golden 0x{golden_bits:016x}",
+                "{label}: hpl3 {got:.17e} (bits 0x{:016x}) outside error-model band of golden {golden:.6e}",
                 got.to_bits()
             ));
         }
@@ -162,15 +177,19 @@ fn planner_reproduces_pre_refactor_residuals_bitwise() {
     );
 }
 
-/// The *streaming* executor must reproduce the same pre-refactor residuals
-/// bitwise, for every `Algorithm × Criterion` configuration and for several
-/// window sizes — the streaming runtime changes when tasks are planned and
-/// which branch is materialized, but may never change the arithmetic.
+/// The *streaming* executor must reproduce the **batch** residual of the
+/// same build bitwise, for every `Algorithm × Criterion` configuration and
+/// for several window sizes — the streaming runtime changes when tasks are
+/// planned and which branch is materialized, but may never change the
+/// arithmetic. This comparison stays exact (kernel drift cancels out: both
+/// sides run the same kernels), while the cross-build golden record is only
+/// held to the error model.
 #[test]
-fn streaming_reproduces_golden_residuals_bitwise() {
+fn streaming_reproduces_batch_residuals_bitwise() {
     let mut failures = Vec::new();
     for window in [1, 2, 7] {
         for (label, algorithm, scope, variant, golden_bits) in golden_table() {
+            let batch = residual(algorithm.clone(), scope, variant);
             let (a, b) = fixture();
             let opts = FactorOptions {
                 nb: 8,
@@ -186,10 +205,17 @@ fn streaming_reproduces_golden_residuals_bitwise() {
             assert!(f.error.is_none(), "{label}: {:?}", f.error);
             let x = f.solution();
             let got = stability::hpl3(&a, &x, &b);
-            if got.to_bits() != golden_bits {
+            if got.to_bits() != batch.to_bits() {
                 failures.push(format!(
-                    "{label} (window {window}): hpl3 {got:.17e} (bits 0x{:016x}) != golden 0x{golden_bits:016x}",
-                    got.to_bits()
+                    "{label} (window {window}): stream hpl3 {got:.17e} (bits 0x{:016x}) != batch 0x{:016x}",
+                    got.to_bits(),
+                    batch.to_bits()
+                ));
+            }
+            if !hpl3_within_model(got, f64::from_bits(golden_bits)) {
+                failures.push(format!(
+                    "{label} (window {window}): hpl3 {got:.17e} outside error-model band of golden {:.6e}",
+                    f64::from_bits(golden_bits)
                 ));
             }
         }

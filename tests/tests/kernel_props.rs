@@ -1,0 +1,178 @@
+//! Property tests pinning the packed register-tiled Level-3 kernels to a
+//! naive reference under the componentwise backward-error model.
+//!
+//! The blocked kernels reorder floating-point summations relative to the
+//! textbook loops (cache blocking, register tiling, runtime FMA
+//! contraction), so exact equality is the wrong contract. The right one is
+//! Higham's inner-product model, documented in `luqr_tests`: every computed
+//! element differs from the naive result by at most
+//! `2·γ_{k+2} · (|α|·(|A|·|B|) + |β·C₀|)` elementwise (each side of the
+//! comparison contributes one `γ_{k+2}` factor). Shapes are drawn to cross
+//! the microkernel fringes (m, n not multiples of MR/NR) and the TRSM
+//! diagonal-block boundary, and α/β sweep the branch-relevant edge cases
+//! 0.0, 1.0, −1.0 alongside general values.
+
+use luqr_kernels::blas::{gemm, gemm_reference, trsm, Diag, Side, Trans, UpLo};
+use luqr_kernels::Mat;
+use luqr_tests::{gemm_componentwise_bound, EPS};
+use proptest::prelude::*;
+
+/// Naive triple-loop op(A)·op(B) accumulation for element (i, j), plus the
+/// componentwise magnitude Σ|a||b| that scales the error bound.
+fn dot_op(ta: Trans, tb: Trans, a: &Mat, b: &Mat, i: usize, j: usize, k: usize) -> (f64, f64) {
+    let mut s = 0.0;
+    let mut mag = 0.0;
+    for p in 0..k {
+        let av = match ta {
+            Trans::NoTrans => a[(i, p)],
+            Trans::Trans => a[(p, i)],
+        };
+        let bv = match tb {
+            Trans::NoTrans => b[(p, j)],
+            Trans::Trans => b[(j, p)],
+        };
+        s += av * bv;
+        mag += (av * bv).abs();
+    }
+    (s, mag)
+}
+
+fn trans_of(flag: bool) -> Trans {
+    if flag {
+        Trans::Trans
+    } else {
+        Trans::NoTrans
+    }
+}
+
+/// α/β values that hit the scaling/early-return branches plus general cases.
+fn arb_scalar() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.0), Just(1.0), Just(-1.0), Just(0.75), Just(-1.5)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Blocked GEMM matches the naive loops within the documented bound, for
+    /// every transpose combination, rectangular shape, and α/β edge case.
+    #[test]
+    fn gemm_matches_naive_within_error_model(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..40,
+        ta in any::<bool>(),
+        tb in any::<bool>(),
+        alpha in arb_scalar(),
+        beta in arb_scalar(),
+        seed in any::<u64>(),
+    ) {
+        let (ta, tb) = (trans_of(ta), trans_of(tb));
+        let a = match ta {
+            Trans::NoTrans => Mat::random(m, k, seed),
+            Trans::Trans => Mat::random(k, m, seed),
+        };
+        let b = match tb {
+            Trans::NoTrans => Mat::random(k, n, seed ^ 0xb),
+            Trans::Trans => Mat::random(n, k, seed ^ 0xb),
+        };
+        let c0 = Mat::random(m, n, seed ^ 0xc);
+
+        let mut c = c0.clone();
+        gemm(ta, tb, alpha, &a, &b, beta, &mut c);
+        let mut c_ref = c0.clone();
+        gemm_reference(ta, tb, alpha, &a, &b, beta, &mut c_ref);
+
+        let bound = 2.0 * gemm_componentwise_bound(k);
+        for j in 0..n {
+            for i in 0..m {
+                let (s, mag) = dot_op(ta, tb, &a, &b, i, j, k);
+                let expect = alpha * s + beta * c0[(i, j)];
+                let scale = alpha.abs() * mag + (beta * c0[(i, j)]).abs();
+                let tol = bound * scale + EPS;
+                prop_assert!(
+                    (c[(i, j)] - expect).abs() <= tol,
+                    "blocked ({i},{j}): {} vs {expect}, tol {tol}", c[(i, j)]
+                );
+                prop_assert!(
+                    (c_ref[(i, j)] - expect).abs() <= tol,
+                    "reference ({i},{j}): {} vs {expect}, tol {tol}", c_ref[(i, j)]
+                );
+            }
+        }
+    }
+
+    /// TRSM (both the small unblocked path and the blocked path above the
+    /// diagonal-block size) solves its triangular system to the backward
+    /// error of the model: the residual of op(A)·X = α·B (resp. X·op(A))
+    /// is bounded componentwise by `γ` times the magnitudes that formed it.
+    #[test]
+    fn trsm_residual_within_error_model(
+        d in 1usize..48,
+        nrhs in 1usize..12,
+        left in any::<bool>(),
+        upper in any::<bool>(),
+        transposed in any::<bool>(),
+        unit in any::<bool>(),
+        alpha in prop_oneof![Just(1.0), Just(-1.0), Just(0.5)],
+        seed in any::<u64>(),
+    ) {
+        let side = if left { Side::Left } else { Side::Right };
+        let uplo = if upper { UpLo::Upper } else { UpLo::Lower };
+        let tr = trans_of(transposed);
+        let diag = if unit { Diag::Unit } else { Diag::NonUnit };
+
+        // Well-scaled triangle: unit-magnitude diagonal keeps the solve from
+        // amplifying the residual past what the model accounts for.
+        let mut a = Mat::random(d, d, seed);
+        for i in 0..d {
+            a[(i, i)] = 1.0 + a[(i, i)].abs();
+        }
+        let (bm, bn) = if left { (d, nrhs) } else { (nrhs, d) };
+        let b0 = Mat::random(bm, bn, seed ^ 0x7);
+        let mut x = b0.clone();
+        trsm(side, uplo, tr, diag, alpha, &a, &mut x);
+
+        // Residual op(T)·X − α·B (Left) or X·op(T) − α·B (Right), where T is
+        // the referenced triangle with the effective diagonal.
+        let t = Mat::from_fn(d, d, |i, j| {
+            let keep = match uplo {
+                UpLo::Upper => i <= j,
+                UpLo::Lower => i >= j,
+            };
+            if i == j && unit {
+                1.0
+            } else if keep {
+                a[(i, j)]
+            } else {
+                0.0
+            }
+        });
+        let bound = 2.0 * gemm_componentwise_bound(d);
+        for j in 0..bn {
+            for i in 0..bm {
+                let (s, mag) = if left {
+                    dot_op(tr, Trans::NoTrans, &t, &x, i, j, d)
+                } else {
+                    // X·op(T): element (i,j) dots row i of X with col j of op(T).
+                    let mut s = 0.0;
+                    let mut mag = 0.0;
+                    for p in 0..d {
+                        let tv = match tr {
+                            Trans::NoTrans => t[(p, j)],
+                            Trans::Trans => t[(j, p)],
+                        };
+                        s += x[(i, p)] * tv;
+                        mag += (x[(i, p)] * tv).abs();
+                    }
+                    (s, mag)
+                };
+                let rhs = alpha * b0[(i, j)];
+                let tol = bound * (mag + rhs.abs()) + EPS;
+                prop_assert!(
+                    (s - rhs).abs() <= tol,
+                    "residual ({i},{j}): {s} vs {rhs}, tol {tol} (d={d}, {side:?} {uplo:?} {tr:?} {diag:?})"
+                );
+            }
+        }
+    }
+}
