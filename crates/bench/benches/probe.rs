@@ -1,0 +1,93 @@
+//! Probe-overhead benchmark: streaming factorization with probes off vs on.
+//!
+//! Times the same `factor_stream_with` run (hybrid LU-QR, window 4) with a
+//! disabled probe handle and with a fully enabled one (metrics registry +
+//! makespan attribution), and records the relative overhead. The design
+//! target is < 2% at N = 320 — a disabled probe costs one branch on the
+//! hot path, and an enabled one only per-step lock acquisitions plus
+//! decimated gauges.
+//!
+//! Custom harness (`luqr_bench::harness`): the JSON baseline carries the
+//! `overhead_pct` field next to the timings (see `BENCH_probe.json`).
+//! `CRITERION_JSON=<path>` writes the baseline.
+//!
+//! `cargo bench -p luqr-bench --bench probe -- --test` runs a reduced
+//! problem and *asserts* the overhead stays under 5% (CI regression gate;
+//! the looser bar absorbs shared-runner timing noise).
+
+use std::hint::black_box;
+
+use luqr::{factor_stream_with, Algorithm, Criterion as Crit, FactorOptions, Probe, StreamOptions};
+use luqr_bench::harness::{sample, write_json, Record};
+use luqr_kernels::Mat;
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let n: usize = if test_mode { 256 } else { 320 };
+    let nb = 8;
+    let a = Mat::random(n, n, 1);
+    let b = Mat::random(n, 1, 2);
+    let opts = FactorOptions {
+        nb,
+        ib: 4,
+        threads: 1,
+        algorithm: Algorithm::LuQr(Crit::Max { alpha: 1000.0 }),
+        ..FactorOptions::default()
+    };
+    let window = 4;
+    let group = format!("probe-n{n}");
+
+    let off_opts = StreamOptions::fixed(window, opts.threads);
+    let (off_min, off_median, off_mean) = sample(|| {
+        black_box(factor_stream_with(&a, &b, &opts, &off_opts));
+    });
+
+    let (on_min, on_median, on_mean) = sample(|| {
+        let probe = Probe::enabled();
+        let on_opts = StreamOptions::fixed(window, opts.threads).with_probe(probe.clone());
+        black_box(factor_stream_with(&a, &b, &opts, &on_opts));
+        black_box(probe.report());
+    });
+
+    // Overhead from the min-of-samples — the statistic least polluted by
+    // scheduler noise, hence the one the baseline tracks.
+    let overhead_pct = 100.0 * (on_min - off_min) / off_min;
+    let records = vec![
+        Record {
+            group: group.clone(),
+            bench: "probes_off".into(),
+            min_ns: off_min,
+            median_ns: off_median,
+            mean_ns: off_mean,
+            extra_json: String::new(),
+        },
+        Record {
+            group: group.clone(),
+            bench: "probes_on".into(),
+            min_ns: on_min,
+            median_ns: on_median,
+            mean_ns: on_mean,
+            extra_json: format!(", \"overhead_pct\": {overhead_pct:.2}"),
+        },
+    ];
+    for r in &records {
+        eprintln!(
+            "bench {:<24} min {:>12.0} ns  median {:>12.0} ns  mean {:>12.0} ns",
+            format!("{}/{}", r.group, r.bench),
+            r.min_ns,
+            r.median_ns,
+            r.mean_ns,
+        );
+    }
+    eprintln!("probe overhead (min-of-samples): {overhead_pct:.2}%");
+    write_json(&records);
+
+    if test_mode {
+        assert!(
+            on_min <= off_min * 1.05,
+            "probe overhead regression: probes-on min {on_min:.0} ns vs \
+             probes-off min {off_min:.0} ns ({overhead_pct:.2}% > 5%)"
+        );
+        eprintln!("probe overhead test passed (< 5%)");
+    }
+}

@@ -53,12 +53,15 @@ pub use trees::{TreeConfig, TreeKind};
 
 use luqr_kernels::Mat;
 use luqr_runtime::stream::StreamReport;
-use luqr_runtime::{execute, simulate, simulate_with, ExecReport, Graph, Platform, SimReport};
+use luqr_runtime::trace::TraceOptions;
+use luqr_runtime::{
+    execute, simulate, simulate_probed, simulate_with, ExecReport, Graph, Platform, SimReport,
+};
 use luqr_tile::{Grid, TiledMatrix};
 
 pub use luqr_runtime::{
-    LinkSpec, MsgStats, NodeSpec, SchedPolicy, SimOptions, StreamOptions, Topology, TraceEvent,
-    WindowPolicy,
+    AttribBuckets, Attribution, LinkMsgStats, LinkSpec, LinkTraffic, MsgStats, NodeSpec, Probe,
+    ProbeReport, SchedPolicy, SimOptions, StreamOptions, Topology, TraceEvent, WindowPolicy,
 };
 
 /// A process grid that does not fit its platform — the typed form of what
@@ -141,6 +144,20 @@ impl Factorization {
         simulate_with(&self.graph, platform, opts)
     }
 
+    /// [`Factorization::simulate_with`] with an attached metrics [`Probe`]:
+    /// the replayed schedule is bitwise-identical, and the returned
+    /// [`ProbeReport`] additionally carries scheduler/comm/vtime metrics
+    /// plus the makespan [`Attribution`] (compute / transfer / trunk
+    /// contention / scheduler idle, per node and per elimination step).
+    pub fn simulate_probed(
+        &self,
+        platform: &Platform,
+        opts: &SimOptions,
+        probe: &Probe,
+    ) -> (SimReport, ProbeReport) {
+        simulate_probed(&self.graph, platform, opts, probe)
+    }
+
     /// Fraction of elimination steps that were LU steps.
     pub fn lu_step_fraction(&self) -> f64 {
         lu_step_fraction(&self.algorithm, &self.records)
@@ -181,6 +198,30 @@ impl Factorization {
     pub fn chrome_trace_sched(&self, platform: &Platform, opts: &SimOptions) -> String {
         let sim = self.simulate_with(platform, opts);
         luqr_runtime::trace::to_chrome_trace_sched(&self.graph, &sim, platform, opts.scheduler)
+    }
+
+    /// [`Factorization::chrome_trace_sched`] through a probed replay: the
+    /// returned JSON carries the task spans *and* the probe's gauge series
+    /// as Chrome counter tracks (ready-pool depth, per-node busy time),
+    /// and the [`ProbeReport`] comes back alongside for the other export
+    /// formats ([`luqr_runtime::probe::export`]).
+    pub fn chrome_trace_probed(
+        &self,
+        platform: &Platform,
+        opts: &SimOptions,
+        probe: &Probe,
+    ) -> (String, ProbeReport) {
+        let (sim, report) = self.simulate_probed(platform, opts, probe);
+        let json = luqr_runtime::trace::to_chrome_trace_with(
+            &self.graph,
+            &sim,
+            &TraceOptions {
+                platform: Some(platform),
+                policy: Some(opts.scheduler),
+                counters: Some(&report.snapshot),
+            },
+        );
+        (json, report)
     }
 }
 
@@ -443,10 +484,25 @@ pub fn factor_stream_distributed_with(
     window: usize,
     scheduler: SchedPolicy,
 ) -> Result<DistStreamFactorization, GridPlatformError> {
-    validate_grid_platform(&opts.grid, platform)?;
     let stream_opts = StreamOptions::fixed(window, opts.threads)
         .with_platform(platform.clone())
         .with_scheduler(scheduler);
+    factor_stream_distributed_opts(a, rhs, opts, platform, &stream_opts)
+}
+
+/// The fully general distributed streaming entry point: any
+/// [`StreamOptions`] — window policy, trace recording, metrics
+/// [`Probe`] — against `platform` (which overrides
+/// [`StreamOptions::platform`]; the grid must fit it).
+pub fn factor_stream_distributed_opts(
+    a: &Mat,
+    rhs: &Mat,
+    opts: &FactorOptions,
+    platform: &Platform,
+    stream_opts: &StreamOptions,
+) -> Result<DistStreamFactorization, GridPlatformError> {
+    validate_grid_platform(&opts.grid, platform)?;
+    let stream_opts = stream_opts.clone().with_platform(platform.clone());
     let stream = factor_stream_with(a, rhs, opts, &stream_opts);
     let sim = stream
         .report

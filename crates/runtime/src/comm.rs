@@ -11,8 +11,11 @@
 //! hybrid's LU-vs-QR criterion decision from the panel-owner node, and
 //! [`RetireMsg`] per-node step-completion reports — through one chokepoint.
 
+use std::collections::BTreeMap;
+
 use crate::graph::{DataClass, DataKey, TaskId};
 use crate::platform::Platform;
+use crate::probe::Histogram;
 
 /// A tile (or any payload datum) crossing a node boundary: sent once per
 /// destination node per produced version, regardless of how many tasks
@@ -124,6 +127,29 @@ impl MsgStats {
     }
 }
 
+/// Aggregate payload traffic of one directed `(src, dst)` link, as costed
+/// by the simulator's network model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkTraffic {
+    pub src: usize,
+    pub dst: usize,
+    /// Payload messages sent over this link.
+    pub messages: u64,
+    /// Payload bytes moved over this link.
+    pub bytes: u64,
+}
+
+/// Per-link protocol counters of one distributed streaming run: the
+/// [`MsgStats`] breakdown (data / decision / retire, by kind) restricted
+/// to one directed `(src, dst)` pair. Retire reports flow to the planner
+/// node, so they appear on `(node, 0)` links.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkMsgStats {
+    pub src: usize,
+    pub dst: usize,
+    pub msgs: MsgStats,
+}
+
 /// Sender-side network state: one egress NIC per node, serialized, plus
 /// the (optional) shared inter-island trunk.
 ///
@@ -146,6 +172,12 @@ pub struct Network {
     pub messages: u64,
     /// Payload bytes moved.
     pub bytes: u64,
+    /// Per-(src, dst) (messages, bytes) tallies. A `BTreeMap` so exports
+    /// iterate in deterministic link order on every engine path.
+    links: BTreeMap<(usize, usize), (u64, u64)>,
+    /// Extra queueing inter-island transfers paid for the shared trunk
+    /// beyond their own NIC backlog (empty when no backbone is declared).
+    trunk_wait: Histogram,
 }
 
 impl Network {
@@ -155,6 +187,8 @@ impl Network {
             trunk_free: 0.0,
             messages: 0,
             bytes: 0,
+            links: BTreeMap::new(),
+            trunk_wait: Histogram::default(),
         }
     }
 
@@ -182,6 +216,9 @@ impl Network {
         let link = platform.link(from, to);
         self.messages += 1;
         self.bytes += nbytes as u64;
+        let tally = self.links.entry((from, to)).or_insert((0, 0));
+        tally.0 += 1;
+        tally.1 += nbytes as u64;
         match platform.topology.shared_trunk(from, to) {
             None => {
                 let start = ready.max(self.nic_free[from]);
@@ -190,13 +227,34 @@ impl Network {
                 start + link.latency + wire
             }
             Some(trunk_bw) => {
-                let start = ready.max(self.nic_free[from]).max(self.trunk_free);
+                let nic_ready = ready.max(self.nic_free[from]);
+                let start = nic_ready.max(self.trunk_free);
+                self.trunk_wait.observe(start - nic_ready);
                 let wire = nbytes as f64 / link.bandwidth.min(trunk_bw);
                 self.nic_free[from] = start + wire;
                 self.trunk_free = start + wire;
                 start + link.latency + wire
             }
         }
+    }
+
+    /// Per-link payload traffic so far, in `(src, dst)` order.
+    pub fn link_traffic(&self) -> Vec<LinkTraffic> {
+        self.links
+            .iter()
+            .map(|(&(src, dst), &(messages, bytes))| LinkTraffic {
+                src,
+                dst,
+                messages,
+                bytes,
+            })
+            .collect()
+    }
+
+    /// Distribution of trunk-queueing delays (wait for the shared trunk
+    /// beyond the sender's own NIC backlog). Empty without a backbone.
+    pub fn trunk_wait(&self) -> &Histogram {
+        &self.trunk_wait
     }
 }
 
@@ -350,6 +408,52 @@ mod tests {
         assert_eq!(s.retire_msgs, 1);
         assert_eq!(s.bytes, 72);
         assert_eq!(s.payload_msgs(), 2);
+    }
+
+    #[test]
+    fn per_link_tallies_and_trunk_wait() {
+        let p = platform(0.0, 100.0);
+        let mut net = Network::new(4);
+        net.send(&p, 0, 1, 0.0, 100);
+        net.send(&p, 0, 1, 0.0, 50);
+        net.send(&p, 1, 2, 0.0, 25);
+        let links = net.link_traffic();
+        assert_eq!(links.len(), 2);
+        assert_eq!(
+            links[0],
+            LinkTraffic {
+                src: 0,
+                dst: 1,
+                messages: 2,
+                bytes: 150
+            }
+        );
+        assert_eq!(
+            links[1],
+            LinkTraffic {
+                src: 1,
+                dst: 2,
+                messages: 1,
+                bytes: 25
+            }
+        );
+        assert_eq!(net.trunk_wait().count, 0, "no backbone, no trunk waits");
+
+        // With a shared trunk, the second inter-island sender queues and
+        // the wait beyond its own NIC backlog is observed.
+        let p = Platform::dancer_nodes(4)
+            .with_topology(Topology::hierarchical(
+                LinkSpec::new(0.0, 1000.0),
+                LinkSpec::new(0.0, 100.0),
+                2,
+            ))
+            .with_backbone(100.0);
+        let mut net = Network::new(4);
+        net.send(&p, 0, 2, 0.0, 100);
+        net.send(&p, 1, 3, 0.0, 100);
+        let h = net.trunk_wait();
+        assert_eq!(h.count, 2);
+        assert!((h.max - 1.0).abs() < 1e-12, "second transfer waited 1 s");
     }
 
     #[test]

@@ -164,6 +164,21 @@ impl CostClass {
     pub fn is_compute(self) -> bool {
         !matches!(self, CostClass::Memory | CostClass::Control)
     }
+
+    /// Short stable identifier, used as the `class` label on per-kernel
+    /// probe metrics (`luqr_kernel_flops_total{class="gemm"}`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CostClass::Gemm => "gemm",
+            CostClass::Trsm => "trsm",
+            CostClass::PanelFactor => "panel",
+            CostClass::QrFactor => "qr-factor",
+            CostClass::QrApply => "qr-apply",
+            CostClass::Estimate => "estimate",
+            CostClass::Memory => "memory",
+            CostClass::Control => "control",
+        }
+    }
 }
 
 /// What a task actually did when it ran.

@@ -31,6 +31,11 @@
 //!   (insertion order, the bitwise-pinned default), critical-path,
 //!   locality-aware, and HEFT-style earliest-finish-time policies, shared
 //!   by the batch simulator, the host executor, and both streaming paths.
+//! * [`probe`] — typed metrics probes (counters, gauges, time-series
+//!   histograms) threaded through the scheduler, the streaming window, the
+//!   comm model, and the vtime engine, plus a makespan-attribution pass
+//!   (compute / transfer / contention / idle) and Chrome-trace, Prometheus,
+//!   and JSON export.
 //! * [`dot`] — Graphviz export (Figure 1's dataflow, from a live graph).
 
 pub mod comm;
@@ -38,21 +43,28 @@ pub mod dot;
 pub mod exec;
 pub mod graph;
 pub mod platform;
+pub mod probe;
 pub mod sched;
 pub mod sim;
 pub mod stream;
 pub mod trace;
 pub mod vtime;
 
-pub use comm::{DataMsg, DecisionMsg, Msg, MsgStats, Network, RetireMsg};
+pub use comm::{
+    DataMsg, DecisionMsg, LinkMsgStats, LinkTraffic, Msg, MsgStats, Network, RetireMsg,
+};
 pub use exec::{execute, execute_scheduled, execute_traced, ExecReport, Tally};
 pub use graph::{
     Access, CostClass, CostedAccess, DataClass, DataKey, Graph, GraphBuilder, Kernel, TaskBuilder,
     TaskId, TaskResult, TaskSink,
 };
 pub use platform::{Efficiency, LinkSpec, NodeCountMismatch, NodeSpec, Platform, Topology};
+pub use probe::{
+    AttribBuckets, Attribution, Histogram, Label, NoopSink, Probe, ProbeReport, ProbeSink,
+    ProbeSnapshot, Registry,
+};
 pub use sched::{SchedEngine, SchedPolicy, Scheduler};
-pub use sim::{simulate, simulate_with, SimOptions, SimReport};
+pub use sim::{simulate, simulate_probed, simulate_with, SimOptions, SimReport};
 pub use stream::{StepPhase, StepSource, StreamOptions, StreamReport, StreamWindow, WindowPolicy};
-pub use trace::{events_to_chrome_trace, TraceEvent};
+pub use trace::{events_to_chrome_trace, render_chrome_trace, TraceEvent, TraceOptions};
 pub use vtime::VirtualSchedule;

@@ -26,10 +26,13 @@
 //! completed readers.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use super::{ReadyTask, SchedPolicy, Scheduler};
 use crate::graph::{Access, CostedAccess, DataKey, TaskId, TaskResult};
 use crate::platform::Platform;
+use crate::probe::report::Attribution;
+use crate::probe::{metric, Histogram, Label, Probe};
 use crate::sim::SimReport;
 use crate::vtime::VirtualSchedule;
 
@@ -41,6 +44,10 @@ pub(crate) struct Buffered {
     preds_remaining: usize,
     succs: Vec<TaskId>,
     depth: u64,
+    /// Elimination-step tag for the attribution pass (None if untagged).
+    step: Option<usize>,
+    /// Virtual time at which the task entered the ready pool.
+    ready_at: f64,
 }
 
 /// A hazard-map entry: a task and its critical-path depth (kept usable
@@ -130,6 +137,14 @@ pub struct SchedEngine {
     record_spans: bool,
     starts: Vec<f64>,
     finishes: Vec<f64>,
+    /// Metrics probe (disabled by default). Scheduler latencies accumulate
+    /// into the local histograms below — no lock per pop — and merge into
+    /// the probe's registry at [`SchedEngine::flush_probe`].
+    probe: Probe,
+    task_wait: Histogram,
+    decision: Histogram,
+    /// Decimation counter for the ready-depth gauge.
+    probe_tick: u64,
 }
 
 impl SchedEngine {
@@ -150,6 +165,10 @@ impl SchedEngine {
             record_spans: false,
             starts: Vec::new(),
             finishes: Vec::new(),
+            probe: Probe::disabled(),
+            task_wait: Histogram::default(),
+            decision: Histogram::default(),
+            probe_tick: 0,
         }
     }
 
@@ -177,6 +196,14 @@ impl SchedEngine {
         self.policy_kind
     }
 
+    /// Attach a metrics probe to the engine and its virtual-time core
+    /// (turning on the makespan-attribution pass there). A disabled probe
+    /// changes nothing; an enabled one never alters scheduling decisions.
+    pub fn attach_probe(&mut self, probe: &Probe) {
+        self.probe = probe.clone();
+        self.vt.attach_probe(probe);
+    }
+
     /// Disable the FIFO eager fast path and force the generic
     /// buffer-and-select machinery even for [`SchedPolicy::Fifo`]. The two
     /// paths are bitwise equivalent (that is the parity the property tests
@@ -193,6 +220,19 @@ impl SchedEngine {
     /// policy selects it (possibly immediately, if the lookahead bound is
     /// hit).
     pub fn submit(&mut self, node: usize, accesses: &[CostedAccess], result: TaskResult) -> TaskId {
+        self.submit_tagged(node, accesses, result, None)
+    }
+
+    /// [`SchedEngine::submit`] with an elimination-step tag carried down
+    /// to the virtual-time engine's attribution pass. The tag is ignored
+    /// (and free) unless an enabled probe is attached.
+    pub fn submit_tagged(
+        &mut self,
+        node: usize,
+        accesses: &[CostedAccess],
+        result: TaskResult,
+        step: Option<usize>,
+    ) -> TaskId {
         let id = self.next_id;
         self.next_id += 1;
 
@@ -200,7 +240,7 @@ impl SchedEngine {
             // FIFO: submission order is the schedule; cost the task now
             // and keep no records at all (in particular, no clone of the
             // access list — this path runs under the streaming lock).
-            let (start, finish) = self.vt.process(node, accesses, &result);
+            let (start, finish) = self.vt.process_tagged(node, accesses, &result, step);
             self.record_span(id, start, finish);
             return id;
         }
@@ -284,6 +324,8 @@ impl SchedEngine {
                 preds_remaining: num_preds,
                 succs: Vec::new(),
                 depth,
+                step,
+                ready_at: if num_preds == 0 { self.vt.now() } else { 0.0 },
             },
         );
         if num_preds == 0 {
@@ -297,15 +339,36 @@ impl SchedEngine {
     /// ready (i.e. the buffer is empty — the buffered prefix is
     /// dependency-closed).
     fn step(&mut self) -> bool {
+        let probing = self.probe.is_enabled();
+        let t0 = if probing { Some(Instant::now()) } else { None };
         let view = SchedView::new(&self.vt, &self.buffered);
         let Some(next) = self.policy.pop(&view) else {
             return false;
         };
+        if let Some(t0) = t0 {
+            // Wall-clock cost of the pop decision itself (policy scoring).
+            self.decision.observe(t0.elapsed().as_secs_f64());
+        }
         let task = self
             .buffered
             .remove(&next.id)
             .expect("ready task is buffered");
-        let (start, finish) = self.vt.process(task.node, &task.accesses, &task.result);
+        if probing {
+            let now = self.vt.now();
+            self.task_wait.observe((now - task.ready_at).max(0.0));
+            self.probe_tick += 1;
+            if self.probe_tick.is_multiple_of(16) {
+                self.probe.gauge(
+                    metric::SCHED_READY_DEPTH,
+                    Label::Policy(self.policy_kind.name()),
+                    now,
+                    self.policy.len() as f64,
+                );
+            }
+        }
+        let (start, finish) =
+            self.vt
+                .process_tagged(task.node, &task.accesses, &task.result, task.step);
         self.record_span(next.id, start, finish);
         for s in task.succs {
             let b = self
@@ -315,6 +378,7 @@ impl SchedEngine {
             debug_assert!(b.preds_remaining >= 1, "dependency underflow");
             b.preds_remaining -= 1;
             if b.preds_remaining == 0 {
+                b.ready_at = finish;
                 self.policy.push(ReadyTask {
                     id: s,
                     node: b.node,
@@ -340,6 +404,31 @@ impl SchedEngine {
     pub fn drain(&mut self) {
         while self.step() {}
         debug_assert!(self.buffered.is_empty(), "ready set dried up early");
+    }
+
+    /// Merge locally-accumulated scheduler histograms and the network
+    /// tallies into the attached probe's registry. Idempotent (the local
+    /// histograms reset on merge); a no-op without an enabled probe. Call
+    /// once, after [`SchedEngine::drain`].
+    pub fn flush_probe(&mut self) {
+        if self.probe.is_enabled() {
+            let name = self.policy_kind.name();
+            let (task_wait, decision) = (self.task_wait, self.decision);
+            self.probe.record_batch(|sink| {
+                sink.merge_histogram(metric::SCHED_TASK_WAIT, Label::Policy(name), &task_wait);
+                sink.merge_histogram(metric::SCHED_DECISION, Label::Policy(name), &decision);
+            });
+            self.task_wait = Histogram::default();
+            self.decision = Histogram::default();
+        }
+        self.vt.flush_probe();
+    }
+
+    /// The virtual-time engine's makespan attribution (see
+    /// [`crate::probe::report`]). `None` unless an enabled probe was
+    /// attached before submission began.
+    pub fn attribution(&self) -> Option<Attribution> {
+        self.vt.attribution()
     }
 
     /// Totals so far, as a [`SimReport`] with spans indexed by submission
@@ -513,6 +602,44 @@ mod tests {
         for policy in SchedPolicy::all() {
             assert_eq!(mk(policy), base, "{}", policy.name());
         }
+    }
+
+    /// Probes observe the schedule without perturbing it: the probed report
+    /// is bitwise the plain one, and the registry fills with scheduler
+    /// latencies plus a reconciling attribution.
+    #[test]
+    fn probes_observe_without_perturbing() {
+        use crate::probe::{metric, Label, Probe};
+        let p = flat(2, 2);
+        let feed = |eng: &mut SchedEngine| {
+            for i in 0..32u64 {
+                eng.submit_tagged(
+                    (i % 2) as usize,
+                    &[acc(Access::Mut(DataKey(i % 4)), 100, 0)],
+                    secs(0.25),
+                    Some((i / 8) as usize),
+                );
+            }
+            eng.drain();
+        };
+        let mut plain = SchedEngine::with_spans(&p, SchedPolicy::Eft);
+        feed(&mut plain);
+        let probe = Probe::enabled();
+        let mut probed = SchedEngine::with_spans(&p, SchedPolicy::Eft);
+        probed.attach_probe(&probe);
+        feed(&mut probed);
+        probed.flush_probe();
+        assert_eq!(plain.report(), probed.report());
+        let snap = probe.snapshot();
+        let wait = snap
+            .histogram(metric::SCHED_TASK_WAIT, Label::Policy("eft"))
+            .expect("task-wait histogram");
+        assert_eq!(wait.count, 32);
+        assert!(snap
+            .histogram(metric::SCHED_DECISION, Label::Policy("eft"))
+            .is_some());
+        let att = probed.attribution().expect("attribution with probes on");
+        assert!(att.max_reconciliation_error() <= 1e-9 * att.makespan.max(1.0));
     }
 
     /// The critical-path policy prefers the deeper chain over shallow

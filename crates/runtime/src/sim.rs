@@ -35,8 +35,10 @@
 //! schedule, so replaying it against the Dancer platform model recovers the
 //! paper's performance shapes (Figure 2, Table II).
 
+use crate::comm::LinkTraffic;
 use crate::graph::{CostClass, Graph};
 use crate::platform::Platform;
+use crate::probe::{Probe, ProbeReport};
 use crate::sched::{SchedEngine, SchedPolicy};
 use crate::vtime::VirtualSchedule;
 
@@ -79,6 +81,10 @@ pub struct SimReport {
     pub node_class_flops: Vec<[f64; CostClass::COUNT]>,
     /// Total executed flops (Memory/Control excluded).
     pub total_flops: f64,
+    /// Per-(src, dst) payload traffic, in link order. Sums to `messages`
+    /// / `bytes`; identical across every engine path for the same run
+    /// (the network model tallies at its one send chokepoint).
+    pub link_messages: Vec<LinkTraffic>,
     /// Per-task start times (simulation seconds, by task id).
     pub starts: Vec<f64>,
     /// Per-task finish times.
@@ -215,6 +221,40 @@ pub fn simulate_with(graph: &Graph, platform: &Platform, opts: &SimOptions) -> S
     }
     eng.drain();
     eng.report()
+}
+
+/// [`simulate_with`] with metrics probes attached: tasks are tagged with
+/// their elimination step (parsed from the task name), the probe's
+/// registry fills with scheduler / network / vtime metrics as the replay
+/// runs, and the makespan-attribution pass lands in the returned
+/// [`ProbeReport`]. The [`SimReport`] is bitwise identical to an unprobed
+/// [`simulate_with`] run — probes observe the schedule, never shape it.
+pub fn simulate_probed(
+    graph: &Graph,
+    platform: &Platform,
+    opts: &SimOptions,
+    probe: &Probe,
+) -> (SimReport, ProbeReport) {
+    if let Err(e) = platform.require_nodes(graph.num_nodes) {
+        panic!(
+            "cannot simulate: {e} (graph placements reference {} nodes)",
+            graph.num_nodes
+        );
+    }
+    let mut eng = SchedEngine::with_spans(platform, opts.scheduler);
+    eng.attach_probe(probe);
+    for t in &graph.tasks {
+        let r = t
+            .result()
+            .unwrap_or_else(|| panic!("task '{}' has no result; execute first", t.name));
+        eng.submit_tagged(t.node, &t.accesses, r, crate::trace::step_index(&t.name));
+    }
+    eng.drain();
+    eng.flush_probe();
+    if let Some(att) = eng.attribution() {
+        probe.set_attribution(att);
+    }
+    (eng.report(), probe.report())
 }
 
 #[cfg(test)]
@@ -478,6 +518,44 @@ mod tests {
             simulate(&g, &p),
             simulate_with(&g, &p, &SimOptions::default())
         );
+    }
+
+    #[test]
+    fn probed_replay_is_bitwise_identical_and_reconciles() {
+        use crate::probe::Probe;
+
+        let mut b = GraphBuilder::new(2);
+        b.declare(k(0), 1000, 0);
+        b.declare(k(1), 500, 1);
+        b.task("PANEL(k=0)", 0, &[Access::Mut(k(0))], one_sec_task);
+        b.task(
+            "GEMM(0,1,k=0)",
+            1,
+            &[Access::Read(k(0)), Access::Mut(k(1))],
+            one_sec_task,
+        );
+        b.task("dead", 0, &[Access::Mut(k(0))], TaskResult::discarded);
+        b.task("GEMM(1,1,k=1)", 0, &[Access::Read(k(1))], one_sec_task);
+        let g = b.build();
+        execute(&g, 2);
+        let p = flat_platform(2, 2);
+        for policy in SchedPolicy::all() {
+            let opts = SimOptions::with_scheduler(policy);
+            let plain = simulate_with(&g, &p, &opts);
+            let probe = Probe::enabled();
+            let (probed, report) = simulate_probed(&g, &p, &opts, &probe);
+            assert_eq!(plain, probed, "probes must not perturb {policy:?}");
+            let att = report.attribution.expect("attribution with probes on");
+            assert!(
+                att.max_reconciliation_error() <= 1e-9 * att.makespan.max(1.0),
+                "{policy:?}: {}",
+                att.max_reconciliation_error()
+            );
+            assert!(
+                att.steps.iter().any(|(s, _)| *s == Some(0)),
+                "{policy:?} must tag step 0"
+            );
+        }
     }
 
     #[test]

@@ -42,9 +42,10 @@ pub mod window;
 
 use std::time::Instant;
 
-use crate::comm::MsgStats;
+use crate::comm::{LinkMsgStats, MsgStats};
 use crate::graph::{TaskId, TaskSink};
 use crate::platform::Platform;
+use crate::probe::{metric, Label, Probe};
 use crate::sched::SchedPolicy;
 use crate::sim::SimReport;
 use crate::trace::TraceEvent;
@@ -140,6 +141,11 @@ pub struct StreamOptions {
     /// independent of the platform model). [`SchedPolicy::Fifo`]
     /// reproduces the pre-subsystem reports bitwise.
     pub scheduler: SchedPolicy,
+    /// Metrics probe. [`Probe::disabled`] (the default) records nothing
+    /// and costs a branch per emission site; an enabled probe collects
+    /// window/scheduler/comm/kernel metrics and a makespan attribution,
+    /// retrieved afterwards via [`Probe::report`].
+    pub probe: Probe,
 }
 
 impl StreamOptions {
@@ -152,6 +158,7 @@ impl StreamOptions {
             platform: None,
             trace: false,
             scheduler: SchedPolicy::Fifo,
+            probe: Probe::disabled(),
         }
     }
 
@@ -167,6 +174,11 @@ impl StreamOptions {
 
     pub fn with_scheduler(mut self, scheduler: SchedPolicy) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    pub fn with_probe(mut self, probe: Probe) -> Self {
+        self.probe = probe;
         self
     }
 }
@@ -203,6 +215,10 @@ pub struct StreamReport {
     /// Distributed-protocol message counters (data transfers, decision
     /// broadcasts, retirement reports).
     pub msgs: MsgStats,
+    /// The same counters broken out per directed `(src, dst)` link, in
+    /// `(src, dst)` order (retire reports appear on `(node, 0)` — the
+    /// planner lives with node 0). Empty for single-node runs.
+    pub link_msgs: Vec<LinkMsgStats>,
     /// Online virtual-time summary (set when [`StreamOptions::platform`]
     /// was given); equal to `simulate()` on the equivalent batch graph,
     /// except that per-task spans (`starts`/`finishes`) are left empty —
@@ -237,8 +253,10 @@ pub fn execute_with(source: &mut dyn StepSource, opts: &StreamOptions) -> Stream
         opts.platform.as_ref(),
         opts.trace,
         opts.scheduler,
+        &opts.probe,
     );
     let steps = source.num_steps();
+    let probing = opts.probe.is_enabled();
 
     let (mut window, auto) = match opts.window {
         WindowPolicy::Fixed(w) => (w.max(1), None),
@@ -264,6 +282,14 @@ pub fn execute_with(source: &mut dyn StepSource, opts: &StreamOptions) -> Stream
             win.wait_for_capacity(window);
             win.open_step(k);
             per_step_window.push(window);
+            if probing {
+                opts.probe.gauge(
+                    metric::STREAM_WINDOW,
+                    Label::None,
+                    start.elapsed().as_secs_f64(),
+                    window as f64,
+                );
+            }
             let step_t0 = Instant::now();
             let mut decision_wait = 0.0f64;
             let mut sink = StepSink::new(&win, k);
@@ -275,6 +301,12 @@ pub fn execute_with(source: &mut dyn StepSource, opts: &StreamOptions) -> Stream
                     decision_wait = t0.elapsed().as_secs_f64();
                     source.plan_finish(k, &mut sink);
                 }
+            }
+            if probing {
+                // Planner-side stall on this step's panel/criterion
+                // decision (zero for steps with no decision point).
+                opts.probe
+                    .observe(metric::STREAM_PANEL_WAIT, Label::None, decision_wait);
             }
             win.close_step(k);
             if let Some((min, max, budget)) = auto {
@@ -307,6 +339,7 @@ pub fn execute_with(source: &mut dyn StepSource, opts: &StreamOptions) -> Stream
         per_step_tasks: stats.per_step_tasks,
         per_step_window,
         msgs: stats.msgs,
+        link_msgs: stats.link_msgs,
         sim: stats.sim,
         trace: stats.trace,
         scheduler: opts.scheduler,
@@ -683,6 +716,53 @@ mod tests {
         assert_eq!(report.per_step_window.len(), 8);
         assert!(report.per_step_window.iter().all(|&w| (1..=4).contains(&w)));
         assert_eq!(report.tasks_executed, 32);
+    }
+
+    #[test]
+    fn probed_streaming_reports_metrics_and_attribution() {
+        let probe = Probe::enabled();
+        let platform = crate::platform::Platform::dancer_nodes(2);
+        let opts = StreamOptions::fixed(2, 2)
+            .with_platform(platform.clone())
+            .with_probe(probe.clone());
+        let report = execute_with(&mut TwoNodeSource, &opts);
+
+        // Per-link counters reconcile with the aggregate, and retire
+        // reports ride the (node, 0) links.
+        let data: u64 = report.link_msgs.iter().map(|l| l.msgs.data_msgs).sum();
+        assert_eq!(data, report.msgs.data_msgs);
+        assert!(report.link_msgs.iter().any(|l| l.src == 0 && l.dst == 1));
+        let retire: u64 = report.link_msgs.iter().map(|l| l.msgs.retire_msgs).sum();
+        assert_eq!(retire, report.msgs.retire_msgs);
+        assert!(report
+            .link_msgs
+            .iter()
+            .all(|l| l.msgs.retire_msgs == 0 || l.dst == 0));
+
+        let pr = probe.report();
+        let att = pr.attribution.expect("platform given, so attribution");
+        assert!(att.makespan > 0.0);
+        assert!(att.max_reconciliation_error() <= 1e-9 * att.makespan.max(1.0));
+        assert!(
+            pr.snapshot
+                .counter(metric::KERNEL_FLOPS, Label::Class("gemm"))
+                > 0
+        );
+        assert!(pr.snapshot.counter(metric::COMM_MSGS, Label::Kind("data")) > 0);
+        assert!(pr
+            .snapshot
+            .histogram(metric::STREAM_PANEL_WAIT, Label::None)
+            .is_some());
+
+        // Probes never perturb the run: a probe-free rerun reports the
+        // same simulation, message counts, and link breakdown.
+        let plain = execute_with(
+            &mut TwoNodeSource,
+            &StreamOptions::fixed(2, 2).with_platform(platform),
+        );
+        assert_eq!(plain.sim, report.sim);
+        assert_eq!(plain.msgs, report.msgs);
+        assert_eq!(plain.link_msgs, report.link_msgs);
     }
 
     #[test]

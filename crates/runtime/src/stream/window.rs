@@ -39,12 +39,13 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
-use crate::comm::{flow_msg, Msg, MsgStats, RetireMsg};
+use crate::comm::{flow_msg, LinkMsgStats, Msg, MsgStats, RetireMsg};
 use crate::exec::Tally;
 use crate::graph::{
-    Access, CostedAccess, DataClass, DataKey, Kernel, TaskId, TaskResult, TaskSink,
+    Access, CostClass, CostedAccess, DataClass, DataKey, Kernel, TaskId, TaskResult, TaskSink,
 };
 use crate::platform::Platform;
+use crate::probe::{metric, Histogram, Label, Probe};
 use crate::sched::{SchedEngine, SchedPolicy};
 use crate::sim::SimReport;
 use crate::trace::TraceEvent;
@@ -154,7 +155,7 @@ struct NodeWindow {
 /// [`VTIME_LOOKAHEAD`] submitted records for the policy to choose among.
 struct VtimeState {
     engine: SchedEngine,
-    pending: BTreeMap<TaskId, (usize, Vec<CostedAccess>, TaskResult)>,
+    pending: BTreeMap<TaskId, (usize, Vec<CostedAccess>, TaskResult, usize)>,
     next: TaskId,
 }
 
@@ -173,6 +174,19 @@ pub(crate) struct WindowState {
     peak_live_tasks: usize,
     vtime: Option<VtimeState>,
     trace: Option<Vec<TraceEvent>>,
+    /// Metrics probe (cheap-clone handle; disabled by default).
+    probe: Probe,
+    /// Per-(src, dst) protocol message tallies (retire reports appear on
+    /// the `(node, 0)` link — the planner lives with node 0).
+    link_msgs: BTreeMap<(usize, usize), MsgStats>,
+    /// Per-class kernel accounting — `(flops, wall-seconds histogram)`,
+    /// indexed by [`CostClass::index`] — only allocated while probed.
+    kernel_stats: Option<Box<[(f64, Histogram); CostClass::COUNT]>>,
+    /// Wall time each step's planning closed at (probed runs only), for
+    /// the close-to-retirement lag histogram.
+    step_closed_at: HashMap<usize, f64>,
+    /// Decimation counter for the live-task gauge.
+    live_tick: u64,
 }
 
 /// Final statistics of one streaming run.
@@ -183,6 +197,7 @@ pub(crate) struct WindowStats {
     pub peak_live_steps: usize,
     pub per_step_tasks: Vec<usize>,
     pub msgs: MsgStats,
+    pub link_msgs: Vec<LinkMsgStats>,
     pub sim: Option<SimReport>,
     pub trace: Vec<TraceEvent>,
 }
@@ -215,18 +230,33 @@ impl WindowState {
 
     fn route(&mut self, msg: Msg) {
         self.msgs.record(&msg);
+        let link = match &msg {
+            Msg::Data(m) => (m.from, m.to),
+            Msg::Decision(m) => (m.from, m.to),
+            Msg::Retire(m) => (m.node, 0),
+        };
+        self.link_msgs.entry(link).or_default().record(&msg);
     }
 
     /// Apply ledger feedback from a close/completion: per-node retirement
     /// reports become [`RetireMsg`]s (the planner lives with node 0, whose
     /// report is local), and a retired step prunes reader metadata.
-    fn on_step_events(&mut self, reports: &[usize], retired: bool, step: usize) {
+    /// `now` is the wall clock (seconds since the window's epoch) of the
+    /// triggering event; it only feeds the probed retirement-lag metric.
+    fn on_step_events(&mut self, reports: &[usize], retired: bool, step: usize, now: f64) {
         for &n in reports {
             if n != 0 {
                 self.route(Msg::Retire(RetireMsg { step, node: n }));
             }
         }
         if retired {
+            if let Some(closed) = self.step_closed_at.remove(&step) {
+                self.probe.observe(
+                    metric::STREAM_RETIRE_LAG,
+                    Label::None,
+                    (now - closed).max(0.0),
+                );
+            }
             self.prune_completed_readers();
         }
     }
@@ -248,17 +278,25 @@ const NO_STEP: usize = usize::MAX;
 
 impl StreamWindow {
     pub fn new(num_nodes: usize) -> Self {
-        StreamWindow::with_options(num_nodes, None, false, SchedPolicy::Fifo)
+        StreamWindow::with_options(
+            num_nodes,
+            None,
+            false,
+            SchedPolicy::Fifo,
+            &Probe::disabled(),
+        )
     }
 
     /// A window that additionally drives the platform communication model
-    /// online (`platform`, virtual time scheduled by `scheduler`) and/or
-    /// records per-task trace events (`trace`).
+    /// online (`platform`, virtual time scheduled by `scheduler`), records
+    /// per-task trace events (`trace`), and/or emits runtime metrics into
+    /// an enabled `probe`.
     pub fn with_options(
         num_nodes: usize,
         platform: Option<&Platform>,
         trace: bool,
         scheduler: SchedPolicy,
+        probe: &Probe,
     ) -> Self {
         assert!(num_nodes >= 1);
         if let Some(p) = platform {
@@ -279,12 +317,23 @@ impl StreamWindow {
                 msgs: MsgStats::default(),
                 tasks_planned: 0,
                 peak_live_tasks: 0,
-                vtime: platform.map(|p| VtimeState {
-                    engine: SchedEngine::new(p, scheduler).with_lookahead(VTIME_LOOKAHEAD),
-                    pending: BTreeMap::new(),
-                    next: 0,
+                vtime: platform.map(|p| {
+                    let mut engine = SchedEngine::new(p, scheduler).with_lookahead(VTIME_LOOKAHEAD);
+                    engine.attach_probe(probe);
+                    VtimeState {
+                        engine,
+                        pending: BTreeMap::new(),
+                        next: 0,
+                    }
                 }),
                 trace: trace.then(Vec::<TraceEvent>::new),
+                probe: probe.clone(),
+                link_msgs: BTreeMap::new(),
+                kernel_stats: probe
+                    .is_enabled()
+                    .then(|| Box::new([(0.0, Histogram::default()); CostClass::COUNT])),
+                step_closed_at: HashMap::new(),
+                live_tick: 0,
             }),
             work_cv: Condvar::new(),
             plan_cv: Condvar::new(),
@@ -319,10 +368,17 @@ impl StreamWindow {
     /// Planning of step `k` is complete.
     pub fn close_step(&self, k: usize) {
         let mut st = self.lock();
+        let now = if st.probe.is_enabled() {
+            let t = self.epoch.elapsed().as_secs_f64();
+            st.step_closed_at.insert(k, t);
+            t
+        } else {
+            0.0
+        };
         // Closing may report already-drained node shares and retire the
         // step on the spot.
         let (reports, retired) = st.ledger.close_step(k);
-        st.on_step_events(&reports, retired, k);
+        st.on_step_events(&reports, retired, k, now);
         drop(st);
         self.plan_cv.notify_all();
     }
@@ -366,6 +422,38 @@ impl StreamWindow {
             // Schedule whatever the lookahead bound left for the policy to
             // choose among — the run is over, so the choice set is final.
             v.engine.drain();
+            v.engine.flush_probe();
+        }
+        if st.probe.is_enabled() {
+            if let Some(att) = st.vtime.as_ref().and_then(|v| v.engine.attribution()) {
+                st.probe.set_attribution(att);
+            }
+            let kernel_stats = st.kernel_stats.take();
+            let totals = st.msgs;
+            st.probe.record_batch(|sink| {
+                if let Some(ks) = &kernel_stats {
+                    for (class, (flops, hist)) in CostClass::ALL.iter().zip(ks.iter()) {
+                        if hist.count > 0 {
+                            let label = Label::Class(class.name());
+                            sink.counter(metric::KERNEL_FLOPS, label, *flops as u64);
+                            sink.merge_histogram(metric::KERNEL_SECONDS, label, hist);
+                        }
+                    }
+                }
+                // Per-link payload traffic on the probe comes from the
+                // virtual-time network (COMM_LINK_*); here we count the
+                // *protocol* messages by kind, links included via
+                // `WindowStats::link_msgs`.
+                for (kind, n) in [
+                    ("data", totals.data_msgs),
+                    ("decision", totals.decision_msgs),
+                    ("retire", totals.retire_msgs),
+                ] {
+                    if n > 0 {
+                        sink.counter(metric::COMM_MSGS, Label::Kind(kind), n);
+                    }
+                }
+            });
         }
         WindowStats {
             tally: st.tally.clone(),
@@ -374,6 +462,11 @@ impl StreamWindow {
             peak_live_steps: st.ledger.peak_live_steps,
             per_step_tasks: st.ledger.per_step_planned.clone(),
             msgs: st.msgs,
+            link_msgs: st
+                .link_msgs
+                .iter()
+                .map(|(&(src, dst), &msgs)| LinkMsgStats { src, dst, msgs })
+                .collect(),
             sim: st.vtime.as_ref().map(|v| v.engine.report()),
             trace: st.trace.clone().unwrap_or_default(),
         }
@@ -687,6 +780,22 @@ impl StreamWindow {
         st.live_nodes.remove(&id);
         st.tally.record(&result);
 
+        if st.probe.is_enabled() {
+            if result.executed {
+                if let Some(ks) = &mut st.kernel_stats {
+                    let entry = &mut ks[result.class.index()];
+                    entry.0 += result.flops;
+                    entry.1.observe((end_s - start_s).max(0.0));
+                }
+            }
+            st.live_tick += 1;
+            if st.live_tick.is_multiple_of(64) {
+                let live = st.live_nodes.len() as f64;
+                st.probe
+                    .gauge(metric::STREAM_LIVE_TASKS, Label::None, end_s, live);
+            }
+        }
+
         if result.executed {
             if let Some(events) = &mut st.trace {
                 events.push(TraceEvent {
@@ -753,10 +862,12 @@ impl StreamWindow {
         if let Some(v) = &mut st.vtime {
             // Move the accesses out — the record is being reclaimed and
             // nothing below reads them.
-            v.pending
-                .insert(id, (node, std::mem::take(&mut task.accesses), result));
-            while let Some((n, accs, r)) = v.pending.remove(&v.next) {
-                v.engine.submit(n, &accs, r);
+            v.pending.insert(
+                id,
+                (node, std::mem::take(&mut task.accesses), result, task.step),
+            );
+            while let Some((n, accs, r, step)) = v.pending.remove(&v.next) {
+                v.engine.submit_tagged(n, &accs, r, Some(step));
                 v.next += 1;
             }
         }
@@ -788,7 +899,7 @@ impl StreamWindow {
 
         let ev = st.ledger.on_completed(task.step, node);
         let reports: Vec<usize> = ev.node_drained.into_iter().collect();
-        st.on_step_events(&reports, ev.retired, task.step);
+        st.on_step_events(&reports, ev.retired, task.step, end_s);
 
         let drained = st.planning_done && st.live_nodes.is_empty();
         drop(st);

@@ -11,11 +11,18 @@
 //!   and [`events_to_chrome_trace`] renders them, so windowed runs are
 //!   inspectable in `chrome://tracing` / Perfetto even though no graph
 //!   survives the run.
+//!
+//! All variants funnel through [`render_chrome_trace`], parameterized by
+//! [`TraceOptions`]: node lanes named from a [`Platform`], a scheduler
+//! policy stamp, and probe counter tracks (`"ph": "C"` events from a
+//! [`ProbeSnapshot`]) merged into the same JSON array so gauges render as
+//! overlay graphs above the task spans.
 
 use std::fmt::Write as _;
 
 use crate::graph::Graph;
 use crate::platform::Platform;
+use crate::probe::ProbeSnapshot;
 use crate::sched::SchedPolicy;
 use crate::sim::SimReport;
 
@@ -34,6 +41,23 @@ pub struct TraceEvent {
     pub start: f64,
     /// Span end, seconds.
     pub end: f64,
+}
+
+/// Rendering knobs for [`render_chrome_trace`]. `Default` renders bare
+/// spans — no lane metadata, no policy stamp, no counter tracks — which
+/// is exactly what [`events_to_chrome_trace`] produces.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TraceOptions<'a> {
+    /// Name each node lane from its spec (`node1 (4c @ 8 GF)`) via
+    /// `process_name` metadata events.
+    pub platform: Option<&'a Platform>,
+    /// Stamp the active scheduler policy into each lane name
+    /// (`node1 (4c @ 8 GF) [eft]`), so a trace says *which schedule* it
+    /// shows.
+    pub policy: Option<SchedPolicy>,
+    /// Merge probe gauge series as Chrome counter tracks (`"ph": "C"`)
+    /// into the same array as the task spans.
+    pub counters: Option<&'a ProbeSnapshot>,
 }
 
 /// Elimination-step index encoded in a task name (the `k=NN` of
@@ -55,7 +79,7 @@ pub fn step_index(name: &str) -> Option<usize> {
 /// microseconds; `pid` = node, `tid` = worker, `args.step` = elimination
 /// step when known).
 pub fn events_to_chrome_trace(events: &[TraceEvent]) -> String {
-    events_to_chrome_trace_on(events, None)
+    render_chrome_trace(events, &TraceOptions::default())
 }
 
 /// Like [`events_to_chrome_trace`], but when a [`Platform`] is given each
@@ -63,7 +87,13 @@ pub fn events_to_chrome_trace(events: &[TraceEvent]) -> String {
 /// `process_name` metadata events, so heterogeneous traces read at a
 /// glance in `chrome://tracing` / Perfetto.
 pub fn events_to_chrome_trace_on(events: &[TraceEvent], platform: Option<&Platform>) -> String {
-    events_to_chrome_trace_sched(events, platform, None)
+    render_chrome_trace(
+        events,
+        &TraceOptions {
+            platform,
+            ..TraceOptions::default()
+        },
+    )
 }
 
 /// Like [`events_to_chrome_trace_on`], additionally stamping the active
@@ -74,10 +104,25 @@ pub fn events_to_chrome_trace_sched(
     platform: Option<&Platform>,
     policy: Option<SchedPolicy>,
 ) -> String {
+    render_chrome_trace(
+        events,
+        &TraceOptions {
+            platform,
+            policy,
+            counters: None,
+        },
+    )
+}
+
+/// The one Chrome trace-event renderer: lane metadata (when a platform is
+/// given), one `"ph": "X"` span per event, then probe counter tracks
+/// (when a snapshot is given) — all in a single JSON array.
+pub fn render_chrome_trace(events: &[TraceEvent], opts: &TraceOptions) -> String {
     let mut out = String::from("[\n");
     let mut first = true;
-    if let Some(p) = platform {
-        let tag = policy
+    if let Some(p) = opts.platform {
+        let tag = opts
+            .policy
             .map(|s| format!(" [{}]", s.name()))
             .unwrap_or_default();
         for (n, spec) in p.specs.iter().enumerate() {
@@ -114,6 +159,9 @@ pub fn events_to_chrome_trace_sched(
             args,
         );
     }
+    if let Some(snap) = opts.counters {
+        crate::probe::export::write_chrome_counters(&mut out, &mut first, snap);
+    }
     out.push_str("\n]\n");
     out
 }
@@ -145,6 +193,13 @@ pub fn to_chrome_trace_sched(
     events_to_chrome_trace_sched(&sim_events(graph, sim), Some(platform), Some(policy))
 }
 
+/// [`to_chrome_trace`] with full [`TraceOptions`] — the entry point for
+/// probed replays, where counter tracks from a
+/// [`crate::probe::ProbeReport`] snapshot overlay the simulated spans.
+pub fn to_chrome_trace_with(graph: &Graph, sim: &SimReport, opts: &TraceOptions) -> String {
+    render_chrome_trace(&sim_events(graph, sim), opts)
+}
+
 fn sim_events(graph: &Graph, sim: &SimReport) -> Vec<TraceEvent> {
     graph
         .tasks
@@ -168,6 +223,7 @@ mod tests {
     use crate::exec::execute;
     use crate::graph::{Access, CostClass, DataKey, GraphBuilder, TaskResult};
     use crate::platform::Platform;
+    use crate::probe::{metric, Label, Probe};
     use crate::sim::simulate;
 
     #[test]
@@ -195,6 +251,25 @@ mod tests {
         assert_eq!(step_index("TSMQR(5,4,6,k=0)"), Some(0));
         assert_eq!(step_index("no step here"), None);
         assert_eq!(step_index("k="), None);
+    }
+
+    #[test]
+    fn step_index_edge_cases() {
+        // No `k=` marker at all.
+        assert_eq!(step_index(""), None);
+        assert_eq!(step_index("GEMM(3,4)"), None);
+        // `k=` immediately followed by a non-digit.
+        assert_eq!(step_index("PANEL(k=)"), None);
+        assert_eq!(step_index("PANEL(k=x)"), None);
+        // Digits terminated by trailing garbage parse up to the garbage.
+        assert_eq!(step_index("PANEL(k=7)trailing"), Some(7));
+        assert_eq!(step_index("k=42junk"), Some(42));
+        // Multiple `k=` occurrences: the *last* one wins (rfind).
+        assert_eq!(step_index("TRICK(k=1,k=9)"), Some(9));
+        // ... even when the last one is empty.
+        assert_eq!(step_index("TRICK(k=1,k=)"), None);
+        // `k=` at the very end of the name with digits.
+        assert_eq!(step_index("tail k=5"), Some(5));
     }
 
     #[test]
@@ -274,5 +349,98 @@ mod tests {
         assert!(json.contains("\"tid\": 2"));
         assert!(json.contains("\"args\": {\"step\": 1}"));
         assert!(json.contains("\"ts\": 500000.000"));
+    }
+
+    #[test]
+    fn legacy_wrappers_match_unified_renderer_bytes() {
+        let p = Platform::dancer_nodes(2);
+        let events = vec![
+            TraceEvent {
+                name: "PANEL(k=0)".into(),
+                node: 0,
+                worker: 0,
+                step: Some(0),
+                start: 0.0,
+                end: 0.5,
+            },
+            TraceEvent {
+                name: "GEMM(1,1,k=0)".into(),
+                node: 1,
+                worker: 1,
+                step: Some(0),
+                start: 0.5,
+                end: 1.25,
+            },
+        ];
+        let unified = render_chrome_trace(
+            &events,
+            &TraceOptions {
+                platform: Some(&p),
+                policy: Some(SchedPolicy::Eft),
+                counters: None,
+            },
+        );
+        assert_eq!(
+            events_to_chrome_trace_sched(&events, Some(&p), Some(SchedPolicy::Eft)),
+            unified
+        );
+        assert_eq!(
+            events_to_chrome_trace_on(&events, Some(&p)),
+            render_chrome_trace(
+                &events,
+                &TraceOptions {
+                    platform: Some(&p),
+                    ..TraceOptions::default()
+                }
+            )
+        );
+        assert_eq!(
+            events_to_chrome_trace(&events),
+            render_chrome_trace(&events, &TraceOptions::default())
+        );
+    }
+
+    #[test]
+    fn counter_tracks_merge_into_span_trace() {
+        let probe = Probe::enabled();
+        probe.gauge(metric::SCHED_READY_DEPTH, Label::Policy("eft"), 0.25, 3.0);
+        probe.gauge(metric::VTIME_NODE_BUSY, Label::Node(1), 0.5, 0.125);
+        let snap = probe.snapshot();
+        let events = vec![TraceEvent {
+            name: "GEMM(1,1,k=0)".into(),
+            node: 1,
+            worker: 0,
+            step: Some(0),
+            start: 0.0,
+            end: 1.0,
+        }];
+        let json = render_chrome_trace(
+            &events,
+            &TraceOptions {
+                platform: None,
+                policy: None,
+                counters: Some(&snap),
+            },
+        );
+        // One span plus two counter samples, all in one well-formed array.
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), 1);
+        assert_eq!(json.matches("\"ph\": \"C\"").count(), 2);
+        assert!(json.contains("\"name\": \"sched_ready_depth[eft]\""));
+        assert!(json.contains("\"name\": \"vtime_node_busy_seconds[node1]\""));
+        // Node-labelled counters land on that node's pid lane.
+        assert!(json.contains("\"ph\": \"C\", \"ts\": 500000.000, \"pid\": 1"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(!json.contains(",,"));
+        // An empty snapshot leaves the span render untouched.
+        let bare = render_chrome_trace(&events, &TraceOptions::default());
+        let empty_snap = Probe::enabled().snapshot();
+        let with_empty = render_chrome_trace(
+            &events,
+            &TraceOptions {
+                counters: Some(&empty_snap),
+                ..TraceOptions::default()
+            },
+        );
+        assert_eq!(bare, with_empty);
     }
 }

@@ -33,11 +33,13 @@
 //! sender's NIC; a transfer costs `latency + bytes/bandwidth`.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use crate::comm::Network;
 use crate::graph::{Access, CostClass, CostedAccess, DataKey, TaskResult};
 use crate::platform::Platform;
+use crate::probe::report::{AttribBuckets, Attribution};
+use crate::probe::{metric, Label, Probe};
 use crate::sim::SimReport;
 
 /// Last executed writer of a datum.
@@ -94,6 +96,27 @@ pub struct VirtualSchedule {
     /// that discarded themselves. Empty unless spans are recorded.
     starts: Vec<f64>,
     finishes: Vec<f64>,
+    /// Metrics probe (disabled by default — every recording is a branch).
+    probe: Probe,
+    /// Makespan-attribution accumulators; present only when a probe is
+    /// attached, so probe-free runs skip every attribution fold.
+    attrib: Option<AttribState>,
+    /// Decimation counter for the node-busy gauge (sampling every task
+    /// would dominate probe overhead without sharpening the timeline).
+    probe_tick: u64,
+    /// Guards [`VirtualSchedule::flush_probe`] against double-flushing
+    /// link counters into the registry.
+    probe_flushed: bool,
+}
+
+/// Attribution accumulators, in core-seconds until finalization.
+struct AttribState {
+    /// Per-node bucket totals over all claimed-core segments.
+    node: Vec<AttribBuckets>,
+    /// Per-elimination-step totals (`None` for untagged tasks).
+    steps: BTreeMap<Option<usize>, AttribBuckets>,
+    /// Reused per-task buffer of claimed-core free times.
+    scratch: Vec<f64>,
 }
 
 impl VirtualSchedule {
@@ -118,6 +141,10 @@ impl VirtualSchedule {
             record_spans: false,
             starts: Vec::new(),
             finishes: Vec::new(),
+            probe: Probe::disabled(),
+            attrib: None,
+            probe_tick: 0,
+            probe_flushed: false,
             sync_latency: platform.sync_latency(),
             platform: platform.clone(),
         }
@@ -137,6 +164,24 @@ impl VirtualSchedule {
         &self.platform
     }
 
+    /// Current virtual clock: the latest finish processed so far.
+    pub fn now(&self) -> f64 {
+        self.makespan
+    }
+
+    /// Attach a metrics probe. When the probe is enabled this also turns
+    /// on the makespan-attribution pass; a disabled probe changes nothing.
+    pub fn attach_probe(&mut self, probe: &Probe) {
+        self.probe = probe.clone();
+        if probe.is_enabled() && self.attrib.is_none() {
+            self.attrib = Some(AttribState {
+                node: vec![AttribBuckets::default(); self.platform.nodes()],
+                steps: BTreeMap::new(),
+                scratch: Vec::new(),
+            });
+        }
+    }
+
     /// Schedule the next task (callers feed a topological order of the
     /// hazard DAG — insertion order, or a [`crate::sched`] policy's pick)
     /// and return its simulated `(start, finish)`. Discarded tasks take
@@ -146,6 +191,19 @@ impl VirtualSchedule {
         node: usize,
         accesses: &[CostedAccess],
         result: &TaskResult,
+    ) -> (f64, f64) {
+        self.process_tagged(node, accesses, result, None)
+    }
+
+    /// [`VirtualSchedule::process`] with an elimination-step tag for the
+    /// makespan-attribution pass. `step` is ignored (and free) unless an
+    /// enabled probe is attached.
+    pub fn process_tagged(
+        &mut self,
+        node: usize,
+        accesses: &[CostedAccess],
+        result: &TaskResult,
+        step: Option<usize>,
     ) -> (f64, f64) {
         assert!(node < self.platform.nodes(), "task on unknown node");
         if !result.executed {
@@ -157,9 +215,16 @@ impl VirtualSchedule {
         }
 
         // Pass 1: data-ready time over all accesses, sending cross-node
-        // transfers as needed (cached once per destination node).
+        // transfers as needed (cached once per destination node). With an
+        // attribution pass on, two extra thresholds are folded alongside:
+        // `dep_ready` (inputs produced, zero transfer cost) and
+        // `uncont_ready` (inputs arrived over uncontended links) — see
+        // [`crate::probe::report`] for the decomposition they induce.
+        let track = self.attrib.is_some();
         let mut data_ready = 0.0f64;
         let mut cp_ready = 0.0f64;
+        let mut dep_ready = 0.0f64;
+        let mut uncont_ready = 0.0f64;
         for ca in accesses {
             let key = ca.access.key();
             let st = self.data.entry(key).or_default();
@@ -183,12 +248,18 @@ impl VirtualSchedule {
                                     }
                                 };
                                 data_ready = data_ready.max(arrival);
-                                cp_ready = cp_ready.max(
-                                    w.cp + self.platform.transfer_seconds(w.node, node, ca.bytes),
-                                );
+                                let raw = self.platform.transfer_seconds(w.node, node, ca.bytes);
+                                cp_ready = cp_ready.max(w.cp + raw);
+                                if track {
+                                    dep_ready = dep_ready.max(w.finish);
+                                    uncont_ready = uncont_ready.max(w.finish + raw);
+                                }
                             } else {
                                 data_ready = data_ready.max(w.finish);
                                 cp_ready = cp_ready.max(w.cp);
+                                if track {
+                                    dep_ready = dep_ready.max(w.finish);
+                                }
                             }
                         }
                         None => {
@@ -210,6 +281,13 @@ impl VirtualSchedule {
                                     }
                                 };
                                 data_ready = data_ready.max(arrival);
+                                if track {
+                                    // Produced at t=0; only wire time is
+                                    // unavoidable.
+                                    uncont_ready = uncont_ready.max(
+                                        self.platform.transfer_seconds(ca.home, node, ca.bytes),
+                                    );
+                                }
                             }
                         }
                     }
@@ -218,12 +296,18 @@ impl VirtualSchedule {
                         // last write (precedence only, no data).
                         data_ready = data_ready.max(st.readers_finish);
                         cp_ready = cp_ready.max(st.readers_cp);
+                        if track {
+                            dep_ready = dep_ready.max(st.readers_finish);
+                        }
                     }
                 }
                 Access::Control(_) => {
                     if let Some(w) = &st.writer {
                         data_ready = data_ready.max(w.finish);
                         cp_ready = cp_ready.max(w.cp);
+                        if track {
+                            dep_ready = dep_ready.max(w.finish);
+                        }
                     }
                 }
             }
@@ -236,20 +320,65 @@ impl VirtualSchedule {
         let duration = self.platform.task_seconds(node, result.flops, result.class) / claim as f64
             + result.latency_events as f64 * self.sync_latency;
         let mut core_free = 0.0f64;
+        let mut scratch = match self.attrib.as_mut() {
+            Some(a) => std::mem::take(&mut a.scratch),
+            None => Vec::new(),
+        };
         for _ in 0..claim {
             let Reverse(OrderedF64(f)) = self.cores[node].pop().expect("node has cores");
             core_free = core_free.max(f);
+            if track {
+                scratch.push(f);
+            }
         }
         let start = data_ready.max(core_free);
         let finish = start + duration;
         for _ in 0..claim {
             self.cores[node].push(Reverse(OrderedF64(finish)));
         }
+        if let Some(att) = self.attrib.as_mut() {
+            // Each claimed core's gap [f, start] splits at the three
+            // thresholds dep <= uncont <= arrived (clamped into the gap):
+            // below dep nothing existed to wait for (idle), dep..uncont is
+            // the uncontended wire time (transfer), uncont..arrived is
+            // queueing (contention), and the remainder up to `start` is
+            // idle again — the core sat free while this task waited on
+            // siblings or simply wasn't selected yet.
+            let uncont = uncont_ready.max(dep_ready);
+            let arrived = data_ready.max(uncont);
+            let mut g = AttribBuckets::default();
+            for &f in &scratch {
+                let s1 = dep_ready.clamp(f, start);
+                let s2 = uncont.clamp(f, start);
+                let s3 = arrived.clamp(f, start);
+                g.idle += (s1 - f) + (start - s3);
+                g.transfer += s2 - s1;
+                g.contention += s3 - s2;
+                g.compute += duration;
+            }
+            att.node[node].add(&g);
+            att.steps.entry(step).or_default().add(&g);
+            scratch.clear();
+            att.scratch = scratch;
+        }
         self.node_busy[node] += duration * claim as f64;
         self.node_class_seconds[node][result.class.index()] += duration * claim as f64;
         self.node_class_flops[node][result.class.index()] += result.flops;
         self.serial_seconds += duration;
         self.makespan = self.makespan.max(finish);
+        if self.probe.is_enabled() {
+            // Decimated busy-timeline samples: enough to plot utilization
+            // over virtual time without a lock per task.
+            self.probe_tick += 1;
+            if self.probe_tick.is_multiple_of(32) {
+                self.probe.gauge(
+                    metric::VTIME_NODE_BUSY,
+                    Label::Node(node),
+                    finish,
+                    self.node_busy[node],
+                );
+            }
+        }
         let cp_end = cp_ready + duration;
         self.cp_max = self.cp_max.max(cp_end);
         if result.class != CostClass::Memory && result.class != CostClass::Control {
@@ -303,9 +432,56 @@ impl VirtualSchedule {
             node_class_seconds: self.node_class_seconds.clone(),
             node_class_flops: self.node_class_flops.clone(),
             total_flops: self.total_flops,
+            link_messages: self.net.link_traffic(),
             starts: self.starts.clone(),
             finishes: self.finishes.clone(),
         }
+    }
+
+    /// Finalize the makespan-attribution pass: add each core's tail idle
+    /// (last free time to makespan), normalize core-seconds by node width,
+    /// and return the per-node / per-step decomposition. `None` unless an
+    /// enabled probe was attached before processing.
+    pub fn attribution(&self) -> Option<Attribution> {
+        let att = self.attrib.as_ref()?;
+        let mut nodes = Vec::with_capacity(att.node.len());
+        for (n, buckets) in att.node.iter().enumerate() {
+            let mut b = *buckets;
+            for &Reverse(OrderedF64(f)) in &self.cores[n] {
+                b.idle += self.makespan - f;
+            }
+            let cores = self.platform.node(n).cores.max(1) as f64;
+            nodes.push(b.scale(1.0 / cores));
+        }
+        let steps = att.steps.iter().map(|(&k, v)| (k, *v)).collect();
+        Some(Attribution {
+            nodes,
+            steps,
+            makespan: self.makespan,
+        })
+    }
+
+    /// Push accumulated network tallies (per-link counters, trunk-wait
+    /// histogram) into the attached probe. Idempotent; a no-op without an
+    /// enabled probe. Callers invoke this once, after the last task.
+    pub fn flush_probe(&mut self) {
+        if !self.probe.is_enabled() || self.probe_flushed {
+            return;
+        }
+        self.probe_flushed = true;
+        let links = self.net.link_traffic();
+        let trunk = *self.net.trunk_wait();
+        self.probe.record_batch(|sink| {
+            for lt in &links {
+                let label = Label::Link {
+                    src: lt.src,
+                    dst: lt.dst,
+                };
+                sink.counter(metric::COMM_LINK_MSGS, label, lt.messages);
+                sink.counter(metric::COMM_LINK_BYTES, label, lt.bytes);
+            }
+            sink.merge_histogram(metric::COMM_TRUNK_WAIT, Label::None, &trunk);
+        });
     }
 
     // ---- read-only queries for scheduling policies ---------------------
@@ -603,6 +779,60 @@ mod tests {
         v.process(0, &[acc(Access::Mut(k), 8, 0)], &one_sec());
         let (s_inter, _) = v.process(2, &[acc(Access::Read(k), 8, 0)], &one_sec());
         assert!(s_inter >= 11.0, "inter-island start {s_inter}");
+    }
+
+    #[test]
+    fn attribution_partitions_every_node_timeline() {
+        // Two 2-core nodes; two producers on node 0 finish together at
+        // t=1, so their 0.5 s transfers to node 1 serialize on node 0's
+        // NIC: the second consumer pays real contention (0.5 s) on top of
+        // the unavoidable transfer (latency 1 + wire 0.5).
+        let p = flat(2, 2);
+        let probe = Probe::enabled();
+        let mut v = VirtualSchedule::new(&p);
+        v.attach_probe(&probe);
+        let (k1, k2) = (DataKey(0), DataKey(1));
+        let bytes = 500_000_000; // 0.5 s of wire at 1e9 B/s
+        v.process_tagged(0, &[acc(Access::Mut(k1), bytes, 0)], &one_sec(), Some(0));
+        v.process_tagged(0, &[acc(Access::Mut(k2), bytes, 0)], &one_sec(), Some(0));
+        v.process_tagged(1, &[acc(Access::Read(k1), bytes, 0)], &one_sec(), Some(1));
+        v.process_tagged(1, &[acc(Access::Read(k2), bytes, 0)], &one_sec(), Some(1));
+
+        let att = v.attribution().expect("probe attached");
+        assert!((att.makespan - 4.0).abs() < 1e-12);
+        for (n, b) in att.nodes.iter().enumerate() {
+            assert!(
+                (b.total() - att.makespan).abs() <= 1e-9 * att.makespan,
+                "node {n}: {} != {}",
+                b.total(),
+                att.makespan
+            );
+        }
+        let n1 = &att.nodes[1];
+        assert!((n1.compute - 1.0).abs() < 1e-12);
+        assert!((n1.transfer - 1.5).abs() < 1e-12);
+        assert!((n1.contention - 0.25).abs() < 1e-12, "{}", n1.contention);
+        assert!((n1.idle - 1.25).abs() < 1e-12);
+        // Per-step core-seconds carry the tags.
+        let steps: std::collections::HashMap<_, _> = att.steps.iter().cloned().collect();
+        assert!((steps[&Some(0)].compute - 2.0).abs() < 1e-12);
+        assert!((steps[&Some(1)].compute - 2.0).abs() < 1e-12);
+
+        // Flushing pushes the per-link counters into the registry, once.
+        v.flush_probe();
+        v.flush_probe();
+        let snap = probe.snapshot();
+        use crate::probe::metric;
+        let link = Label::Link { src: 0, dst: 1 };
+        assert_eq!(snap.counter(metric::COMM_LINK_MSGS, link), 2);
+        assert_eq!(
+            snap.counter(metric::COMM_LINK_BYTES, link),
+            2 * bytes as u64
+        );
+        // The report's per-link traffic agrees with the probe counters.
+        let r = v.report();
+        assert_eq!(r.link_messages.len(), 1);
+        assert_eq!(r.link_messages[0].messages, 2);
     }
 
     #[test]

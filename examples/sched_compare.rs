@@ -18,17 +18,23 @@
 //!   recorded in BENCH_sched.json).
 //!
 //! Also demonstrated: the same comparison through the *online* distributed
-//! streaming engine (policies thread through both paths), and a Chrome
-//! trace whose lanes are stamped with the active policy.
+//! streaming engine (policies thread through both paths), a probed EFT
+//! replay with its makespan attribution (compute / transfer / trunk
+//! contention / idle per node), and the three telemetry exports — a
+//! Chrome trace with counter tracks, structured JSON, and Prometheus text
+//! — written to `$LUQR_PROBE_DIR` (or the system temp dir).
 //!
 //! ```sh
 //! cargo run --release --example sched_compare [N] [nb]
 //! ```
 
+use std::path::PathBuf;
+
 use luqr::{
-    factor, factor_stream_distributed_with, Algorithm, Criterion, DistPolicy, FactorOptions,
-    SchedPolicy, SimOptions,
+    factor, factor_stream_distributed_opts, factor_stream_distributed_with, Algorithm, Criterion,
+    DistPolicy, FactorOptions, Probe, SchedPolicy, SimOptions, StreamOptions,
 };
+use luqr_runtime::probe::export::{to_json, to_prometheus};
 use luqr_runtime::Platform;
 use luqr_tile::Grid;
 
@@ -154,13 +160,65 @@ fn main() {
         );
     }
 
-    // Chrome trace with policy-stamped lanes, from the EFT schedule.
-    let json = f.chrome_trace_sched(&platform, &SimOptions::with_scheduler(SchedPolicy::Eft));
-    let path = std::env::temp_dir().join("luqr_sched_trace.json");
-    std::fs::write(&path, &json).expect("write trace");
-    assert!(json.contains("[eft]"), "policy-stamped lanes missing");
+    // ---- probed EFT replay: where does the makespan go? ----------------
+    let probe = Probe::enabled();
+    let sim_opts = SimOptions::with_scheduler(SchedPolicy::Eft);
+    let (trace_json, report) = f.chrome_trace_probed(&platform, &sim_opts, &probe);
+    let att = report.attribution.as_ref().expect("probed replay");
     println!(
-        "\nEFT schedule trace written to {} (lanes read e.g. \"node2 (4c @ 4.26 GF) [eft]\")",
-        path.display()
+        "\nEFT makespan attribution ({:.6}s makespan, per node):",
+        att.makespan
+    );
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>10}",
+        "node", "compute", "transfer", "contention", "idle"
+    );
+    for (node, bucket) in att.nodes.iter().enumerate() {
+        println!(
+            "node{node:<4} {:>9.1}% {:>9.1}% {:>11.1}% {:>9.1}%",
+            100.0 * bucket.compute / att.makespan,
+            100.0 * bucket.transfer / att.makespan,
+            100.0 * bucket.contention / att.makespan,
+            100.0 * bucket.idle / att.makespan,
+        );
+        let total = bucket.total();
+        assert!(
+            (total - att.makespan).abs() <= 1e-9 * att.makespan,
+            "node{node}: attribution sums to {total}, makespan {}",
+            att.makespan
+        );
+    }
+    assert!(trace_json.contains("[eft]"), "policy-stamped lanes missing");
+    assert!(
+        trace_json.contains("\"ph\": \"C\""),
+        "counter tracks missing from merged trace"
+    );
+
+    // A probed *streaming* run feeds the Prometheus exposition: live
+    // window/scheduler/kernel metrics from the online engine.
+    let stream_probe = Probe::enabled();
+    let stream_opts = StreamOptions::fixed(4, opts.threads)
+        .with_scheduler(SchedPolicy::Eft)
+        .with_probe(stream_probe.clone());
+    factor_stream_distributed_opts(&a, &b, &opts, &platform, &stream_opts)
+        .expect("grid fits platform");
+
+    // ---- telemetry exports ---------------------------------------------
+    let dir = std::env::var_os("LUQR_PROBE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    std::fs::create_dir_all(&dir).expect("create probe dir");
+    let trace_path = dir.join("sched_trace.json");
+    std::fs::write(&trace_path, &trace_json).expect("write trace");
+    let report_path = dir.join("probe_report.json");
+    std::fs::write(&report_path, to_json(&report)).expect("write report");
+    let prom_path = dir.join("probe.prom");
+    std::fs::write(&prom_path, to_prometheus(&stream_probe.report())).expect("write prom");
+    println!(
+        "\ntelemetry written:\n  {} (Chrome spans + counter tracks; lanes read e.g. \
+         \"node2 (4c @ 4.26 GF) [eft]\")\n  {} (structured JSON)\n  {} (Prometheus text)",
+        trace_path.display(),
+        report_path.display(),
+        prom_path.display()
     );
 }
