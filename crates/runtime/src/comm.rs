@@ -238,6 +238,38 @@ impl Network {
         }
     }
 
+    /// Estimated arrival time of an *un-issued* transfer: [`Network::send`]
+    /// minus the tallies and the state mutation. Lookahead scheduling
+    /// policies (EFT, steal decisions) price hypothetical transfers with
+    /// this; it reads the same NIC backlog **and trunk backlog** the real
+    /// send would pay, so a saturated backbone is no longer priced as an
+    /// uncontended link. Same-node moves are free.
+    pub fn estimate_arrival(
+        &self,
+        platform: &Platform,
+        from: usize,
+        to: usize,
+        ready: f64,
+        nbytes: usize,
+    ) -> f64 {
+        if from == to {
+            return ready;
+        }
+        let link = platform.link(from, to);
+        match platform.topology.shared_trunk(from, to) {
+            None => {
+                let start = ready.max(self.nic_free[from]);
+                let wire = nbytes as f64 / link.bandwidth;
+                start + link.latency + wire
+            }
+            Some(trunk_bw) => {
+                let start = ready.max(self.nic_free[from]).max(self.trunk_free);
+                let wire = nbytes as f64 / link.bandwidth.min(trunk_bw);
+                start + link.latency + wire
+            }
+        }
+    }
+
     /// Per-link payload traffic so far, in `(src, dst)` order.
     pub fn link_traffic(&self) -> Vec<LinkTraffic> {
         self.links

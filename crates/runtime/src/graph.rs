@@ -387,13 +387,14 @@ struct DataInfo {
 }
 
 /// Builds a [`Graph`] by sequential task insertion with hazard-inferred
-/// dependencies.
+/// dependencies (the shared [`crate::hazard`] core; no writer payload and
+/// no depth tracking here — the graph keeps every task record, so depth
+/// is recomputable and liveness is universal).
 pub struct GraphBuilder {
     num_nodes: usize,
     tasks: Vec<Task>,
     data: HashMap<DataKey, DataInfo, KeyHashBuilder>,
-    last_writer: HashMap<DataKey, TaskId, KeyHashBuilder>,
-    readers: HashMap<DataKey, Vec<TaskId>, KeyHashBuilder>,
+    hazards: HashMap<DataKey, crate::hazard::HazardCell<()>, KeyHashBuilder>,
 }
 
 impl GraphBuilder {
@@ -403,8 +404,7 @@ impl GraphBuilder {
             num_nodes,
             tasks: Vec::new(),
             data: HashMap::default(),
-            last_writer: HashMap::default(),
-            readers: HashMap::default(),
+            hazards: HashMap::default(),
         }
     }
 
@@ -453,6 +453,12 @@ impl GraphBuilder {
         let mut preds: Vec<TaskId> = Vec::with_capacity(accesses.len());
         let mut costed: Vec<CostedAccess> = Vec::with_capacity(accesses.len());
 
+        // Pass 1: costed snapshots + hazard predecessors over the
+        // pre-insertion cells (RAW/WAW/control via the last writer, WAR
+        // via the readers since that write). Who the data *moves* from is
+        // the simulator's business — it re-derives flow from the access
+        // snapshots, skipping discarded writers.
+        let mut depth = 0u64;
         for acc in accesses {
             let key = acc.key();
             let info = *self
@@ -464,32 +470,24 @@ impl GraphBuilder {
                 bytes: info.bytes,
                 home: info.home_node,
             });
-            // RAW / flow and control ordering: wait for the last writer.
-            // Who the data *moves* from is the simulator's business — it
-            // re-derives flow from the access snapshots, skipping
-            // discarded writers.
-            if let Some(&w) = self.last_writer.get(&key) {
-                preds.push(w);
-            }
-            match acc {
-                Access::Read(_) => {
-                    self.readers.entry(key).or_default().push(id);
-                }
-                Access::Control(_) => {}
-                Access::Mut(_) => {
-                    // WAR: wait for current readers (no data moves).
-                    if let Some(rs) = self.readers.get_mut(&key) {
-                        preds.append(rs);
-                    }
-                    self.last_writer.insert(key, id);
-                }
+            if let Some(cell) = self.hazards.get(&key) {
+                cell.fold_preds(matches!(acc, Access::Mut(_)), &mut preds, &mut depth);
             }
         }
 
-        // Deduplicate predecessors, drop self-references from repeated keys.
-        preds.sort_unstable();
-        preds.dedup();
-        preds.retain(|&p| p != id);
+        // Pass 2: update the cells in access order.
+        for acc in accesses {
+            let key = acc.key();
+            match acc {
+                Access::Read(_) => self.hazards.entry(key).or_default().note_read(id, 0),
+                Access::Control(_) => {}
+                Access::Mut(_) => self.hazards.entry(key).or_default().note_write(id, 0, ()),
+            }
+        }
+
+        // Pass 3: dedup predecessors, drop self-references from repeated
+        // keys (every inserted task stays live in a batch graph).
+        crate::hazard::finalize_preds(&mut preds, id, |_| true);
 
         let num_preds = preds.len();
         let task = Task {

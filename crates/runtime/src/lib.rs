@@ -10,6 +10,9 @@
 //!   run and either execute or discard themselves — the paper's dynamic
 //!   task-graph mechanism ("select the adequate tasks on the fly, and
 //!   discard the useless ones").
+//! * [`hazard`] — the one RAW/WAR/WAW inference implementation behind
+//!   [`graph`], [`sched`], and the streaming window's datum directories,
+//!   parameterized over the per-writer payload each client keeps.
 //! * [`exec`] — a dependency-counting multithreaded executor.
 //! * [`platform`] / [`sim`] — a description of the paper's *Dancer* cluster
 //!   and a discrete-event simulator replaying executed graphs against it:
@@ -42,6 +45,7 @@ pub mod comm;
 pub mod dot;
 pub mod exec;
 pub mod graph;
+pub mod hazard;
 pub mod platform;
 pub mod probe;
 pub mod sched;

@@ -29,12 +29,21 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use super::{ReadyTask, SchedPolicy, Scheduler};
-use crate::graph::{Access, CostedAccess, DataKey, TaskId, TaskResult};
+use crate::graph::{Access, CostedAccess, DataKey, KeyHashBuilder, TaskId, TaskResult};
+use crate::hazard::HazardCell;
 use crate::platform::Platform;
 use crate::probe::report::Attribution;
 use crate::probe::{metric, Histogram, Label, Probe};
 use crate::sim::SimReport;
 use crate::vtime::VirtualSchedule;
+
+/// Weight of the congestion tax in [`SchedEngine::steal_target`]'s
+/// scoring: the fraction of a shipped input's wire time charged to the
+/// steal as an externality on other transfers. Swept empirically on the
+/// contended mixed cluster (0.5–2.0): below ~0.6 marginal steals slip
+/// through and churn the trunk, above ~1.25 productive steals are vetoed;
+/// the optimum plateau is flat around 0.75.
+const STEAL_TAX: f64 = 0.75;
 
 /// A submitted task awaiting its turn in the virtual schedule.
 pub(crate) struct Buffered {
@@ -49,39 +58,6 @@ pub(crate) struct Buffered {
     /// Virtual time at which the task entered the ready pool.
     ready_at: f64,
 }
-
-/// A hazard-map entry: a task and its critical-path depth (kept usable
-/// after the task is scheduled, so later insertions still inherit depth).
-#[derive(Debug, Clone, Copy)]
-struct Dep {
-    id: TaskId,
-    depth: u64,
-}
-
-/// Readers of a datum since its last writer: live entries (potential WAR
-/// predecessors) plus the folded depth of pruned, already-scheduled ones.
-struct Readers {
-    folded_depth: u64,
-    entries: Vec<Dep>,
-    /// Next entry count at which to attempt a prune. Doubles whenever a
-    /// prune removes nothing (full-lookahead batch mode, where every
-    /// reader is still buffered and unprunable), keeping pushes amortized
-    /// O(1) instead of rescanning an unshrinkable list on every Read.
-    prune_at: usize,
-}
-
-impl Default for Readers {
-    fn default() -> Self {
-        Readers {
-            folded_depth: 0,
-            entries: Vec::new(),
-            prune_at: READER_PRUNE_LEN,
-        }
-    }
-}
-
-/// Prune reader lists beyond this length (amortized O(1) per insertion).
-const READER_PRUNE_LEN: usize = 32;
 
 /// Read-only view of the engine at selection time, handed to
 /// [`Scheduler::pop`] so dynamic policies can score ready tasks against
@@ -129,10 +105,23 @@ pub struct SchedEngine {
     /// weight on the hottest path (the streaming window feeds the engine
     /// under its lock).
     eager: bool,
+    /// EFT-guided work stealing (opt-in, [`SchedEngine::with_stealing`]):
+    /// after the policy picks *which* task runs, re-decide *where* — if
+    /// the finish estimate says an idle node beats the owner even after
+    /// shipping the inputs, execute there. Moves data flow, so it is off
+    /// by default (the policy-invariance contract).
+    steal: bool,
+    nodes: usize,
+    steals: u64,
+    steal_kept: u64,
+    steal_win: Histogram,
     next_id: TaskId,
     buffered: HashMap<TaskId, Buffered>,
-    last_writer: HashMap<DataKey, Dep>,
-    readers: HashMap<DataKey, Readers>,
+    /// Per-datum hazard state (the shared [`crate::hazard`] core; no
+    /// writer payload — the scoreboard lives in `vt`). Reader entries
+    /// referencing already-scheduled tasks are pruned amortized, their
+    /// depth folded, exactly like the streaming window's directories.
+    hazards: HashMap<DataKey, HazardCell<()>, KeyHashBuilder>,
     /// Per-task spans indexed by id (empty unless span recording is on).
     record_spans: bool,
     starts: Vec<f64>,
@@ -157,11 +146,15 @@ impl SchedEngine {
             policy: policy.scheduler(),
             policy_kind: policy,
             eager: policy == SchedPolicy::Fifo,
+            steal: false,
+            nodes: platform.nodes(),
+            steals: 0,
+            steal_kept: 0,
+            steal_win: Histogram::default(),
             lookahead: usize::MAX,
             next_id: 0,
             buffered: HashMap::new(),
-            last_writer: HashMap::new(),
-            readers: HashMap::new(),
+            hazards: HashMap::default(),
             record_spans: false,
             starts: Vec::new(),
             finishes: Vec::new(),
@@ -202,6 +195,122 @@ impl SchedEngine {
     pub fn attach_probe(&mut self, probe: &Probe) {
         self.probe = probe.clone();
         self.vt.attach_probe(probe);
+    }
+
+    /// Enable EFT-guided work stealing: once the policy has selected the
+    /// next task, its execution node is re-decided by the same
+    /// earliest-finish oracle scoring every node — owner-computes unless
+    /// shipping the inputs to an idle node *strictly* beats waiting for
+    /// the owner's cores (ties keep the owner; equal thieves break to the
+    /// lowest node id). The stolen task's outputs then live where it ran,
+    /// so later consumers fetch from the thief — placement and schedule
+    /// co-optimized by one estimate. **Opt-in** because it changes the
+    /// data flow (message/byte totals are only policy-invariant with
+    /// stealing off). Forces the generic buffering path even for FIFO.
+    pub fn with_stealing(mut self) -> Self {
+        self.steal = true;
+        self.eager = false;
+        self
+    }
+
+    /// Estimated `(start, finish)` of running a task with these accesses
+    /// on `node` right now — the stealing oracle
+    /// ([`crate::vtime::VirtualSchedule::estimate`]), exposed so the
+    /// streaming window can make the same placement decision at insert
+    /// time.
+    pub fn estimate(
+        &self,
+        node: usize,
+        accesses: &[CostedAccess],
+        result: &TaskResult,
+    ) -> (f64, f64) {
+        self.vt.estimate(node, accesses, result)
+    }
+
+    /// The stealing decision, shared by the engine's post-pop pass and
+    /// the streaming window's steal-at-insert: score every node by the
+    /// earliest-finish oracle plus the two costs that oracle cannot see.
+    ///
+    /// * **Publish penalty** — the wire cost of shipping the task's
+    ///   written bytes from the thief back toward their consumers. The
+    ///   unified hazard core pays off a second time here: the engine's
+    ///   buffered successor lists name the actual consumer nodes
+    ///   (`consumers`), and the worst single export prices the
+    ///   publication. When no consumer is buffered yet — the streaming
+    ///   window steals at insert time, before any successor exists — the
+    ///   owner stands in (owner-computes makes its node the default
+    ///   reader).
+    /// * **Congestion tax** — the wire time of the *inputs* the steal
+    ///   ships. The thief's own wait for those inputs is already in its
+    ///   finish estimate; the tax prices the externality instead: every
+    ///   shipped input occupies sender NICs and shared-trunk slots that
+    ///   other (often chain-critical) transfers then queue behind.
+    ///   Without it, greedy per-task stealing chases µs-scale finish wins
+    ///   while its transfer storm regresses the whole schedule (measured
+    ///   on the contended mixed cluster: every untaxed variant — owner
+    ///   penalty only, consumer-symmetric, holder-sticky — lost makespan;
+    ///   with the tax, stealing abstains at latency-bound granularity and
+    ///   wins double digits once tiles amortize the trunk latency).
+    ///
+    /// Owner wins ties; equal thieves break to the lowest node id.
+    /// Returns `(chosen node, owner finish, winner's penalized finish)`.
+    pub fn steal_target(
+        &self,
+        owner: usize,
+        accesses: &[CostedAccess],
+        result: &TaskResult,
+        consumers: &[usize],
+    ) -> (usize, f64, f64) {
+        let written: usize = accesses
+            .iter()
+            .filter(|ca| matches!(ca.access, Access::Mut(_)))
+            .map(|ca| ca.bytes)
+            .sum();
+        let publish = |from: usize| -> f64 {
+            if from == owner {
+                return 0.0;
+            }
+            // Export of the outputs back toward their consumers (the
+            // owner, if none is buffered yet), plus a congestion tax: the
+            // wire time of the inputs the steal ships occupies sender
+            // NICs and trunk slots that other (often chain-critical)
+            // transfers then queue behind — a cost the stolen task's own
+            // finish estimate never sees.
+            let missing = self.vt.missing_input_bytes(from, accesses) as usize;
+            let tax = STEAL_TAX * self.vt.platform().transfer_seconds(owner, from, missing);
+            let back = self.vt.platform().transfer_seconds(from, owner, written);
+            if consumers.is_empty() {
+                return back + tax;
+            }
+            let mut cost = 0.0;
+            for &c in consumers {
+                if c != from {
+                    cost = f64::max(cost, self.vt.platform().transfer_seconds(from, c, written));
+                }
+            }
+            cost + tax
+        };
+        let (_, owner_finish) = self.vt.estimate(owner, accesses, result);
+        let mut chosen = owner;
+        let mut best = owner_finish;
+        for n in 0..self.nodes {
+            if n == owner {
+                continue;
+            }
+            let (_, finish) = self.vt.estimate(n, accesses, result);
+            let f = finish + publish(n);
+            if f < best {
+                best = f;
+                chosen = n;
+            }
+        }
+        (chosen, owner_finish, best)
+    }
+
+    /// `(stolen, kept)` counts of the stealing pass so far (both zero
+    /// unless built [`SchedEngine::with_stealing`]).
+    pub fn steal_stats(&self) -> (u64, u64) {
+        (self.steals, self.steal_kept)
     }
 
     /// Disable the FIFO eager fast path and force the generic
@@ -246,67 +355,46 @@ impl SchedEngine {
         }
 
         // Pass 1: hazard predecessors and critical-path depth over the
-        // pre-insertion maps (RAW/WAW/control via the last writer; WAR via
-        // the readers since that write).
+        // pre-insertion cells (RAW/WAW/control via the last writer; WAR
+        // via the readers since that write).
         let mut preds: Vec<TaskId> = Vec::new();
         let mut max_depth = 0u64;
         for ca in accesses {
-            let key = ca.access.key();
-            if let Some(w) = self.last_writer.get(&key) {
-                preds.push(w.id);
-                max_depth = max_depth.max(w.depth);
-            }
-            if matches!(ca.access, Access::Mut(_)) {
-                if let Some(rs) = self.readers.get(&key) {
-                    max_depth = max_depth.max(rs.folded_depth);
-                    for r in &rs.entries {
-                        preds.push(r.id);
-                        max_depth = max_depth.max(r.depth);
-                    }
-                }
+            if let Some(cell) = self.hazards.get(&ca.access.key()) {
+                cell.fold_preds(
+                    matches!(ca.access, Access::Mut(_)),
+                    &mut preds,
+                    &mut max_depth,
+                );
             }
         }
         let depth = 1 + max_depth;
 
-        // Pass 2: update the hazard maps in access order (a Mut after a
+        // Pass 2: update the hazard cells in access order (a Mut after a
         // Read of the same key clears the reader fold, like the builder).
+        let buffered = &self.buffered;
         for ca in accesses {
             let key = ca.access.key();
             match ca.access {
                 Access::Read(_) => {
-                    let rs = self.readers.entry(key).or_default();
-                    if rs.entries.len() >= rs.prune_at {
-                        let buffered = &self.buffered;
-                        let mut folded = rs.folded_depth;
-                        rs.entries.retain(|d| {
-                            if buffered.contains_key(&d.id) {
-                                true
-                            } else {
-                                folded = folded.max(d.depth);
-                                false
-                            }
-                        });
-                        rs.folded_depth = folded;
-                        rs.prune_at = (rs.entries.len() * 2).max(READER_PRUNE_LEN);
-                    }
-                    rs.entries.push(Dep { id, depth });
+                    self.hazards
+                        .entry(key)
+                        .or_default()
+                        .note_read_pruned(id, depth, |t| buffered.contains_key(&t))
                 }
                 Access::Control(_) => {}
-                Access::Mut(_) => {
-                    let rs = self.readers.entry(key).or_default();
-                    rs.entries.clear();
-                    rs.folded_depth = 0;
-                    rs.prune_at = READER_PRUNE_LEN;
-                    self.last_writer.insert(key, Dep { id, depth });
-                }
+                Access::Mut(_) => self
+                    .hazards
+                    .entry(key)
+                    .or_default()
+                    .note_write(id, depth, ()),
             }
         }
 
         // Pass 3: wire the countdown. Dependencies on already-scheduled
         // tasks are vacuous (their effect is in the scoreboard).
-        preds.sort_unstable();
-        preds.dedup();
-        preds.retain(|&p| p != id && self.buffered.contains_key(&p));
+        let buffered = &self.buffered;
+        crate::hazard::finalize_preds(&mut preds, id, |p| buffered.contains_key(&p));
         let num_preds = preds.len();
         for &p in &preds {
             self.buffered
@@ -366,9 +454,35 @@ impl SchedEngine {
                 );
             }
         }
+        // Stealing pass: the policy chose *which* task runs; the finish
+        // oracle now re-decides *where*. Owner-computes unless another
+        // node strictly wins even after shipping the inputs there and
+        // publishing the outputs back (see [`SchedEngine::steal_target`]).
+        let mut exec_node = task.node;
+        if self.steal && task.result.executed && self.nodes > 1 {
+            // The hazard core already knows who reads these outputs: the
+            // buffered successors' owner nodes are the publication targets.
+            let consumers: Vec<usize> = task
+                .succs
+                .iter()
+                .filter_map(|s| self.buffered.get(s).map(|b| b.node))
+                .collect();
+            let (chosen, owner_finish, best) =
+                self.steal_target(task.node, &task.accesses, &task.result, &consumers);
+            exec_node = chosen;
+            if exec_node != task.node {
+                self.steals += 1;
+                self.steal_win.observe(owner_finish - best);
+            } else {
+                self.steal_kept += 1;
+            }
+        }
         let (start, finish) =
             self.vt
-                .process_tagged(task.node, &task.accesses, &task.result, task.step);
+                .process_tagged(exec_node, &task.accesses, &task.result, task.step);
+        // Residency and clocks on the execution node just moved; let
+        // cache-keeping policies re-score only entries that could change.
+        self.policy.invalidate(exec_node);
         self.record_span(next.id, start, finish);
         for s in task.succs {
             let b = self
@@ -414,12 +528,21 @@ impl SchedEngine {
         if self.probe.is_enabled() {
             let name = self.policy_kind.name();
             let (task_wait, decision) = (self.task_wait, self.decision);
+            let (steals, steal_kept, steal_win) = (self.steals, self.steal_kept, self.steal_win);
             self.probe.record_batch(|sink| {
                 sink.merge_histogram(metric::SCHED_TASK_WAIT, Label::Policy(name), &task_wait);
                 sink.merge_histogram(metric::SCHED_DECISION, Label::Policy(name), &decision);
+                if steals + steal_kept > 0 {
+                    sink.counter(metric::SCHED_STEALS, Label::Policy(name), steals);
+                    sink.counter(metric::SCHED_STEAL_KEPT, Label::Policy(name), steal_kept);
+                    sink.merge_histogram(metric::SCHED_STEAL_WIN, Label::Policy(name), &steal_win);
+                }
             });
             self.task_wait = Histogram::default();
             self.decision = Histogram::default();
+            self.steals = 0;
+            self.steal_kept = 0;
+            self.steal_win = Histogram::default();
         }
         self.vt.flush_probe();
     }
@@ -543,9 +666,11 @@ mod tests {
     }
 
     /// An insertion-order schedule strands a core behind a late-data task;
-    /// EFT and locality backfill the gap. Node 1's first-inserted consumer
-    /// waits for a slow remote transfer while its second task is purely
-    /// local — policy reordering must recover the idle second.
+    /// EFT and locality backfill the gap. Node 1's remote consumer waits
+    /// for a slow cross-node transfer while an *equally deep* local
+    /// consumer is data-ready — locality's byte tie-break (depth-primary,
+    /// so the candidates must tie on depth) and EFT's finish estimate
+    /// must both recover the idle second.
     #[test]
     fn eft_and_locality_backfill_transfer_stalls() {
         let p = flat(2, 1).with_latency(2.0);
@@ -553,17 +678,27 @@ mod tests {
         let kb = DataKey(1);
         let makespan = |policy: SchedPolicy| {
             let mut eng = SchedEngine::new(&p, policy);
-            // Producer on node 0; consumer placed on node 1 (inserted
-            // first), plus an independent node-1-local task (inserted
-            // second).
+            // Producers: ka on node 0, kb on node 1. Two depth-2
+            // consumers on node 1 become ready together: one needs the
+            // remote ka (it waits on the wire), one only the local kb.
+            // The remote one is inserted first.
             eng.submit(0, &[acc(Access::Mut(ka), 1000, 0)], secs(1.0));
-            eng.submit(1, &[acc(Access::Read(ka), 1000, 0)], secs(1.0));
-            eng.submit(1, &[acc(Access::Mut(kb), 0, 1)], secs(1.0));
+            eng.submit(1, &[acc(Access::Mut(kb), 1000, 1)], secs(1.0));
+            eng.submit(
+                1,
+                &[
+                    acc(Access::Read(ka), 1000, 0),
+                    acc(Access::Read(kb), 1000, 1),
+                ],
+                secs(1.0),
+            );
+            eng.submit(1, &[acc(Access::Read(kb), 1000, 1)], secs(1.0));
             eng.drain();
             eng.report().makespan
         };
-        // Fifo: consumer claims node 1's core first, starts after the
-        // 1 s producer + 2 s latency (+1 µs wire) => local task runs 4..5.
+        // Fifo: the remote consumer claims node 1's core first, starting
+        // after the 1 s producer + 2 s latency (+1 µs wire); the local
+        // consumer then runs 4..5.
         let fifo = makespan(SchedPolicy::Fifo);
         assert!((fifo - 5.0).abs() < 1e-3, "{fifo}");
         for policy in [SchedPolicy::LocalityAware, SchedPolicy::Eft] {
@@ -640,6 +775,147 @@ mod tests {
             .is_some());
         let att = probed.attribution().expect("attribution with probes on");
         assert!(att.max_reconciliation_error() <= 1e-9 * att.makespan.max(1.0));
+    }
+
+    /// Stealing is opt-in, moves work off a backlogged owner when the
+    /// finish oracle says shipping the input wins, ships exactly the
+    /// stolen task's inputs, and is observable (bitwise-unperturbed) by
+    /// probes.
+    #[test]
+    fn stealing_is_opt_in_and_moves_work_off_a_backlogged_owner() {
+        use crate::probe::Probe;
+        let p = flat(2, 1);
+        let feed = |eng: &mut SchedEngine| {
+            // A long task then a short one, both owned by node 0; node 1
+            // idles. Shipping the short task's 8-byte input (1 s latency)
+            // beats waiting 10 s for the owner's core.
+            eng.submit(0, &[acc(Access::Mut(DataKey(0)), 8, 0)], secs(10.0));
+            eng.submit(0, &[acc(Access::Mut(DataKey(1)), 8, 0)], secs(1.0));
+            eng.drain();
+        };
+        let mut plain = SchedEngine::with_spans(&p, SchedPolicy::Fifo);
+        feed(&mut plain);
+        let base = plain.report();
+        assert!((base.makespan - 11.0).abs() < 1e-3, "{}", base.makespan);
+        assert_eq!(base.messages, 0);
+        assert_eq!(plain.steal_stats(), (0, 0), "stealing is opt-in");
+
+        let mut stealing = SchedEngine::with_spans(&p, SchedPolicy::Fifo).with_stealing();
+        feed(&mut stealing);
+        assert_eq!(stealing.steal_stats(), (1, 1), "one stolen, one kept");
+        let stolen = stealing.report();
+        assert!((stolen.makespan - 10.0).abs() < 1e-3, "{}", stolen.makespan);
+        assert_eq!(stolen.messages, 1, "exactly the stolen input shipped");
+
+        // Probed stealing run: bitwise identical, counters land under the
+        // policy label.
+        let probe = Probe::enabled();
+        let mut probed = SchedEngine::with_spans(&p, SchedPolicy::Fifo).with_stealing();
+        probed.attach_probe(&probe);
+        feed(&mut probed);
+        probed.flush_probe();
+        assert_eq!(stolen, probed.report());
+        let snap = probe.snapshot();
+        assert_eq!(snap.counter(metric::SCHED_STEALS, Label::Policy("fifo")), 1);
+        assert_eq!(
+            snap.counter(metric::SCHED_STEAL_KEPT, Label::Policy("fifo")),
+            1
+        );
+        let win = snap
+            .histogram(metric::SCHED_STEAL_WIN, Label::Policy("fifo"))
+            .expect("steal-win histogram");
+        assert_eq!(win.count, 1);
+        assert!(win.sum > 0.0, "a steal must strictly win its estimate");
+    }
+
+    /// The incremental selection structures (locality's dirty-node score
+    /// cache, EFT's lazy heap) must reproduce the reference full-rescan
+    /// scan (`take_best_scored`) *bitwise* — same pops, same spans, same
+    /// totals — on a workload with cross-node transfers, shared keys,
+    /// mixed depths, and score ties.
+    #[test]
+    fn incremental_policies_match_full_rescan_reference() {
+        use crate::sched::take_best_scored;
+
+        /// Reference implementation: recompute every score on every pop.
+        struct Rescan {
+            ready: Vec<ReadyTask>,
+            eft: bool,
+        }
+        impl Scheduler for Rescan {
+            fn name(&self) -> &'static str {
+                "rescan"
+            }
+            fn push(&mut self, task: ReadyTask) {
+                self.ready.push(task);
+            }
+            fn pop(&mut self, view: &SchedView<'_>) -> Option<ReadyTask> {
+                if self.eft {
+                    take_best_scored(&mut self.ready, |t| view.estimated_finish(t))
+                } else {
+                    // Locality's lexicographic rank: deepest chain first,
+                    // fewest missing bytes among equals (the generic
+                    // scan's own tie-break then handles id order).
+                    take_best_scored(&mut self.ready, |t| {
+                        (std::cmp::Reverse(t.depth), view.missing_input_bytes(t))
+                    })
+                }
+            }
+            fn len(&self) -> usize {
+                self.ready.len()
+            }
+        }
+
+        // Deterministic pseudo-random workload (LCG; no external seed).
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut rnd = move |m: usize| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % m
+        };
+        let tasks: Vec<(usize, Vec<CostedAccess>, TaskResult)> = (0..160)
+            .map(|i| {
+                let node = rnd(3);
+                let key = DataKey(rnd(16) as u64);
+                let bytes = 64 + rnd(512);
+                let home = rnd(3);
+                let mut accs = if rnd(3) == 0 {
+                    vec![acc(Access::Mut(key), bytes, home)]
+                } else {
+                    vec![acc(Access::Read(key), bytes, home)]
+                };
+                if i % 2 == 0 {
+                    accs.push(acc(Access::Read(DataKey(16 + rnd(8) as u64)), 128, rnd(3)));
+                }
+                (node, accs, secs(0.05 + rnd(10) as f64 * 0.05))
+            })
+            .collect();
+
+        let p = flat(3, 2).with_latency(0.5);
+        for (policy, eft) in [
+            (SchedPolicy::LocalityAware, false),
+            (SchedPolicy::Eft, true),
+        ] {
+            let mut reference = SchedEngine::with_spans(&p, policy);
+            reference.policy = Box::new(Rescan {
+                ready: Vec::new(),
+                eft,
+            });
+            let mut incremental = SchedEngine::with_spans(&p, policy);
+            for (node, accs, r) in &tasks {
+                reference.submit(*node, accs, *r);
+                incremental.submit(*node, accs, *r);
+            }
+            reference.drain();
+            incremental.drain();
+            assert_eq!(
+                reference.report(),
+                incremental.report(),
+                "{} diverged from the full-rescan reference",
+                policy.name()
+            );
+        }
     }
 
     /// The critical-path policy prefers the deeper chain over shallow

@@ -25,10 +25,12 @@
 //!   is the task's longest hazard chain from the sources, the online
 //!   analogue of HEFT's upward rank for a DAG whose successors are not yet
 //!   known.
-//! * [`LocalityAware`] — fewest missing input bytes first: prefer tasks
-//!   whose input tiles are already resident on (or cached at) their owner
-//!   node, so computation proceeds while transfers for the rest are still
-//!   in flight.
+//! * [`LocalityAware`] — deepest chain first, fewest missing input bytes
+//!   among equals: keep the makespan-bounding chain fed, and break depth
+//!   ties toward tasks whose input tiles are already resident on (or
+//!   cached at) their owner node, so computation proceeds while transfers
+//!   for the rest are still in flight. (Byte-primary ranking measurably
+//!   starves the panel chain — see the module docs for the diagnosis.)
 //! * [`Eft`] — HEFT-style earliest finish time: estimate each ready task's
 //!   `(data-ready ⊔ cores-free) + duration` from per-node speeds and the
 //!   link model ([`crate::vtime::VirtualSchedule::estimate`]) and run the
@@ -65,7 +67,7 @@ pub enum SchedPolicy {
     Fifo,
     /// Deepest hazard chain first (the streaming ready queue, generalized).
     CriticalPath,
-    /// Fewest missing input bytes first.
+    /// Deepest chain first, fewest missing input bytes tie-break.
     LocalityAware,
     /// HEFT-style earliest estimated finish time first.
     Eft,
@@ -135,6 +137,13 @@ pub trait Scheduler: Send {
     /// Select and remove the next task to schedule (`None` iff empty).
     fn pop(&mut self, view: &SchedView<'_>) -> Option<ReadyTask>;
 
+    /// The engine just processed a task executing on `node`: any cached
+    /// score that depends on that node's residency or clocks is stale.
+    /// Policies that score fresh at pop time (or key on static metadata)
+    /// ignore this; cache-keeping policies ([`LocalityAware`]) use it to
+    /// re-score only what could have moved.
+    fn invalidate(&mut self, _node: usize) {}
+
     /// Ready tasks currently queued.
     fn len(&self) -> usize;
 
@@ -143,12 +152,14 @@ pub trait Scheduler: Send {
     }
 }
 
-/// Shared selection scan of the dynamically-scored policies (locality,
-/// EFT): remove and return the ready task with the *minimum* score,
-/// breaking ties toward the deeper chain and then the earlier insertion —
-/// the determinism contract, kept in one place. Scores are evaluated at
-/// call time (they go stale with every scheduled task). An unordered
-/// score comparison (NaN) never wins.
+/// Reference selection scan for the dynamically-scored policies: remove
+/// and return the ready task with the *minimum* score, breaking ties
+/// toward the deeper chain and then the earlier insertion — the
+/// determinism contract both production implementations (locality's
+/// dirty-node cache, EFT's lazy heap) must reproduce, and what the
+/// engine's equivalence tests pin them against. Scores are evaluated at
+/// call time. An unordered score comparison (NaN) never wins.
+#[cfg(test)]
 pub(crate) fn take_best_scored<K: PartialOrd>(
     ready: &mut Vec<ReadyTask>,
     mut score: impl FnMut(&ReadyTask) -> K,

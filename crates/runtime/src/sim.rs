@@ -49,11 +49,26 @@ pub struct SimOptions {
     /// [`crate::sched`]). [`SchedPolicy::Fifo`] reproduces [`simulate`]
     /// bitwise.
     pub scheduler: SchedPolicy,
+    /// EFT-guided work stealing
+    /// ([`crate::sched::SchedEngine::with_stealing`]): after the policy
+    /// picks the next task, re-decide its execution node by finish
+    /// estimate. Off by default — stealing moves the data flow, so
+    /// message/byte totals are only policy-invariant without it.
+    pub steal: bool,
 }
 
 impl SimOptions {
     pub fn with_scheduler(scheduler: SchedPolicy) -> Self {
-        SimOptions { scheduler }
+        SimOptions {
+            scheduler,
+            steal: false,
+        }
+    }
+
+    /// Enable the stealing pass on top of the selected policy.
+    pub fn with_stealing(mut self) -> Self {
+        self.steal = true;
+        self
     }
 }
 
@@ -213,6 +228,9 @@ pub fn simulate_with(graph: &Graph, platform: &Platform, opts: &SimOptions) -> S
         );
     }
     let mut eng = SchedEngine::with_spans(platform, opts.scheduler);
+    if opts.steal {
+        eng = eng.with_stealing();
+    }
     for t in &graph.tasks {
         let r = t
             .result()
@@ -242,6 +260,9 @@ pub fn simulate_probed(
         );
     }
     let mut eng = SchedEngine::with_spans(platform, opts.scheduler);
+    if opts.steal {
+        eng = eng.with_stealing();
+    }
     eng.attach_probe(probe);
     for t in &graph.tasks {
         let r = t

@@ -89,6 +89,13 @@ pub trait StepSource {
     /// Plan the decision-dependent remainder of step `k` (only called
     /// after the task named by [`StepPhase::AwaitDecision`] completed).
     fn plan_finish(&mut self, _k: usize, _sink: &mut dyn TaskSink) {}
+
+    /// Observed per-node effective speeds (GFLOP/s over fully-retired
+    /// steps), delivered before each `plan_prelude` when
+    /// [`StreamOptions::recalibrate`] is on. Sources may re-aim the
+    /// placement of *future* steps (e.g. refresh a speed-weighted tile
+    /// distribution); the default ignores the measurement.
+    fn recalibrate(&mut self, _observed_speeds: &[f64]) {}
 }
 
 /// How the streaming driver sizes its window of live steps.
@@ -146,6 +153,20 @@ pub struct StreamOptions {
     /// window/scheduler/comm/kernel metrics and a makespan attribution,
     /// retrieved afterwards via [`Probe::report`].
     pub probe: Probe,
+    /// EFT-guided steal-at-insert (no effect without
+    /// [`StreamOptions::platform`]): each task's execution node may be
+    /// re-decided against the online finish oracle at insertion, moving
+    /// work off backlogged owners. Changes message routing (not
+    /// numerics), so it is off by default.
+    pub steal: bool,
+    /// Online distribution recalibration: feed
+    /// [`StepSource::recalibrate`] the speeds observed over retired steps
+    /// before planning each next step. Off by default (placement then
+    /// stays exactly as planned up front). Sources that regroup per-node
+    /// reduction trees under the new placement produce numerically
+    /// equivalent — not bitwise-identical — factorizations, as a static
+    /// run under the refreshed distribution would.
+    pub recalibrate: bool,
 }
 
 impl StreamOptions {
@@ -159,6 +180,8 @@ impl StreamOptions {
             trace: false,
             scheduler: SchedPolicy::Fifo,
             probe: Probe::disabled(),
+            steal: false,
+            recalibrate: false,
         }
     }
 
@@ -179,6 +202,18 @@ impl StreamOptions {
 
     pub fn with_probe(mut self, probe: Probe) -> Self {
         self.probe = probe;
+        self
+    }
+
+    /// Enable EFT-guided steal-at-insert (see [`StreamOptions::steal`]).
+    pub fn with_stealing(mut self) -> Self {
+        self.steal = true;
+        self
+    }
+
+    /// Enable online recalibration (see [`StreamOptions::recalibrate`]).
+    pub fn with_recalibration(mut self) -> Self {
+        self.recalibrate = true;
         self
     }
 }
@@ -212,6 +247,10 @@ pub struct StreamReport {
     pub per_step_tasks: Vec<usize>,
     /// Window size in force when each step was opened.
     pub per_step_window: Vec<usize>,
+    /// Tasks re-homed by steal-at-insert / evaluations that kept the
+    /// owner (both 0 unless [`StreamOptions::steal`] was on).
+    pub steals: u64,
+    pub steal_kept: u64,
     /// Distributed-protocol message counters (data transfers, decision
     /// broadcasts, retirement reports).
     pub msgs: MsgStats,
@@ -254,6 +293,8 @@ pub fn execute_with(source: &mut dyn StepSource, opts: &StreamOptions) -> Stream
         opts.trace,
         opts.scheduler,
         &opts.probe,
+        opts.steal,
+        opts.recalibrate,
     );
     let steps = source.num_steps();
     let probing = opts.probe.is_enabled();
@@ -292,6 +333,13 @@ pub fn execute_with(source: &mut dyn StepSource, opts: &StreamOptions) -> Stream
             }
             let step_t0 = Instant::now();
             let mut decision_wait = 0.0f64;
+            if opts.recalibrate {
+                // Speeds observed over steps that fully retired; the
+                // source may re-aim placement of the steps still ahead.
+                if let Some(speeds) = win.calibrated_speeds() {
+                    source.recalibrate(&speeds);
+                }
+            }
             let mut sink = StepSink::new(&win, k);
             match source.plan_prelude(k, &mut sink) {
                 StepPhase::Complete => {}
@@ -338,6 +386,8 @@ pub fn execute_with(source: &mut dyn StepSource, opts: &StreamOptions) -> Stream
         peak_live_steps: stats.peak_live_steps,
         per_step_tasks: stats.per_step_tasks,
         per_step_window,
+        steals: stats.steals,
+        steal_kept: stats.steal_kept,
         msgs: stats.msgs,
         link_msgs: stats.link_msgs,
         sim: stats.sim,

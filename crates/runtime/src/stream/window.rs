@@ -44,6 +44,7 @@ use crate::exec::Tally;
 use crate::graph::{
     Access, CostClass, CostedAccess, DataClass, DataKey, Kernel, TaskId, TaskResult, TaskSink,
 };
+use crate::hazard::{HazardCell, Writer};
 use crate::platform::Platform;
 use crate::probe::{metric, Histogram, Label, Probe};
 use crate::sched::{SchedEngine, SchedPolicy};
@@ -61,37 +62,20 @@ use super::retire::StepLedger;
 /// `sched_props.rs`), so the default policy is unaffected.
 const VTIME_LOOKAHEAD: usize = 256;
 
-/// Hazard-map entry for a reader: the task and its critical-path depth
-/// (kept even after the task completes, so later insertions still inherit
-/// the correct depth until the entry is pruned).
-#[derive(Debug, Clone, Copy)]
-struct Dep {
-    id: TaskId,
-    cp: u64,
-}
-
-/// The last writer of a datum, with everything message routing needs once
-/// the record itself is reclaimed.
-#[derive(Debug, Clone, Copy)]
-struct WriterInfo {
-    id: TaskId,
-    cp: u64,
+/// Per-writer payload the window keeps in its hazard cells: everything
+/// message routing needs about the last writer once the task record
+/// itself is reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WriterMeta {
     /// Node the writer is placed on (the send source).
     node: usize,
     /// `None` while live; `Some(executed)` once completed.
     done: Option<bool>,
 }
 
-/// Readers of a datum since its last writer: live entries (potential WAR
-/// predecessors) plus the folded critical-path depth of already-completed
-/// readers.
-#[derive(Debug, Default)]
-struct Readers {
-    /// Max critical-path depth over completed (pruned) readers.
-    completed_cp: u64,
-    /// Readers not yet known to have completed.
-    entries: Vec<Dep>,
-}
+/// The window's hazard state per datum (the shared [`crate::hazard`]
+/// core, carrying [`WriterMeta`]).
+type DirCell = HazardCell<WriterMeta>;
 
 /// The last *executed* version of a datum: where its payload actually
 /// lives, and which nodes already hold a copy. This is what transfers
@@ -114,8 +98,8 @@ struct DatumDir {
     bytes: usize,
     home: usize,
     class: DataClass,
-    writer: Option<WriterInfo>,
-    readers: Readers,
+    /// Hazard state: last writer (with routing metadata) + readers.
+    hazard: DirCell,
     /// Last executed version (transfer source + cache).
     exec: Option<ExecVersion>,
     /// Nodes that fetched the never-written datum from its home.
@@ -159,6 +143,81 @@ struct VtimeState {
     next: TaskId,
 }
 
+/// Online speed observation for [`crate::stream::StepSource::recalibrate`]:
+/// executed compute flops bucketed per (step, node, class) at completion,
+/// folded into running totals when the step retires — so the speeds
+/// reported reflect *finished* steps only, not half-drained ones. The
+/// per-node effective GFLOP/s is the platform model evaluated at the
+/// observed class mix, exactly
+/// [`crate::sim::SimReport::observed_node_speeds`] (task seconds are
+/// linear in flops per class, so bucketed totals price identically to
+/// per-task sums).
+struct CalibState {
+    platform: Platform,
+    per_step: BTreeMap<usize, Vec<[f64; CostClass::COUNT]>>,
+    totals: Vec<[f64; CostClass::COUNT]>,
+    folded_steps: usize,
+}
+
+impl CalibState {
+    fn new(platform: &Platform, nodes: usize) -> Self {
+        CalibState {
+            platform: platform.clone(),
+            per_step: BTreeMap::new(),
+            totals: vec![[0.0; CostClass::COUNT]; nodes],
+            folded_steps: 0,
+        }
+    }
+
+    fn record(&mut self, step: usize, node: usize, result: &TaskResult) {
+        if result.executed && result.class.is_compute() && result.flops > 0.0 {
+            let nodes = self.totals.len();
+            self.per_step
+                .entry(step)
+                .or_insert_with(|| vec![[0.0; CostClass::COUNT]; nodes])[node]
+                [result.class.index()] += result.flops;
+        }
+    }
+
+    fn fold_retired(&mut self, step: usize) {
+        if let Some(buckets) = self.per_step.remove(&step) {
+            for (tot, got) in self.totals.iter_mut().zip(&buckets) {
+                for (t, g) in tot.iter_mut().zip(got) {
+                    *t += g;
+                }
+            }
+        }
+        self.folded_steps += 1;
+    }
+
+    /// Per-node effective GFLOP/s over everything folded so far (0.0 for
+    /// nodes with no observations yet — [`crate::tile`]'s calibrated
+    /// distribution floors those).
+    fn speeds(&self) -> Vec<f64> {
+        self.totals
+            .iter()
+            .enumerate()
+            .map(|(n, flops)| {
+                let (mut f, mut secs) = (0.0f64, 0.0f64);
+                for class in CostClass::ALL {
+                    if class.is_compute() {
+                        let v = flops[class.index()];
+                        if v > 0.0 {
+                            f += v;
+                            secs += self.platform.task_seconds(n, v, class);
+                        }
+                    }
+                }
+                if secs > 0.0 {
+                    self.platform.node(n).cores as f64 * f / secs / 1e9
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
 pub(crate) struct WindowState {
     next_id: TaskId,
     nodes: Vec<NodeWindow>,
@@ -173,6 +232,15 @@ pub(crate) struct WindowState {
     tasks_planned: usize,
     peak_live_tasks: usize,
     vtime: Option<VtimeState>,
+    /// Steal-at-insert ([`crate::stream::StreamOptions::steal`]): re-home
+    /// tasks against the vtime finish oracle at insertion.
+    steal: bool,
+    steals: u64,
+    steal_kept: u64,
+    steal_win: Histogram,
+    /// Online speed observation (set when recalibration is on *and* a
+    /// platform is modeled).
+    calib: Option<CalibState>,
     trace: Option<Vec<TraceEvent>>,
     /// Metrics probe (cheap-clone handle; disabled by default).
     probe: Probe,
@@ -192,6 +260,8 @@ pub(crate) struct WindowState {
 /// Final statistics of one streaming run.
 pub(crate) struct WindowStats {
     pub tally: Tally,
+    pub steals: u64,
+    pub steal_kept: u64,
     pub tasks_planned: usize,
     pub peak_live_tasks: usize,
     pub peak_live_steps: usize,
@@ -213,17 +283,7 @@ impl WindowState {
         let live = &self.live_nodes;
         for nw in &mut self.nodes {
             for dir in nw.directory.values_mut() {
-                let rs = &mut dir.readers;
-                let mut folded = rs.completed_cp;
-                rs.entries.retain(|d| {
-                    if live.contains_key(&d.id) {
-                        true
-                    } else {
-                        folded = folded.max(d.cp);
-                        false
-                    }
-                });
-                rs.completed_cp = folded;
+                dir.hazard.readers.prune(|id| live.contains_key(&id));
             }
         }
     }
@@ -257,6 +317,9 @@ impl WindowState {
                     (now - closed).max(0.0),
                 );
             }
+            if let Some(c) = &mut self.calib {
+                c.fold_retired(step);
+            }
             self.prune_completed_readers();
         }
     }
@@ -284,6 +347,8 @@ impl StreamWindow {
             false,
             SchedPolicy::Fifo,
             &Probe::disabled(),
+            false,
+            false,
         )
     }
 
@@ -297,6 +362,8 @@ impl StreamWindow {
         trace: bool,
         scheduler: SchedPolicy,
         probe: &Probe,
+        steal: bool,
+        recalibrate: bool,
     ) -> Self {
         assert!(num_nodes >= 1);
         if let Some(p) = platform {
@@ -326,6 +393,15 @@ impl StreamWindow {
                         next: 0,
                     }
                 }),
+                steal: steal && platform.is_some() && num_nodes > 1,
+                steals: 0,
+                steal_kept: 0,
+                steal_win: Histogram::default(),
+                calib: if recalibrate {
+                    platform.map(|p| CalibState::new(p, num_nodes))
+                } else {
+                    None
+                },
                 trace: trace.then(Vec::<TraceEvent>::new),
                 probe: probe.clone(),
                 link_msgs: BTreeMap::new(),
@@ -408,6 +484,17 @@ impl StreamWindow {
         }
     }
 
+    /// Per-node effective speeds (GFLOP/s) observed over fully-retired
+    /// steps, for [`crate::stream::StepSource::recalibrate`]. `None`
+    /// until recalibration is enabled *and* at least one step retired.
+    pub fn calibrated_speeds(&self) -> Option<Vec<f64>> {
+        let st = self.lock();
+        st.calib
+            .as_ref()
+            .filter(|c| c.folded_steps > 0)
+            .map(|c| c.speeds())
+    }
+
     /// Live task records right now (the auto-window policy's memory
     /// signal).
     pub fn live_tasks(&self) -> usize {
@@ -430,6 +517,14 @@ impl StreamWindow {
             }
             let kernel_stats = st.kernel_stats.take();
             let totals = st.msgs;
+            let (steals, steal_kept, steal_win) = (st.steals, st.steal_kept, st.steal_win);
+            let steal_evals = steals + steal_kept;
+            let steal_label = Label::Policy(
+                st.vtime
+                    .as_ref()
+                    .map(|v| v.engine.policy().name())
+                    .unwrap_or("fifo"),
+            );
             st.probe.record_batch(|sink| {
                 if let Some(ks) = &kernel_stats {
                     for (class, (flops, hist)) in CostClass::ALL.iter().zip(ks.iter()) {
@@ -453,10 +548,17 @@ impl StreamWindow {
                         sink.counter(metric::COMM_MSGS, Label::Kind(kind), n);
                     }
                 }
+                if steal_evals > 0 {
+                    sink.counter(metric::SCHED_STEALS, steal_label, steals);
+                    sink.counter(metric::SCHED_STEAL_KEPT, steal_label, steal_kept);
+                    sink.merge_histogram(metric::SCHED_STEAL_WIN, steal_label, &steal_win);
+                }
             });
         }
         WindowStats {
             tally: st.tally.clone(),
+            steals: st.steals,
+            steal_kept: st.steal_kept,
             tasks_planned: st.tasks_planned,
             peak_live_tasks: st.peak_live_tasks,
             peak_live_steps: st.ledger.peak_live_steps,
@@ -500,8 +602,7 @@ impl StreamWindow {
                         bytes,
                         home: home_node,
                         class: DataClass::Payload,
-                        writer: None,
-                        readers: Readers::default(),
+                        hazard: DirCell::default(),
                         exec: None,
                         initial_fetched: HashSet::new(),
                     },
@@ -543,14 +644,14 @@ impl StreamWindow {
         // Pass 1: consult the per-datum directories (each homed on one
         // node's sub-window) for hazard predecessors and the critical-path
         // depth over *all* of them (completed predecessors contribute
-        // depth but no edge). Mirrors GraphBuilder::push_boxed exactly;
-        // see the module docs for why the two stay bitwise-equivalent.
+        // depth but no edge) — the shared [`crate::hazard`] core, the same
+        // rules as GraphBuilder::push_boxed.
         let mut preds: Vec<TaskId> = Vec::new();
         let mut max_pred_cp = 0u64;
         let mut costed: Vec<CostedAccess> = Vec::with_capacity(accesses.len());
         // Data-flow inputs for Read/Mut: (key, declared bytes/class at
         // this insertion, writer-at-insertion).
-        let mut flows: Vec<(DataKey, usize, DataClass, Option<WriterInfo>)> = Vec::new();
+        let mut flows: Vec<(DataKey, usize, DataClass, Option<Writer<WriterMeta>>)> = Vec::new();
         for acc in accesses {
             let key = acc.key();
             let home = *st
@@ -566,23 +667,43 @@ impl StreamWindow {
                 bytes: dir.bytes,
                 home: dir.home,
             });
-            if let Some(w) = dir.writer {
-                max_pred_cp = max_pred_cp.max(w.cp);
-                preds.push(w.id);
-            }
+            dir.hazard
+                .fold_preds(matches!(acc, Access::Mut(_)), &mut preds, &mut max_pred_cp);
             if !matches!(acc, Access::Control(_)) {
-                flows.push((key, dir.bytes, dir.class, dir.writer));
-            }
-            if matches!(acc, Access::Mut(_)) {
-                let rs = &dir.readers;
-                max_pred_cp = max_pred_cp.max(rs.completed_cp);
-                for r in &rs.entries {
-                    max_pred_cp = max_pred_cp.max(r.cp);
-                    preds.push(r.id);
-                }
+                flows.push((key, dir.bytes, dir.class, dir.hazard.writer));
             }
         }
         let cp = 1 + max_pred_cp;
+
+        // Steal-at-insert (opt-in): re-decide the execution node against
+        // the online finish oracle before any placement-dependent state
+        // is written. The oracle lags insertion — the vtime engine prices
+        // *completed* work — so this is a heuristic re-homing, not an
+        // exact one: an idle node strictly beating the owner (even after
+        // shipping every input it lacks) takes the task, outputs then
+        // live where it ran. Kernel numerics are placement-independent
+        // (same thread pool, hazard-serialized), so only message routing
+        // and the virtual timeline change.
+        let node = if st.steal {
+            let vt = st.vtime.as_ref().expect("steal requires a platform");
+            // Duration proxy: insertion time precedes execution, so the
+            // true flops are unknown; a GEMM-shaped O(b^1.5) guess from
+            // the largest input tile ranks nodes by the same speed and
+            // transfer terms the exact estimate would.
+            let max_in = costed.iter().map(|ca| ca.bytes).max().unwrap_or(0);
+            let proxy =
+                TaskResult::executed(2.0 * ((max_in / 8) as f64).powf(1.5), CostClass::Gemm);
+            let (chosen, owner_finish, best) = vt.engine.steal_target(node, &costed, &proxy, &[]);
+            if chosen != node {
+                st.steals += 1;
+                st.steal_win.observe(owner_finish - best);
+            } else {
+                st.steal_kept += 1;
+            }
+            chosen
+        } else {
+            node
+        };
 
         // Data-flow transfers, resolved against the *pre-insertion*
         // directory state (a Mut below overwrites the hazard writer).
@@ -597,13 +718,13 @@ impl StreamWindow {
                 continue;
             }
             match writer {
-                Some(w) if w.done.is_none() => {
+                Some(w) if w.meta.done.is_none() => {
                     // Producer live (completion cannot interleave: the
                     // lock is held for the whole insertion). Register the
                     // owed transfer even when producer and consumer share
                     // a node — a later discard reroutes it to an executed
                     // version that may live elsewhere.
-                    let pt = st.nodes[w.node]
+                    let pt = st.nodes[w.meta.node]
                         .live
                         .get_mut(&w.id)
                         .expect("undone writer is live");
@@ -628,18 +749,11 @@ impl StreamWindow {
                 .get_mut(&key)
                 .expect("declared datum has a directory entry");
             match acc {
-                Access::Read(_) => dir.readers.entries.push(Dep { id, cp }),
+                Access::Read(_) => dir.hazard.note_read(id, cp),
                 Access::Control(_) => {}
-                Access::Mut(_) => {
-                    dir.readers.entries.clear();
-                    dir.readers.completed_cp = 0;
-                    dir.writer = Some(WriterInfo {
-                        id,
-                        cp,
-                        node,
-                        done: None,
-                    });
-                }
+                Access::Mut(_) => dir
+                    .hazard
+                    .note_write(id, cp, WriterMeta { node, done: None }),
             }
         }
 
@@ -647,9 +761,8 @@ impl StreamWindow {
         // toward the countdown; same-node edges stay inside the
         // sub-window, cross-node edges are released by message on the
         // predecessor's completion.
-        preds.sort_unstable();
-        preds.dedup();
-        preds.retain(|p| st.live_nodes.contains_key(p));
+        let live = &st.live_nodes;
+        crate::hazard::finalize_preds(&mut preds, id, |p| live.contains_key(&p));
         let num_preds = preds.len();
         for &p in &preds {
             let pnode = st.live_nodes[&p];
@@ -779,6 +892,9 @@ impl StreamWindow {
             .unwrap_or_else(|| panic!("task {id} completed twice"));
         st.live_nodes.remove(&id);
         st.tally.record(&result);
+        if let Some(c) = &mut st.calib {
+            c.record(task.step, node, &result);
+        }
 
         if st.probe.is_enabled() {
             if result.executed {
@@ -818,9 +934,9 @@ impl StreamWindow {
                 let key = ca.access.key();
                 let host = st.home_of[&key];
                 let dir = st.nodes[host].directory.get_mut(&key).expect("declared");
-                if let Some(w) = &mut dir.writer {
+                if let Some(w) = &mut dir.hazard.writer {
                     if w.id == id {
-                        w.done = Some(result.executed);
+                        w.meta.done = Some(result.executed);
                     }
                 }
                 if result.executed {

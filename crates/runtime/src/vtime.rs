@@ -36,7 +36,7 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use crate::comm::Network;
-use crate::graph::{Access, CostClass, CostedAccess, DataKey, TaskResult};
+use crate::graph::{Access, CostClass, CostedAccess, DataKey, KeyHashBuilder, TaskResult};
 use crate::platform::Platform;
 use crate::probe::report::{AttribBuckets, Attribution};
 use crate::probe::{metric, Label, Probe};
@@ -76,7 +76,7 @@ pub struct VirtualSchedule {
     /// Core availability per node (min-heap of free times).
     cores: Vec<BinaryHeap<Reverse<OrderedF64>>>,
     net: Network,
-    data: HashMap<DataKey, DatumState>,
+    data: HashMap<DataKey, DatumState, KeyHashBuilder>,
     node_busy: Vec<f64>,
     /// Per-node, per-cost-class busy seconds (duration × cores claimed) —
     /// the observation the criterion-aware weight recalibration keys on.
@@ -130,7 +130,7 @@ impl VirtualSchedule {
                 .map(|spec| (0..spec.cores).map(|_| Reverse(OrderedF64(0.0))).collect())
                 .collect(),
             net: Network::new(platform.nodes()),
-            data: HashMap::new(),
+            data: HashMap::default(),
             node_busy: vec![0.0; platform.nodes()],
             node_class_seconds: vec![[0.0; CostClass::COUNT]; platform.nodes()],
             node_class_flops: vec![[0.0; CostClass::COUNT]; platform.nodes()],
@@ -544,9 +544,12 @@ impl VirtualSchedule {
     /// Estimated `(start, finish)` of running this task on `node` *now*,
     /// mirroring [`VirtualSchedule::process`]'s timing without mutating
     /// anything: cached arrivals are exact, un-issued transfers are
-    /// estimated from the sender's current NIC backlog, and core
-    /// availability comes from the node's heap. This is the HEFT-style
-    /// earliest-finish-time oracle of the [`crate::sched::Eft`] policy.
+    /// priced by [`crate::comm::Network::estimate_arrival`] — the sender's
+    /// current NIC backlog **and** the shared-trunk backlog, so a
+    /// saturated backbone is no longer estimated at the uncontended link —
+    /// and core availability comes from the node's heap. This is the
+    /// HEFT-style earliest-finish-time oracle of the [`crate::sched::Eft`]
+    /// policy and of the work-stealing placement decision.
     pub fn estimate(
         &self,
         node: usize,
@@ -567,10 +570,13 @@ impl VirtualSchedule {
                             if w.node != node && ca.bytes > 0 {
                                 let arrival = match w.sent.get(&node) {
                                     Some(&a) => a,
-                                    None => {
-                                        w.finish.max(self.net.egress_free(w.node))
-                                            + self.platform.transfer_seconds(w.node, node, ca.bytes)
-                                    }
+                                    None => self.net.estimate_arrival(
+                                        &self.platform,
+                                        w.node,
+                                        node,
+                                        w.finish,
+                                        ca.bytes,
+                                    ),
                                 };
                                 data_ready = data_ready.max(arrival);
                             } else {
@@ -581,12 +587,13 @@ impl VirtualSchedule {
                             if ca.home != node && ca.bytes > 0 {
                                 let arrival = match st.and_then(|s| s.initial_sent.get(&node)) {
                                     Some(&a) => a,
-                                    None => {
-                                        self.net.egress_free(ca.home)
-                                            + self
-                                                .platform
-                                                .transfer_seconds(ca.home, node, ca.bytes)
-                                    }
+                                    None => self.net.estimate_arrival(
+                                        &self.platform,
+                                        ca.home,
+                                        node,
+                                        0.0,
+                                        ca.bytes,
+                                    ),
                                 };
                                 data_ready = data_ready.max(arrival);
                             }

@@ -17,6 +17,12 @@
 //!   trunk — the win this example *asserts* (≥ 5% over FIFO, the bar
 //!   recorded in BENCH_sched.json).
 //!
+//! A second, coarse-tiled factorization (64² tiles, the granularity at
+//! which placement can amortize the trunk latency) demonstrates EFT-guided
+//! work stealing: the steal pass must beat the best non-steal policy by
+//! ≥ 10%, probed and unprobed stealing replays must agree exactly, and the
+//! attribution table carries the steal counters.
+//!
 //! Also demonstrated: the same comparison through the *online* distributed
 //! streaming engine (policies thread through both paths), a probed EFT
 //! replay with its makespan attribution (compute / transfer / trunk
@@ -35,7 +41,8 @@ use luqr::{
     DistPolicy, FactorOptions, Probe, SchedPolicy, SimOptions, StreamOptions,
 };
 use luqr_runtime::probe::export::{to_json, to_prometheus};
-use luqr_runtime::Platform;
+use luqr_runtime::probe::metric;
+use luqr_runtime::{Label, Platform};
 use luqr_tile::Grid;
 
 #[path = "support/mod.rs"]
@@ -139,6 +146,84 @@ fn main() {
         "locality/eft must beat fifo makespan by >= 5% on the mixed \
          cluster ({best}s vs {fifo}s)"
     );
+
+    // ---- EFT-guided work stealing on coarse tiles ----------------------
+    // Stealing is a *placement* optimization: it pays only once a tile's
+    // compute amortizes the ~10µs trunk latency, so it gets its own
+    // coarse-grained factorization (64² tiles ≈ 57–115µs kernels) on the
+    // same platform. At the fine-grained fixture above the congestion-
+    // taxed steal pass correctly abstains (a handful of steals, makespan
+    // within ±0.1% — measured), which would demonstrate nothing.
+    let (steal_n, steal_nb) = (448, 64);
+    // The BENCH_sched.json steal fixture, verbatim: a general random
+    // system (pivoting swaps and criterion-driven QR steps give the DAG
+    // its movable bulk; the diagonally dominant demo system above
+    // factors as pure swap-free LU, which leaves little to re-home).
+    let sa = luqr_kernels::Mat::random(steal_n, steal_n, 1);
+    let sb = luqr_kernels::Mat::random(steal_n, 1, 2);
+    let steal_fopts = FactorOptions {
+        nb: steal_nb,
+        ib: steal_nb / 2,
+        threads: 1,
+        grid,
+        algorithm: Algorithm::LuQr(Criterion::Max { alpha: 1000.0 }),
+        dist: DistPolicy::BlockCyclic,
+        ..FactorOptions::default()
+    };
+    let sf = factor(&sa, &sb, &steal_fopts);
+    assert!(sf.error.is_none(), "breakdown: {:?}", sf.error);
+    println!(
+        "\nEFT-guided work stealing (N = {steal_n}, nb = {steal_nb}; placement \
+         needs tiles that amortize the trunk latency):"
+    );
+    let mut best_nonsteal = f64::INFINITY;
+    for policy in SchedPolicy::all() {
+        let sim = sf.simulate_with(&platform, &SimOptions::with_scheduler(policy));
+        best_nonsteal = best_nonsteal.min(sim.makespan);
+        println!(
+            "{:<16} makespan {:>11.6}s  {:>5} msgs",
+            policy.name(),
+            sim.makespan,
+            sim.messages
+        );
+    }
+    let steal_opts = SimOptions::with_scheduler(SchedPolicy::Eft).with_stealing();
+    let steal_sim = sf.simulate_with(&platform, &steal_opts);
+    println!(
+        "{:<16} makespan {:>11.6}s  {:>5} msgs  ({:.2}% under best non-steal)",
+        "eft + stealing",
+        steal_sim.makespan,
+        steal_sim.messages,
+        100.0 * (best_nonsteal - steal_sim.makespan) / best_nonsteal,
+    );
+    assert!(
+        steal_sim.makespan <= 0.90 * best_nonsteal,
+        "steal-eft must beat the best non-steal policy by >= 10% on the \
+         contended mixed cluster ({:.6}s vs {best_nonsteal:.6}s)",
+        steal_sim.makespan
+    );
+    // Probes must observe the stealing pass without perturbing it.
+    let steal_probe = Probe::enabled();
+    let (probed_sim, steal_report) = sf.simulate_probed(&platform, &steal_opts, &steal_probe);
+    assert_eq!(
+        probed_sim, steal_sim,
+        "probed and unprobed stealing replays must agree exactly"
+    );
+    let snap = steal_report.snapshot.clone();
+    let steals = snap.counter(metric::SCHED_STEALS, Label::Policy("eft"));
+    let kept = snap.counter(metric::SCHED_STEAL_KEPT, Label::Policy("eft"));
+    assert!(steals > 0, "coarse-tile replay must actually steal");
+    let satt = steal_report.attribution.as_ref().expect("probed replay");
+    println!("steal-EFT attribution ({steals} re-homed, {kept} kept on their owner):");
+    for (node, bucket) in satt.nodes.iter().enumerate() {
+        println!(
+            "node{node:<4} compute {:>5.1}%  transfer {:>5.1}%  contention {:>5.1}%  idle {:>5.1}%",
+            100.0 * bucket.compute / satt.makespan,
+            100.0 * bucket.transfer / satt.makespan,
+            100.0 * bucket.contention / satt.makespan,
+            100.0 * bucket.idle / satt.makespan,
+        );
+    }
 
     // The same policies drive the *online* engine of the distributed
     // streaming runtime — no graph materialized, same decision quality.

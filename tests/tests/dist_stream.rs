@@ -6,8 +6,9 @@
 //! graph on the same platform.
 
 use luqr::{
-    factor, factor_stream, factor_stream_distributed, factor_stream_with, Algorithm, Criterion,
-    FactorOptions, StreamOptions, WindowPolicy,
+    factor, factor_stream, factor_stream_distributed, factor_stream_distributed_opts,
+    factor_stream_with, Algorithm, Criterion, FactorOptions, SchedPolicy, StreamOptions,
+    WindowPolicy,
 };
 use luqr_kernels::Mat;
 use luqr_runtime::{Platform, SimReport};
@@ -352,4 +353,139 @@ fn streaming_trace_export_covers_executed_tasks() {
     // Untraced runs render an empty (but valid) document.
     let untraced = factor_stream(&a, &b, &opts, 2);
     assert_eq!(untraced.chrome_trace().trim(), "[\n\n]");
+}
+
+/// EFT-guided work stealing is strictly opt-in and placement-independent:
+/// a steal-enabled distributed run produces the *bitwise* batch solution
+/// and identical per-step decisions, its protocol message count stays
+/// consistent with the simulator even as work moves off its owner node,
+/// and with the flag off the steal counters stay at zero.
+#[test]
+fn stealing_keeps_numerics_and_message_accounting() {
+    let opts = FactorOptions {
+        nb: 8,
+        ib: 4,
+        threads: 2,
+        grid: Grid::new(2, 2),
+        algorithm: Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
+        ..FactorOptions::default()
+    };
+    let (a, b) = system(64, 31);
+    let platform = Platform::mixed_islands();
+    let batch = factor(&a, &b, &opts);
+
+    let base_opts = StreamOptions::fixed(3, opts.threads).with_scheduler(SchedPolicy::Eft);
+    let base = factor_stream_distributed_opts(&a, &b, &opts, &platform, &base_opts)
+        .expect("grid fits platform");
+    let steal_opts = base_opts.clone().with_stealing();
+    let steal = factor_stream_distributed_opts(&a, &b, &opts, &platform, &steal_opts)
+        .expect("grid fits platform");
+
+    // Numerics are placement-independent: bitwise vs batch, errors and
+    // criterion decisions identical.
+    assert_eq!(batch.error, steal.stream.error);
+    assert_eq!(batch.solution().max_abs_diff(&steal.solution()), 0.0);
+    assert_eq!(batch.records.len(), steal.stream.records.len());
+    for (rb, rd) in batch.records.iter().zip(&steal.stream.records) {
+        assert_eq!(rb.decision, rd.decision, "step {} decision", rb.k);
+    }
+
+    // The steal pass evaluated candidates, and on this heterogeneous
+    // platform (half-speed island) actually re-homed work.
+    let report = &steal.stream.report;
+    assert!(
+        report.steals + report.steal_kept > 0,
+        "steal pass never evaluated a candidate"
+    );
+    assert!(report.steals > 0, "mixed islands should trigger steals");
+
+    // Message accounting stays consistent *within* the run: the protocol
+    // counts one transfer per (produced version, destination node) off
+    // the same placements the simulator prices.
+    assert_eq!(steal.msgs().payload_msgs(), steal.sim.messages);
+    assert!(steal.sim.makespan >= steal.sim.critical_path - 1e-12);
+    assert!(report.peak_live_steps <= 3);
+
+    // Flag off: counters zero, baseline consistency untouched.
+    assert_eq!(base.stream.report.steals, 0);
+    assert_eq!(base.stream.report.steal_kept, 0);
+    assert_eq!(base.msgs().payload_msgs(), base.sim.messages);
+}
+
+/// On a single node there is nowhere to steal to: the gate keeps the
+/// steal machinery inert and the run bitwise equal to the unflagged one.
+#[test]
+fn stealing_is_inert_on_a_single_node() {
+    let opts = FactorOptions {
+        nb: 8,
+        ib: 4,
+        threads: 2,
+        grid: Grid::single(),
+        algorithm: Algorithm::Hqr,
+        ..FactorOptions::default()
+    };
+    let (a, b) = system(48, 9);
+    let platform = Platform::dancer_nodes(1);
+    let plain_opts = StreamOptions::fixed(2, opts.threads);
+    let plain = factor_stream_distributed_opts(&a, &b, &opts, &platform, &plain_opts)
+        .expect("grid fits platform");
+    let steal = factor_stream_distributed_opts(
+        &a,
+        &b,
+        &opts,
+        &platform,
+        &plain_opts.clone().with_stealing(),
+    )
+    .expect("grid fits platform");
+
+    assert_eq!(steal.stream.report.steals, 0);
+    assert_eq!(steal.stream.report.steal_kept, 0);
+    assert_eq!(plain.solution().max_abs_diff(&steal.solution()), 0.0);
+    assert_eq!(
+        plain.sim.makespan.to_bits(),
+        steal.sim.makespan.to_bits(),
+        "single-node steal run must replay the unflagged timeline bitwise"
+    );
+    assert_eq!(plain.sim.messages, steal.sim.messages);
+}
+
+/// Online recalibration re-aims the tile distribution mid-run from
+/// observed per-node speeds. The panel planners group their reduction
+/// trees by owner node, so regrouped future steps compute a numerically
+/// *equivalent* factorization — round-off-level agreement with the batch
+/// run, not bitwise (exactly as a static run under the new distribution
+/// would differ). Decisions still match step for step, and the
+/// protocol's message count stays equal to the simulator's even as
+/// future steps land on different owners.
+#[test]
+fn recalibration_keeps_numerics_and_protocol_consistency() {
+    let opts = FactorOptions {
+        nb: 8,
+        ib: 4,
+        threads: 2,
+        grid: Grid::new(2, 2),
+        algorithm: Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
+        ..FactorOptions::default()
+    };
+    let (a, b) = system(64, 7);
+    let platform = Platform::mixed_islands();
+    let batch = factor(&a, &b, &opts);
+
+    let recal_opts = StreamOptions::fixed(2, opts.threads).with_recalibration();
+    let recal = factor_stream_distributed_opts(&a, &b, &opts, &platform, &recal_opts)
+        .expect("grid fits platform");
+
+    assert_eq!(batch.error, recal.stream.error);
+    let drift = batch.solution().max_abs_diff(&recal.solution());
+    assert!(
+        drift <= 1e-10,
+        "recalibrated solution drifted beyond round-off: {drift}"
+    );
+    assert_eq!(batch.records.len(), recal.stream.records.len());
+    for (rb, rd) in batch.records.iter().zip(&recal.stream.records) {
+        assert_eq!(rb.decision, rd.decision, "step {} decision", rb.k);
+    }
+    assert_eq!(recal.msgs().payload_msgs(), recal.sim.messages);
+    assert!(recal.stream.report.peak_live_steps <= 2);
+    assert!(recal.sim.makespan >= recal.sim.critical_path - 1e-12);
 }
