@@ -1,0 +1,187 @@
+//! Real-transport benchmarks: wire-frame throughput per transport and the
+//! end-to-end cost of running distributed streaming over an actual
+//! transport instead of the in-process simulation.
+//!
+//! Two groups:
+//!
+//! * `net-frames` — stream a burst of tile-sized `Data` frames (32x32 f64
+//!   payload, 8 KiB) from rank 1 to rank 0 over loopback mailboxes,
+//!   crossbeam channels, and real Unix-domain sockets; the extra JSON
+//!   field reports frames/sec.
+//! * `net-e2e-nN` — the same hybrid factorization as `factor_stream`
+//!   (the zero-transport baseline) run through `factor_stream_net` over
+//!   each transport on a 2x2 grid, surfacing the added wall-clock of
+//!   serialization + framing + the SPMD protocol.
+//!
+//! Custom harness (`luqr_bench::harness`): the frames/sec and message
+//! counters don't fit the vendored criterion shim's record schema. Pass
+//! `--test` (as CI does) for reduced sizes; `CRITERION_JSON=<path>`
+//! writes the baseline (see `BENCH_net.json`).
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use luqr::NetTransportKind;
+use luqr::{factor_stream, factor_stream_net, Algorithm, Criterion, FactorOptions};
+use luqr_bench::harness::{sample, write_json, Record};
+use luqr_kernels::Mat;
+use luqr_runtime::net::channel::channel_set;
+use luqr_runtime::net::loopback::loopback_set;
+use luqr_runtime::net::socket::{socket_set, SocketSpec};
+use luqr_runtime::{DataClass, DataKey, Frame, Transport};
+use luqr_tile::Grid;
+
+/// Ship `count` tile-sized Data frames rank 1 -> rank 0 over `mk`'s mesh,
+/// receiver draining concurrently; returns only when every frame has been
+/// received.
+fn pump_frames(mk: &dyn Fn() -> Vec<Arc<dyn Transport>>, count: usize, payload: &[u8]) {
+    let set = mk();
+    let mut it = set.into_iter();
+    let (r0, r1) = (it.next().unwrap(), it.next().unwrap());
+    let sender = std::thread::spawn({
+        let payload = payload.to_vec();
+        move || {
+            for i in 0..count {
+                let frame = Frame::Data {
+                    key: DataKey(i as u64),
+                    producer: Some(i),
+                    from: 1,
+                    to: 0,
+                    class: DataClass::Payload,
+                    modeled_bytes: payload.len() as u64,
+                    payload: payload.clone(),
+                };
+                r1.send(0, &frame).unwrap();
+            }
+            r1.send(0, &Frame::Done).unwrap();
+            r1.shutdown();
+        }
+    });
+    loop {
+        match r0.recv().expect("receiver") {
+            (_, Frame::Done) => break,
+            (_, f) => {
+                black_box(&f);
+            }
+        }
+    }
+    r0.shutdown();
+    sender.join().unwrap();
+}
+
+fn dyn_set<T: Transport + 'static>(set: Vec<Arc<T>>) -> Vec<Arc<dyn Transport>> {
+    set.into_iter().map(|e| e as Arc<dyn Transport>).collect()
+}
+
+/// A named constructor for one transport's two-rank mesh.
+type MeshMaker = Box<dyn Fn() -> Vec<Arc<dyn Transport>>>;
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let mut records: Vec<Record> = Vec::new();
+
+    // --- Frame throughput per transport -------------------------------
+    let count = if test_mode { 300 } else { 2000 };
+    let payload = vec![0x5Au8; 32 * 32 * 8];
+    let uds_root = std::env::temp_dir().join(format!("luqr-bench-net-{}", std::process::id()));
+    std::fs::create_dir_all(&uds_root).expect("bench scratch dir");
+    let transports: Vec<(&str, MeshMaker)> = vec![
+        ("loopback", Box::new(|| dyn_set(loopback_set(2)))),
+        ("channel", Box::new(|| dyn_set(channel_set(2)))),
+        ("uds", {
+            let root = uds_root.clone();
+            let run = std::cell::Cell::new(0usize);
+            Box::new(move || {
+                let dir = root.join(format!("mesh{}", run.replace(run.get() + 1)));
+                std::fs::create_dir_all(&dir).expect("mesh dir");
+                dyn_set(socket_set(&SocketSpec::Uds { dir }, 2).expect("uds mesh"))
+            })
+        }),
+    ];
+    for (name, mk) in &transports {
+        let (min_ns, median_ns, mean_ns) = sample(|| pump_frames(mk.as_ref(), count, &payload));
+        let fps = count as f64 / (median_ns / 1e9);
+        records.push(Record {
+            group: "net-frames".into(),
+            bench: (*name).into(),
+            min_ns,
+            median_ns,
+            mean_ns,
+            extra_json: format!(
+                ", \"frames\": {count}, \"payload_bytes\": {}, \"frames_per_sec\": {fps:.0}",
+                payload.len()
+            ),
+        });
+    }
+    let _ = std::fs::remove_dir_all(&uds_root);
+
+    // --- End-to-end added wall-clock ----------------------------------
+    let n = if test_mode { 160 } else { 320 };
+    let nb = 32;
+    let mut a = Mat::random(n, n, 42);
+    for i in 0..n {
+        if (i / nb).is_multiple_of(2) {
+            a[(i, i)] += n as f64;
+        }
+    }
+    let b = Mat::random(n, 2, 7);
+    let mut opts = FactorOptions::default()
+        .with_nb(nb)
+        .with_grid(Grid::new(2, 2))
+        .with_algorithm(Algorithm::LuQr(Criterion::Max { alpha: 6.0 }));
+    opts.ib = 8;
+    opts.threads = 2;
+    let window = 4;
+    let group = format!("net-e2e-n{n}");
+
+    let (min_ns, median_ns, mean_ns) = sample(|| {
+        black_box(factor_stream(&a, &b, &opts, window));
+    });
+    records.push(Record {
+        group: group.clone(),
+        bench: "stream_baseline".into(),
+        min_ns,
+        median_ns,
+        mean_ns,
+        extra_json: String::new(),
+    });
+    for (name, kind) in [
+        ("net_loopback", NetTransportKind::Loopback),
+        ("net_channel", NetTransportKind::Channel),
+        ("net_uds", NetTransportKind::Uds),
+    ] {
+        let probe = factor_stream_net(&a, &b, &opts, window, &kind).expect("net run");
+        let wire = probe.report.net.as_ref().expect("net report");
+        let extra_json = format!(
+            ", \"protocol_msgs\": {}, \"rank0_frames_sent\": {}, \"rank0_payload_bytes_sent\": {}",
+            probe.report.msgs.data_msgs
+                + probe.report.msgs.decision_msgs
+                + probe.report.msgs.retire_msgs,
+            wire.frames_sent,
+            wire.payload_bytes_sent,
+        );
+        let (min_ns, median_ns, mean_ns) = sample(|| {
+            black_box(factor_stream_net(&a, &b, &opts, window, &kind).expect("net run"));
+        });
+        records.push(Record {
+            group: group.clone(),
+            bench: name.into(),
+            min_ns,
+            median_ns,
+            mean_ns,
+            extra_json,
+        });
+    }
+
+    for r in &records {
+        eprintln!(
+            "bench {:<26} min {:>12.0} ns  median {:>12.0} ns  mean {:>12.0} ns{}",
+            format!("{}/{}", r.group, r.bench),
+            r.min_ns,
+            r.median_ns,
+            r.mean_ns,
+            r.extra_json.replace("\", \"", "  ").replace('"', ""),
+        );
+    }
+    write_json(&records);
+}

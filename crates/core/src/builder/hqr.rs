@@ -38,7 +38,12 @@ impl TfCells {
                 ib * nbk * 8,
                 ins.dist.owner(i, self.k),
             );
-            self.cells[i] = Some(Arc::new(parking_lot::Mutex::new(None)));
+            let cell: TfCell = Arc::new(parking_lot::Mutex::new(None));
+            ins.shared.register_payload(
+                keys::tfactor(i, self.k),
+                crate::net::PayloadSlot::Tf(Arc::clone(&cell)),
+            );
+            self.cells[i] = Some(cell);
         }
         Arc::clone(self.cells[i].as_ref().unwrap())
     }

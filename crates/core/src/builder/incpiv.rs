@@ -69,6 +69,10 @@ impl StepPlanner for IncPivPlanner {
                 (tm * nbk + nbk) * 8,
                 ins.dist.owner(i, k),
             );
+            ins.shared.register_payload(
+                keys::incpiv_l(i, k),
+                crate::net::PayloadSlot::L(Arc::clone(&lcell)),
+            );
             {
                 let u_t = ins.aug.tile(k, k);
                 let a_t = ins.aug.tile(i, k);

@@ -71,6 +71,10 @@ pub(crate) fn insert_lu_step(
         let scratch_key = keys::swap_scratch(j, k);
         ins.b
             .declare(scratch_key, nbk * w * 8, ins.dist.owner(k, j));
+        ins.shared.register_payload(
+            scratch_key,
+            crate::net::PayloadSlot::Scratch(Arc::clone(&scratch)),
+        );
 
         // Snapshot the pivot-block tile.
         {

@@ -45,14 +45,17 @@ pub mod panel;
 pub mod stream_source;
 pub mod update;
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::sync::OnceLock;
 
 use luqr_kernels::qr::TFactor;
 use luqr_kernels::Mat;
-use luqr_runtime::{GraphBuilder, TaskBuilder, TaskId, TaskSink};
+use luqr_runtime::{DataKey, GraphBuilder, TaskBuilder, TaskId, TaskSink};
 use luqr_tile::{Dist, TiledMatrix};
 use parking_lot::Mutex;
+
+use crate::net::PayloadSlot;
 
 use crate::config::{Decision, FactorOptions, StepRecord};
 use crate::criteria::DomainCritData;
@@ -109,6 +112,11 @@ pub struct SharedState {
     pub records: Arc<Mutex<Vec<StepRecord>>>,
     /// First numerical failure observed (zero pivot etc.).
     pub error: Arc<Mutex<Option<String>>>,
+    /// Live cells of every declared non-tile datum, registered while
+    /// planning — the real-transport layer serializes payloads out of (and
+    /// into) these ([`crate::net`]). Harmless off-transport: registration
+    /// is a map insert per declared datum.
+    pub(crate) payloads: Arc<Mutex<HashMap<DataKey, PayloadSlot>>>,
 }
 
 impl SharedState {
@@ -117,6 +125,13 @@ impl SharedState {
         if e.is_none() {
             *e = Some(msg);
         }
+    }
+
+    /// Register the live cell behind a declared datum key. Re-registration
+    /// overwrites (the hybrid's A2 trial and its QR branch both declare
+    /// `tfactor(k,k)`; the later, consumer-captured cell wins).
+    pub(crate) fn register_payload(&self, key: DataKey, slot: PayloadSlot) {
+        self.payloads.lock().insert(key, slot);
     }
 }
 

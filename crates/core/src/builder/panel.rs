@@ -14,6 +14,7 @@ use luqr_runtime::{CostClass, DataKey, TaskResult};
 use crate::config::{Decision, LuVariant, PivotScope, StepRecord};
 use crate::criteria::{decide, Criterion, DomainCritData, PanelCritData};
 use crate::keys;
+use crate::net::PayloadSlot;
 use crate::panel::{factor_diagonal_domain, with_stacked, PanelFactorization};
 
 use super::tname;
@@ -40,6 +41,8 @@ pub(crate) fn insert_backups(ins: &mut Inserter<'_>, k: usize, rows: &[usize]) -
         let bytes = ins.tile_bytes(i, k);
         ins.b
             .declare(keys::backup(i, k), bytes, ins.dist.owner(i, k));
+        ins.shared
+            .register_payload(keys::backup(i, k), PayloadSlot::Backup(Arc::clone(&cell)));
         let tile = ins.aug.tile(i, k);
         let c = Arc::clone(&cell);
         ins.b
@@ -90,6 +93,8 @@ pub(crate) fn insert_crit_collection(
             let nbk = ins.aug.tile_cols(k);
             ins.b.declare(key, (2 + nbk) * 8, *node);
             let cell: CritCell = Arc::new(std::sync::OnceLock::new());
+            ins.shared
+                .register_payload(key, PayloadSlot::Crit(Arc::clone(&cell)));
             let tiles: Vec<_> = rows.iter().map(|&i| ins.aug.tile(i, k)).collect();
             let area: usize = rows
                 .iter()
@@ -139,6 +144,16 @@ pub(crate) fn insert_trial_panel(
     // broadcast: the distributed window accounts them as DecisionMsgs.
     ins.b
         .declare_class(keys::decision(k), luqr_runtime::DataClass::Decision);
+    ins.shared
+        .register_payload(keys::pivots(k), PayloadSlot::Panel(Arc::clone(pan)));
+    ins.shared.register_payload(
+        keys::decision(k),
+        PayloadSlot::Dec {
+            cell: Arc::clone(dec),
+            records: Arc::clone(&ins.shared.records),
+            k,
+        },
+    );
     let tiles: Vec<_> = rows.iter().map(|&i| ins.aug.tile(i, k)).collect();
     let rows_total: usize = rows.iter().map(|&i| ins.aug.tile_rows(i)).sum();
     let crit_cells = crit_cells.to_vec();
@@ -229,6 +244,18 @@ pub(crate) fn insert_a2_panel(
         .declare_class(keys::decision(k), luqr_runtime::DataClass::Decision);
     ins.b
         .declare(keys::tfactor(k, k), ib * nbk * 8, ins.dist.diag_owner(k));
+    ins.shared
+        .register_payload(keys::pivots(k), PayloadSlot::Panel(Arc::clone(pan)));
+    ins.shared.register_payload(
+        keys::decision(k),
+        PayloadSlot::Dec {
+            cell: Arc::clone(dec),
+            records: Arc::clone(&ins.shared.records),
+            k,
+        },
+    );
+    ins.shared
+        .register_payload(keys::tfactor(k, k), PayloadSlot::Tf(Arc::clone(a2_tf)));
     let tile = ins.aug.tile(k, k);
     let dec2 = Arc::clone(dec);
     let pan2 = Arc::clone(pan);
@@ -331,6 +358,8 @@ pub(crate) fn insert_simple_panel(
     let nbk = ins.aug.tile_cols(k);
     ins.b
         .declare(keys::pivots(k), mt * 8, ins.dist.diag_owner(k));
+    ins.shared
+        .register_payload(keys::pivots(k), PayloadSlot::Panel(Arc::clone(pan)));
     let tiles: Vec<_> = rows.iter().map(|&i| ins.aug.tile(i, k)).collect();
     let rows_total: usize = rows.iter().map(|&i| ins.aug.tile_rows(i)).sum();
     let heights: Vec<usize> = rows.iter().map(|&i| ins.aug.tile_rows(i)).collect();
@@ -387,6 +416,8 @@ pub(crate) fn insert_incpiv_diag(ins: &mut Inserter<'_>, k: usize, pan: &PanelCe
     let nbk = ins.aug.tile_cols(k);
     ins.b
         .declare(keys::pivots(k), nbk * 8, ins.dist.diag_owner(k));
+    ins.shared
+        .register_payload(keys::pivots(k), PayloadSlot::Panel(Arc::clone(pan)));
     let tile = ins.aug.tile(k, k);
     let pan2 = Arc::clone(pan);
     let shared = ins.shared.clone();

@@ -32,12 +32,15 @@
 //! * [`builder`] — per-step task planners ([`builder::StepPlanner`]) for
 //!   the hybrid and all four baselines (LU NoPiv, LU IncPiv, LUPP, HQR)
 //!   (§IV, Figure 1), dispatched through [`planner_for`];
+//! * [`net`] — real-transport distributed runs: SPMD ranks over loopback /
+//!   channels / UDS / TCP, in-process or as `luqr-worker` processes;
 //! * [`solve`] / [`stability`] — augmented-rhs solve and HPL3 metrics (§V).
 
 pub mod builder;
 pub mod config;
 pub mod criteria;
 pub mod keys;
+pub mod net;
 pub mod panel;
 pub mod solve;
 pub mod stability;
@@ -49,6 +52,9 @@ pub use config::{
     Algorithm, Decision, DistPolicy, FactorOptions, LuVariant, PivotScope, StepRecord,
 };
 pub use criteria::Criterion;
+pub use net::{
+    factor_stream_net, factor_stream_net_opts, factor_stream_net_rank, NetTransportKind,
+};
 pub use trees::{TreeConfig, TreeKind};
 
 use luqr_kernels::Mat;
@@ -60,8 +66,9 @@ use luqr_runtime::{
 use luqr_tile::{Grid, TiledMatrix};
 
 pub use luqr_runtime::{
-    AttribBuckets, Attribution, LinkMsgStats, LinkSpec, LinkTraffic, MsgStats, NodeSpec, Probe,
-    ProbeReport, SchedPolicy, SimOptions, StreamOptions, Topology, TraceEvent, WindowPolicy,
+    AttribBuckets, Attribution, LinkMsgStats, LinkSpec, LinkTraffic, MsgStats, NetReport, NodeSpec,
+    Probe, ProbeReport, SchedPolicy, SimOptions, StreamOptions, Topology, TraceEvent,
+    TransportError, WindowPolicy,
 };
 
 /// A process grid that does not fit its platform — the typed form of what

@@ -1,0 +1,554 @@
+//! Multi-process deployment: the `luqr-worker` protocol and launcher.
+//!
+//! A distributed run across real processes needs three agreements between
+//! the launcher and its workers: the *problem* (every rank must build the
+//! same matrix — SPMD), the *rendezvous* (where the socket mesh lives),
+//! and the *result* (how rank 0 reports back). All three are deliberately
+//! minimal: a [`NetJob`] is a seed-and-shape description passed on the
+//! command line (no matrix ever crosses a pipe), the rendezvous is a UDS
+//! directory or a TCP base port, and the result is a small hand-rolled
+//! binary file ([`WorkerResult`]) with the solution, per-step records, and
+//! message statistics — everything the parity oracles compare.
+//!
+//! [`launch_multiprocess`] spawns one `luqr-worker` per rank (binary
+//! located via `$LUQR_WORKER` or next to the current executable), waits
+//! for the set, and decodes rank 0's result file. [`worker_main`] is the
+//! whole worker binary, kept here so it is unit-testable.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use luqr_kernels::Mat;
+use luqr_runtime::net::socket::{SocketEndpoint, SocketSpec};
+use luqr_runtime::{LinkMsgStats, MsgStats, StreamOptions, Transport};
+use luqr_tile::Grid;
+
+use super::factor_stream_net_rank;
+use super::payload::{encode_mat, encode_record, put_u64, Rd};
+use crate::config::{Algorithm, FactorOptions, StepRecord};
+use crate::criteria::Criterion;
+use crate::StreamFactorization;
+
+/// A problem every rank can reconstruct from its command line alone.
+#[derive(Debug, Clone)]
+pub struct NetJob {
+    /// Matrix order.
+    pub n: usize,
+    /// Right-hand-side columns.
+    pub nrhs: usize,
+    /// Seed for the deterministic problem generator ([`NetJob::problem`]).
+    pub seed: u64,
+    /// Tile size / QR inner blocking.
+    pub nb: usize,
+    pub ib: usize,
+    /// Process grid (`p × q` ranks).
+    pub p: usize,
+    pub q: usize,
+    /// Worker threads per rank.
+    pub threads: usize,
+    /// Streaming window (consecutive live elimination steps).
+    pub window: usize,
+    /// Algorithm; must survive [`alg_spec`] / [`parse_alg_spec`].
+    pub algorithm: Algorithm,
+}
+
+impl NetJob {
+    /// The job's deterministic problem: a random matrix whose diagonal is
+    /// made dominant on every *even* tile panel only, plus a random
+    /// right-hand side. Under a hybrid criterion the dominant panels take
+    /// the LU fast path and the others fall back to QR — a genuinely mixed
+    /// run that exercises both kernel families and their payload codecs.
+    /// Every rank calls this with the same seed and gets bitwise-identical
+    /// inputs.
+    pub fn problem(&self) -> (Mat, Mat) {
+        let mut a = Mat::random(self.n, self.n, self.seed);
+        for i in 0..self.n {
+            if (i / self.nb).is_multiple_of(2) {
+                a[(i, i)] += self.n as f64;
+            }
+        }
+        let rhs = Mat::random(self.n, self.nrhs, self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        (a, rhs)
+    }
+
+    /// The factorization options the job describes.
+    pub fn options(&self) -> FactorOptions {
+        let mut opts = FactorOptions::default()
+            .with_nb(self.nb)
+            .with_grid(Grid::new(self.p, self.q))
+            .with_algorithm(self.algorithm.clone());
+        opts.ib = self.ib;
+        opts.threads = self.threads;
+        opts
+    }
+
+    fn to_args(&self) -> Vec<String> {
+        vec![
+            "--n".into(),
+            self.n.to_string(),
+            "--nrhs".into(),
+            self.nrhs.to_string(),
+            "--seed".into(),
+            self.seed.to_string(),
+            "--nb".into(),
+            self.nb.to_string(),
+            "--ib".into(),
+            self.ib.to_string(),
+            "--p".into(),
+            self.p.to_string(),
+            "--q".into(),
+            self.q.to_string(),
+            "--threads".into(),
+            self.threads.to_string(),
+            "--window".into(),
+            self.window.to_string(),
+            "--alg".into(),
+            alg_spec(&self.algorithm).expect("algorithm has no CLI spec"),
+        ]
+    }
+}
+
+/// The CLI spelling of an algorithm (`--alg`), or `None` for variants that
+/// cannot round-trip through a flat string (random criterion etc.).
+pub fn alg_spec(a: &Algorithm) -> Option<String> {
+    match a {
+        Algorithm::LuQr(Criterion::Max { alpha }) => Some(format!("luqr-max:{alpha}")),
+        Algorithm::LuQr(Criterion::Sum { alpha }) => Some(format!("luqr-sum:{alpha}")),
+        Algorithm::LuQr(Criterion::Mumps { alpha }) => Some(format!("luqr-mumps:{alpha}")),
+        Algorithm::LuQr(Criterion::AlwaysLu) => Some("luqr-alwayslu".into()),
+        Algorithm::LuQr(Criterion::AlwaysQr) => Some("luqr-alwaysqr".into()),
+        Algorithm::LuQr(Criterion::Random { .. }) => None,
+        Algorithm::LuNoPiv => Some("lunopiv".into()),
+        Algorithm::LuIncPiv => Some("luincpiv".into()),
+        Algorithm::Lupp => Some("lupp".into()),
+        Algorithm::Hqr => Some("hqr".into()),
+    }
+}
+
+/// Parse an `--alg` spec back into an [`Algorithm`].
+pub fn parse_alg_spec(s: &str) -> Option<Algorithm> {
+    let crit = |s: &str| s.split_once(':').and_then(|(_, a)| a.parse::<f64>().ok());
+    match s {
+        "lunopiv" => Some(Algorithm::LuNoPiv),
+        "luincpiv" => Some(Algorithm::LuIncPiv),
+        "lupp" => Some(Algorithm::Lupp),
+        "hqr" => Some(Algorithm::Hqr),
+        "luqr-alwayslu" => Some(Algorithm::LuQr(Criterion::AlwaysLu)),
+        "luqr-alwaysqr" => Some(Algorithm::LuQr(Criterion::AlwaysQr)),
+        _ if s.starts_with("luqr-max:") => {
+            Some(Algorithm::LuQr(Criterion::Max { alpha: crit(s)? }))
+        }
+        _ if s.starts_with("luqr-sum:") => {
+            Some(Algorithm::LuQr(Criterion::Sum { alpha: crit(s)? }))
+        }
+        _ if s.starts_with("luqr-mumps:") => {
+            Some(Algorithm::LuQr(Criterion::Mumps { alpha: crit(s)? }))
+        }
+        _ => None,
+    }
+}
+
+/// What rank 0 reports back to the launcher.
+#[derive(Debug, Clone)]
+pub struct WorkerResult {
+    /// First numerical breakdown, if any.
+    pub error: Option<String>,
+    /// The solution of `A x = B` (present when no breakdown).
+    pub solution: Option<Mat>,
+    /// Per-step criterion records, sorted by step.
+    pub records: Vec<StepRecord>,
+    /// Protocol message totals (identical on every rank).
+    pub msgs: MsgStats,
+    /// Per-link protocol messages, `(src, dst)` order.
+    pub link_msgs: Vec<LinkMsgStats>,
+    /// Rank 0's wire-level counters.
+    pub frames_sent: u64,
+    pub frames_received: u64,
+    pub ctrl_frames_sent: u64,
+    pub ctrl_frames_received: u64,
+    pub payload_bytes_sent: u64,
+    pub payload_bytes_received: u64,
+}
+
+const RESULT_MAGIC: &[u8; 4] = b"LQN1";
+
+/// Serialize a rank's outcome for the launcher (rank 0 writes this to its
+/// `--out` file).
+pub fn encode_result(fact: &StreamFactorization) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(RESULT_MAGIC);
+    match &fact.error {
+        None => out.push(0),
+        Some(e) => {
+            out.push(1);
+            put_u64(&mut out, e.len() as u64);
+            out.extend_from_slice(e.as_bytes());
+        }
+    }
+    match &fact.error {
+        None => {
+            out.push(1);
+            out.extend_from_slice(&encode_mat(&fact.solution()));
+        }
+        Some(_) => out.push(0),
+    }
+    put_u64(&mut out, fact.records.len() as u64);
+    for r in &fact.records {
+        encode_record(&mut out, r);
+    }
+    encode_msg_stats(&mut out, &fact.report.msgs);
+    put_u64(&mut out, fact.report.link_msgs.len() as u64);
+    for l in &fact.report.link_msgs {
+        put_u64(&mut out, l.src as u64);
+        put_u64(&mut out, l.dst as u64);
+        encode_msg_stats(&mut out, &l.msgs);
+    }
+    let net = fact.report.net.as_ref();
+    for v in [
+        net.map_or(0, |n| n.frames_sent),
+        net.map_or(0, |n| n.frames_received),
+        net.map_or(0, |n| n.ctrl_frames_sent),
+        net.map_or(0, |n| n.ctrl_frames_received),
+        net.map_or(0, |n| n.payload_bytes_sent),
+        net.map_or(0, |n| n.payload_bytes_received),
+    ] {
+        put_u64(&mut out, v);
+    }
+    out
+}
+
+fn encode_msg_stats(out: &mut Vec<u8>, m: &MsgStats) {
+    put_u64(out, m.data_msgs);
+    put_u64(out, m.decision_msgs);
+    put_u64(out, m.retire_msgs);
+    put_u64(out, m.bytes);
+}
+
+/// Decode a worker result file. Panics on a malformed file (the launcher
+/// and worker are the same build; a mismatch is a bug, not an input).
+pub fn decode_result(bytes: &[u8]) -> WorkerResult {
+    let mut rd = Rd::new(bytes);
+    let magic = [rd.u8(), rd.u8(), rd.u8(), rd.u8()];
+    assert_eq!(&magic, RESULT_MAGIC, "bad worker-result magic");
+    let error = match rd.u8() {
+        0 => None,
+        _ => {
+            let len = rd.u64() as usize;
+            let s: Vec<u8> = (0..len).map(|_| rd.u8()).collect();
+            Some(String::from_utf8(s).expect("worker error not utf8"))
+        }
+    };
+    let solution = match rd.u8() {
+        0 => None,
+        _ => Some(rd.mat()),
+    };
+    let nrec = rd.u64() as usize;
+    let records: Vec<StepRecord> = (0..nrec).map(|_| rd.record()).collect();
+    let msgs = decode_msg_stats(&mut rd);
+    let nlinks = rd.u64() as usize;
+    let link_msgs: Vec<LinkMsgStats> = (0..nlinks)
+        .map(|_| {
+            let src = rd.u64() as usize;
+            let dst = rd.u64() as usize;
+            LinkMsgStats {
+                src,
+                dst,
+                msgs: decode_msg_stats(&mut rd),
+            }
+        })
+        .collect();
+    let r = WorkerResult {
+        error,
+        solution,
+        records,
+        msgs,
+        link_msgs,
+        frames_sent: rd.u64(),
+        frames_received: rd.u64(),
+        ctrl_frames_sent: rd.u64(),
+        ctrl_frames_received: rd.u64(),
+        payload_bytes_sent: rd.u64(),
+        payload_bytes_received: rd.u64(),
+    };
+    assert_eq!(rd.remaining(), 0, "trailing bytes in worker result");
+    r
+}
+
+fn decode_msg_stats(rd: &mut Rd<'_>) -> MsgStats {
+    MsgStats {
+        data_msgs: rd.u64(),
+        decision_msgs: rd.u64(),
+        retire_msgs: rd.u64(),
+        bytes: rd.u64(),
+    }
+}
+
+/// Where a multi-process mesh rendezvouses.
+#[derive(Debug, Clone)]
+pub enum LaunchTransport {
+    /// Unix-domain sockets under a fresh temp directory.
+    Uds,
+    /// TCP on localhost; rank `r` listens at `base_port + r`.
+    Tcp { base_port: u16 },
+}
+
+/// Locate the `luqr-worker` binary: `$LUQR_WORKER` first, then walking up
+/// from the current executable (tests live in `target/<profile>/deps/`,
+/// examples in `target/<profile>/examples/`, the binary in
+/// `target/<profile>/`).
+pub fn locate_worker() -> Option<PathBuf> {
+    if let Ok(p) = std::env::var("LUQR_WORKER") {
+        let p = PathBuf::from(p);
+        if p.is_file() {
+            return Some(p);
+        }
+    }
+    let exe = std::env::current_exe().ok()?;
+    let mut dir = exe.parent()?;
+    for _ in 0..3 {
+        let cand = dir.join("luqr-worker");
+        if cand.is_file() {
+            return Some(cand);
+        }
+        dir = dir.parent()?;
+    }
+    None
+}
+
+static MP_RUN: AtomicUsize = AtomicUsize::new(0);
+
+/// Run `job` as `p·q` real `luqr-worker` processes meshed over
+/// `transport`, and return rank 0's decoded result. Worker stderr is
+/// inherited, so breakdown/transport diagnostics surface in the caller's
+/// log.
+pub fn launch_multiprocess(
+    job: &NetJob,
+    transport: &LaunchTransport,
+    worker: Option<PathBuf>,
+) -> Result<WorkerResult, String> {
+    let nranks = job.p * job.q;
+    assert!(nranks >= 1);
+    let worker = worker.or_else(locate_worker).ok_or_else(|| {
+        "luqr-worker binary not found: build it (cargo build -p luqr --bin luqr-worker) \
+         or point $LUQR_WORKER at it"
+            .to_string()
+    })?;
+
+    let scratch = std::env::temp_dir().join(format!(
+        "luqr-mp-{}-{}",
+        std::process::id(),
+        MP_RUN.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&scratch).map_err(|e| format!("create {}: {e}", scratch.display()))?;
+    let conn_args: Vec<String> = match transport {
+        LaunchTransport::Uds => {
+            let dir = scratch.join("uds");
+            std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+            vec!["--uds".into(), dir.display().to_string()]
+        }
+        LaunchTransport::Tcp { base_port } => vec!["--tcp".into(), base_port.to_string()],
+    };
+    let out_path = scratch.join("rank0.bin");
+
+    let mut children = Vec::new();
+    for rank in 0..nranks {
+        let mut cmd = Command::new(&worker);
+        cmd.args(["--rank".to_string(), rank.to_string()])
+            .args(["--nranks".to_string(), nranks.to_string()])
+            .args(&conn_args)
+            .args(job.to_args());
+        if rank == 0 {
+            cmd.args(["--out".to_string(), out_path.display().to_string()]);
+        }
+        children.push((
+            rank,
+            cmd.spawn()
+                .map_err(|e| format!("spawn {}: {e}", worker.display()))?,
+        ));
+    }
+
+    let mut failures = Vec::new();
+    for (rank, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => failures.push(format!("rank {rank} exited with {status}")),
+            Err(e) => failures.push(format!("rank {rank} wait failed: {e}")),
+        }
+    }
+    let result = if failures.is_empty() {
+        let bytes =
+            std::fs::read(&out_path).map_err(|e| format!("read {}: {e}", out_path.display()))?;
+        Ok(decode_result(&bytes))
+    } else {
+        Err(failures.join("; "))
+    };
+    let _ = std::fs::remove_dir_all(&scratch);
+    result
+}
+
+/// The `luqr-worker` entry point: parse args, connect the mesh, run this
+/// rank, and (for rank 0) write the result file. Returns a diagnostic on
+/// any usage, transport, or I/O failure.
+pub fn worker_main(args: &[String]) -> Result<(), String> {
+    let mut rank = None;
+    let mut nranks = None;
+    let mut uds = None;
+    let mut tcp = None;
+    let mut out = None;
+    let mut job = NetJob {
+        n: 0,
+        nrhs: 1,
+        seed: 42,
+        nb: 32,
+        ib: 8,
+        p: 1,
+        q: 1,
+        threads: 1,
+        window: 4,
+        algorithm: Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
+    };
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--rank" => rank = Some(val()?.parse::<usize>().map_err(|e| e.to_string())?),
+            "--nranks" => nranks = Some(val()?.parse::<usize>().map_err(|e| e.to_string())?),
+            "--uds" => uds = Some(PathBuf::from(val()?)),
+            "--tcp" => tcp = Some(val()?.parse::<u16>().map_err(|e| e.to_string())?),
+            "--out" => out = Some(PathBuf::from(val()?)),
+            "--n" => {
+                job.n = val()?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| e.to_string())?
+            }
+            "--nrhs" => {
+                job.nrhs = val()?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| e.to_string())?
+            }
+            "--seed" => {
+                job.seed = val()?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| e.to_string())?
+            }
+            "--nb" => {
+                job.nb = val()?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| e.to_string())?
+            }
+            "--ib" => {
+                job.ib = val()?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| e.to_string())?
+            }
+            "--p" => {
+                job.p = val()?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| e.to_string())?
+            }
+            "--q" => {
+                job.q = val()?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| e.to_string())?
+            }
+            "--threads" => {
+                job.threads = val()?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| e.to_string())?
+            }
+            "--window" => {
+                job.window = val()?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| e.to_string())?
+            }
+            "--alg" => {
+                let s = val()?;
+                job.algorithm =
+                    parse_alg_spec(&s).ok_or_else(|| format!("unknown --alg spec {s:?}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+
+    let rank = rank.ok_or("--rank is required")?;
+    let nranks = nranks.ok_or("--nranks is required")?;
+    if nranks != job.p * job.q {
+        return Err(format!(
+            "--nranks {nranks} does not match the {}x{} grid",
+            job.p, job.q
+        ));
+    }
+    if job.n == 0 {
+        return Err("--n is required".into());
+    }
+    let spec = match (uds, tcp) {
+        (Some(dir), None) => SocketSpec::Uds { dir },
+        (None, Some(base_port)) => SocketSpec::Tcp { base_port },
+        _ => return Err("exactly one of --uds DIR / --tcp BASEPORT is required".into()),
+    };
+
+    let transport: Arc<dyn Transport> = Arc::new(
+        SocketEndpoint::connect(&spec, rank, nranks).map_err(|e| format!("connect: {e}"))?,
+    );
+    let (a, rhs) = job.problem();
+    let opts = job.options();
+    let sopts = StreamOptions::fixed(job.window, job.threads);
+    let fact = factor_stream_net_rank(&a, &rhs, &opts, &sopts, transport)
+        .map_err(|e| format!("rank {rank}: {e}"))?;
+    if let Some(path) = out {
+        std::fs::write(&path, encode_result(&fact))
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alg_specs_round_trip() {
+        for a in [
+            Algorithm::LuQr(Criterion::Max { alpha: 12.5 }),
+            Algorithm::LuQr(Criterion::Sum { alpha: 3.0 }),
+            Algorithm::LuQr(Criterion::Mumps { alpha: 0.5 }),
+            Algorithm::LuQr(Criterion::AlwaysLu),
+            Algorithm::LuQr(Criterion::AlwaysQr),
+            Algorithm::LuNoPiv,
+            Algorithm::LuIncPiv,
+            Algorithm::Lupp,
+            Algorithm::Hqr,
+        ] {
+            let spec = alg_spec(&a).unwrap();
+            assert_eq!(parse_alg_spec(&spec), Some(a), "spec {spec}");
+        }
+        assert_eq!(parse_alg_spec("bogus"), None);
+    }
+
+    #[test]
+    fn job_problem_is_deterministic() {
+        let job = NetJob {
+            n: 16,
+            nrhs: 2,
+            seed: 7,
+            nb: 4,
+            ib: 2,
+            p: 1,
+            q: 2,
+            threads: 1,
+            window: 2,
+            algorithm: Algorithm::Lupp,
+        };
+        let (a1, b1) = job.problem();
+        let (a2, b2) = job.problem();
+        assert_eq!(a1.as_slice(), a2.as_slice());
+        assert_eq!(b1.as_slice(), b2.as_slice());
+    }
+}

@@ -27,6 +27,10 @@
 //! * [`comm`] — the communication model shared by the simulator and the
 //!   *distributed* streaming window: NIC-serialized transfers plus the
 //!   protocol message records (DataMsg / DecisionMsg / RetireMsg).
+//! * [`net`] — real transports for that protocol: a [`net::Transport`]
+//!   endpoint per rank (in-process loopback, crossbeam channels, or
+//!   UDS/TCP sockets between worker processes) moving length-prefixed
+//!   wire frames, driven by the SPMD executor [`stream::execute_net`].
 //! * [`vtime`] — the online virtual-time engine: the discrete-event model
 //!   consumed one task at a time, so a streaming run emits the same report
 //!   as a batch replay without materializing the graph.
@@ -46,6 +50,7 @@ pub mod dot;
 pub mod exec;
 pub mod graph;
 pub mod hazard;
+pub mod net;
 pub mod platform;
 pub mod probe;
 pub mod sched;
@@ -62,6 +67,7 @@ pub use graph::{
     Access, CostClass, CostedAccess, DataClass, DataKey, Graph, GraphBuilder, Kernel, TaskBuilder,
     TaskId, TaskResult, TaskSink,
 };
+pub use net::{Frame, NetReport, PayloadStore, Transport, TransportError};
 pub use platform::{Efficiency, LinkSpec, NodeCountMismatch, NodeSpec, Platform, Topology};
 pub use probe::{
     AttribBuckets, Attribution, Histogram, Label, NoopSink, Probe, ProbeReport, ProbeSink,
@@ -69,6 +75,8 @@ pub use probe::{
 };
 pub use sched::{SchedEngine, SchedPolicy, Scheduler};
 pub use sim::{simulate, simulate_probed, simulate_with, SimOptions, SimReport};
-pub use stream::{StepPhase, StepSource, StreamOptions, StreamReport, StreamWindow, WindowPolicy};
+pub use stream::{
+    NetConfig, StepPhase, StepSource, StreamOptions, StreamReport, StreamWindow, WindowPolicy,
+};
 pub use trace::{events_to_chrome_trace, render_chrome_trace, TraceEvent, TraceOptions};
 pub use vtime::VirtualSchedule;

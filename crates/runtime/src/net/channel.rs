@@ -1,0 +1,110 @@
+//! Channel transport: one crossbeam MPMC channel per rank.
+//!
+//! The shape of a real deployment — every rank's executor runs on its own
+//! OS threads and frames cross a queue boundary — without leaving the
+//! process. Frames round-trip the [`super::wire`] codec on the way.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use super::wire::{decode_frame, encode_frame, Frame};
+use super::{Transport, TransportError};
+
+/// Sentinel `from` used by [`ChannelEndpoint::shutdown`] to wake a
+/// blocked `recv`.
+const SHUTDOWN_FROM: usize = usize::MAX;
+
+/// A framed message in flight: sender rank plus the encoded frame bytes.
+type Envelope = (usize, Vec<u8>);
+
+/// One rank's endpoint of a channel set.
+pub struct ChannelEndpoint {
+    rank: usize,
+    /// Senders to every rank's inbox (including our own, for the
+    /// shutdown sentinel).
+    txs: Vec<Sender<Envelope>>,
+    rx: Receiver<Envelope>,
+    closed: AtomicBool,
+}
+
+/// Create a fully-connected in-process set of `n` channel endpoints.
+pub fn channel_set(n: usize) -> Vec<Arc<ChannelEndpoint>> {
+    let pairs: Vec<(Sender<Envelope>, Receiver<Envelope>)> = (0..n).map(|_| unbounded()).collect();
+    let txs: Vec<Sender<Envelope>> = pairs.iter().map(|(tx, _)| tx.clone()).collect();
+    pairs
+        .into_iter()
+        .enumerate()
+        .map(|(rank, (_, rx))| {
+            Arc::new(ChannelEndpoint {
+                rank,
+                txs: txs.clone(),
+                rx,
+                closed: AtomicBool::new(false),
+            })
+        })
+        .collect()
+}
+
+impl Transport for ChannelEndpoint {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn nranks(&self) -> usize {
+        self.txs.len()
+    }
+
+    fn send(&self, to: usize, frame: &Frame) -> Result<(), TransportError> {
+        if to >= self.txs.len() {
+            return Err(TransportError::Protocol(format!("no such rank {to}")));
+        }
+        // A send to a torn-down peer only happens during teardown races
+        // and error unwinding; drop it like the loopback does.
+        let _ = self.txs[to].send((self.rank, encode_frame(frame)));
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<(usize, Frame), TransportError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        match self.rx.recv() {
+            Ok((from, _)) if from == SHUTDOWN_FROM => Err(TransportError::Closed),
+            Ok((from, bytes)) => decode_frame(&bytes).map(|f| (from, f)),
+            Err(_) => Err(TransportError::Closed),
+        }
+    }
+
+    fn shutdown(&self) {
+        if !self.closed.swap(true, Ordering::AcqRel) {
+            let _ = self.txs[self.rank].send((SHUTDOWN_FROM, Vec::new()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_flow_between_endpoints() {
+        let set = channel_set(3);
+        set[2].send(0, &Frame::Retire { step: 4, node: 2 }).unwrap();
+        assert_eq!(
+            set[0].recv().unwrap(),
+            (2, Frame::Retire { step: 4, node: 2 })
+        );
+    }
+
+    #[test]
+    fn shutdown_releases_a_blocked_recv() {
+        let set = channel_set(2);
+        let ep = Arc::clone(&set[1]);
+        let h = std::thread::spawn(move || ep.recv());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        set[1].shutdown();
+        assert_eq!(h.join().unwrap(), Err(TransportError::Closed));
+    }
+}

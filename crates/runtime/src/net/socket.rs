@@ -1,0 +1,383 @@
+//! Socket transport: length-prefixed frames over Unix-domain or TCP
+//! sockets between real worker processes.
+//!
+//! The set forms a full mesh. Rank `r` listens at its own address
+//! (`{dir}/rank{r}.sock` for UDS, `127.0.0.1:{base_port}+r` for TCP);
+//! every pair `(i, j)` with `i < j` is connected by `j` dialing `i` and
+//! opening with a [`Frame::Hello`] carrying its rank. Each peer stream
+//! gets a dedicated reader thread feeding one inbox queue; writes take a
+//! per-peer mutex so concurrent senders cannot interleave frames.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use super::wire::{read_frame, write_frame, Frame};
+use super::{Transport, TransportError};
+
+/// How long connection establishment (dial + accept) may take before the
+/// endpoint gives up with [`TransportError::Connect`].
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(30);
+/// Backoff between dial retries while a peer's listener comes up.
+const DIAL_BACKOFF: Duration = Duration::from_millis(2);
+
+/// Where a socket set lives.
+#[derive(Debug, Clone)]
+pub enum SocketSpec {
+    /// Unix-domain sockets `rank{r}.sock` under one directory.
+    Uds { dir: PathBuf },
+    /// TCP on `127.0.0.1`, rank `r` at `base_port + r`.
+    Tcp { base_port: u16 },
+}
+
+/// The UDS path rank `rank` listens on under `dir`.
+pub fn uds_path(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("rank{rank}.sock"))
+}
+
+/// Either flavor of connected stream.
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+
+    fn shutdown_both(&self) {
+        let _ = match self {
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+type InboxItem = Result<(usize, Frame), TransportError>;
+
+/// One rank's endpoint of a socket mesh.
+pub struct SocketEndpoint {
+    rank: usize,
+    nranks: usize,
+    /// Writer half per peer (`None` at our own index).
+    writers: Vec<Option<Mutex<Stream>>>,
+    inbox: Mutex<mpsc::Receiver<InboxItem>>,
+    wake: mpsc::Sender<InboxItem>,
+    closed: Arc<AtomicBool>,
+}
+
+impl SocketEndpoint {
+    /// Bind, dial every lower rank, accept every higher rank, and spawn
+    /// one reader thread per peer.
+    pub fn connect(spec: &SocketSpec, rank: usize, nranks: usize) -> Result<Self, TransportError> {
+        assert!(rank < nranks, "rank {rank} out of range for {nranks} ranks");
+        let deadline = Instant::now() + CONNECT_TIMEOUT;
+        let listener = bind(spec, rank)?;
+        let mut streams: Vec<Option<Stream>> = (0..nranks).map(|_| None).collect();
+
+        // Dial every lower rank, announcing ourselves. The peer's listener
+        // may not exist yet — retry until the deadline.
+        for (peer, slot) in streams.iter_mut().enumerate().take(rank) {
+            let mut stream = dial(spec, peer, deadline)?;
+            write_frame(&mut stream, &Frame::Hello { rank: rank as u32 })?;
+            *slot = Some(stream);
+        }
+
+        // Accept every higher rank; the opening Hello says who dialed.
+        for _ in rank + 1..nranks {
+            let mut stream = accept(&listener, deadline)?;
+            let peer = match read_frame(&mut stream)? {
+                Frame::Hello { rank: r } => r as usize,
+                other => {
+                    return Err(TransportError::Protocol(format!(
+                        "expected Hello handshake, got {other:?}"
+                    )))
+                }
+            };
+            if peer <= rank || peer >= nranks || streams[peer].is_some() {
+                return Err(TransportError::Protocol(format!(
+                    "unexpected Hello from rank {peer}"
+                )));
+            }
+            streams[peer] = Some(stream);
+        }
+        drop(listener);
+
+        let (wake, rx) = mpsc::channel::<InboxItem>();
+        let closed = Arc::new(AtomicBool::new(false));
+        let mut writers: Vec<Option<Mutex<Stream>>> = Vec::with_capacity(nranks);
+        for (peer, slot) in streams.into_iter().enumerate() {
+            let Some(stream) = slot else {
+                writers.push(None);
+                continue;
+            };
+            let reader = stream
+                .try_clone()
+                .map_err(|e| TransportError::Connect(format!("clone stream: {e}")))?;
+            spawn_reader(peer, reader, wake.clone(), Arc::clone(&closed));
+            writers.push(Some(Mutex::new(stream)));
+        }
+        Ok(SocketEndpoint {
+            rank,
+            nranks,
+            writers,
+            inbox: Mutex::new(rx),
+            wake,
+            closed,
+        })
+    }
+}
+
+fn bind(spec: &SocketSpec, rank: usize) -> Result<Listener, TransportError> {
+    match spec {
+        SocketSpec::Uds { dir } => {
+            let path = uds_path(dir, rank);
+            let _ = std::fs::remove_file(&path);
+            UnixListener::bind(&path)
+                .map(Listener::Unix)
+                .map_err(|e| TransportError::Connect(format!("bind {}: {e}", path.display())))
+        }
+        SocketSpec::Tcp { base_port } => {
+            let addr = format!("127.0.0.1:{}", base_port + rank as u16);
+            TcpListener::bind(&addr)
+                .map(Listener::Tcp)
+                .map_err(|e| TransportError::Connect(format!("bind {addr}: {e}")))
+        }
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+fn dial(spec: &SocketSpec, peer: usize, deadline: Instant) -> Result<Stream, TransportError> {
+    loop {
+        let attempt = match spec {
+            SocketSpec::Uds { dir } => UnixStream::connect(uds_path(dir, peer)).map(Stream::Unix),
+            SocketSpec::Tcp { base_port } => {
+                TcpStream::connect(("127.0.0.1", base_port + peer as u16)).map(Stream::Tcp)
+            }
+        };
+        match attempt {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(TransportError::Connect(format!("dial rank {peer}: {e}")));
+                }
+                std::thread::sleep(DIAL_BACKOFF);
+            }
+        }
+    }
+}
+
+fn accept(listener: &Listener, deadline: Instant) -> Result<Stream, TransportError> {
+    // Poll non-blockingly so a peer that never shows up turns into a
+    // Connect error instead of a hang.
+    let set_nonblocking = |on: bool| match listener {
+        Listener::Unix(l) => l.set_nonblocking(on),
+        Listener::Tcp(l) => l.set_nonblocking(on),
+    };
+    set_nonblocking(true).map_err(|e| TransportError::Connect(format!("nonblocking: {e}")))?;
+    loop {
+        let attempt = match listener {
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        };
+        match attempt {
+            Ok(s) => {
+                // The accepted stream inherits nonblocking on some
+                // platforms; force it back to blocking.
+                let _ = match &s {
+                    Stream::Unix(us) => us.set_nonblocking(false),
+                    Stream::Tcp(ts) => ts.set_nonblocking(false),
+                };
+                return Ok(s);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(TransportError::Connect("accept timed out".into()));
+                }
+                std::thread::sleep(DIAL_BACKOFF);
+            }
+            Err(e) => return Err(TransportError::Connect(format!("accept: {e}"))),
+        }
+    }
+}
+
+fn spawn_reader(
+    peer: usize,
+    mut stream: Stream,
+    tx: mpsc::Sender<InboxItem>,
+    closed: Arc<AtomicBool>,
+) {
+    std::thread::Builder::new()
+        .name(format!("luqr-net-rx-{peer}"))
+        .spawn(move || loop {
+            match read_frame(&mut stream) {
+                Ok(frame) => {
+                    if tx.send(Ok((peer, frame))).is_err() {
+                        return;
+                    }
+                }
+                Err(TransportError::Closed) => {
+                    // Clean EOF: expected after our own shutdown; a live
+                    // run losing a peer is an error.
+                    if !closed.load(Ordering::Acquire) {
+                        let _ = tx.send(Err(TransportError::PeerLost { peer }));
+                    }
+                    return;
+                }
+                Err(e) => {
+                    if !closed.load(Ordering::Acquire) {
+                        let _ = tx.send(Err(e));
+                    }
+                    return;
+                }
+            }
+        })
+        .expect("spawn reader thread");
+}
+
+impl Transport for SocketEndpoint {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    fn send(&self, to: usize, frame: &Frame) -> Result<(), TransportError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        let Some(writer) = self.writers.get(to).and_then(|w| w.as_ref()) else {
+            return Err(TransportError::Protocol(format!("no stream to rank {to}")));
+        };
+        let mut stream = writer.lock().unwrap_or_else(|e| e.into_inner());
+        write_frame(&mut *stream, frame)
+    }
+
+    fn recv(&self) -> Result<(usize, Frame), TransportError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        let rx = self.inbox.lock().unwrap_or_else(|e| e.into_inner());
+        match rx.recv() {
+            Ok(item) => item,
+            Err(_) => Err(TransportError::Closed),
+        }
+    }
+
+    fn shutdown(&self) {
+        if self.closed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for writer in self.writers.iter().flatten() {
+            writer
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .shutdown_both();
+        }
+        let _ = self.wake.send(Err(TransportError::Closed));
+    }
+}
+
+impl Drop for SocketEndpoint {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Build a full in-process mesh of `n` socket endpoints (each rank's
+/// connect runs on its own thread, since establishment is mutual).
+pub fn socket_set(spec: &SocketSpec, n: usize) -> Result<Vec<Arc<SocketEndpoint>>, TransportError> {
+    let handles: Vec<_> = (0..n)
+        .map(|rank| {
+            let spec = spec.clone();
+            std::thread::spawn(move || SocketEndpoint::connect(&spec, rank, n))
+        })
+        .collect();
+    let mut endpoints = Vec::with_capacity(n);
+    for h in handles {
+        endpoints.push(Arc::new(h.join().expect("connect thread panicked")?));
+    }
+    Ok(endpoints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("luqr-net-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn uds_mesh_moves_frames() {
+        let dir = temp_dir("mesh");
+        let set = socket_set(&SocketSpec::Uds { dir: dir.clone() }, 3).unwrap();
+        set[0].send(2, &Frame::Retire { step: 7, node: 0 }).unwrap();
+        set[1].send(2, &Frame::Done).unwrap();
+        let mut got = [set[2].recv().unwrap(), set[2].recv().unwrap()];
+        got.sort_by_key(|(from, _)| *from);
+        assert_eq!(got[0], (0, Frame::Retire { step: 7, node: 0 }));
+        assert_eq!(got[1], (1, Frame::Done));
+        for ep in &set {
+            ep.shutdown();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dropped_peer_is_reported() {
+        let dir = temp_dir("drop");
+        let set = socket_set(&SocketSpec::Uds { dir: dir.clone() }, 2).unwrap();
+        // Rank 1 vanishes without the run protocol's Shutdown fence.
+        set[1].shutdown();
+        assert_eq!(
+            set[0].recv(),
+            Err(TransportError::PeerLost { peer: 1 }),
+            "rank 0 sees the dropped peer"
+        );
+        set[0].shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -81,6 +81,17 @@ pub mod metric {
     pub const KERNEL_FLOPS: &str = "kernel_flops_total";
     /// Histogram: wall seconds per executed kernel, by cost class.
     pub const KERNEL_SECONDS: &str = "kernel_wall_seconds";
+    /// Counter: wire frames sent, by kind (`data`/`decision`/`retire`/`ctrl`).
+    pub const NET_FRAMES_SENT: &str = "net_frames_sent_total";
+    /// Counter: wire frames received, by kind.
+    pub const NET_FRAMES_RECV: &str = "net_frames_received_total";
+    /// Counter: serialized payload bytes sent (`Label::Kind("sent")`) and
+    /// received (`Label::Kind("received")`) over the transport.
+    pub const NET_PAYLOAD_BYTES: &str = "net_payload_bytes_total";
+    /// Histogram: wall seconds to serialize one outbound payload.
+    pub const NET_SERIALIZE: &str = "net_serialize_seconds";
+    /// Histogram: wall seconds to deserialize one inbound payload.
+    pub const NET_DESERIALIZE: &str = "net_deserialize_seconds";
 }
 
 /// One dimension attached to a metric sample. Kept as a closed enum (not

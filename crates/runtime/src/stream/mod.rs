@@ -40,16 +40,19 @@ pub mod priority;
 pub mod retire;
 pub mod window;
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::comm::{LinkMsgStats, MsgStats};
 use crate::graph::{TaskId, TaskSink};
+use crate::net::{NetReport, PayloadStore, Transport, TransportError};
 use crate::platform::Platform;
 use crate::probe::{metric, Label, Probe};
 use crate::sched::SchedPolicy;
 use crate::sim::SimReport;
 use crate::trace::TraceEvent;
 
+use window::FramePump;
 pub use window::{StepSink, StreamWindow};
 
 /// What a source planned for one step.
@@ -269,6 +272,22 @@ pub struct StreamReport {
     /// The virtual-time scheduling policy this run was configured with
     /// (trace exports label their lanes with it).
     pub scheduler: SchedPolicy,
+    /// Wire-level transport counters (set by [`execute_net`] only):
+    /// frames and payload bytes actually moved by *this rank*, with
+    /// serialize/deserialize latency histograms.
+    pub net: Option<NetReport>,
+}
+
+/// Transport binding for [`execute_net`]: the endpoint this rank sends and
+/// receives on, plus the algorithm layer's payload serializer (how a
+/// [`crate::graph::DataKey`]'s bytes get in and out of the local mirror).
+///
+/// Not folded into [`StreamOptions`] (which stays `Debug + Clone` over
+/// plain data): transports are live OS resources.
+#[derive(Clone)]
+pub struct NetConfig {
+    pub transport: Arc<dyn Transport>,
+    pub store: Arc<dyn PayloadStore>,
 }
 
 /// Execute `source` with at most `window` consecutive steps materialized,
@@ -393,7 +412,197 @@ pub fn execute_with(source: &mut dyn StepSource, opts: &StreamOptions) -> Stream
         sim: stats.sim,
         trace: stats.trace,
         scheduler: opts.scheduler,
+        net: stats.net,
     }
+}
+
+/// Execute `source` as one rank of a real distributed run (SPMD): every
+/// rank calls this with the *same* deterministic source over its own full
+/// mirror of the matrix, its own transport endpoint, and its own payload
+/// store.
+///
+/// Planning is identical on every rank — same task ids, same hazard
+/// edges, same protocol messages — so each rank's modeled [`MsgStats`]
+/// equals the simulated run's. What differs per rank is execution: tasks
+/// placed on other ranks run as no-op stubs, local tasks gate on the
+/// arrival of their cross-rank inputs, and every protocol message this
+/// rank originates goes out as a real wire frame. At the end, ranks other
+/// than 0 ship the final version of every datum they own to rank 0, whose
+/// mirror then holds the complete factorization.
+///
+/// Restrictions (asserted): no platform model / virtual time, FIFO
+/// scheduling, no stealing, no recalibration — net runs pin the
+/// bitwise-reproducible configuration. The transport's world size must
+/// equal `source.num_nodes()`.
+pub fn execute_net(
+    source: &mut dyn StepSource,
+    opts: &StreamOptions,
+    net: NetConfig,
+) -> Result<StreamReport, TransportError> {
+    assert!(
+        opts.platform.is_none(),
+        "execute_net drives real transports, not the platform model"
+    );
+    assert!(!opts.steal, "stealing would desynchronize SPMD planning");
+    assert!(
+        !opts.recalibrate,
+        "recalibration would desynchronize SPMD planning"
+    );
+    let threads = opts.threads.max(1);
+    let start = Instant::now();
+    let win = StreamWindow::with_net(
+        source.num_nodes(),
+        opts.trace,
+        &opts.probe,
+        Arc::clone(&net.transport),
+        Arc::clone(&net.store),
+    );
+    let steps = source.num_steps();
+    let probing = opts.probe.is_enabled();
+
+    let (mut window, auto) = match opts.window {
+        WindowPolicy::Fixed(w) => (w.max(1), None),
+        WindowPolicy::Auto {
+            min,
+            max,
+            live_task_budget,
+        } => {
+            let min = min.max(1);
+            (min, Some((min, max.max(min), live_task_budget)))
+        }
+    };
+    let mut per_step_window = Vec::with_capacity(steps);
+    let mut run_err: Option<TransportError> = None;
+
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let win = &win;
+            scope.spawn(move || win.worker_loop(w));
+        }
+        // Receiver: pump inbound frames into the window until the run's
+        // shutdown frame (or the endpoint closes underneath us).
+        {
+            let win = &win;
+            let transport = Arc::clone(&net.transport);
+            scope.spawn(move || loop {
+                match transport.recv() {
+                    Ok((from, frame)) => {
+                        if matches!(win.on_frame(from, frame), FramePump::Stop) {
+                            break;
+                        }
+                    }
+                    Err(TransportError::Closed) => break,
+                    // A peer tearing down after the shutdown broadcast is
+                    // not a failure — keep pumping for our own Shutdown.
+                    Err(e) if win.net_disconnect_benign(&e) => continue,
+                    Err(e) => {
+                        win.net_fail(e);
+                        break;
+                    }
+                }
+            });
+        }
+
+        source.prepare(&mut StepSink::declarations(&win));
+        for k in 0..steps {
+            if let Err(e) = win.net_check() {
+                run_err = Some(e);
+                break;
+            }
+            win.wait_for_capacity(window);
+            win.open_step(k);
+            per_step_window.push(window);
+            if probing {
+                opts.probe.gauge(
+                    metric::STREAM_WINDOW,
+                    Label::None,
+                    start.elapsed().as_secs_f64(),
+                    window as f64,
+                );
+            }
+            let step_t0 = Instant::now();
+            let mut decision_wait = 0.0f64;
+            let mut sink = StepSink::new(&win, k);
+            match source.plan_prelude(k, &mut sink) {
+                StepPhase::Complete => {}
+                StepPhase::AwaitDecision(decision_task) => {
+                    let t0 = Instant::now();
+                    win.wait_for_task(decision_task);
+                    // The decision may have been computed on another rank:
+                    // wait for its *value* (the stub completing only means
+                    // its hazard slots released).
+                    if let Err(e) = win.net_wait_decision(decision_task) {
+                        run_err = Some(e);
+                        win.close_step(k);
+                        break;
+                    }
+                    decision_wait = t0.elapsed().as_secs_f64();
+                    source.plan_finish(k, &mut sink);
+                }
+            }
+            if probing {
+                opts.probe
+                    .observe(metric::STREAM_PANEL_WAIT, Label::None, decision_wait);
+            }
+            win.close_step(k);
+            if let Some((min, max, budget)) = auto {
+                let live = win.live_tasks();
+                let elapsed = step_t0.elapsed().as_secs_f64();
+                if budget > 0 && live * 10 >= budget * 8 {
+                    window = window.saturating_sub(1).max(min);
+                } else if decision_wait > 0.5 * elapsed && window < max {
+                    window += 1;
+                }
+            }
+        }
+        win.finish_planning();
+        win.wait_drained();
+        if run_err.is_none() {
+            if let Err(e) = win.net_check() {
+                run_err = Some(e);
+            }
+        }
+        if run_err.is_none() {
+            if let Err(e) = win.net_finish() {
+                run_err = Some(e);
+            }
+        }
+        if run_err.is_some() {
+            // Take the peers down with us — they cannot make progress
+            // without this rank's frames, and over in-process transports
+            // nobody would notice a silently missing peer.
+            win.net_abort();
+        }
+        // Stop the receiver in every case: rank 0 never gets a Shutdown
+        // frame of its own, and an erroring rank's receiver may still be
+        // blocked in recv().
+        net.transport.shutdown();
+    });
+
+    if let Some(e) = run_err {
+        return Err(e);
+    }
+    let stats = win.stats();
+    Ok(StreamReport {
+        wall_seconds: start.elapsed().as_secs_f64(),
+        steps,
+        tasks_planned: stats.tasks_planned,
+        tasks_executed: stats.tally.executed,
+        tasks_discarded: stats.tally.discarded,
+        total_flops: stats.tally.flops,
+        peak_live_tasks: stats.peak_live_tasks,
+        peak_live_steps: stats.peak_live_steps,
+        per_step_tasks: stats.per_step_tasks,
+        per_step_window,
+        steals: stats.steals,
+        steal_kept: stats.steal_kept,
+        msgs: stats.msgs,
+        link_msgs: stats.link_msgs,
+        sim: stats.sim,
+        trace: stats.trace,
+        scheduler: opts.scheduler,
+        net: stats.net,
+    })
 }
 
 #[cfg(test)]

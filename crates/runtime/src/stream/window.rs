@@ -36,7 +36,7 @@
 //! decision task completes, or the graph drains.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use crate::comm::{flow_msg, LinkMsgStats, Msg, MsgStats, RetireMsg};
@@ -45,6 +45,7 @@ use crate::graph::{
     Access, CostClass, CostedAccess, DataClass, DataKey, Kernel, TaskId, TaskResult, TaskSink,
 };
 use crate::hazard::{HazardCell, Writer};
+use crate::net::{Frame, NetReport, PayloadStore, Transport, TransportError};
 use crate::platform::Platform;
 use crate::probe::{metric, Histogram, Label, Probe};
 use crate::sched::{SchedEngine, SchedPolicy};
@@ -106,6 +107,109 @@ struct DatumDir {
     initial_fetched: HashSet<usize>,
 }
 
+/// Arrival state of one inbound payload, keyed by `(datum, producer)`.
+///
+/// Frames are buffered as raw bytes at receipt and decoded into the local
+/// mirror *lazily* — either when a consumer task is popped for execution
+/// (under the window lock, so hazard ordering makes the write safe) or
+/// when the driver awaits a remote decision. Decoding eagerly in the
+/// receiver would race the planner: a frame may arrive before the rank
+/// has even declared the datum it updates.
+enum Arrival {
+    /// Received, not yet decoded into the local mirror.
+    Bytes(Vec<u8>),
+    /// Decoded and stored into the local mirror.
+    Applied,
+}
+
+/// Key of one inbound payload: the datum plus its producing task
+/// (`None` = an initial fetch from the datum's home rank).
+type ArrivalKey = (DataKey, Option<TaskId>);
+
+/// Wire-execution state of one rank. Present only under
+/// [`crate::stream::execute_net`]; `None` leaves every routed message a
+/// pure bookkeeping record, exactly the simulated-distribution path.
+///
+/// Every rank plans the *full* task graph deterministically (SPMD), so
+/// the protocol messages each rank records are identical to the
+/// simulated run's. The net state adds: real frames for the messages
+/// this rank *sends* (`link.0 == rank`), arrival gating for the inputs
+/// its local tasks need from other ranks, and wire-level counters that
+/// are reconciled against the protocol tallies at the end of the run.
+struct NetState {
+    rank: usize,
+    transport: Arc<dyn Transport>,
+    store: Arc<dyn PayloadStore>,
+    /// Inbound payloads by `(datum, producer)`; `producer == None` is an
+    /// initial fetch from the datum's home.
+    arrivals: HashMap<ArrivalKey, Arrival>,
+    /// Local tasks blocked on a not-yet-arrived input: `(task, node)`.
+    waiters: HashMap<ArrivalKey, Vec<(TaskId, usize)>>,
+    /// Decision-writing tasks by id: `(decision datum, written locally)`.
+    /// The driver consults this to await the *applied* decision (not just
+    /// the stub's completion) before planning the rest of the step.
+    pending_decisions: HashMap<TaskId, (DataKey, bool)>,
+    /// Wire frames actually sent/received per protocol link, counted in
+    /// protocol-message terms for reconciliation against `link_msgs`.
+    wire_sent: BTreeMap<(usize, usize), MsgStats>,
+    wire_recv: BTreeMap<(usize, usize), MsgStats>,
+    /// Control frames (Sync / Result / Done / Fin / Shutdown) — protocol
+    /// overhead outside the message model, counted separately.
+    ctrl_sent: u64,
+    ctrl_recv: u64,
+    payload_bytes_sent: u64,
+    payload_bytes_recv: u64,
+    ser_hist: Histogram,
+    de_hist: Histogram,
+    /// End-of-run barrier state.
+    dones: HashSet<usize>,
+    fins: HashSet<usize>,
+    shutdown_seen: bool,
+    /// This rank has discharged all its protocol obligations: peers have
+    /// sent their `Fin`, rank 0 has broadcast `Shutdown`. From here on a
+    /// non-zero peer closing its endpoint is the normal staggered teardown
+    /// (it got its `Shutdown` first), not a failure.
+    complete: bool,
+    /// First transport/protocol error; sticky, fails the whole run.
+    error: Option<TransportError>,
+}
+
+impl NetState {
+    fn nranks(&self) -> usize {
+        self.transport.nranks()
+    }
+
+    fn fail(&mut self, e: TransportError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    /// Serialize `key`'s current payload from the local mirror (timed into
+    /// the serialize histogram). Missing payloads serialize as empty — the
+    /// peer's store treats an empty blob as "nothing to apply".
+    fn load_payload(&mut self, key: DataKey) -> Vec<u8> {
+        let t0 = Instant::now();
+        let bytes = self.store.load(key).unwrap_or_default();
+        self.ser_hist.observe(t0.elapsed().as_secs_f64());
+        bytes
+    }
+
+    /// Decode an arrived payload into the local mirror (timed into the
+    /// deserialize histogram).
+    fn store_payload(&mut self, key: DataKey, bytes: &[u8]) {
+        let t0 = Instant::now();
+        self.store.store(key, bytes);
+        self.de_hist.observe(t0.elapsed().as_secs_f64());
+    }
+}
+
+/// What the receiver pump should do after delivering a frame.
+pub(crate) enum FramePump {
+    Continue,
+    Stop,
+}
+
 /// A materialized, not-yet-completed task.
 struct LiveTask {
     name: String,
@@ -121,6 +225,10 @@ struct LiveTask {
     pending_sends: Vec<(DataKey, usize, usize, DataClass)>,
     /// Declared accesses with datum metadata (virtual-time input).
     accesses: Vec<CostedAccess>,
+    /// Net mode: inputs this task consumes from other ranks, each an
+    /// extra predecessor resolved by frame arrival. Applied to the local
+    /// mirror when the task is popped for execution.
+    net_needs: Vec<(DataKey, Option<TaskId>)>,
     kernel: Option<Kernel>,
 }
 
@@ -255,6 +363,13 @@ pub(crate) struct WindowState {
     step_closed_at: HashMap<usize, f64>,
     /// Decimation counter for the live-task gauge.
     live_tick: u64,
+    /// Real-transport state ([`crate::stream::execute_net`] only).
+    net: Option<NetState>,
+}
+
+/// Does net mode have a sticky error? (Blocking waits bail on it.)
+fn net_failed(st: &WindowState) -> bool {
+    st.net.as_ref().is_some_and(|n| n.error.is_some())
 }
 
 /// Final statistics of one streaming run.
@@ -270,6 +385,7 @@ pub(crate) struct WindowStats {
     pub link_msgs: Vec<LinkMsgStats>,
     pub sim: Option<SimReport>,
     pub trace: Vec<TraceEvent>,
+    pub net: Option<NetReport>,
 }
 
 impl WindowState {
@@ -288,7 +404,12 @@ impl WindowState {
         }
     }
 
-    fn route(&mut self, msg: Msg) {
+    /// Record a protocol message — and, in net mode, put the frames this
+    /// rank originates on the wire. `producer` is the executed version the
+    /// payload carries (`None` for initial fetches and retire reports);
+    /// [`crate::comm::DecisionMsg`] does not model it, so net mode threads
+    /// it here for the receiver's arrival key.
+    fn route(&mut self, msg: Msg, producer: Option<TaskId>) {
         self.msgs.record(&msg);
         let link = match &msg {
             Msg::Data(m) => (m.from, m.to),
@@ -296,6 +417,41 @@ impl WindowState {
             Msg::Retire(m) => (m.node, 0),
         };
         self.link_msgs.entry(link).or_default().record(&msg);
+        let Some(net) = &mut self.net else { return };
+        if link.0 != net.rank {
+            return;
+        }
+        net.wire_sent.entry(link).or_default().record(&msg);
+        let frame = match &msg {
+            Msg::Data(m) => Frame::Data {
+                key: m.key,
+                producer: m.producer,
+                from: m.from as u32,
+                to: m.to as u32,
+                class: DataClass::Payload,
+                modeled_bytes: m.bytes as u64,
+                payload: net.load_payload(m.key),
+            },
+            Msg::Decision(m) => Frame::Data {
+                key: m.key,
+                producer,
+                from: m.from as u32,
+                to: m.to as u32,
+                class: DataClass::Decision,
+                modeled_bytes: m.bytes as u64,
+                payload: net.load_payload(m.key),
+            },
+            Msg::Retire(m) => Frame::Retire {
+                step: m.step as u64,
+                node: m.node as u32,
+            },
+        };
+        if let Frame::Data { payload, .. } = &frame {
+            net.payload_bytes_sent += payload.len() as u64;
+        }
+        if let Err(e) = net.transport.send(link.1, &frame) {
+            net.fail(e);
+        }
     }
 
     /// Apply ledger feedback from a close/completion: per-node retirement
@@ -306,7 +462,7 @@ impl WindowState {
     fn on_step_events(&mut self, reports: &[usize], retired: bool, step: usize, now: f64) {
         for &n in reports {
             if n != 0 {
-                self.route(Msg::Retire(RetireMsg { step, node: n }));
+                self.route(Msg::Retire(RetireMsg { step, node: n }), None);
             }
         }
         if retired {
@@ -332,6 +488,9 @@ pub struct StreamWindow {
     state: Mutex<WindowState>,
     work_cv: Condvar,
     plan_cv: Condvar,
+    /// Net mode: wakes frame-arrival waiters (decision waits, end-of-run
+    /// barriers) and error bails.
+    net_cv: Condvar,
     /// Wall-clock epoch for trace timestamps.
     epoch: Instant,
 }
@@ -410,11 +569,65 @@ impl StreamWindow {
                     .then(|| Box::new([(0.0, Histogram::default()); CostClass::COUNT])),
                 step_closed_at: HashMap::new(),
                 live_tick: 0,
+                net: None,
             }),
             work_cv: Condvar::new(),
             plan_cv: Condvar::new(),
+            net_cv: Condvar::new(),
             epoch: Instant::now(),
         }
+    }
+
+    /// A window bound to a real transport endpoint: every protocol message
+    /// this rank originates goes out as a wire frame and local tasks gate
+    /// on the arrival of their remote inputs. Used by
+    /// [`crate::stream::execute_net`] — which enforces the mode's
+    /// restrictions (no platform model, FIFO, no stealing).
+    pub(crate) fn with_net(
+        num_nodes: usize,
+        trace: bool,
+        probe: &Probe,
+        transport: Arc<dyn Transport>,
+        store: Arc<dyn PayloadStore>,
+    ) -> Self {
+        assert_eq!(
+            transport.nranks(),
+            num_nodes,
+            "transport world size must match the virtual node count"
+        );
+        let rank = transport.rank();
+        assert!(rank < num_nodes, "transport rank out of range");
+        let mut win = StreamWindow::with_options(
+            num_nodes,
+            None,
+            trace,
+            SchedPolicy::Fifo,
+            probe,
+            false,
+            false,
+        );
+        win.state.get_mut().unwrap_or_else(|e| e.into_inner()).net = Some(NetState {
+            rank,
+            transport,
+            store,
+            arrivals: HashMap::new(),
+            waiters: HashMap::new(),
+            pending_decisions: HashMap::new(),
+            wire_sent: BTreeMap::new(),
+            wire_recv: BTreeMap::new(),
+            ctrl_sent: 0,
+            ctrl_recv: 0,
+            payload_bytes_sent: 0,
+            payload_bytes_recv: 0,
+            ser_hist: Histogram::default(),
+            de_hist: Histogram::default(),
+            dones: HashSet::new(),
+            fins: HashSet::new(),
+            shutdown_seen: false,
+            complete: false,
+            error: None,
+        });
+        win
     }
 
     pub fn num_nodes(&self) -> usize {
@@ -430,7 +643,7 @@ impl StreamWindow {
     /// Block until fewer than `window` steps are live.
     pub fn wait_for_capacity(&self, window: usize) {
         let mut st = self.lock();
-        while st.ledger.live_steps() >= window {
+        while st.ledger.live_steps() >= window && !net_failed(&st) {
             st = self.plan_cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
     }
@@ -464,7 +677,7 @@ impl StreamWindow {
     pub fn wait_for_task(&self, id: TaskId) {
         let mut st = self.lock();
         assert!(id < st.next_id, "waiting on a task that was never planned");
-        while st.live_nodes.contains_key(&id) {
+        while st.live_nodes.contains_key(&id) && !net_failed(&st) {
             st = self.plan_cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
     }
@@ -479,7 +692,7 @@ impl StreamWindow {
     /// Block until every planned task has completed.
     pub fn wait_drained(&self) {
         let mut st = self.lock();
-        while !st.live_nodes.is_empty() {
+        while !st.live_nodes.is_empty() && !net_failed(&st) {
             st = self.plan_cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
     }
@@ -511,12 +724,55 @@ impl StreamWindow {
             v.engine.drain();
             v.engine.flush_probe();
         }
+        let net_report = st.net.as_ref().map(|n| {
+            let frames = |map: &BTreeMap<(usize, usize), MsgStats>| {
+                map.values()
+                    .map(|m| m.data_msgs + m.decision_msgs + m.retire_msgs)
+                    .sum::<u64>()
+            };
+            NetReport {
+                rank: n.rank,
+                nranks: n.nranks(),
+                frames_sent: frames(&n.wire_sent),
+                frames_received: frames(&n.wire_recv),
+                ctrl_frames_sent: n.ctrl_sent,
+                ctrl_frames_received: n.ctrl_recv,
+                payload_bytes_sent: n.payload_bytes_sent,
+                payload_bytes_received: n.payload_bytes_recv,
+                serialize_seconds: n.ser_hist,
+                deserialize_seconds: n.de_hist,
+            }
+        });
         if st.probe.is_enabled() {
             if let Some(att) = st.vtime.as_ref().and_then(|v| v.engine.attribution()) {
                 st.probe.set_attribution(att);
             }
             let kernel_stats = st.kernel_stats.take();
             let totals = st.msgs;
+            let wire = st.net.as_ref().map(|n| {
+                let by_kind = |map: &BTreeMap<(usize, usize), MsgStats>, ctrl: u64| {
+                    let mut sums = [0u64; 3];
+                    for m in map.values() {
+                        sums[0] += m.data_msgs;
+                        sums[1] += m.decision_msgs;
+                        sums[2] += m.retire_msgs;
+                    }
+                    [
+                        ("data", sums[0]),
+                        ("decision", sums[1]),
+                        ("retire", sums[2]),
+                        ("ctrl", ctrl),
+                    ]
+                };
+                (
+                    by_kind(&n.wire_sent, n.ctrl_sent),
+                    by_kind(&n.wire_recv, n.ctrl_recv),
+                    n.payload_bytes_sent,
+                    n.payload_bytes_recv,
+                    n.ser_hist,
+                    n.de_hist,
+                )
+            });
             let (steals, steal_kept, steal_win) = (st.steals, st.steal_kept, st.steal_win);
             let steal_evals = steals + steal_kept;
             let steal_label = Label::Policy(
@@ -553,6 +809,34 @@ impl StreamWindow {
                     sink.counter(metric::SCHED_STEAL_KEPT, steal_label, steal_kept);
                     sink.merge_histogram(metric::SCHED_STEAL_WIN, steal_label, &steal_win);
                 }
+                if let Some((sent, recv, bytes_sent, bytes_recv, ser, de)) = &wire {
+                    for &(kind, n) in sent {
+                        if n > 0 {
+                            sink.counter(metric::NET_FRAMES_SENT, Label::Kind(kind), n);
+                        }
+                    }
+                    for &(kind, n) in recv {
+                        if n > 0 {
+                            sink.counter(metric::NET_FRAMES_RECV, Label::Kind(kind), n);
+                        }
+                    }
+                    if *bytes_sent > 0 {
+                        sink.counter(metric::NET_PAYLOAD_BYTES, Label::Kind("sent"), *bytes_sent);
+                    }
+                    if *bytes_recv > 0 {
+                        sink.counter(
+                            metric::NET_PAYLOAD_BYTES,
+                            Label::Kind("received"),
+                            *bytes_recv,
+                        );
+                    }
+                    if ser.count > 0 {
+                        sink.merge_histogram(metric::NET_SERIALIZE, Label::None, ser);
+                    }
+                    if de.count > 0 {
+                        sink.merge_histogram(metric::NET_DESERIALIZE, Label::None, de);
+                    }
+                }
             });
         }
         WindowStats {
@@ -571,6 +855,7 @@ impl StreamWindow {
                 .collect(),
             sim: st.vtime.as_ref().map(|v| v.engine.report()),
             trace: st.trace.clone().unwrap_or_default(),
+            net: net_report,
         }
     }
 
@@ -652,6 +937,9 @@ impl StreamWindow {
         // Data-flow inputs for Read/Mut: (key, declared bytes/class at
         // this insertion, writer-at-insertion).
         let mut flows: Vec<(DataKey, usize, DataClass, Option<Writer<WriterMeta>>)> = Vec::new();
+        // Net mode: the decision datum this task writes, if any (the
+        // driver waits for its applied value, not just task completion).
+        let mut wrote_decision: Option<DataKey> = None;
         for acc in accesses {
             let key = acc.key();
             let home = *st
@@ -672,8 +960,21 @@ impl StreamWindow {
             if !matches!(acc, Access::Control(_)) {
                 flows.push((key, dir.bytes, dir.class, dir.hazard.writer));
             }
+            if matches!(acc, Access::Mut(_)) && dir.class == DataClass::Decision {
+                wrote_decision = Some(key);
+            }
         }
         let cp = 1 + max_pred_cp;
+
+        // Net mode: tasks placed on other ranks run as no-op stubs here —
+        // their hazard edges and message bookkeeping are identical (that
+        // is what keeps every rank's MsgStats equal to the simulated
+        // run's), but the actual kernel executes only on the owning rank.
+        let net_rank = st.net.as_ref().map(|n| n.rank);
+        let kernel = match net_rank {
+            Some(rank) if node != rank => Box::new(TaskResult::control) as Kernel,
+            _ => kernel,
+        };
 
         // Steal-at-insert (opt-in): re-decide the execution node against
         // the online finish oracle before any placement-dependent state
@@ -713,9 +1014,32 @@ impl StreamWindow {
         // version). Anything else resolves against the last executed
         // version right away. Every path is cached once per (version,
         // destination node) — identical to the virtual-time scoreboard.
+        //
+        // Net mode adds arrival gating on top: a *local* task whose input
+        // version originates on another rank gains one extra predecessor
+        // per such input, resolved when the matching frame arrives. The
+        // resolved (key, producer) pair is deterministic across ranks —
+        // it is a pure function of planning-order directory state.
+        let mut net_needs: Vec<(DataKey, Option<TaskId>)> = Vec::new();
         for &(key, bytes, class, writer) in &flows {
             if bytes == 0 {
                 continue;
+            }
+            if net_rank == Some(node) {
+                let (producer, src) = match writer {
+                    Some(w) if w.meta.done.is_none() => (Some(w.id), w.meta.node),
+                    _ => {
+                        let host = st.home_of[&key];
+                        let dir = st.nodes[host].directory.get(&key).expect("declared");
+                        match &dir.exec {
+                            Some(v) => (Some(v.id), v.node),
+                            None => (None, dir.home),
+                        }
+                    }
+                };
+                if src != node {
+                    net_needs.push((key, producer));
+                }
             }
             match writer {
                 Some(w) if w.meta.done.is_none() => {
@@ -763,7 +1087,7 @@ impl StreamWindow {
         // predecessor's completion.
         let live = &st.live_nodes;
         crate::hazard::finalize_preds(&mut preds, id, |p| live.contains_key(&p));
-        let num_preds = preds.len();
+        let mut preds_remaining = preds.len();
         for &p in &preds {
             let pnode = st.live_nodes[&p];
             let pt = st.nodes[pnode].live.get_mut(&p).expect("retained pred");
@@ -774,17 +1098,35 @@ impl StreamWindow {
             }
         }
 
+        // Net mode: gate on not-yet-arrived remote inputs (one extra
+        // predecessor each) and index decision writers for the driver.
+        if let Some(net) = &mut st.net {
+            for &(key, producer) in &net_needs {
+                if !net.arrivals.contains_key(&(key, producer)) {
+                    net.waiters
+                        .entry((key, producer))
+                        .or_default()
+                        .push((id, node));
+                    preds_remaining += 1;
+                }
+            }
+            if let Some(key) = wrote_decision {
+                net.pending_decisions.insert(id, (key, node == net.rank));
+            }
+        }
+
         st.nodes[node].live.insert(
             id,
             LiveTask {
                 name,
                 step,
                 cp,
-                preds_remaining: num_preds,
+                preds_remaining,
                 local_succs: Vec::new(),
                 remote_releases: Vec::new(),
                 pending_sends: Vec::new(),
                 accesses: costed,
+                net_needs,
                 kernel: Some(kernel),
             },
         );
@@ -793,10 +1135,21 @@ impl StreamWindow {
         st.ledger.on_planned(step, node);
         let live_now = st.live_nodes.len();
         st.peak_live_tasks = st.peak_live_tasks.max(live_now);
-        if num_preds == 0 {
+        let ready_now = preds_remaining == 0;
+        if ready_now {
             st.nodes[node].ready.push(cp, id, node);
-            drop(st);
+        }
+        let failed = net_failed(&st);
+        drop(st);
+        if ready_now {
             self.work_cv.notify_one();
+        }
+        if failed {
+            // A wire send inside this insertion failed: wake everything so
+            // blocked waits observe the sticky error.
+            self.work_cv.notify_all();
+            self.plan_cv.notify_all();
+            self.net_cv.notify_all();
         }
         id
     }
@@ -815,21 +1168,24 @@ impl StreamWindow {
     ) {
         let host = st.home_of[&key];
         let dir = st.nodes[host].directory.get_mut(&key).expect("declared");
-        let msg = match &mut dir.exec {
+        let (msg, producer) = match &mut dir.exec {
             Some(v) => {
                 if v.node == dest || !v.sent.insert(dest) {
                     return;
                 }
-                flow_msg(key, class, Some(v.id), v.node, dest, bytes)
+                (
+                    flow_msg(key, class, Some(v.id), v.node, dest, bytes),
+                    Some(v.id),
+                )
             }
             None => {
                 if dir.home == dest || !dir.initial_fetched.insert(dest) {
                     return;
                 }
-                flow_msg(key, class, None, dir.home, dest, bytes)
+                (flow_msg(key, class, None, dir.home, dest, bytes), None)
             }
         };
-        st.route(msg);
+        st.route(msg, producer);
     }
 
     // ---- execution side ------------------------------------------------
@@ -861,9 +1217,19 @@ impl StreamWindow {
                             .kernel
                             .take()
                             .unwrap_or_else(|| panic!("task '{}' executed twice", t.name));
+                        let needs = std::mem::take(&mut t.net_needs);
+                        if !needs.is_empty() {
+                            // All gating arrivals are in (they were extra
+                            // predecessors); decode them into the local
+                            // mirror now, under the lock — every ready
+                            // task touching the same datum needs the same
+                            // version (hazards serialize writers), so the
+                            // write cannot race a reader.
+                            Self::apply_net_needs(&mut st, &needs);
+                        }
                         break 'wait (r.id, n, kernel);
                     }
-                    if st.planning_done && st.live_nodes.is_empty() {
+                    if (st.planning_done && st.live_nodes.is_empty()) || net_failed(&st) {
                         return;
                     }
                     st = self.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
@@ -873,6 +1239,28 @@ impl StreamWindow {
             let result = kernel();
             let t1 = self.epoch.elapsed().as_secs_f64();
             self.complete(id, node, result, worker, t0, t1);
+        }
+    }
+
+    /// Decode a popped task's arrived inputs into the local mirror.
+    /// Idempotent per `(datum, producer)`: the first consumer applies the
+    /// bytes, later consumers find the slot already `Applied`.
+    fn apply_net_needs(st: &mut WindowState, needs: &[(DataKey, Option<TaskId>)]) {
+        let Some(net) = &mut st.net else { return };
+        for &(key, producer) in needs {
+            let bytes = match net.arrivals.get_mut(&(key, producer)) {
+                Some(slot @ Arrival::Bytes(_)) => {
+                    let Arrival::Bytes(b) = std::mem::replace(slot, Arrival::Applied) else {
+                        unreachable!()
+                    };
+                    Some(b)
+                }
+                Some(Arrival::Applied) => None,
+                None => panic!("task ready before its input {key:?} arrived"),
+            };
+            if let Some(b) = bytes {
+                net.store_payload(key, &b);
+            }
         }
     }
 
@@ -894,6 +1282,19 @@ impl StreamWindow {
         st.tally.record(&result);
         if let Some(c) = &mut st.calib {
             c.record(task.step, node, &result);
+        }
+        // Net mode tolerates no discarded *local* tasks: a runtime discard
+        // means numerical breakdown rerouting, which would desynchronize
+        // the ranks' identically-planned message streams. (Remote stubs
+        // always report executed.)
+        if !result.executed {
+            if let Some(net) = &mut st.net {
+                net.fail(TransportError::Protocol(format!(
+                    "task '{}' discarded itself; breakdown rerouting is not \
+                     supported over a real transport",
+                    task.name
+                )));
+            }
         }
 
         if st.probe.is_enabled() {
@@ -929,6 +1330,7 @@ impl StreamWindow {
         // datum's current *executed version* (WAW hazards serialize
         // conflicting writers, so executed completions promote in
         // insertion order) with a fresh transfer cache.
+        let mut sync_decisions: Vec<DataKey> = Vec::new();
         for ca in &task.accesses {
             if matches!(ca.access, Access::Mut(_)) {
                 let key = ca.access.key();
@@ -945,6 +1347,35 @@ impl StreamWindow {
                         node,
                         sent: HashSet::new(),
                     });
+                    if dir.class == DataClass::Decision {
+                        sync_decisions.push(key);
+                    }
+                }
+            }
+        }
+
+        // Net mode: a decision computed on this rank is broadcast eagerly
+        // to *every* peer as a control frame — the driver on each rank
+        // blocks on it before planning the rest of the step, and the
+        // modeled DecisionMsg (sent above/below through `route` only to
+        // branch-task hosts) cannot cover ranks whose share of the chosen
+        // branch is empty.
+        if let Some(net) = &mut st.net {
+            if node == net.rank && result.executed {
+                for key in sync_decisions {
+                    let payload = net.load_payload(key);
+                    for peer in (0..net.nranks()).filter(|&p| p != node) {
+                        net.ctrl_sent += 1;
+                        net.payload_bytes_sent += payload.len() as u64;
+                        let frame = Frame::Sync {
+                            key,
+                            producer: id,
+                            payload: payload.clone(),
+                        };
+                        if let Err(e) = net.transport.send(peer, &frame) {
+                            net.fail(e);
+                        }
+                    }
                 }
             }
         }
@@ -963,7 +1394,7 @@ impl StreamWindow {
                 let v = dir.exec.as_mut().expect("executed writer was promoted");
                 if v.sent.insert(dest) {
                     let msg = flow_msg(key, class, Some(id), node, dest, bytes);
-                    st.route(msg);
+                    st.route(msg, Some(id));
                 }
             }
         } else {
@@ -1018,6 +1449,8 @@ impl StreamWindow {
         st.on_step_events(&reports, ev.retired, task.step, end_s);
 
         let drained = st.planning_done && st.live_nodes.is_empty();
+        let has_net = st.net.is_some();
+        let failed = net_failed(&st);
         drop(st);
         // One wake per newly runnable task (workers re-check the queues
         // under the lock before waiting, so a wake with no waiter is not
@@ -1026,12 +1459,400 @@ impl StreamWindow {
         for _ in 0..newly_ready {
             self.work_cv.notify_one();
         }
-        if drained {
+        if drained || failed {
             self.work_cv.notify_all();
         }
         // Capacity may have opened, an awaited decision may have landed, or
         // the graph may have drained — all planner-side conditions.
         self.plan_cv.notify_all();
+        if has_net {
+            self.net_cv.notify_all();
+        }
+    }
+
+    // ---- real-transport side (execute_net) -----------------------------
+
+    /// Deliver one received wire frame into the window. Called by the
+    /// driver's receiver thread; returns [`FramePump::Stop`] once the
+    /// rank's shutdown frame lands (or an abort is detected).
+    pub(crate) fn on_frame(&self, from: usize, frame: Frame) -> FramePump {
+        let mut st = self.lock();
+        if st.net.is_none() {
+            return FramePump::Stop;
+        }
+        let mut newly_ready = 0usize;
+        let mut pump = FramePump::Continue;
+        match frame {
+            Frame::Hello { .. } => {}
+            Frame::Data {
+                key,
+                producer,
+                from: src,
+                to,
+                class,
+                modeled_bytes,
+                payload,
+            } => {
+                let net = st.net.as_mut().expect("checked above");
+                let msg = flow_msg(
+                    key,
+                    class,
+                    producer,
+                    src as usize,
+                    to as usize,
+                    modeled_bytes as usize,
+                );
+                net.wire_recv
+                    .entry((src as usize, to as usize))
+                    .or_default()
+                    .record(&msg);
+                net.payload_bytes_recv += payload.len() as u64;
+                newly_ready = Self::net_arrival(&mut st, key, producer, payload);
+            }
+            Frame::Sync {
+                key,
+                producer,
+                payload,
+            } => {
+                let net = st.net.as_mut().expect("checked above");
+                net.ctrl_recv += 1;
+                net.payload_bytes_recv += payload.len() as u64;
+                newly_ready = Self::net_arrival(&mut st, key, Some(producer), payload);
+            }
+            Frame::Retire { step, node } => {
+                let net = st.net.as_mut().expect("checked above");
+                let msg = Msg::Retire(RetireMsg {
+                    step: step as usize,
+                    node: node as usize,
+                });
+                net.wire_recv
+                    .entry((node as usize, 0))
+                    .or_default()
+                    .record(&msg);
+            }
+            Frame::Result { key, payload } => {
+                // Rank 0 collecting the factored matrix: by the time any
+                // Result arrives this rank is drained (per-link FIFO puts
+                // it after the peer's Done, which follows our own drain),
+                // so the store write cannot race a kernel.
+                let net = st.net.as_mut().expect("checked above");
+                net.ctrl_recv += 1;
+                net.payload_bytes_recv += payload.len() as u64;
+                net.store_payload(key, &payload);
+            }
+            Frame::Done => {
+                let net = st.net.as_mut().expect("checked above");
+                net.ctrl_recv += 1;
+                net.dones.insert(from);
+            }
+            Frame::Fin => {
+                let net = st.net.as_mut().expect("checked above");
+                net.ctrl_recv += 1;
+                net.fins.insert(from);
+            }
+            Frame::Shutdown => {
+                // Legitimate only after this rank sent its Fin (it is
+                // fully drained and parked in `net_finish`); mid-run it is
+                // a peer's abort broadcast.
+                let premature = !st.planning_done || !st.live_nodes.is_empty();
+                let net = st.net.as_mut().expect("checked above");
+                net.ctrl_recv += 1;
+                net.shutdown_seen = true;
+                if premature {
+                    net.fail(TransportError::PeerLost { peer: from });
+                }
+                pump = FramePump::Stop;
+            }
+        }
+        let failed = net_failed(&st);
+        drop(st);
+        for _ in 0..newly_ready {
+            self.work_cv.notify_one();
+        }
+        if failed {
+            self.work_cv.notify_all();
+            self.plan_cv.notify_all();
+        }
+        self.net_cv.notify_all();
+        pump
+    }
+
+    /// Record one payload arrival and release the tasks gated on it.
+    /// Duplicate deliveries (a Sync broadcast racing the modeled
+    /// DecisionMsg for the same version) are ignored: first one wins.
+    fn net_arrival(
+        st: &mut WindowState,
+        key: DataKey,
+        producer: Option<TaskId>,
+        payload: Vec<u8>,
+    ) -> usize {
+        use std::collections::hash_map::Entry;
+        let net = st.net.as_mut().expect("net mode");
+        match net.arrivals.entry((key, producer)) {
+            Entry::Occupied(_) => return 0,
+            Entry::Vacant(slot) => {
+                slot.insert(Arrival::Bytes(payload));
+            }
+        }
+        let waiters = net.waiters.remove(&(key, producer)).unwrap_or_default();
+        let mut newly_ready = 0;
+        for (id, node) in waiters {
+            let t = st.nodes[node].live.get_mut(&id).expect("waiter is live");
+            debug_assert!(t.preds_remaining >= 1, "arrival underflow");
+            t.preds_remaining -= 1;
+            if t.preds_remaining == 0 {
+                let cp = t.cp;
+                st.nodes[node].ready.push(cp, id, node);
+                newly_ready += 1;
+            }
+        }
+        newly_ready
+    }
+
+    /// Whether a receiver-side disconnect is the normal staggered teardown
+    /// rather than a failure: once this rank's protocol obligations are
+    /// discharged (`Fin` sent / `Shutdown` broadcast), peers that received
+    /// their `Shutdown` first close their endpoints while we may still be
+    /// waiting on rank 0's link. Losing rank 0 itself is never benign — a
+    /// parked peer would wait for its `Shutdown` forever.
+    pub(crate) fn net_disconnect_benign(&self, e: &TransportError) -> bool {
+        let st = self.lock();
+        let Some(net) = st.net.as_ref() else {
+            return false;
+        };
+        net.complete && matches!(e, TransportError::PeerLost { peer } if *peer != 0)
+    }
+
+    /// Propagate a receiver-side transport failure into the window and
+    /// wake every blocked thread.
+    pub(crate) fn net_fail(&self, e: TransportError) {
+        let mut st = self.lock();
+        if let Some(net) = st.net.as_mut() {
+            net.fail(e);
+        }
+        drop(st);
+        self.work_cv.notify_all();
+        self.plan_cv.notify_all();
+        self.net_cv.notify_all();
+    }
+
+    /// The sticky net error, if any.
+    pub(crate) fn net_check(&self) -> Result<(), TransportError> {
+        match self.lock().net.as_ref().and_then(|n| n.error.clone()) {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// After [`StreamWindow::wait_for_task`] on a decision task: block
+    /// until the decision *value* is in the local mirror. A locally
+    /// computed decision is already there; a remote one is applied from
+    /// its Sync/DecisionMsg frame the moment it arrives.
+    pub(crate) fn net_wait_decision(&self, id: TaskId) -> Result<(), TransportError> {
+        let mut st = self.lock();
+        let Some(net) = st.net.as_ref() else {
+            return Ok(());
+        };
+        let Some(&(key, local)) = net.pending_decisions.get(&id) else {
+            return Ok(());
+        };
+        if local {
+            return Ok(());
+        }
+        loop {
+            let net = st.net.as_mut().expect("net mode");
+            if let Some(e) = &net.error {
+                return Err(e.clone());
+            }
+            let arrived = match net.arrivals.get_mut(&(key, Some(id))) {
+                Some(slot @ Arrival::Bytes(_)) => {
+                    let Arrival::Bytes(b) = std::mem::replace(slot, Arrival::Applied) else {
+                        unreachable!()
+                    };
+                    Some(Some(b))
+                }
+                Some(Arrival::Applied) => Some(None),
+                None => None,
+            };
+            if let Some(bytes) = arrived {
+                if let Some(b) = bytes {
+                    net.store_payload(key, &b);
+                }
+                return Ok(());
+            }
+            st = self.net_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Block until `cond` holds on the net state (or the run failed).
+    fn net_wait(&self, cond: impl Fn(&NetState) -> bool) -> Result<(), TransportError> {
+        let mut st = self.lock();
+        loop {
+            let net = st.net.as_ref().expect("net mode");
+            if let Some(e) = &net.error {
+                return Err(e.clone());
+            }
+            if cond(net) {
+                return Ok(());
+            }
+            st = self.net_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// End-of-run protocol, called after [`StreamWindow::wait_drained`]:
+    ///
+    /// 1. broadcast `Done` (a fence: per-link FIFO means every protocol
+    ///    frame this rank sent precedes it);
+    /// 2. wait for all peers' `Done`s — now every inbound protocol frame
+    ///    has been counted — and reconcile wire counters against the
+    ///    modeled per-link tallies;
+    /// 3. ranks != 0 ship every datum whose final version they own as
+    ///    `Result` frames, send `Fin`, and park until `Shutdown`; rank 0
+    ///    waits for all `Fin`s (its mirror now holds the full factored
+    ///    matrix) and broadcasts `Shutdown`.
+    pub(crate) fn net_finish(&self) -> Result<(), TransportError> {
+        let (rank, nranks) = {
+            let mut st = self.lock();
+            let Some(net) = st.net.as_mut() else {
+                return Ok(());
+            };
+            let (rank, nranks) = (net.rank, net.nranks());
+            for peer in (0..nranks).filter(|&p| p != rank) {
+                net.ctrl_sent += 1;
+                if let Err(e) = net.transport.send(peer, &Frame::Done) {
+                    net.fail(e);
+                }
+            }
+            (rank, nranks)
+        };
+        self.net_wait(|net| net.dones.len() == nranks - 1)?;
+        self.net_reconcile()?;
+        if rank == 0 {
+            self.net_wait(|net| net.fins.len() == nranks - 1)?;
+            let mut st = self.lock();
+            let net = st.net.as_mut().expect("net mode");
+            for peer in 1..nranks {
+                net.ctrl_sent += 1;
+                if let Err(e) = net.transport.send(peer, &Frame::Shutdown) {
+                    net.fail(e);
+                }
+            }
+            net.complete = true;
+            if let Some(e) = &net.error {
+                return Err(e.clone());
+            }
+        } else {
+            self.net_send_results()?;
+            self.net_wait(|net| net.shutdown_seen)?;
+        }
+        Ok(())
+    }
+
+    /// Cross-check this rank's wire traffic against the modeled protocol:
+    /// on every link it touches, the frames actually moved must equal the
+    /// messages the (identically planned) protocol recorded — the sent
+    /// side by construction, the received side across a real wire.
+    fn net_reconcile(&self) -> Result<(), TransportError> {
+        let mut st = self.lock();
+        let st = &mut *st;
+        let Some(net) = st.net.as_mut() else {
+            return Ok(());
+        };
+        let rank = net.rank;
+        let mut mismatch: Option<String> = None;
+        for (&(src, dst), msgs) in &st.link_msgs {
+            let (side, wire) = if src == rank {
+                ("sent", net.wire_sent.get(&(src, dst)))
+            } else if dst == rank {
+                ("received", net.wire_recv.get(&(src, dst)))
+            } else {
+                continue;
+            };
+            let wire = wire.copied().unwrap_or_default();
+            if wire != *msgs {
+                mismatch = Some(format!(
+                    "link ({src},{dst}) {side}: wire {wire:?} != protocol {msgs:?}"
+                ));
+                break;
+            }
+        }
+        if mismatch.is_none() {
+            let stray = net
+                .wire_sent
+                .iter()
+                .filter(|(&(s, _), _)| s == rank)
+                .chain(net.wire_recv.iter().filter(|(&(_, d), _)| d == rank))
+                .find(|(l, _)| !st.link_msgs.contains_key(l));
+            if let Some((&(src, dst), wire)) = stray {
+                mismatch = Some(format!(
+                    "link ({src},{dst}): wire traffic {wire:?} on a link the \
+                     protocol never used"
+                ));
+            }
+        }
+        if let Some(m) = mismatch {
+            let e = TransportError::Protocol(format!(
+                "rank {rank} wire/protocol reconciliation failed: {m}"
+            ));
+            net.fail(e.clone());
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Ship every datum whose *final executed version* lives on this rank
+    /// to rank 0. Exactly one rank owns each written datum's final
+    /// version, so rank 0's mirror ends bitwise-complete; data a kernel
+    /// consumed destructively (`load` returns `None`) is skipped — its
+    /// value is dead in the algorithm too.
+    fn net_send_results(&self) -> Result<(), TransportError> {
+        let mut st = self.lock();
+        let st = &mut *st;
+        let net = st.net.as_mut().expect("net mode");
+        let rank = net.rank;
+        let mut owned: Vec<DataKey> = st
+            .nodes
+            .iter()
+            .flat_map(|nw| nw.directory.iter())
+            .filter(|(_, dir)| dir.exec.as_ref().is_some_and(|v| v.node == rank))
+            .map(|(&key, _)| key)
+            .collect();
+        owned.sort_unstable();
+        for key in owned {
+            let t0 = Instant::now();
+            let Some(payload) = net.store.load(key) else {
+                continue;
+            };
+            net.ser_hist.observe(t0.elapsed().as_secs_f64());
+            net.ctrl_sent += 1;
+            net.payload_bytes_sent += payload.len() as u64;
+            if let Err(e) = net.transport.send(0, &Frame::Result { key, payload }) {
+                net.fail(e);
+                break;
+            }
+        }
+        net.ctrl_sent += 1;
+        if let Err(e) = net.transport.send(0, &Frame::Fin) {
+            net.fail(e);
+        }
+        net.complete = true;
+        match &net.error {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Best-effort abort broadcast: on a failed run, wake every peer out
+    /// of its blocking waits so the whole set unwinds instead of hanging.
+    pub(crate) fn net_abort(&self) {
+        let mut st = self.lock();
+        if let Some(net) = st.net.as_mut() {
+            let (rank, nranks) = (net.rank, net.nranks());
+            for peer in (0..nranks).filter(|&p| p != rank) {
+                net.ctrl_sent += 1;
+                let _ = net.transport.send(peer, &Frame::Shutdown);
+            }
+        }
     }
 }
 

@@ -489,3 +489,270 @@ fn recalibration_keeps_numerics_and_protocol_consistency() {
     assert!(recal.stream.report.peak_live_steps <= 2);
     assert!(recal.sim.makespan >= recal.sim.critical_path - 1e-12);
 }
+
+// ---------------------------------------------------------------------------
+// Real-transport distributed runs: the simulated protocol, performed.
+// ---------------------------------------------------------------------------
+
+use luqr::net::launch::{launch_multiprocess, LaunchTransport, NetJob};
+use luqr::{factor_stream_net, factor_stream_net_opts, NetTransportKind, Probe};
+
+/// One real-transport run against its two oracles: the batch factorization
+/// (bitwise numerics) and the *simulated* distributed run on a uniform
+/// platform (exact protocol message statistics, total and per link) —
+/// plus the runtime's own wire/protocol reconciliation surfaced through
+/// rank 0's [`luqr::NetReport`].
+fn check_net(opts: &FactorOptions, window: usize, n: usize, seed: u64, kind: &NetTransportKind) {
+    let what = format!(
+        "{} grid={}x{} window={window} over {kind:?}",
+        opts.algorithm.name(),
+        opts.grid.p,
+        opts.grid.q
+    );
+    let (a, b) = system(n, seed);
+    let batch = factor(&a, &b, opts);
+    let platform = Platform::dancer_nodes(opts.grid.nodes());
+    let dist =
+        factor_stream_distributed(&a, &b, opts, &platform, window).expect("grid fits platform");
+    let net = factor_stream_net(&a, &b, opts, window, kind).expect("net run failed");
+
+    assert_eq!(batch.error, net.error, "{what}: error mismatch");
+    assert_eq!(
+        batch.solution().max_abs_diff(&net.solution()),
+        0.0,
+        "{what}: real-transport solution diverged from batch"
+    );
+
+    // Step records agree with the simulated distributed run bitwise.
+    assert_eq!(net.records.len(), dist.stream.records.len(), "{what}");
+    for (rn, rd) in net.records.iter().zip(&dist.stream.records) {
+        assert_eq!(rn.k, rd.k, "{what}");
+        assert_eq!(rn.decision, rd.decision, "{what}: step {} decision", rn.k);
+        assert_eq!(
+            rn.lhs.to_bits(),
+            rd.lhs.to_bits(),
+            "{what}: step {} lhs",
+            rn.k
+        );
+        assert_eq!(
+            rn.rhs.to_bits(),
+            rd.rhs.to_bits(),
+            "{what}: step {} rhs",
+            rn.k
+        );
+    }
+
+    // The performed protocol moved exactly the messages the simulation
+    // modeled — in total and on every directed link.
+    assert_eq!(
+        net.report.msgs, dist.stream.report.msgs,
+        "{what}: MsgStats diverged from the simulated run"
+    );
+    assert_eq!(
+        net.report.link_msgs, dist.stream.report.link_msgs,
+        "{what}: per-link MsgStats diverged"
+    );
+
+    // Rank 0's wire-level frame counters reconcile against the modeled
+    // per-link protocol: every frame on the wire is a protocol message.
+    let wire = net.report.net.as_ref().expect("net report missing");
+    assert_eq!(wire.rank, 0, "{what}");
+    assert_eq!(wire.nranks, opts.grid.nodes(), "{what}");
+    let protocol_msgs = |l: &luqr_runtime::LinkMsgStats| {
+        l.msgs.data_msgs + l.msgs.decision_msgs + l.msgs.retire_msgs
+    };
+    let sent: u64 = net
+        .report
+        .link_msgs
+        .iter()
+        .filter(|l| l.src == 0 && l.dst != 0)
+        .map(protocol_msgs)
+        .sum();
+    let received: u64 = net
+        .report
+        .link_msgs
+        .iter()
+        .filter(|l| l.dst == 0 && l.src != 0)
+        .map(protocol_msgs)
+        .sum();
+    assert_eq!(
+        wire.frames_sent, sent,
+        "{what}: wire frames != protocol msgs (sent)"
+    );
+    assert_eq!(
+        wire.frames_received, received,
+        "{what}: wire frames != protocol msgs (received)"
+    );
+    if opts.grid.nodes() > 1 {
+        // Done + Fin/Shutdown at minimum; Sync broadcasts and Results too.
+        assert!(wire.ctrl_frames_sent > 0, "{what}: no control frames sent");
+        assert!(
+            wire.ctrl_frames_received > 0,
+            "{what}: no control frames received"
+        );
+    }
+}
+
+/// Loopback transport across every algorithm family on a 2x2 grid: each
+/// exercises a different payload codec mix (pivots + swap scratch, T
+/// factors, incremental-pivot L panels, criterion decisions + backups).
+#[test]
+fn net_loopback_matches_simulated_run_across_algorithms() {
+    for algorithm in [
+        Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
+        Algorithm::LuQr(Criterion::AlwaysQr),
+        Algorithm::Lupp,
+        Algorithm::LuIncPiv,
+        Algorithm::LuNoPiv,
+        Algorithm::Hqr,
+    ] {
+        let opts = FactorOptions {
+            nb: 8,
+            ib: 4,
+            threads: 2,
+            grid: Grid::new(2, 2),
+            algorithm,
+            ..FactorOptions::default()
+        };
+        check_net(&opts, 2, 50, 2014, &NetTransportKind::Loopback);
+    }
+}
+
+/// The same hybrid run over crossbeam channels and over real Unix-domain
+/// sockets: transport choice must be invisible to numerics and protocol.
+#[test]
+fn net_channel_and_uds_match_simulated_run() {
+    let opts = FactorOptions {
+        nb: 8,
+        ib: 4,
+        threads: 2,
+        grid: Grid::new(2, 2),
+        algorithm: Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
+        ..FactorOptions::default()
+    };
+    check_net(&opts, 2, 50, 2014, &NetTransportKind::Channel);
+    check_net(&opts, 2, 50, 2014, &NetTransportKind::Uds);
+}
+
+/// Deeper window and a rectangular grid over loopback.
+#[test]
+fn net_rect_grid_and_wide_window() {
+    let opts = FactorOptions {
+        nb: 8,
+        ib: 4,
+        threads: 2,
+        grid: Grid::new(1, 2),
+        algorithm: Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
+        ..FactorOptions::default()
+    };
+    check_net(&opts, 7, 50, 2014, &NetTransportKind::Loopback);
+}
+
+/// A single-rank "distributed" run: everything is local, nothing crosses
+/// the wire, and the report says exactly that.
+#[test]
+fn net_single_rank_moves_nothing() {
+    let opts = FactorOptions {
+        nb: 8,
+        ib: 4,
+        threads: 2,
+        grid: Grid::single(),
+        algorithm: Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
+        ..FactorOptions::default()
+    };
+    let (a, b) = system(50, 2014);
+    let batch = factor(&a, &b, &opts);
+    let net =
+        factor_stream_net(&a, &b, &opts, 2, &NetTransportKind::Loopback).expect("net run failed");
+    assert_eq!(batch.solution().max_abs_diff(&net.solution()), 0.0);
+    assert_eq!(net.report.msgs, luqr_runtime::MsgStats::default());
+    let wire = net.report.net.as_ref().expect("net report missing");
+    assert_eq!(wire.frames_sent, 0);
+    assert_eq!(wire.frames_received, 0);
+    assert_eq!(wire.payload_bytes_sent, 0);
+}
+
+/// Probing a real-transport run must not perturb it: bitwise solution,
+/// identical protocol statistics, identical wire frame counters.
+#[test]
+fn net_probed_run_matches_unprobed() {
+    let opts = FactorOptions {
+        nb: 8,
+        ib: 4,
+        threads: 2,
+        grid: Grid::new(2, 2),
+        algorithm: Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
+        ..FactorOptions::default()
+    };
+    let (a, b) = system(50, 2014);
+    let plain =
+        factor_stream_net(&a, &b, &opts, 2, &NetTransportKind::Loopback).expect("unprobed run");
+    let probe = Probe::enabled();
+    let sopts = StreamOptions::fixed(2, opts.threads).with_probe(probe.clone());
+    let probed = factor_stream_net_opts(&a, &b, &opts, &sopts, &NetTransportKind::Loopback)
+        .expect("probed run");
+
+    assert_eq!(plain.solution().max_abs_diff(&probed.solution()), 0.0);
+    assert_eq!(plain.report.msgs, probed.report.msgs);
+    assert_eq!(plain.report.link_msgs, probed.report.link_msgs);
+    let (wp, wq) = (
+        plain.report.net.as_ref().expect("net report"),
+        probed.report.net.as_ref().expect("net report"),
+    );
+    assert_eq!(wp.frames_sent, wq.frames_sent);
+    assert_eq!(wp.frames_received, wq.frames_received);
+    assert_eq!(wp.payload_bytes_sent, wq.payload_bytes_sent);
+    assert_eq!(wp.payload_bytes_received, wq.payload_bytes_received);
+
+    // The probe saw the wire: its export includes net counters.
+    let report = probe.report();
+    let rendered = format!("{:?}", report.snapshot);
+    assert!(
+        rendered.contains("net"),
+        "probe snapshot has no net metrics: {rendered}"
+    );
+}
+
+/// The full stack: four real `luqr-worker` OS processes meshed over UDS
+/// reproduce the simulated run's message statistics exactly and the batch
+/// factorization bitwise.
+#[test]
+fn net_four_worker_uds_processes_match_simulated_run() {
+    let job = NetJob {
+        n: 64,
+        nrhs: 2,
+        seed: 2014,
+        nb: 8,
+        ib: 4,
+        p: 2,
+        q: 2,
+        threads: 2,
+        window: 2,
+        algorithm: Algorithm::LuQr(Criterion::Max { alpha: 6.0 }),
+    };
+    let (a, b) = job.problem();
+    let opts = job.options();
+    let batch = factor(&a, &b, &opts);
+    let dist = factor_stream_distributed(&a, &b, &opts, &Platform::dancer_nodes(4), job.window)
+        .expect("grid fits platform");
+
+    let mp = launch_multiprocess(&job, &LaunchTransport::Uds, None).expect("multi-process run");
+    assert_eq!(mp.error, None);
+    let x = mp.solution.as_ref().expect("rank 0 reports a solution");
+    assert_eq!(batch.solution().max_abs_diff(x), 0.0, "solution diverged");
+
+    assert_eq!(mp.records.len(), dist.stream.records.len());
+    for (rm, rd) in mp.records.iter().zip(&dist.stream.records) {
+        assert_eq!(rm.k, rd.k);
+        assert_eq!(rm.decision, rd.decision, "step {} decision", rm.k);
+        assert_eq!(rm.lhs.to_bits(), rd.lhs.to_bits(), "step {} lhs", rm.k);
+        assert_eq!(rm.rhs.to_bits(), rd.rhs.to_bits(), "step {} rhs", rm.k);
+    }
+    assert_eq!(mp.msgs, dist.stream.report.msgs, "MsgStats diverged");
+    assert_eq!(
+        mp.link_msgs, dist.stream.report.link_msgs,
+        "per-link MsgStats diverged"
+    );
+    assert!(mp.frames_sent > 0 && mp.frames_received > 0);
+    assert!(mp.payload_bytes_sent > 0 && mp.payload_bytes_received > 0);
+}

@@ -1,0 +1,304 @@
+//! Wire-format tests for the real-transport frame codec: property-based
+//! round-trips for every [`Frame`] variant (tile-sized payload blobs
+//! included), a pinned golden frame guarding the byte layout against
+//! accidental format drift, and the typed error paths — truncated frames,
+//! short reads, closed and dropped peers.
+
+use std::io::Cursor;
+
+use luqr_runtime::net::wire::{
+    decode_frame, encode_frame, read_frame, write_frame, Frame, MAGIC, MAX_FRAME, VERSION,
+};
+use luqr_runtime::{DataClass, DataKey, TaskId, Transport, TransportError};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random payload blob (an LCG over the seed).
+fn gen_bytes(len: usize, seed: u64) -> Vec<u8> {
+    let mut s = seed | 1;
+    (0..len)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 56) as u8
+        })
+        .collect()
+}
+
+/// Build one of the eight frame variants from generated primitives (the
+/// vendored proptest shim has no heterogeneous `prop_oneof`). Payload
+/// blobs range from empty up past a full 32x32 f64 tile (8 KiB) so real
+/// framing sizes are exercised, not just toys.
+fn build_frame(kind: usize, a: u64, b: u64, c: u64, (f1, f2): (bool, bool), blob: &[u8]) -> Frame {
+    match kind {
+        0 => Frame::Hello { rank: a as u32 },
+        1 => Frame::Data {
+            key: DataKey(a),
+            producer: f1.then_some(b as TaskId),
+            from: c as u32,
+            to: (c >> 32) as u32,
+            class: if f2 {
+                DataClass::Decision
+            } else {
+                DataClass::Payload
+            },
+            modeled_bytes: b ^ c,
+            payload: blob.to_vec(),
+        },
+        2 => Frame::Retire {
+            step: a,
+            node: b as u32,
+        },
+        3 => Frame::Sync {
+            key: DataKey(a),
+            producer: b as TaskId,
+            payload: blob.to_vec(),
+        },
+        4 => Frame::Result {
+            key: DataKey(a),
+            payload: blob.to_vec(),
+        },
+        5 => Frame::Done,
+        6 => Frame::Fin,
+        _ => Frame::Shutdown,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode -> decode is the identity for every frame variant.
+    #[test]
+    fn encode_decode_round_trips(
+        kind in 0usize..8,
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in any::<u64>(),
+        flags in (any::<bool>(), any::<bool>()),
+        blob in (0usize..9000, any::<u64>()).prop_map(|(n, s)| gen_bytes(n, s)),
+    ) {
+        let frame = build_frame(kind, a, b, c, flags, &blob);
+        let bytes = encode_frame(&frame);
+        prop_assert_eq!(decode_frame(&bytes).unwrap(), frame);
+    }
+
+    /// The stream path (write_frame / read_frame) agrees with the buffer
+    /// path, including back-to-back frames on one stream.
+    #[test]
+    fn stream_round_trips(
+        kinds in (0usize..8, 0usize..8, 0usize..8),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in any::<u64>(),
+        flags in (any::<bool>(), any::<bool>()),
+        blob in (0usize..9000, any::<u64>()).prop_map(|(n, s)| gen_bytes(n, s)),
+    ) {
+        let frames = [
+            build_frame(kinds.0, a, b, c, flags, &blob),
+            build_frame(kinds.1, b, c, a, flags, &blob),
+            build_frame(kinds.2, c, a, b, flags, &blob),
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut cur = Cursor::new(buf);
+        for f in &frames {
+            prop_assert_eq!(&read_frame(&mut cur).unwrap(), f);
+        }
+        prop_assert!(matches!(read_frame(&mut cur), Err(TransportError::Closed)));
+    }
+
+    /// Every strict prefix of an encoded frame fails to decode — no
+    /// truncation is silently accepted.
+    #[test]
+    fn truncation_never_decodes(
+        kind in 0usize..8,
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in any::<u64>(),
+        flags in (any::<bool>(), any::<bool>()),
+        blob in (0usize..600, any::<u64>()).prop_map(|(n, s)| gen_bytes(n, s)),
+    ) {
+        let frame = build_frame(kind, a, b, c, flags, &blob);
+        let bytes = encode_frame(&frame);
+        // Check a spread of cut points (all of them on small frames).
+        let step = (bytes.len() / 16).max(1);
+        for cut in (0..bytes.len()).step_by(step) {
+            prop_assert!(
+                decode_frame(&bytes[..cut]).is_err(),
+                "prefix of {} / {} bytes decoded",
+                cut,
+                bytes.len()
+            );
+        }
+    }
+}
+
+/// The exact bytes of a known `Data` frame, pinned. If this test breaks,
+/// the wire format changed: bump [`VERSION`] and update every peer — old
+/// and new workers cannot be mixed in one mesh.
+#[test]
+fn golden_data_frame_bytes_are_pinned() {
+    let frame = Frame::Data {
+        key: DataKey(0x0102_0304_0506_0708),
+        producer: Some(9),
+        from: 1,
+        to: 2,
+        class: DataClass::Decision,
+        modeled_bytes: 512,
+        payload: vec![0xAA, 0xBB, 0xCC],
+    };
+    let expected: Vec<u8> = vec![
+        44, 0, 0, 0, // length prefix: 3 header + 41 body bytes
+        MAGIC, VERSION, 1, // kind = Data
+        0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // key (LE)
+        1, 9, 0, 0, 0, 0, 0, 0, 0, // producer = Some(9)
+        1, 0, 0, 0, // from
+        2, 0, 0, 0, // to
+        1, // class = Decision
+        0, 2, 0, 0, 0, 0, 0, 0, // modeled_bytes = 512 (LE)
+        3, 0, 0, 0, // payload length
+        0xAA, 0xBB, 0xCC, // payload
+    ];
+    assert_eq!(encode_frame(&frame), expected);
+    assert_eq!(decode_frame(&expected).unwrap(), frame);
+}
+
+#[test]
+fn golden_control_frame_bytes_are_pinned() {
+    assert_eq!(
+        encode_frame(&Frame::Done),
+        vec![3, 0, 0, 0, MAGIC, VERSION, 5]
+    );
+    assert_eq!(
+        encode_frame(&Frame::Retire { step: 7, node: 3 }),
+        vec![15, 0, 0, 0, MAGIC, VERSION, 2, 7, 0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0],
+    );
+}
+
+/// EOF before any byte is a clean close; EOF mid-frame is a short read
+/// with honest wanted/got accounting.
+#[test]
+fn eof_maps_to_closed_or_short_read() {
+    let bytes = encode_frame(&Frame::Retire { step: 1, node: 0 });
+
+    let mut empty = Cursor::new(&[][..]);
+    assert!(matches!(
+        read_frame(&mut empty),
+        Err(TransportError::Closed)
+    ));
+
+    let mut header_cut = Cursor::new(&bytes[..2]);
+    assert!(matches!(
+        read_frame(&mut header_cut),
+        Err(TransportError::ShortRead { wanted: 4, got: 2 })
+    ));
+
+    let mut body_cut = Cursor::new(&bytes[..bytes.len() - 1]);
+    match read_frame(&mut body_cut) {
+        Err(TransportError::ShortRead { wanted, got }) => assert_eq!(wanted, got + 1),
+        other => panic!("expected ShortRead, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupt_headers_are_typed_frame_errors() {
+    let mut bytes = encode_frame(&Frame::Done);
+    bytes[4] = 0x00; // magic
+    assert!(matches!(
+        decode_frame(&bytes),
+        Err(TransportError::Frame(_))
+    ));
+
+    let mut bytes = encode_frame(&Frame::Done);
+    bytes[5] = VERSION + 1;
+    assert!(matches!(
+        decode_frame(&bytes),
+        Err(TransportError::Frame(_))
+    ));
+
+    let mut bytes = encode_frame(&Frame::Done);
+    bytes[6] = 250; // unknown kind
+    assert!(matches!(
+        decode_frame(&bytes),
+        Err(TransportError::Frame(_))
+    ));
+
+    // Oversized length prefix is rejected before any allocation.
+    let mut oversized = Vec::new();
+    oversized.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+    assert!(matches!(
+        decode_frame(&oversized),
+        Err(TransportError::Frame(_))
+    ));
+}
+
+/// A peer closing its endpoint mid-run surfaces as `PeerLost` on the
+/// survivor, with the correct peer identified; the survivor's own
+/// `shutdown` turns subsequent receives into clean `Closed`.
+#[test]
+fn dropped_socket_peer_is_peer_lost() {
+    let dir = std::env::temp_dir().join(format!("luqr-wiretest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = luqr_runtime::net::socket::SocketSpec::Uds { dir: dir.clone() };
+    let set = luqr_runtime::net::socket::socket_set(&spec, 2).unwrap();
+    let mut it = set.into_iter();
+    let (r0, r1) = (it.next().unwrap(), it.next().unwrap());
+
+    r1.send(0, &Frame::Done).unwrap();
+    assert_eq!(r0.recv().unwrap(), (1, Frame::Done));
+
+    r1.shutdown();
+    assert!(matches!(
+        r0.recv(),
+        Err(TransportError::PeerLost { peer: 1 })
+    ));
+
+    r0.shutdown();
+    assert!(matches!(r0.recv(), Err(TransportError::Closed)));
+    assert!(matches!(
+        r0.send(1, &Frame::Done),
+        Err(TransportError::Closed)
+    ));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Losing a peer mid-factorization fails the whole run with a typed
+/// error instead of hanging: rank 1 connects, handshakes, then vanishes
+/// before serving any protocol traffic.
+#[test]
+fn mid_run_peer_loss_fails_the_run() {
+    use luqr::{factor_stream_net_rank, Algorithm, Criterion, FactorOptions, StreamOptions};
+    use luqr_tile::Grid;
+
+    let (a, b) = luqr_tests::dominant_system(32, 5, 1);
+    let opts = FactorOptions {
+        nb: 8,
+        ib: 4,
+        threads: 2,
+        grid: Grid::new(1, 2),
+        algorithm: Algorithm::LuQr(Criterion::Max { alpha: 100.0 }),
+        ..FactorOptions::default()
+    };
+    let set = luqr_runtime::net::loopback::loopback_set(2);
+    let mut it = set.into_iter();
+    let (t0, t1) = (it.next().unwrap(), it.next().unwrap());
+
+    let deserter = std::thread::spawn(move || {
+        // Abort broadcast, then gone — exactly what a crashed worker's
+        // teardown (or `net_abort`) produces.
+        t1.send(0, &Frame::Shutdown).unwrap();
+        t1.shutdown();
+    });
+    let sopts = StreamOptions::fixed(2, 2);
+    let err = match factor_stream_net_rank(&a, &b, &opts, &sopts, t0) {
+        Err(e) => e,
+        Ok(_) => panic!("run must fail when a peer vanishes"),
+    };
+    assert!(
+        matches!(err, TransportError::PeerLost { peer: 1 }),
+        "expected PeerLost from rank 1, got {err:?}"
+    );
+    deserter.join().unwrap();
+}
